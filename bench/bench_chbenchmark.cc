@@ -1,0 +1,174 @@
+// E12 — CH-benCHmark [6]: TPC-C transactions and TPC-H-style analytics on
+// the same live database.
+//
+// Reports: (a) pure transactional throughput; (b) analytic query latency
+// on cold (unmerged delta) vs. freshly merged data; (c) the headline mixed
+// run — transaction throughput with concurrent analytic streams, showing
+// OLTP degrading gracefully rather than stopping (the OLTAP promise), and
+// (d) the freshness sweep: merge period vs. analytic latency.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "workload/chbench.h"
+
+namespace oltap {
+namespace {
+
+CHConfig BenchConfig() {
+  CHConfig config;
+  config.warehouses = 4;
+  config.districts_per_warehouse = 10;
+  config.customers_per_district = 100;
+  config.items = 1000;
+  config.initial_orders_per_district = 30;
+  return config;
+}
+
+struct World {
+  Database db;
+  std::unique_ptr<CHBenchmark> bench;
+
+  World() {
+    bench = std::make_unique<CHBenchmark>(&db, BenchConfig());
+    if (!bench->CreateTables().ok()) std::abort();
+    if (!bench->Load().ok()) std::abort();
+  }
+};
+
+// (a) Transaction throughput, single stream.
+void BM_TpccTransactionMix(benchmark::State& state) {
+  World world;
+  Rng rng(1);
+  CHTxnStats stats;
+  for (auto _ : state) {
+    Status st = world.bench->RunMixed(&rng, &stats, 10);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["aborts"] = static_cast<double>(stats.aborts);
+}
+
+// (b) Analytic latency per query, after a warm-up of transactions, on
+// unmerged vs. merged data.
+void BM_AnalyticQuery(benchmark::State& state) {
+  static World* world = [] {
+    auto* w = new World();
+    Rng rng(2);
+    CHTxnStats stats;
+    for (int i = 0; i < 2000; ++i) w->bench->RunMixed(&rng, &stats, 10);
+    return w;
+  }();
+  size_t query = static_cast<size_t>(state.range(0));
+  bool merged = state.range(1) != 0;
+  if (merged) world->db.MergeAll();
+  for (auto _ : state) {
+    auto r = world->bench->RunQuery(query);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->rows.size());
+  }
+  state.SetLabel(CHBenchmark::Queries()[query].name +
+                 (merged ? "/merged" : "/unmerged"));
+}
+
+// (c) The mixed run: transaction throughput with 0/1/2 analytic streams.
+void BM_MixedWorkload(benchmark::State& state) {
+  int analysts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world;
+    {
+      Rng warm(3);
+      CHTxnStats stats;
+      for (int i = 0; i < 500; ++i) world.bench->RunMixed(&warm, &stats, 10);
+    }
+    std::atomic<bool> stop{false};
+    std::atomic<int64_t> queries_done{0};
+    std::vector<std::thread> analysts_threads;
+    for (int a = 0; a < analysts; ++a) {
+      analysts_threads.emplace_back([&, a] {
+        size_t q = static_cast<size_t>(a);
+        while (!stop.load(std::memory_order_acquire)) {
+          auto r = world.bench->RunQuery(q % CHBenchmark::Queries().size());
+          if (r.ok()) queries_done.fetch_add(1);
+          q += 1;
+        }
+      });
+    }
+    state.ResumeTiming();
+
+    constexpr int kTxnGoal = 2000;
+    std::atomic<int> done{0};
+    std::vector<std::thread> workers;
+    std::vector<CHTxnStats> stats(2);
+    for (int t = 0; t < 2; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(100 + t);
+        while (done.fetch_add(1) < kTxnGoal) {
+          world.bench->RunMixed(&rng, &stats[t], 20).ok();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    state.PauseTiming();
+    stop.store(true);
+    for (auto& a : analysts_threads) a.join();
+    state.counters["analytic_queries"] =
+        static_cast<double>(queries_done.load());
+    state.counters["txn_aborts"] =
+        static_cast<double>(stats[0].aborts + stats[1].aborts);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+  state.counters["analysts"] = analysts;
+}
+
+// (d) Freshness sweep: run transactions, merging every K; report analytic
+// latency right after the workload (staleness = up to K txns of delta).
+void BM_FreshnessSweep(benchmark::State& state) {
+  int merge_every = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world;
+    Rng rng(4);
+    CHTxnStats stats;
+    for (int i = 0; i < 2000; ++i) {
+      world.bench->RunMixed(&rng, &stats, 10).ok();
+      if (merge_every > 0 && (i + 1) % merge_every == 0) {
+        world.db.MergeAll();
+      }
+    }
+    state.ResumeTiming();
+    // Timed portion: one pass over the analytic query set.
+    for (size_t q = 0; q < CHBenchmark::Queries().size(); ++q) {
+      auto r = world.bench->RunQuery(q);
+      if (!r.ok()) std::abort();
+      benchmark::DoNotOptimize(r->rows.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          CHBenchmark::Queries().size());
+  state.counters["merge_every"] =
+      merge_every > 0 ? static_cast<double>(merge_every) : 1e9;
+}
+
+BENCHMARK(BM_TpccTransactionMix)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AnalyticQuery)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MixedWorkload)->Arg(0)->Arg(1)->Arg(2)
+    ->UseRealTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_FreshnessSweep)->Arg(0)->Arg(200)->Arg(2000)
+    ->UseRealTime()->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,210 @@
+// E4 — Dual-format storage (Oracle Database In-Memory [22], fractured
+// mirrors [33]).
+//
+// The same mixed workload (point lookups + point updates + analytic scans)
+// against the three formats. Expected shape:
+//   kRow:    fastest OLTP, slowest analytics (tuple-at-a-time scans).
+//   kColumn: fastest analytics, slower OLTP (key index + delta lookups).
+//   kDual:   OLTP ≈ row (served by the row mirror), analytics ≈ column
+//            (served by the columnar mirror), at ~2x write amplification.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "common/rng.h"
+#include "exec/operators.h"
+#include "storage/table.h"
+
+namespace oltap {
+namespace {
+
+constexpr size_t kRowsLoaded = 200000;
+
+Schema BenchSchema() {
+  return SchemaBuilder()
+      .AddInt64("id", false)
+      .AddInt64("k", false)
+      .AddDouble("v", false)
+      .SetKey({"id"})
+      .Build();
+}
+
+Row MakeRow(int64_t id, Rng* rng) {
+  return Row{Value::Int64(id), Value::Int64(rng->UniformRange(0, 999)),
+             Value::Double(rng->NextDouble() * 100)};
+}
+
+Table* SharedTable(TableFormat format) {
+  static std::map<TableFormat, std::unique_ptr<Table>>* cache =
+      new std::map<TableFormat, std::unique_ptr<Table>>();
+  auto it = cache->find(format);
+  if (it == cache->end()) {
+    auto table = std::make_unique<Table>("t", BenchSchema(), format);
+    Rng rng(1);
+    if (format == TableFormat::kRow) {
+      for (size_t i = 0; i < kRowsLoaded; ++i) {
+        Status st = table->InsertCommitted(
+            MakeRow(static_cast<int64_t>(i), &rng), 1);
+        if (!st.ok()) std::abort();
+      }
+    } else {
+      std::vector<Row> rows;
+      rows.reserve(kRowsLoaded);
+      for (size_t i = 0; i < kRowsLoaded; ++i) {
+        rows.push_back(MakeRow(static_cast<int64_t>(i), &rng));
+      }
+      if (!table->BulkLoadToMain(rows, 1).ok()) std::abort();
+    }
+    it = cache->emplace(format, std::move(table)).first;
+  }
+  return it->second.get();
+}
+
+std::string KeyOf(int64_t id) {
+  static const Schema schema = BenchSchema();
+  return EncodeKey(schema, Row{Value::Int64(id), Value::Int64(0),
+                               Value::Double(0)});
+}
+
+void BM_PointLookup(benchmark::State& state) {
+  Table* table = SharedTable(static_cast<TableFormat>(state.range(0)));
+  Rng rng(5);
+  Row out;
+  for (auto _ : state) {
+    bool found = table->Lookup(
+        KeyOf(static_cast<int64_t>(rng.Uniform(kRowsLoaded))), 100, &out);
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(TableFormatToString(static_cast<TableFormat>(state.range(0))));
+}
+
+void BM_PointUpdate(benchmark::State& state) {
+  Table* table = SharedTable(static_cast<TableFormat>(state.range(0)));
+  Rng rng(6);
+  Timestamp ts = 1000;
+  for (auto _ : state) {
+    int64_t id = static_cast<int64_t>(rng.Uniform(kRowsLoaded));
+    Row row{Value::Int64(id), Value::Int64(rng.UniformRange(0, 999)),
+            Value::Double(1.0)};
+    Status st = table->UpdateCommitted(KeyOf(id), row, ++ts);
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(TableFormatToString(static_cast<TableFormat>(state.range(0))));
+}
+
+// The skip list's signature OLTP pattern: "the next 20 rows from this
+// key" (TPC-C order status / delivery). kRow/kDual answer from the
+// ordered index in O(log n + k); kColumn must scan and sort.
+void BM_ShortRangeScan(benchmark::State& state) {
+  Table* table = SharedTable(static_cast<TableFormat>(state.range(0)));
+  Rng rng(11);
+  for (auto _ : state) {
+    int64_t start = static_cast<int64_t>(rng.Uniform(kRowsLoaded - 32));
+    int64_t sum = 0;
+    table->ScanRange(KeyOf(start), 20, 100,
+                     [&](const Row& r) { sum += r[1].AsInt64(); });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+  state.SetLabel(TableFormatToString(static_cast<TableFormat>(state.range(0))));
+}
+
+void BM_AnalyticScan(benchmark::State& state) {
+  Table* table = SharedTable(static_cast<TableFormat>(state.range(0)));
+  ExprPtr pred = Expr::Compare(CompareOp::kLt,
+                               Expr::Column(1, ValueType::kInt64),
+                               Expr::Constant(Value::Int64(100)));
+  for (auto _ : state) {
+    ScanOp scan(table, 100, pred);
+    std::vector<Row> rows = CollectRows(&scan);
+    benchmark::DoNotOptimize(rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kRowsLoaded);
+  state.SetLabel(TableFormatToString(static_cast<TableFormat>(state.range(0))));
+}
+
+// The decisive OLTP difference between the formats is concurrency: the
+// skip-list row store is latch-free (writers CAS, readers never wait),
+// while the columnar engine serializes writers on its table-wide key-index
+// latch. Aggregate update throughput across N threads:
+//   kRow scales with threads; kColumn plateaus; kDual follows its row
+//   mirror for reads but pays both mirrors on writes.
+void BM_ConcurrentPointUpdates(benchmark::State& state) {
+  TableFormat format = static_cast<TableFormat>(state.range(0));
+  int threads = static_cast<int>(state.range(1));
+  constexpr int kOpsPerThread = 20000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto table = std::make_unique<Table>("t", BenchSchema(), format);
+    {
+      Rng rng(1);
+      if (format == TableFormat::kRow) {
+        for (size_t i = 0; i < kRowsLoaded; ++i) {
+          table->InsertCommitted(MakeRow(static_cast<int64_t>(i), &rng), 1)
+              .ok();
+        }
+      } else {
+        std::vector<Row> rows;
+        rows.reserve(kRowsLoaded);
+        for (size_t i = 0; i < kRowsLoaded; ++i) {
+          rows.push_back(MakeRow(static_cast<int64_t>(i), &rng));
+        }
+        table->BulkLoadToMain(rows, 1).ok();
+      }
+    }
+    std::atomic<Timestamp> ts{100};
+    state.ResumeTiming();
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Rng rng(50 + t);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          // Disjoint key ranges: no logical conflicts, only structural
+          // contention.
+          int64_t id = t * (kRowsLoaded / threads) +
+                       rng.Uniform(kRowsLoaded / threads);
+          Row row{Value::Int64(id), Value::Int64(1), Value::Double(2.0)};
+          table
+              ->UpdateCommitted(KeyOf(id), row,
+                                ts.fetch_add(1, std::memory_order_acq_rel))
+              .ok();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(threads) * kOpsPerThread);
+  state.counters["threads"] = threads;
+  state.SetLabel(TableFormatToString(format));
+}
+
+// Registration order matters: scans run before updates so the measured
+// tables are still in their bulk-loaded (merged) state.
+BENCHMARK(BM_PointLookup)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_ShortRangeScan)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_AnalyticScan)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PointUpdate)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_ConcurrentPointUpdates)
+    ->Args({0, 1})
+    ->Args({0, 4})
+    ->Args({0, 8})
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Args({2, 1})
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace oltap

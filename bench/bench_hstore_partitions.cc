@@ -1,0 +1,104 @@
+// E11 — H-Store-style partitioned serial execution [38]: "pre-partition
+// the database into conflict-free partitions and run transactions in
+// serial mode on each partition".
+//
+// Throughput vs. the multi-partition transaction fraction. Expected shape:
+// at 0% multi-partition the executor is embarrassing-parallel (no locks,
+// no CC) and beats a global-lock baseline by ~#partitions; every added
+// percent of multi-partition transactions stalls whole partition sets at a
+// rendezvous, and throughput falls off the famous cliff.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "common/rng.h"
+#include "txn/hstore_executor.h"
+
+namespace oltap {
+namespace {
+
+constexpr int kPartitions = 8;
+constexpr int kTxns = 8000;
+constexpr int kWorkUnits = 400;  // per-transaction busy work
+
+// Per-partition "database": a counter array only its owner thread touches.
+struct PartitionState {
+  alignas(64) int64_t counter = 0;
+};
+
+int64_t BusyWork(int64_t seed) {
+  int64_t x = seed;
+  for (int i = 0; i < kWorkUnits; ++i) x = x * 6364136223846793005 + 1;
+  return x;
+}
+
+void BM_HStoreMultiPartitionFraction(benchmark::State& state) {
+  double multi_fraction = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    HStoreExecutor exec(kPartitions);
+    std::vector<PartitionState> parts(kPartitions);
+    Rng rng(1);
+    std::vector<std::future<Status>> futures;
+    futures.reserve(kTxns);
+    for (int i = 0; i < kTxns; ++i) {
+      if (rng.Bernoulli(multi_fraction)) {
+        // Multi-partition: touch two random partitions.
+        int a = static_cast<int>(rng.Uniform(kPartitions));
+        int b = static_cast<int>(rng.Uniform(kPartitions));
+        futures.push_back(exec.Submit({a, b}, [&parts, a, b] {
+          parts[a].counter += BusyWork(a) & 1;
+          parts[b].counter += BusyWork(b) & 1;
+          return Status::OK();
+        }));
+      } else {
+        int p = static_cast<int>(rng.Uniform(kPartitions));
+        futures.push_back(exec.Submit({p}, [&parts, p] {
+          parts[p].counter += BusyWork(p) & 1;
+          return Status::OK();
+        }));
+      }
+    }
+    for (auto& f : futures) f.get();
+    benchmark::DoNotOptimize(parts[0].counter);
+  }
+  state.SetItemsProcessed(state.iterations() * kTxns);
+  state.counters["multi_pct"] = static_cast<double>(state.range(0));
+}
+
+// Baseline: one global lock serializing every transaction (the "single
+// serial machine" an unpartitioned serial engine degenerates to).
+void BM_GlobalSerialBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    HStoreExecutor exec(1);
+    PartitionState part;
+    std::vector<std::future<Status>> futures;
+    futures.reserve(kTxns);
+    for (int i = 0; i < kTxns; ++i) {
+      futures.push_back(exec.Submit({0}, [&part] {
+        part.counter += BusyWork(0) & 1;
+        return Status::OK();
+      }));
+    }
+    for (auto& f : futures) f.get();
+    benchmark::DoNotOptimize(part.counter);
+  }
+  state.SetItemsProcessed(state.iterations() * kTxns);
+}
+
+BENCHMARK(BM_HStoreMultiPartitionFraction)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(50)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GlobalSerialBaseline)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,189 @@
+// E5 — Multi-versioning vs. two-phase locking under mixed read/write load
+// (DB2 BLU's "multiversioning enables standard isolation with minimal
+// locking" [34]; HyPer's snapshot idea [19]).
+//
+// Workload: N reader threads each scan-aggregate 64 random keys while M
+// writer threads update random keys.
+//   MVCC/SI: readers never block — reader throughput is nearly flat as
+//            writers are added.
+//   2PL:     readers take S locks, writers X locks — reader throughput
+//            collapses as write contention grows, plus wait-die aborts.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/rng.h"
+#include "storage/catalog.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace oltap {
+namespace {
+
+constexpr int64_t kKeys = 10000;
+constexpr int kReadsPerTxn = 64;
+
+Schema BenchSchema() {
+  return SchemaBuilder()
+      .AddInt64("id", false)
+      .AddInt64("v", false)
+      .SetKey({"id"})
+      .Build();
+}
+
+std::string KeyOf(int64_t id) {
+  static const Schema schema = BenchSchema();
+  return EncodeKey(schema, Row{Value::Int64(id), Value::Int64(0)});
+}
+
+struct MvccWorld {
+  Catalog catalog;
+  std::unique_ptr<TransactionManager> tm;
+  Table* table;
+
+  MvccWorld() {
+    if (!catalog.CreateTable("t", BenchSchema(), TableFormat::kRow).ok()) {
+      std::abort();
+    }
+    tm = std::make_unique<TransactionManager>(&catalog);
+    table = catalog.GetTable("t");
+    auto txn = tm->Begin();
+    for (int64_t i = 0; i < kKeys; ++i) {
+      if (!txn->Insert(table, Row{Value::Int64(i), Value::Int64(1)}).ok()) {
+        std::abort();
+      }
+    }
+    if (!tm->Commit(txn.get()).ok()) std::abort();
+  }
+};
+
+// Reader transactions per second with `writers` background writer threads.
+void BM_MvccReadersUnderWriters(benchmark::State& state) {
+  int num_writers = static_cast<int>(state.range(0));
+  MvccWorld world;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < num_writers; ++w) {
+    writers.emplace_back([&world, &stop, w] {
+      Rng rng(100 + w);
+      while (!stop.load(std::memory_order_acquire)) {
+        auto txn = world.tm->Begin();
+        int64_t id = rng.UniformRange(0, kKeys - 1);
+        Row row;
+        if (!txn->Get(world.table, KeyOf(id), &row)) continue;
+        row[1] = Value::Int64(row[1].AsInt64() + 1);
+        if (!txn->Update(world.table, row).ok()) continue;
+        world.tm->Commit(txn.get()).ok();
+      }
+    });
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    auto txn = world.tm->Begin();
+    int64_t sum = 0;
+    for (int i = 0; i < kReadsPerTxn; ++i) {
+      Row row;
+      if (txn->Get(world.table, KeyOf(rng.UniformRange(0, kKeys - 1)),
+                   &row)) {
+        sum += row[1].AsInt64();
+      }
+    }
+    world.tm->Commit(txn.get()).ok();
+    benchmark::DoNotOptimize(sum);
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["writers"] = num_writers;
+}
+
+struct TwoPLWorld {
+  Catalog catalog;
+  Table* table;
+  LockManager lm;
+  std::atomic<uint64_t> next_txn{1};
+  std::atomic<Timestamp> ts{10};
+
+  TwoPLWorld() {
+    if (!catalog.CreateTable("t", BenchSchema(), TableFormat::kRow).ok()) {
+      std::abort();
+    }
+    table = catalog.GetTable("t");
+    for (int64_t i = 0; i < kKeys; ++i) {
+      if (!table->InsertCommitted(Row{Value::Int64(i), Value::Int64(1)}, 1)
+               .ok()) {
+        std::abort();
+      }
+    }
+  }
+};
+
+void BM_TwoPLReadersUnderWriters(benchmark::State& state) {
+  int num_writers = static_cast<int>(state.range(0));
+  TwoPLWorld world;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < num_writers; ++w) {
+    writers.emplace_back([&world, &stop, w] {
+      Rng rng(200 + w);
+      TwoPLSession session(&world.lm);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t txn = world.next_txn.fetch_add(1);
+        int64_t id = rng.UniformRange(0, kKeys - 1);
+        session
+            .Run(txn, {}, {KeyOf(id)},
+                 [&] {
+                   Row row;
+                   Timestamp now =
+                       world.ts.fetch_add(1, std::memory_order_acq_rel);
+                   if (!world.table->Lookup(KeyOf(id), now, &row)) {
+                     return Status::OK();
+                   }
+                   row[1] = Value::Int64(row[1].AsInt64() + 1);
+                   return world.table->UpdateCommitted(KeyOf(id), row,
+                                                       now + 1);
+                 })
+            .ok();
+      }
+    });
+  }
+  Rng rng(8);
+  TwoPLSession session(&world.lm);
+  uint64_t aborted = 0;
+  for (auto _ : state) {
+    // Conservative 2PL read transaction: S-lock all keys up front.
+    std::vector<std::string> read_keys;
+    for (int i = 0; i < kReadsPerTxn; ++i) {
+      read_keys.push_back(KeyOf(rng.UniformRange(0, kKeys - 1)));
+    }
+    uint64_t txn = world.next_txn.fetch_add(1);
+    Status st = session.Run(txn, read_keys, {}, [&] {
+      int64_t sum = 0;
+      Timestamp now = world.ts.load(std::memory_order_acquire);
+      for (const std::string& k : read_keys) {
+        Row row;
+        if (world.table->Lookup(k, now, &row)) sum += row[1].AsInt64();
+      }
+      benchmark::DoNotOptimize(sum);
+      return Status::OK();
+    });
+    if (!st.ok()) ++aborted;
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["writers"] = num_writers;
+  state.counters["reader_aborts"] = static_cast<double>(aborted);
+  state.counters["lock_deaths"] = static_cast<double>(world.lm.num_deaths());
+}
+
+BENCHMARK(BM_MvccReadersUnderWriters)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TwoPLReadersUnderWriters)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace oltap

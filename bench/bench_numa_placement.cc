@@ -1,0 +1,88 @@
+// E9 — NUMA-aware scale-up: data placement × task routing
+// (Psaroudakis et al. [31], Oracle DBIM NUMA distribution [23,27]).
+//
+// Parallel SUM-WHERE over 64 fragments on a simulated 4-node topology with
+// a 2x remote-bandwidth penalty (DESIGN.md §5). Expected shape:
+//   partitioned + numa-local  — fastest: all accesses local, all nodes busy.
+//   partitioned + work-steal  — slower: stealing crosses sockets and pays
+//                               the remote penalty.
+//   interleaved + work-steal  — similar to the above (≈1/4 local hits).
+//   single-node + numa-local  — worst: one node's "memory controller"
+//                               serves everything while three nodes idle.
+//   single-node + work-steal  — all nodes busy but ~3/4 of accesses remote.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "common/rng.h"
+#include "numa/numa_scan.h"
+
+namespace oltap {
+namespace {
+
+constexpr int kNodes = 4;
+constexpr double kRemotePenalty = 2.0;
+constexpr size_t kFragments = 64;
+constexpr size_t kRowsPerFragment = 200000;
+
+const NumaPartitionedTable& TableFor(PlacementPolicy placement) {
+  static NumaTopology* topo = new NumaTopology(kNodes, kRemotePenalty);
+  static std::map<int, std::unique_ptr<NumaPartitionedTable>>* cache =
+      new std::map<int, std::unique_ptr<NumaPartitionedTable>>();
+  int key = static_cast<int>(placement);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    Rng rng(17);
+    it = cache
+             ->emplace(key, std::make_unique<NumaPartitionedTable>(
+                                topo, kFragments, kRowsPerFragment,
+                                placement, &rng))
+             .first;
+  }
+  return *it->second;
+}
+
+void RunCombo(benchmark::State& state, PlacementPolicy placement,
+              TaskRouting routing) {
+  const NumaPartitionedTable& table = TableFor(placement);
+  uint64_t local = 0, remote = 0;
+  for (auto _ : state) {
+    NumaScanResult r = NumaParallelScan(table, 500, routing);
+    benchmark::DoNotOptimize(r.sum);
+    local = r.local_fragments;
+    remote = r.remote_fragments;
+  }
+  state.SetItemsProcessed(state.iterations() * table.total_rows());
+  state.counters["local_frags"] = static_cast<double>(local);
+  state.counters["remote_frags"] = static_cast<double>(remote);
+  state.SetLabel(std::string(PlacementPolicyToString(placement)) + "/" +
+                 TaskRoutingToString(routing));
+}
+
+void BM_PartitionedLocal(benchmark::State& state) {
+  RunCombo(state, PlacementPolicy::kPartitioned, TaskRouting::kNumaLocal);
+}
+void BM_PartitionedSteal(benchmark::State& state) {
+  RunCombo(state, PlacementPolicy::kPartitioned, TaskRouting::kWorkSteal);
+}
+void BM_InterleavedSteal(benchmark::State& state) {
+  RunCombo(state, PlacementPolicy::kInterleaved, TaskRouting::kWorkSteal);
+}
+void BM_SingleNodeLocal(benchmark::State& state) {
+  RunCombo(state, PlacementPolicy::kSingleNode, TaskRouting::kNumaLocal);
+}
+void BM_SingleNodeSteal(benchmark::State& state) {
+  RunCombo(state, PlacementPolicy::kSingleNode, TaskRouting::kWorkSteal);
+}
+
+BENCHMARK(BM_PartitionedLocal)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PartitionedSteal)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterleavedSteal)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleNodeLocal)->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SingleNodeSteal)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oltap

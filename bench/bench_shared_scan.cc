@@ -1,0 +1,114 @@
+// E6 — Shared scans: circular scan [12] / clock scan (Crescando [39]) /
+// QPipe-style query attach.
+//
+// With q concurrent scan queries over the same 4M-row fragment:
+//   independent — q full passes over the data (cache-thrashing baseline),
+//   shared-once — one chunked pass serves all q (cache reuse),
+//   clock       — the continuously rotating scan; per-query latency is
+//                 bounded by two rotations regardless of q (predictability).
+// Expected shape: independent cost grows linearly in q; shared cost grows
+// far slower (per-chunk evaluation is the only per-query work); clock
+// throughput matches shared while adding the latency bound.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <memory>
+
+#include "common/rng.h"
+#include "exec/shared_scan.h"
+#include "storage/table.h"
+
+namespace oltap {
+namespace {
+
+constexpr size_t kRows = 4 << 20;
+
+const MainFragment& SharedFragment() {
+  static std::shared_ptr<const MainFragment>* frag = [] {
+    Schema schema = SchemaBuilder()
+                        .AddInt64("id", false)
+                        .AddInt64("filter", false)
+                        .AddInt64("value", false)
+                        .SetKey({"id"})
+                        .Build();
+    auto* table = new Table("t", schema, TableFormat::kColumn);
+    Rng rng(1);
+    std::vector<Row> rows;
+    rows.reserve(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      rows.push_back(Row{Value::Int64(static_cast<int64_t>(i)),
+                         Value::Int64(rng.UniformRange(0, 999)),
+                         Value::Int64(rng.UniformRange(0, 100))});
+    }
+    if (!table->BulkLoadToMain(rows, 1).ok()) std::abort();
+    return new std::shared_ptr<const MainFragment>(
+        table->GetColumnSnapshot(1)->main);
+  }();
+  return **frag;
+}
+
+std::vector<SimpleAggQuery> MakeQueries(int q) {
+  Rng rng(3);
+  std::vector<SimpleAggQuery> queries;
+  for (int i = 0; i < q; ++i) {
+    SimpleAggQuery query;
+    query.filter_col = 1;
+    query.op = static_cast<CompareOp>(rng.Uniform(6));
+    query.constant = rng.UniformRange(0, 999);
+    query.agg_col = 2;
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+void BM_IndependentScans(benchmark::State& state) {
+  const MainFragment& main = SharedFragment();
+  auto queries = MakeQueries(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto results = ExecuteIndependent(main, queries);
+    benchmark::DoNotOptimize(results[0].sum);
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+  state.counters["queries"] = static_cast<double>(queries.size());
+}
+
+void BM_SharedOnePass(benchmark::State& state) {
+  const MainFragment& main = SharedFragment();
+  auto queries = MakeQueries(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto results = ExecuteSharedOnce(main, queries, 64 * 1024);
+    benchmark::DoNotOptimize(results[0].sum);
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+  state.counters["queries"] = static_cast<double>(queries.size());
+}
+
+void BM_ClockScanBatch(benchmark::State& state) {
+  const MainFragment& main = SharedFragment();
+  auto queries = MakeQueries(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ClockScanServer server(&main, 256 * 1024);
+    std::vector<std::future<ScanQueryResult>> futures;
+    futures.reserve(queries.size());
+    for (const SimpleAggQuery& q : queries) {
+      futures.push_back(server.Submit(q));
+    }
+    double sum = 0;
+    for (auto& f : futures) sum += f.get().sum;
+    benchmark::DoNotOptimize(sum);
+    server.Stop();
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+  state.counters["queries"] = static_cast<double>(queries.size());
+}
+
+BENCHMARK(BM_IndependentScans)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SharedOnePass)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClockScanBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,90 @@
+// E8 — Workload management for mixed OLTP/OLAP (Psaroudakis et al. [32]).
+//
+// A fixed mixed offered load — short OLTP tasks (~50µs) arriving alongside
+// long OLAP tasks (~5ms) — is pushed through the three scheduling policies.
+// The reported counter is OLTP p95 latency, the quantity workload
+// management exists to protect. Expected shape:
+//   fifo             — OLTP p95 inflates to OLAP scale (queueing behind
+//                      scans),
+//   oltp-priority    — OLTP p95 drops sharply; OLAP completion unchanged,
+//   reserved-workers — OLTP p95 lowest and most stable; OLAP loses the
+//                      reserved capacity. Admission control bounds the
+//                      damage of an OLAP flood.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "sched/workload_manager.h"
+
+namespace oltap {
+namespace {
+
+void BusyMicros(int64_t us) {
+  auto end = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+constexpr int kOltpTasks = 400;
+constexpr int kOlapTasks = 40;
+constexpr int64_t kOltpWorkUs = 50;
+constexpr int64_t kOlapWorkUs = 5000;
+
+void RunPolicy(benchmark::State& state, SchedulingPolicy policy,
+               size_t olap_limit) {
+  for (auto _ : state) {
+    WorkloadManager::Options opts;
+    opts.num_workers = 4;
+    opts.policy = policy;
+    opts.reserved_oltp_workers = 1;
+    opts.olap_admission_limit = olap_limit;
+    WorkloadManager wm(opts);
+    std::vector<std::future<Status>> futures;
+    futures.reserve(kOltpTasks + kOlapTasks);
+    // Interleave: every 10 OLTP submissions, one OLAP burst.
+    int olap_sent = 0;
+    for (int i = 0; i < kOltpTasks; ++i) {
+      futures.push_back(
+          wm.Submit(QueryClass::kOltp, [] { BusyMicros(kOltpWorkUs); }));
+      if (i % 10 == 0 && olap_sent < kOlapTasks) {
+        ++olap_sent;
+        futures.push_back(
+            wm.Submit(QueryClass::kOlap, [] { BusyMicros(kOlapWorkUs); }));
+      }
+    }
+    for (auto& f : futures) f.get();
+    LatencySummary oltp = wm.StatsFor(QueryClass::kOltp);
+    LatencySummary olap = wm.StatsFor(QueryClass::kOlap);
+    state.counters["oltp_p95_us"] = static_cast<double>(oltp.p95_us);
+    state.counters["oltp_p99_us"] = static_cast<double>(oltp.p99_us);
+    state.counters["olap_mean_us"] = olap.mean_us;
+    state.counters["olap_rejected"] = static_cast<double>(wm.rejected_olap());
+  }
+  state.SetLabel(SchedulingPolicyToString(policy));
+}
+
+void BM_Fifo(benchmark::State& state) {
+  RunPolicy(state, SchedulingPolicy::kFifo, 0);
+}
+void BM_OltpPriority(benchmark::State& state) {
+  RunPolicy(state, SchedulingPolicy::kOltpPriority, 0);
+}
+void BM_ReservedWorkers(benchmark::State& state) {
+  RunPolicy(state, SchedulingPolicy::kReservedWorkers, 0);
+}
+void BM_FifoWithAdmissionControl(benchmark::State& state) {
+  RunPolicy(state, SchedulingPolicy::kFifo, 8);
+}
+
+BENCHMARK(BM_Fifo)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_OltpPriority)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ReservedWorkers)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_FifoWithAdmissionControl)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace oltap

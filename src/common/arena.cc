@@ -1,0 +1,81 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+Arena::Arena(size_t initial_block_size, size_t max_block_size)
+    : initial_block_size_(initial_block_size),
+      max_block_size_(max_block_size),
+      next_block_size_(initial_block_size) {
+  OLTAP_CHECK(initial_block_size > 0);
+  OLTAP_CHECK(max_block_size >= initial_block_size);
+}
+
+Arena::Block* Arena::AddBlock(size_t min_size) {
+  size_t size = std::max(next_block_size_, min_size);
+  next_block_size_ = std::min(next_block_size_ * 2, max_block_size_);
+  Block block;
+  block.data = std::make_unique<uint8_t[]>(size);
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  return &blocks_.back();
+}
+
+void* Arena::Allocate(size_t size, size_t alignment) {
+  OLTAP_DCHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  Block* block = blocks_.empty() ? nullptr : &blocks_.back();
+  size_t padded = 0;
+  if (block != nullptr) {
+    uintptr_t base = reinterpret_cast<uintptr_t>(block->data.get());
+    uintptr_t cur = base + block->used;
+    uintptr_t aligned = (cur + alignment - 1) & ~(alignment - 1);
+    padded = (aligned - cur) + size;
+    if (block->used + padded > block->size) block = nullptr;
+  }
+  if (block == nullptr) {
+    // A fresh block from make_unique is suitably aligned for any fundamental
+    // alignment; over-allocate to cover extended alignments.
+    block = AddBlock(size + alignment);
+    uintptr_t base = reinterpret_cast<uintptr_t>(block->data.get());
+    uintptr_t aligned = (base + alignment - 1) & ~(alignment - 1);
+    padded = (aligned - base) + size;
+  }
+  uintptr_t cur =
+      reinterpret_cast<uintptr_t>(block->data.get()) + block->used;
+  uintptr_t aligned = (cur + alignment - 1) & ~(alignment - 1);
+  block->used += padded;
+  bytes_allocated_ += size;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void* Arena::AllocateAndCopy(const void* data, size_t size) {
+  void* mem = Allocate(size == 0 ? 1 : size);
+  if (size > 0) std::memcpy(mem, data, size);
+  return mem;
+}
+
+size_t Arena::bytes_reserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+size_t Arena::bytes_allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_allocated_;
+}
+
+void Arena::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blocks_.clear();
+  next_block_size_ = initial_block_size_;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace oltap

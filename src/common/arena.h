@@ -1,0 +1,76 @@
+#ifndef OLTAP_COMMON_ARENA_H_
+#define OLTAP_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace oltap {
+
+// Bump-pointer arena allocator for row payloads and MVCC version chains.
+//
+// Allocations are never individually freed; all memory is released when the
+// arena is destroyed (or Reset). Blocks double in size up to `max_block_size`
+// so that small tables stay small and large ingests amortize allocation.
+//
+// Thread safety: Allocate() is guarded by a mutex (the skip-list row store
+// allocates from multiple writer threads). For single-threaded bulk loads
+// the lock is uncontended and cheap.
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_size = 4096,
+                 size_t max_block_size = 1 << 20);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `size` bytes aligned to `alignment` (a power of two).
+  // The returned memory is zero-initialized only if the block was fresh;
+  // callers must not rely on its contents.
+  void* Allocate(size_t size, size_t alignment = 8);
+
+  // Copies `size` bytes of `data` into the arena, returning the copy.
+  void* AllocateAndCopy(const void* data, size_t size);
+
+  // Constructs a T in arena memory. T must be trivially destructible (the
+  // arena never runs destructors).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::New requires trivially destructible types");
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  // Total bytes reserved from the system (>= bytes handed out).
+  size_t bytes_reserved() const;
+  // Total bytes handed out to callers.
+  size_t bytes_allocated() const;
+
+  // Frees all blocks and returns to the initial state.
+  void Reset();
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  // Appends a block of at least min_size bytes. Caller holds mu_.
+  Block* AddBlock(size_t min_size);
+
+  const size_t initial_block_size_;
+  const size_t max_block_size_;
+
+  mutable std::mutex mu_;
+  std::vector<Block> blocks_;
+  size_t next_block_size_;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_ARENA_H_

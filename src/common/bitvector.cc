@@ -1,0 +1,114 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+BitVector::BitVector(size_t n, bool initial) { Resize(n, initial); }
+
+void BitVector::Resize(size_t n, bool fill) {
+  size_t old_size = size_;
+  size_ = n;
+  words_.resize((n + 63) / 64, fill ? ~uint64_t{0} : 0);
+  if (fill && old_size < n && old_size % 64 != 0) {
+    // Bits [old_size, end of old last word) were masked to 0; refill them.
+    size_t w = old_size >> 6;
+    words_[w] |= ~uint64_t{0} << (old_size & 63);
+  }
+  MaskTail();
+}
+
+void BitVector::MaskTail() {
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (size_ & 63)) - 1;
+  }
+}
+
+size_t BitVector::CountSet() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+size_t BitVector::CountSetPrefix(size_t end) const {
+  OLTAP_DCHECK(end <= size_);
+  size_t n = 0;
+  size_t full_words = end >> 6;
+  for (size_t i = 0; i < full_words; ++i) n += std::popcount(words_[i]);
+  if (end & 63) {
+    uint64_t mask = (uint64_t{1} << (end & 63)) - 1;
+    n += std::popcount(words_[full_words] & mask);
+  }
+  return n;
+}
+
+size_t BitVector::FindNextSet(size_t from) const {
+  if (from >= size_) return size_;
+  size_t w = from >> 6;
+  uint64_t word = words_[w] & (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (word != 0) {
+      size_t pos = (w << 6) + static_cast<size_t>(std::countr_zero(word));
+      return pos < size_ ? pos : size_;
+    }
+    if (++w >= words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+void BitVector::And(const BitVector& other) {
+  OLTAP_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::Or(const BitVector& other) {
+  OLTAP_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::Not() {
+  for (uint64_t& w : words_) w = ~w;
+  MaskTail();
+}
+
+void BitVector::SetAll() {
+  for (uint64_t& w : words_) w = ~uint64_t{0};
+  MaskTail();
+}
+
+void BitVector::ClearAll() {
+  for (uint64_t& w : words_) w = 0;
+}
+
+void BitVector::SetRange(size_t lo, size_t hi) {
+  OLTAP_DCHECK(lo <= hi && hi <= size_);
+  if (lo >= hi) return;
+  size_t first_word = lo >> 6;
+  size_t last_word = (hi - 1) >> 6;
+  uint64_t first_mask = ~uint64_t{0} << (lo & 63);
+  uint64_t last_mask = ~uint64_t{0} >> (63 - ((hi - 1) & 63));
+  if (first_word == last_word) {
+    words_[first_word] |= first_mask & last_mask;
+    return;
+  }
+  words_[first_word] |= first_mask;
+  for (size_t w = first_word + 1; w < last_word; ++w) {
+    words_[w] = ~uint64_t{0};
+  }
+  words_[last_word] |= last_mask;
+}
+
+void BitVector::AppendSetIndices(std::vector<uint32_t>* out) const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out->push_back(static_cast<uint32_t>((w << 6) + bit));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace oltap

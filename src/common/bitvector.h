@@ -1,0 +1,79 @@
+#ifndef OLTAP_COMMON_BITVECTOR_H_
+#define OLTAP_COMMON_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oltap {
+
+// Dense bit vector used for selection vectors, null masks, and positional
+// delete vectors. Bit i of word i/64 is bit (i%64), LSB-first.
+//
+// Not thread-safe for concurrent mutation; concurrent readers are fine once
+// construction/mutation has completed (the delta store publishes delete
+// vectors with external synchronization).
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(size_t n, bool initial = false);
+
+  size_t size() const { return size_; }
+
+  void Resize(size_t n, bool fill = false);
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Assign(size_t i, bool v) {
+    if (v) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  // Number of set bits.
+  size_t CountSet() const;
+  // Number of set bits in [0, end).
+  size_t CountSetPrefix(size_t end) const;
+
+  // Index of the first set bit at or after `from`; size() if none.
+  size_t FindNextSet(size_t from) const;
+
+  // this &= other / this |= other. Sizes must match.
+  void And(const BitVector& other);
+  void Or(const BitVector& other);
+  // Flips every bit (tail bits beyond size() stay zero).
+  void Not();
+
+  void SetAll();
+  void ClearAll();
+  // Sets bits [lo, hi), word-at-a-time (RLE scans fill long runs).
+  void SetRange(size_t lo, size_t hi);
+
+  // Appends the indices of all set bits to `out`.
+  void AppendSetIndices(std::vector<uint32_t>* out) const;
+
+  // Raw word access for SWAR scan kernels.
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  // Zeroes bits at positions >= size_ in the last word.
+  void MaskTail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_BITVECTOR_H_

@@ -1,0 +1,71 @@
+#ifndef OLTAP_COMMON_CLOCK_H_
+#define OLTAP_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace oltap {
+
+// Clock abstraction: schedulers and the distributed simulator take a Clock*
+// so tests can drive virtual time deterministically while benchmarks use
+// wall time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic time in microseconds.
+  virtual int64_t NowMicros() const = 0;
+};
+
+// Real monotonic clock.
+class SystemClock final : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // Shared process-wide instance (stateless).
+  static SystemClock* Get() {
+    static SystemClock* instance = new SystemClock();
+    return instance;
+  }
+};
+
+// Manually-advanced clock for deterministic tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void AdvanceMicros(int64_t delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  void SetMicros(int64_t t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+// Scoped stopwatch over an arbitrary Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock = SystemClock::Get())
+      : clock_(clock), start_(clock->NowMicros()) {}
+
+  int64_t ElapsedMicros() const { return clock_->NowMicros() - start_; }
+  double ElapsedSeconds() const { return ElapsedMicros() * 1e-6; }
+  void Restart() { start_ = clock_->NowMicros(); }
+
+ private:
+  const Clock* clock_;
+  int64_t start_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_CLOCK_H_

@@ -1,0 +1,66 @@
+#ifndef OLTAP_COMMON_HASH_H_
+#define OLTAP_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace oltap {
+
+// 64-bit mixing and hashing utilities used by hash joins, hash aggregation,
+// dictionaries, and partition routing. Quality matters more than raw speed
+// here because probe chains dominate; we use a splitmix64-style finalizer
+// and an FNV-1a-with-mix string hash.
+
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t HashInt64(int64_t v) {
+  return Mix64(static_cast<uint64_t>(v));
+}
+
+inline uint64_t HashDouble(double v) {
+  // Normalize -0.0 to +0.0 so equal values hash equally.
+  if (v == 0.0) v = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return Mix64(bits);
+}
+
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  // Consume 8 bytes at a time, then the tail.
+  while (len >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    h = (h ^ chunk) * 0x100000001b3ULL;
+    h = Mix64(h);
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    h = (h ^ *p) * 0x100000001b3ULL;
+    ++p;
+    --len;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+// Combines two hashes (order-dependent), for multi-column keys.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_HASH_H_

@@ -1,0 +1,70 @@
+#ifndef OLTAP_COMMON_LOGGING_H_
+#define OLTAP_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace oltap {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-wide minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Stream-style log sink. Emits on destruction; aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace oltap
+
+#define OLTAP_LOG(level)                                              \
+  ::oltap::internal::LogMessage(::oltap::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+// Invariant checks. OLTAP_CHECK is always on; OLTAP_DCHECK compiles out in
+// NDEBUG builds. Both abort with file/line on failure.
+#define OLTAP_CHECK(cond)                                      \
+  if (!(cond))                                                 \
+  OLTAP_LOG(Fatal) << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define OLTAP_DCHECK(cond) \
+  if (false) OLTAP_LOG(Fatal) << ""
+#else
+#define OLTAP_DCHECK(cond) OLTAP_CHECK(cond)
+#endif
+
+#define OLTAP_CHECK_OK(expr)                                  \
+  do {                                                        \
+    ::oltap::Status _st = (expr);                             \
+    OLTAP_CHECK(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#endif  // OLTAP_COMMON_LOGGING_H_

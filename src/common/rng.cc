@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oltap {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  OLTAP_DCHECK(n > 0);
+  // Lemire's nearly-divisionless bounded random.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(Next()) * n;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  OLTAP_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  OLTAP_DCHECK(n > 0);
+  if (zipf_.n != n || zipf_.theta != theta) {
+    zipf_.n = n;
+    zipf_.theta = theta;
+    zipf_.zetan = Zeta(n, theta);
+    zipf_.zeta2 = Zeta(2, theta);
+    zipf_.alpha = 1.0 / (1.0 - theta);
+    zipf_.eta = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+                (1.0 - zipf_.zeta2 / zipf_.zetan);
+  }
+  double u = NextDouble();
+  double uz = u * zipf_.zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      double(n) * std::pow(zipf_.eta * u - zipf_.eta + 1.0, zipf_.alpha));
+  return v >= n ? n - 1 : v;
+}
+
+int64_t Rng::NURand(int64_t a, int64_t x, int64_t y) {
+  if (nurand_c_ < 0) nurand_c_ = UniformRange(0, a);
+  return (((UniformRange(0, a) | UniformRange(x, y)) + nurand_c_) %
+          (y - x + 1)) +
+         x;
+}
+
+std::string Rng::AlphaString(size_t min_len, size_t max_len) {
+  size_t len = min_len + Uniform(max_len - min_len + 1);
+  std::string out(len, 'a');
+  for (char& c : out) c = static_cast<char>('a' + Uniform(26));
+  return out;
+}
+
+std::string Rng::DigitString(size_t len) {
+  std::string out(len, '0');
+  for (char& c : out) c = static_cast<char>('0' + Uniform(10));
+  return out;
+}
+
+}  // namespace oltap

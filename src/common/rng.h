@@ -1,0 +1,66 @@
+#ifndef OLTAP_COMMON_RNG_H_
+#define OLTAP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oltap {
+
+// Deterministic, seedable PRNG (xoshiro256**). All workload generators and
+// tests use this so runs are reproducible; never std::random_device in
+// library code.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+  // Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+  // Uniform in [0, 1).
+  double NextDouble();
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Zipfian-distributed value in [0, n). theta in (0,1); 0.99 ≈ YCSB default.
+  // Uses the Gray et al. rejection-free method with cached constants.
+  uint64_t Zipf(uint64_t n, double theta = 0.99);
+
+  // TPC-C NURand non-uniform random, per the spec: NURand(A, x, y).
+  int64_t NURand(int64_t a, int64_t x, int64_t y);
+
+  // Random lowercase ASCII string with length in [min_len, max_len].
+  std::string AlphaString(size_t min_len, size_t max_len);
+  // Random digit string of exactly len characters.
+  std::string DigitString(size_t len);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  struct ZipfState {
+    uint64_t n = 0;
+    double theta = 0;
+    double zetan = 0;
+    double alpha = 0;
+    double eta = 0;
+    double zeta2 = 0;
+  };
+
+  uint64_t s_[4];
+  ZipfState zipf_;
+  int64_t nurand_c_ = -1;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_RNG_H_

@@ -1,0 +1,39 @@
+#ifndef OLTAP_COMMON_SPINLOCK_H_
+#define OLTAP_COMMON_SPINLOCK_H_
+
+#include <atomic>
+
+namespace oltap {
+
+// Tiny test-and-test-and-set spinlock for short critical sections in hot
+// structures (version-chain install, delta append). Satisfies Lockable so it
+// works with std::lock_guard.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        // Busy-wait; critical sections are a handful of instructions.
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_SPINLOCK_H_

@@ -1,0 +1,146 @@
+#ifndef OLTAP_COMMON_STATUS_H_
+#define OLTAP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace oltap {
+
+// Error categories used across the library. Mirrors the Arrow/absl style of
+// carrying a coarse machine-readable code plus a human-readable message.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAborted,         // transaction aborts (conflicts, first-committer-wins)
+  kDeadlineExceeded,
+  kUnavailable,     // e.g. raft leader unknown, admission rejected
+  kCorruption,      // log / storage integrity violations
+  kNotImplemented,
+  kInternal,
+};
+
+// Returns a stable lowercase name for `code` ("ok", "aborted", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap, copyable success-or-error value. OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  // "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status. Modeled after arrow::Result.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : repr_(std::move(value)) {}             // NOLINT
+  Result(Status status) : repr_(std::move(status)) {}      // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define OLTAP_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::oltap::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+// Evaluates a Result<T> expression, propagating error or binding the value.
+#define OLTAP_ASSIGN_OR_RETURN(lhs, expr)          \
+  OLTAP_ASSIGN_OR_RETURN_IMPL(                     \
+      OLTAP_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+#define OLTAP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+#define OLTAP_CONCAT_NAME(a, b) OLTAP_CONCAT_NAME_INNER(a, b)
+#define OLTAP_CONCAT_NAME_INNER(a, b) a##b
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_STATUS_H_

@@ -1,0 +1,129 @@
+#include "dist/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+RaftCluster::RaftCluster(const Options& options)
+    : options_(options), rng_(options.seed) {
+  OLTAP_CHECK(options.num_nodes >= 1);
+  nodes_.reserve(options.num_nodes);
+  committed_.resize(options.num_nodes);
+  for (int i = 0; i < options.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<RaftNode>(
+        i, options.num_nodes, options.seed + 1000 + i,
+        options.election_timeout_ticks));
+  }
+}
+
+bool RaftCluster::LinkBlocked(int from, int to) const {
+  if (down_.count(from) > 0 || down_.count(to) > 0) return true;
+  if (!partitioned_) return false;
+  bool from_in = partition_group_.count(from) > 0;
+  bool to_in = partition_group_.count(to) > 0;
+  return from_in != to_in;
+}
+
+void RaftCluster::Step(int steps) {
+  for (int s = 0; s < steps; ++s) {
+    ++now_;
+    // Tick live nodes and collect their output.
+    for (auto& node : nodes_) {
+      if (down_.count(node->id()) > 0) continue;
+      node->Tick();
+    }
+    for (auto& node : nodes_) {
+      if (down_.count(node->id()) > 0) continue;
+      for (RaftMessage& m : node->TakeOutbox()) {
+        if (options_.drop_probability > 0 &&
+            rng_.Bernoulli(options_.drop_probability)) {
+          ++dropped_;
+          continue;
+        }
+        uint64_t delay =
+            1 + rng_.Uniform(static_cast<uint64_t>(
+                    std::max(1, options_.max_delivery_delay_steps)));
+        in_flight_.push_back(InFlight{now_ + delay, std::move(m)});
+      }
+    }
+    // Deliver due messages.
+    size_t n = in_flight_.size();
+    for (size_t i = 0; i < n; ++i) {
+      InFlight f = std::move(in_flight_.front());
+      in_flight_.pop_front();
+      if (f.deliver_at > now_) {
+        in_flight_.push_back(std::move(f));
+        continue;
+      }
+      if (LinkBlocked(f.msg.from, f.msg.to)) {
+        ++dropped_;
+        continue;
+      }
+      ++delivered_;
+      nodes_[f.msg.to]->Receive(f.msg);
+    }
+    // Drain newly committed entries into the per-node applied logs.
+    for (auto& node : nodes_) {
+      for (RaftLogEntry& e : node->TakeNewlyCommitted()) {
+        committed_[node->id()].push_back(std::move(e));
+      }
+    }
+  }
+}
+
+int RaftCluster::LeaderId() const {
+  int leader = -1;
+  uint64_t best_term = 0;
+  for (const auto& node : nodes_) {
+    if (down_.count(node->id()) > 0) continue;
+    if (node->role() == RaftNode::Role::kLeader && node->term() >= best_term) {
+      best_term = node->term();
+      leader = node->id();
+    }
+  }
+  return leader;
+}
+
+int RaftCluster::AwaitLeader(int max_steps) {
+  for (int s = 0; s < max_steps; ++s) {
+    int leader = LeaderId();
+    if (leader >= 0) return leader;
+    Step(1);
+  }
+  return LeaderId();
+}
+
+bool RaftCluster::Propose(const std::string& payload) {
+  int leader = LeaderId();
+  if (leader < 0) return false;
+  return nodes_[leader]->Propose(payload);
+}
+
+void RaftCluster::SetNodeDown(int id) { down_.insert(id); }
+void RaftCluster::SetNodeUp(int id) { down_.erase(id); }
+
+void RaftCluster::PartitionAway(const std::set<int>& group) {
+  partitioned_ = true;
+  partition_group_ = group;
+}
+
+void RaftCluster::Heal() {
+  partitioned_ = false;
+  partition_group_.clear();
+}
+
+bool RaftCluster::CheckCommittedPrefixConsistency() const {
+  for (size_t a = 0; a < committed_.size(); ++a) {
+    for (size_t b = a + 1; b < committed_.size(); ++b) {
+      size_t n = std::min(committed_[a].size(), committed_[b].size());
+      for (size_t i = 0; i < n; ++i) {
+        if (!(committed_[a][i] == committed_[b][i])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace oltap

@@ -1,0 +1,56 @@
+#include "dist/coordinator.h"
+
+#include <thread>
+
+namespace oltap {
+
+Status TwoPhaseCoordinator::Run(
+    const std::vector<int>& participant_nodes,
+    const std::function<Status(int)>& prepare,
+    const std::function<void(int, bool)>& finish) {
+  const size_t n = participant_nodes.size();
+  std::vector<Status> votes(n);
+
+  // Phase 1: PREPARE in parallel.
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      workers.emplace_back([&, i] {
+        int p = participant_nodes[i];
+        net_->Transfer(node_, p, 64);
+        votes[i] = prepare(p);
+        net_->Transfer(p, node_, 16);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  bool commit = true;
+  for (const Status& v : votes) {
+    if (!v.ok()) commit = false;
+  }
+
+  // Phase 2: COMMIT/ABORT in parallel.
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      workers.emplace_back([&, i] {
+        int p = participant_nodes[i];
+        net_->Transfer(node_, p, 16);
+        finish(p, commit);
+        net_->Transfer(p, node_, 16);
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+
+  if (commit) {
+    commits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Aborted("2PC participant voted no");
+}
+
+}  // namespace oltap

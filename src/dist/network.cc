@@ -1,0 +1,23 @@
+#include "dist/network.h"
+
+#include <chrono>
+#include <thread>
+
+namespace oltap {
+
+void SimulatedNetwork::Transfer(int from, int to, size_t bytes) {
+  if (from == to) return;
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  int64_t us = options_.base_latency_us +
+               options_.per_kb_us * static_cast<int64_t>(bytes / 1024);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void SimulatedNetwork::RoundTrip(int from, int to, size_t request_bytes,
+                                 size_t reply_bytes) {
+  Transfer(from, to, request_bytes);
+  Transfer(to, from, reply_bytes);
+}
+
+}  // namespace oltap

@@ -1,0 +1,44 @@
+#ifndef OLTAP_DIST_NETWORK_H_
+#define OLTAP_DIST_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace oltap {
+
+// Wall-clock network model for the threaded distributed engine: a message
+// between distinct nodes costs base latency plus a size-proportional term,
+// charged by blocking the calling thread. Intra-node calls are free. This
+// stands in for the real datacenter fabric (DESIGN.md §5); the scale-out
+// experiment's shape depends only on the relative cost of network hops vs.
+// local work, which the model preserves.
+class SimulatedNetwork {
+ public:
+  struct Options {
+    int64_t base_latency_us = 100;  // one-way
+    int64_t per_kb_us = 5;
+  };
+
+  explicit SimulatedNetwork(const Options& options) : options_(options) {}
+  SimulatedNetwork() : SimulatedNetwork(Options{}) {}
+
+  // Blocks for the one-way transfer cost from `from` to `to`.
+  void Transfer(int from, int to, size_t bytes);
+
+  // Round trip: request of `request_bytes`, reply of `reply_bytes`.
+  void RoundTrip(int from, int to, size_t request_bytes, size_t reply_bytes);
+
+  uint64_t messages() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+
+ private:
+  Options options_;
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_DIST_NETWORK_H_

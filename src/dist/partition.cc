@@ -1,0 +1,238 @@
+#include "dist/partition.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "exec/operators.h"
+
+namespace oltap {
+
+DistributedEngine::DistributedEngine(Schema schema, const Options& options)
+    : schema_(std::move(schema)),
+      options_(options),
+      rf_(std::min(options.replication_factor, options.num_nodes)),
+      net_(options.net) {
+  OLTAP_CHECK(options_.num_nodes >= 1);
+  OLTAP_CHECK(options_.num_partitions >= 1);
+  OLTAP_CHECK(schema_.HasKey()) << "distributed tables require a primary key";
+  tablets_.reserve(options_.num_partitions);
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    auto tablet = std::make_unique<Tablet>();
+    for (int r = 0; r < rf_; ++r) {
+      tablet->replicas.push_back(std::make_unique<ColumnTable>(schema_));
+    }
+    tablets_.push_back(std::move(tablet));
+  }
+}
+
+int DistributedEngine::PartitionOf(const std::string& key) const {
+  return static_cast<int>(HashString(key) %
+                          static_cast<uint64_t>(options_.num_partitions));
+}
+
+std::vector<int> DistributedEngine::ReplicaNodes(int partition) const {
+  std::vector<int> nodes;
+  nodes.reserve(rf_);
+  for (int r = 0; r < rf_; ++r) {
+    nodes.push_back((partition + r) % options_.num_nodes);
+  }
+  return nodes;
+}
+
+size_t DistributedEngine::ApproxRowBytes(const Row& row) {
+  size_t bytes = 16;
+  for (const Value& v : row) {
+    bytes += v.type() == ValueType::kString ? 16 + v.AsString().size() : 8;
+  }
+  return bytes;
+}
+
+Status DistributedEngine::InsertFrom(int client_node, const Row& row) {
+  std::string key = EncodeKey(schema_, row);
+  int p = PartitionOf(key);
+  int leader = LeaderNode(p);
+  size_t bytes = ApproxRowBytes(row);
+  net_.RoundTrip(client_node, leader, bytes, 16);
+  Tablet& tablet = *tablets_[p];
+  std::lock_guard<std::mutex> lock(tablet.mu);
+  if (rf_ > 1) {
+    // Followers replicate in parallel; the cost is one round trip.
+    net_.RoundTrip(leader, (p + 1) % options_.num_nodes, bytes, 16);
+  }
+  Timestamp ts = NextTs();
+  Status st = tablet.replicas[0]->InsertCommitted(row, ts);
+  if (!st.ok()) return st;
+  for (int r = 1; r < rf_; ++r) {
+    Status fs = tablet.replicas[r]->InsertCommitted(row, ts);
+    OLTAP_CHECK(fs.ok()) << "replica divergence: " << fs.ToString();
+  }
+  return Status::OK();
+}
+
+Status DistributedEngine::UpdateFrom(int client_node, const Row& new_row) {
+  std::string key = EncodeKey(schema_, new_row);
+  int p = PartitionOf(key);
+  int leader = LeaderNode(p);
+  size_t bytes = ApproxRowBytes(new_row);
+  net_.RoundTrip(client_node, leader, bytes, 16);
+  Tablet& tablet = *tablets_[p];
+  std::lock_guard<std::mutex> lock(tablet.mu);
+  if (rf_ > 1) net_.RoundTrip(leader, (p + 1) % options_.num_nodes, bytes, 16);
+  Timestamp ts = NextTs();
+  Status st = tablet.replicas[0]->UpdateCommitted(key, new_row, ts);
+  if (!st.ok()) return st;
+  for (int r = 1; r < rf_; ++r) {
+    Status fs = tablet.replicas[r]->UpdateCommitted(key, new_row, ts);
+    OLTAP_CHECK(fs.ok()) << "replica divergence: " << fs.ToString();
+  }
+  return Status::OK();
+}
+
+Status DistributedEngine::DeleteFrom(int client_node, const Row& key_row) {
+  std::string key = EncodeKey(schema_, key_row);
+  int p = PartitionOf(key);
+  int leader = LeaderNode(p);
+  net_.RoundTrip(client_node, leader, 32, 16);
+  Tablet& tablet = *tablets_[p];
+  std::lock_guard<std::mutex> lock(tablet.mu);
+  if (rf_ > 1) net_.RoundTrip(leader, (p + 1) % options_.num_nodes, 32, 16);
+  Timestamp ts = NextTs();
+  Status st = tablet.replicas[0]->DeleteCommitted(key, ts);
+  if (!st.ok()) return st;
+  for (int r = 1; r < rf_; ++r) {
+    Status fs = tablet.replicas[r]->DeleteCommitted(key, ts);
+    OLTAP_CHECK(fs.ok()) << "replica divergence: " << fs.ToString();
+  }
+  return Status::OK();
+}
+
+bool DistributedEngine::LookupFrom(int client_node, const Row& key_row,
+                                   Row* out) {
+  std::string key = EncodeKey(schema_, key_row);
+  int p = PartitionOf(key);
+  net_.RoundTrip(client_node, LeaderNode(p), 32, 64);
+  return tablets_[p]->replicas[0]->Lookup(key, current_ts(), out);
+}
+
+double DistributedEngine::SumWhere(int filter_col, CompareOp op,
+                                   int64_t constant, int agg_col) {
+  Timestamp read_ts = current_ts();
+  std::vector<double> node_sums(options_.num_nodes, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(options_.num_nodes);
+  for (int node = 0; node < options_.num_nodes; ++node) {
+    workers.emplace_back([&, node] {
+      net_.Transfer(/*coordinator=*/0, node, 64);
+      double sum = 0;
+      for (int p = 0; p < options_.num_partitions; ++p) {
+        if (LeaderNode(p) != node) continue;
+        ColumnTable::Snapshot snap =
+            tablets_[p]->replicas[0]->GetSnapshot(read_ts);
+        // Main fragment: packed scan + gather.
+        BitVector sel;
+        snap.main->VisibleMask(read_ts, &sel);
+        if (snap.main->num_rows() > 0) {
+          BitVector hits;
+          snap.main->column(filter_col)
+              .ScanCompare(op, Value::Int64(constant), &hits);
+          sel.And(hits);
+          std::vector<double> vals;
+          snap.main->column(agg_col).GatherDoubles(&sel, &vals, nullptr);
+          for (double v : vals) sum += v;
+        }
+        // Delta rows.
+        auto eval = [&](uint32_t, const Row& row) {
+          const Value& f = row[filter_col];
+          if (f.is_null()) return;
+          int64_t x = f.AsInt64();
+          bool hit = false;
+          switch (op) {
+            case CompareOp::kEq:
+              hit = x == constant;
+              break;
+            case CompareOp::kNe:
+              hit = x != constant;
+              break;
+            case CompareOp::kLt:
+              hit = x < constant;
+              break;
+            case CompareOp::kLe:
+              hit = x <= constant;
+              break;
+            case CompareOp::kGt:
+              hit = x > constant;
+              break;
+            case CompareOp::kGe:
+              hit = x >= constant;
+              break;
+          }
+          if (hit && !row[agg_col].is_null()) sum += row[agg_col].AsDouble();
+        };
+        if (snap.frozen != nullptr) snap.frozen->ForEachVisible(read_ts, eval);
+        snap.delta->ForEachVisible(read_ts, eval);
+      }
+      net_.Transfer(node, 0, 64);
+      node_sums[node] = sum;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  double total = 0;
+  for (double s : node_sums) total += s;
+  return total;
+}
+
+size_t DistributedEngine::TotalRows() {
+  Timestamp read_ts = current_ts();
+  size_t total = 0;
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    ColumnTable::Snapshot snap = tablets_[p]->replicas[0]->GetSnapshot(read_ts);
+    BitVector sel;
+    snap.main->VisibleMask(read_ts, &sel);
+    total += sel.CountSet();
+    auto count = [&](uint32_t, const Row&) { ++total; };
+    if (snap.frozen != nullptr) snap.frozen->ForEachVisible(read_ts, count);
+    snap.delta->ForEachVisible(read_ts, count);
+  }
+  return total;
+}
+
+bool DistributedEngine::CheckReplicasConsistent() {
+  Timestamp read_ts = current_ts();
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    Tablet& tablet = *tablets_[p];
+    std::vector<std::vector<Row>> contents(tablet.replicas.size());
+    for (size_t r = 0; r < tablet.replicas.size(); ++r) {
+      ColumnTable::Snapshot snap = tablet.replicas[r]->GetSnapshot(read_ts);
+      BitVector sel;
+      snap.main->VisibleMask(read_ts, &sel);
+      for (size_t i = sel.FindNextSet(0); i < sel.size();
+           i = sel.FindNextSet(i + 1)) {
+        contents[r].push_back(snap.main->GetRow(static_cast<RowId>(i)));
+      }
+      auto collect = [&](uint32_t, const Row& row) {
+        contents[r].push_back(row);
+      };
+      if (snap.frozen != nullptr) {
+        snap.frozen->ForEachVisible(read_ts, collect);
+      }
+      snap.delta->ForEachVisible(read_ts, collect);
+      std::sort(contents[r].begin(), contents[r].end(),
+                [](const Row& a, const Row& b) {
+                  return HashKeyOf(a) < HashKeyOf(b);
+                });
+    }
+    for (size_t r = 1; r < contents.size(); ++r) {
+      if (contents[r].size() != contents[0].size()) return false;
+      for (size_t i = 0; i < contents[0].size(); ++i) {
+        if (HashKeyOf(contents[r][i]) != HashKeyOf(contents[0][i])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace oltap

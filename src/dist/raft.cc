@@ -1,0 +1,238 @@
+#include "dist/raft.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+RaftNode::RaftNode(int id, int cluster_size, uint64_t seed,
+                   int election_timeout_ticks)
+    : id_(id),
+      cluster_size_(cluster_size),
+      election_timeout_(election_timeout_ticks),
+      rng_(seed ^ static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL),
+      next_index_(cluster_size, 1),
+      match_index_(cluster_size, 0) {
+  OLTAP_CHECK(cluster_size >= 1);
+  ResetElectionTimer();
+}
+
+void RaftNode::ResetElectionTimer() {
+  ticks_since_heard_ = 0;
+  current_timeout_ =
+      election_timeout_ +
+      static_cast<int>(rng_.Uniform(static_cast<uint64_t>(election_timeout_)));
+}
+
+void RaftNode::BecomeFollower(uint64_t term) {
+  role_ = Role::kFollower;
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = -1;
+  }
+  ResetElectionTimer();
+}
+
+void RaftNode::BecomeCandidate() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = id_;
+  votes_received_ = 1;  // self-vote
+  ResetElectionTimer();
+  if (cluster_size_ == 1) {
+    BecomeLeader();
+    return;
+  }
+  for (int peer = 0; peer < cluster_size_; ++peer) {
+    if (peer == id_) continue;
+    RaftMessage m;
+    m.type = RaftMessage::Type::kRequestVote;
+    m.from = id_;
+    m.to = peer;
+    m.term = term_;
+    m.last_log_index = last_log_index();
+    m.last_log_term = TermAt(last_log_index());
+    outbox_.push_back(std::move(m));
+  }
+}
+
+void RaftNode::BecomeLeader() {
+  role_ = Role::kLeader;
+  ticks_since_heartbeat_ = 0;
+  for (int p = 0; p < cluster_size_; ++p) {
+    next_index_[p] = last_log_index() + 1;
+    match_index_[p] = 0;
+  }
+  match_index_[id_] = last_log_index();
+  BroadcastAppendEntries();
+}
+
+void RaftNode::SendAppendEntries(int peer) {
+  RaftMessage m;
+  m.type = RaftMessage::Type::kAppendEntries;
+  m.from = id_;
+  m.to = peer;
+  m.term = term_;
+  m.prev_log_index = next_index_[peer] - 1;
+  m.prev_log_term = TermAt(m.prev_log_index);
+  m.leader_commit = commit_index_;
+  for (uint64_t i = next_index_[peer]; i <= last_log_index(); ++i) {
+    m.entries.push_back(log_[i - 1]);
+  }
+  outbox_.push_back(std::move(m));
+}
+
+void RaftNode::BroadcastAppendEntries() {
+  for (int peer = 0; peer < cluster_size_; ++peer) {
+    if (peer != id_) SendAppendEntries(peer);
+  }
+  ticks_since_heartbeat_ = 0;
+}
+
+void RaftNode::Tick() {
+  if (role_ == Role::kLeader) {
+    if (++ticks_since_heartbeat_ >= std::max(1, election_timeout_ / 3)) {
+      BroadcastAppendEntries();
+    }
+    return;
+  }
+  if (++ticks_since_heard_ >= current_timeout_) {
+    BecomeCandidate();
+  }
+}
+
+bool RaftNode::Propose(std::string payload) {
+  if (role_ != Role::kLeader) return false;
+  log_.push_back(RaftLogEntry{term_, std::move(payload)});
+  match_index_[id_] = last_log_index();
+  if (cluster_size_ == 1) {
+    MaybeAdvanceCommit();
+  } else {
+    BroadcastAppendEntries();
+  }
+  return true;
+}
+
+void RaftNode::MaybeAdvanceCommit() {
+  // Find the highest N > commit_index replicated on a majority with
+  // log[N].term == current term (Raft's commitment rule).
+  for (uint64_t n = last_log_index(); n > commit_index_; --n) {
+    if (TermAt(n) != term_) break;
+    int count = 0;
+    for (int p = 0; p < cluster_size_; ++p) {
+      if (match_index_[p] >= n) ++count;
+    }
+    if (count * 2 > cluster_size_) {
+      commit_index_ = n;
+      break;
+    }
+  }
+}
+
+void RaftNode::Receive(const RaftMessage& msg) {
+  if (msg.term > term_) BecomeFollower(msg.term);
+
+  switch (msg.type) {
+    case RaftMessage::Type::kRequestVote: {
+      RaftMessage reply;
+      reply.type = RaftMessage::Type::kVoteReply;
+      reply.from = id_;
+      reply.to = msg.from;
+      reply.term = term_;
+      bool log_ok =
+          msg.last_log_term > TermAt(last_log_index()) ||
+          (msg.last_log_term == TermAt(last_log_index()) &&
+           msg.last_log_index >= last_log_index());
+      if (msg.term == term_ && log_ok &&
+          (voted_for_ == -1 || voted_for_ == msg.from)) {
+        voted_for_ = msg.from;
+        reply.granted = true;
+        ResetElectionTimer();
+      } else {
+        reply.granted = false;
+      }
+      outbox_.push_back(std::move(reply));
+      return;
+    }
+    case RaftMessage::Type::kVoteReply: {
+      if (role_ != Role::kCandidate || msg.term != term_) return;
+      if (msg.granted && ++votes_received_ * 2 > cluster_size_) {
+        BecomeLeader();
+      }
+      return;
+    }
+    case RaftMessage::Type::kAppendEntries: {
+      RaftMessage reply;
+      reply.type = RaftMessage::Type::kAppendReply;
+      reply.from = id_;
+      reply.to = msg.from;
+      reply.term = term_;
+      if (msg.term < term_) {
+        reply.success = false;
+        outbox_.push_back(std::move(reply));
+        return;
+      }
+      // Valid leader for this term.
+      if (role_ != Role::kFollower) role_ = Role::kFollower;
+      ResetElectionTimer();
+      if (msg.prev_log_index > last_log_index() ||
+          TermAt(msg.prev_log_index) != msg.prev_log_term) {
+        reply.success = false;
+        outbox_.push_back(std::move(reply));
+        return;
+      }
+      // Append, truncating conflicts.
+      uint64_t index = msg.prev_log_index;
+      for (const RaftLogEntry& e : msg.entries) {
+        ++index;
+        if (index <= last_log_index()) {
+          if (TermAt(index) != e.term) {
+            log_.resize(index - 1);  // conflict: drop it and everything after
+            log_.push_back(e);
+          }
+        } else {
+          log_.push_back(e);
+        }
+      }
+      if (msg.leader_commit > commit_index_) {
+        commit_index_ = std::min(msg.leader_commit, last_log_index());
+      }
+      reply.success = true;
+      reply.match_index = msg.prev_log_index + msg.entries.size();
+      outbox_.push_back(std::move(reply));
+      return;
+    }
+    case RaftMessage::Type::kAppendReply: {
+      if (role_ != Role::kLeader || msg.term != term_) return;
+      if (msg.success) {
+        match_index_[msg.from] =
+            std::max(match_index_[msg.from], msg.match_index);
+        next_index_[msg.from] = match_index_[msg.from] + 1;
+        MaybeAdvanceCommit();
+      } else {
+        // Back off and retry.
+        if (next_index_[msg.from] > 1) --next_index_[msg.from];
+        SendAppendEntries(msg.from);
+      }
+      return;
+    }
+  }
+}
+
+std::vector<RaftMessage> RaftNode::TakeOutbox() {
+  std::vector<RaftMessage> out;
+  out.swap(outbox_);
+  return out;
+}
+
+std::vector<RaftLogEntry> RaftNode::TakeNewlyCommitted() {
+  std::vector<RaftLogEntry> out;
+  while (applied_index_ < commit_index_) {
+    ++applied_index_;
+    out.push_back(log_[applied_index_ - 1]);
+  }
+  return out;
+}
+
+}  // namespace oltap

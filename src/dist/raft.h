@@ -1,0 +1,130 @@
+#ifndef OLTAP_DIST_RAFT_H_
+#define OLTAP_DIST_RAFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace oltap {
+
+// One replicated-log entry. Payloads are opaque bytes (the partition layer
+// serializes row operations into them).
+struct RaftLogEntry {
+  uint64_t term = 0;
+  std::string payload;
+
+  friend bool operator==(const RaftLogEntry& a, const RaftLogEntry& b) {
+    return a.term == b.term && a.payload == b.payload;
+  }
+};
+
+struct RaftMessage {
+  enum class Type : uint8_t {
+    kRequestVote,
+    kVoteReply,
+    kAppendEntries,  // also heartbeat when entries is empty
+    kAppendReply,
+  };
+  Type type = Type::kRequestVote;
+  int from = -1;
+  int to = -1;
+  uint64_t term = 0;
+
+  // kRequestVote
+  uint64_t last_log_index = 0;
+  uint64_t last_log_term = 0;
+  // kVoteReply
+  bool granted = false;
+  // kAppendEntries
+  uint64_t prev_log_index = 0;
+  uint64_t prev_log_term = 0;
+  uint64_t leader_commit = 0;
+  std::vector<RaftLogEntry> entries;
+  // kAppendReply
+  bool success = false;
+  uint64_t match_index = 0;
+};
+
+// A single Raft consensus participant (leader election + log replication +
+// commit, per the Raft paper), implemented as a pure message-passing state
+// machine: callers drive it with Tick() and Receive(), and drain outgoing
+// messages with TakeOutbox(). No threads, no clocks — the cluster driver
+// (dist/cluster.h) supplies time and the network, which makes safety
+// properties deterministically testable (the same style etcd's raft tests
+// use). This is the replication substrate Kudu [24] runs under every
+// tablet.
+class RaftNode {
+ public:
+  enum class Role : uint8_t { kFollower, kCandidate, kLeader };
+
+  // Ticks are abstract; election timeouts are drawn uniformly from
+  // [election_timeout, 2*election_timeout) and heartbeats sent every
+  // election_timeout/3 ticks.
+  RaftNode(int id, int cluster_size, uint64_t seed,
+           int election_timeout_ticks = 10);
+
+  int id() const { return id_; }
+  Role role() const { return role_; }
+  uint64_t term() const { return term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  // 1-based log access; index 0 is the empty sentinel.
+  uint64_t last_log_index() const { return log_.size(); }
+  const RaftLogEntry& entry(uint64_t index) const { return log_[index - 1]; }
+
+  // Advances timers by one tick (may start an election or send
+  // heartbeats).
+  void Tick();
+
+  // Processes one incoming message.
+  void Receive(const RaftMessage& msg);
+
+  // Appends a client command to the leader's log; false if not leader.
+  bool Propose(std::string payload);
+
+  // Drains messages produced since the last call.
+  std::vector<RaftMessage> TakeOutbox();
+
+  // Drains entries newly committed since the last call (in order).
+  std::vector<RaftLogEntry> TakeNewlyCommitted();
+
+ private:
+  void BecomeFollower(uint64_t term);
+  void BecomeCandidate();
+  void BecomeLeader();
+  void SendAppendEntries(int peer);
+  void BroadcastAppendEntries();
+  void MaybeAdvanceCommit();
+  void ResetElectionTimer();
+  uint64_t TermAt(uint64_t index) const {
+    return index == 0 ? 0 : log_[index - 1].term;
+  }
+
+  const int id_;
+  const int cluster_size_;
+  const int election_timeout_;
+  Rng rng_;
+
+  Role role_ = Role::kFollower;
+  uint64_t term_ = 0;
+  int voted_for_ = -1;
+  std::vector<RaftLogEntry> log_;
+  uint64_t commit_index_ = 0;
+  uint64_t applied_index_ = 0;  // high-water of TakeNewlyCommitted
+
+  int ticks_since_heard_ = 0;
+  int current_timeout_ = 0;
+  int ticks_since_heartbeat_ = 0;
+  int votes_received_ = 0;
+
+  // Leader replication state (1-based).
+  std::vector<uint64_t> next_index_;
+  std::vector<uint64_t> match_index_;
+
+  std::vector<RaftMessage> outbox_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_DIST_RAFT_H_

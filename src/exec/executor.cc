@@ -1,0 +1,71 @@
+#include "exec/executor.h"
+
+#include "common/logging.h"
+#include "exec/fused_kernels.h"
+#include "exec/scan_kernels.h"
+
+namespace oltap {
+
+const char* ExecutionModeToString(ExecutionMode m) {
+  switch (m) {
+    case ExecutionMode::kTupleAtATime:
+      return "tuple-at-a-time";
+    case ExecutionMode::kVectorized:
+      return "vectorized";
+    case ExecutionMode::kFused:
+      return "fused";
+  }
+  return "?";
+}
+
+namespace {
+
+// Tuple-at-a-time: reconstruct each tuple, interpret the predicate tree,
+// accumulate through Value boxing — faithfully paying every interpretation
+// overhead the vectorized/compiled designs eliminate.
+double RunTupleAtATime(const MainFragment& main, const SimpleAggQuery& q) {
+  ExprPtr pred = Expr::Compare(
+      q.op, Expr::Column(q.filter_col, ValueType::kInt64),
+      Expr::Constant(Value::Int64(q.constant)));
+  double sum = 0;
+  for (size_t r = 0; r < main.num_rows(); ++r) {
+    Row row = main.GetRow(static_cast<RowId>(r));
+    Value hit = pred->EvalRow(row);
+    if (hit.is_null() || !hit.AsBool()) continue;
+    const Value& v = row[q.agg_col];
+    if (!v.is_null()) sum += v.AsDouble();
+  }
+  return sum;
+}
+
+// Vectorized: whole-column primitives — the packed SWAR compare produces a
+// selection vector, then a selected gather-and-sum consumes it.
+double RunVectorized(const MainFragment& main, const SimpleAggQuery& q) {
+  BitVector sel;
+  main.column(q.filter_col)
+      .ScanCompare(CompareOp(q.op), Value::Int64(q.constant), &sel);
+  std::vector<double> values;
+  main.column(q.agg_col).GatherDoubles(&sel, &values, nullptr);
+  return kernels::SumDoubleSelected(values.data(), values.size(), nullptr);
+}
+
+}  // namespace
+
+double RunSimpleAgg(const MainFragment& main, const SimpleAggQuery& query,
+                    ExecutionMode mode) {
+  OLTAP_CHECK(main.column(query.filter_col).type() == ValueType::kInt64);
+  switch (mode) {
+    case ExecutionMode::kTupleAtATime:
+      return RunTupleAtATime(main, query);
+    case ExecutionMode::kVectorized:
+      return RunVectorized(main, query);
+    case ExecutionMode::kFused:
+      return fused::SumWhereInt64(main.column(query.filter_col), query.op,
+                                  query.constant, main.column(query.agg_col));
+  }
+  return 0;
+}
+
+std::vector<Row> ExecutePlan(PhysicalOp* root) { return CollectRows(root); }
+
+}  // namespace oltap

@@ -1,0 +1,44 @@
+#ifndef OLTAP_EXEC_EXECUTOR_H_
+#define OLTAP_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operators.h"
+#include "storage/column_store.h"
+
+namespace oltap {
+
+// The three query-execution models the tutorial surveys (E7):
+//  - tuple-at-a-time: classic Volcano interpretation — materialize a Row,
+//    walk the expression tree per tuple (MonetDB's foil; pre-vectorized
+//    engines).
+//  - vectorized: column-at-a-time primitives over batches / whole segments
+//    (MonetDB/VectorWise lineage; what HANA/BLU scans do).
+//  - fused: single-pass compiled loops standing in for LLVM codegen
+//    (HyPer/Impala; see fused_kernels.h).
+enum class ExecutionMode : uint8_t { kTupleAtATime, kVectorized, kFused };
+
+const char* ExecutionModeToString(ExecutionMode m);
+
+// The query shape used by the engine-comparison and shared-scan
+// experiments: SELECT SUM(agg_col) FROM t WHERE filter_col <op> constant.
+struct SimpleAggQuery {
+  int filter_col = 0;
+  CompareOp op = CompareOp::kLt;
+  int64_t constant = 0;
+  int agg_col = 0;
+};
+
+// Runs a SimpleAggQuery against a columnar main fragment in the requested
+// execution mode. All three modes return identical results; only their
+// instruction profiles differ.
+double RunSimpleAgg(const MainFragment& main, const SimpleAggQuery& query,
+                    ExecutionMode mode);
+
+// Convenience: run an operator tree to completion and return all rows.
+std::vector<Row> ExecutePlan(PhysicalOp* root);
+
+}  // namespace oltap
+
+#endif  // OLTAP_EXEC_EXECUTOR_H_

@@ -1,0 +1,453 @@
+#include "exec/expr.h"
+
+#include "common/logging.h"
+
+namespace oltap {
+namespace {
+
+bool CompareValues(CompareOp op, const Value& a, const Value& b) {
+  int cmp = a.Compare(b);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // Eq/Ne are symmetric
+  }
+}
+
+}  // namespace
+
+ExprPtr Expr::Column(int index, ValueType type) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kColumn;
+  e->column_ = index;
+  e->type_ = type;
+  return e;
+}
+
+ExprPtr Expr::Constant(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConst;
+  e->type_ = v.type();
+  e->constant_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kCompare;
+  e->compare_op_ = op;
+  e->type_ = ValueType::kInt64;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kAnd;
+  e->type_ = ValueType::kInt64;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kOr;
+  e->type_ = ValueType::kInt64;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr c) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kNot;
+  e->type_ = ValueType::kInt64;
+  e->children_ = {std::move(c)};
+  return e;
+}
+
+ExprPtr Expr::Arith(Kind op, ExprPtr l, ExprPtr r) {
+  OLTAP_CHECK(op == Kind::kAdd || op == Kind::kSub || op == Kind::kMul ||
+              op == Kind::kDiv);
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = op;
+  // Numeric promotion: double if either side is double (or division).
+  bool dbl = l->result_type() == ValueType::kDouble ||
+             r->result_type() == ValueType::kDouble || op == Kind::kDiv;
+  e->type_ = dbl ? ValueType::kDouble : ValueType::kInt64;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr c) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kIsNull;
+  e->type_ = ValueType::kInt64;
+  e->children_ = {std::move(c)};
+  return e;
+}
+
+Value Expr::EvalRow(const Row& row) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      OLTAP_DCHECK(column_ >= 0 &&
+                   static_cast<size_t>(column_) < row.size());
+      return row[column_];
+    case Kind::kConst:
+      return constant_;
+    case Kind::kCompare: {
+      Value a = children_[0]->EvalRow(row);
+      Value b = children_[1]->EvalRow(row);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::Bool(CompareValues(compare_op_, a, b));
+    }
+    case Kind::kAnd: {
+      Value a = children_[0]->EvalRow(row);
+      if (!a.is_null() && !a.AsBool()) return Value::Bool(false);
+      Value b = children_[1]->EvalRow(row);
+      if (!b.is_null() && !b.AsBool()) return Value::Bool(false);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::Bool(true);
+    }
+    case Kind::kOr: {
+      Value a = children_[0]->EvalRow(row);
+      if (!a.is_null() && a.AsBool()) return Value::Bool(true);
+      Value b = children_[1]->EvalRow(row);
+      if (!b.is_null() && b.AsBool()) return Value::Bool(true);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::Bool(false);
+    }
+    case Kind::kNot: {
+      Value a = children_[0]->EvalRow(row);
+      if (a.is_null()) return Value::Null();
+      return Value::Bool(!a.AsBool());
+    }
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+    case Kind::kDiv: {
+      Value a = children_[0]->EvalRow(row);
+      Value b = children_[1]->EvalRow(row);
+      if (a.is_null() || b.is_null()) return Value::Null(type_);
+      if (type_ == ValueType::kDouble) {
+        double x = a.AsDouble(), y = b.AsDouble();
+        switch (kind_) {
+          case Kind::kAdd:
+            return Value::Double(x + y);
+          case Kind::kSub:
+            return Value::Double(x - y);
+          case Kind::kMul:
+            return Value::Double(x * y);
+          default:
+            return y == 0 ? Value::Null(ValueType::kDouble)
+                          : Value::Double(x / y);
+        }
+      }
+      int64_t x = a.AsInt64(), y = b.AsInt64();
+      switch (kind_) {
+        case Kind::kAdd:
+          return Value::Int64(x + y);
+        case Kind::kSub:
+          return Value::Int64(x - y);
+        case Kind::kMul:
+          return Value::Int64(x * y);
+        default:
+          return y == 0 ? Value::Null() : Value::Int64(x / y);
+      }
+    }
+    case Kind::kIsNull:
+      return Value::Bool(children_[0]->EvalRow(row).is_null());
+  }
+  return Value::Null();
+}
+
+ColumnVector Expr::EvalBatch(const Batch& batch) const {
+  size_t n = batch.num_rows();
+  switch (kind_) {
+    case Kind::kColumn:
+      return batch.columns[column_];
+    case Kind::kConst: {
+      ColumnVector cv(type_);
+      cv.Reserve(n);
+      for (size_t i = 0; i < n; ++i) cv.AppendValue(constant_);
+      return cv;
+    }
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+    case Kind::kDiv: {
+      ColumnVector a = children_[0]->EvalBatch(batch);
+      ColumnVector b = children_[1]->EvalBatch(batch);
+      ColumnVector out(type_);
+      out.Reserve(n);
+      if (type_ == ValueType::kDouble) {
+        for (size_t i = 0; i < n; ++i) {
+          if (a.IsNull(i) || b.IsNull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          double x = a.type() == ValueType::kDouble
+                         ? a.GetDouble(i)
+                         : static_cast<double>(a.GetInt64(i));
+          double y = b.type() == ValueType::kDouble
+                         ? b.GetDouble(i)
+                         : static_cast<double>(b.GetInt64(i));
+          switch (kind_) {
+            case Kind::kAdd:
+              out.AppendDouble(x + y);
+              break;
+            case Kind::kSub:
+              out.AppendDouble(x - y);
+              break;
+            case Kind::kMul:
+              out.AppendDouble(x * y);
+              break;
+            default:
+              if (y == 0) {
+                out.AppendNull();
+              } else {
+                out.AppendDouble(x / y);
+              }
+          }
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (a.IsNull(i) || b.IsNull(i)) {
+            out.AppendNull();
+            continue;
+          }
+          int64_t x = a.GetInt64(i), y = b.GetInt64(i);
+          switch (kind_) {
+            case Kind::kAdd:
+              out.AppendInt64(x + y);
+              break;
+            case Kind::kSub:
+              out.AppendInt64(x - y);
+              break;
+            case Kind::kMul:
+              out.AppendInt64(x * y);
+              break;
+            default:
+              if (y == 0) {
+                out.AppendNull();
+              } else {
+                out.AppendInt64(x / y);
+              }
+          }
+        }
+      }
+      return out;
+    }
+    default: {
+      // Predicates and IS NULL as 0/1 column.
+      BitVector bits;
+      EvalPredicate(batch, &bits);
+      ColumnVector out(ValueType::kInt64);
+      out.Reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out.AppendInt64(bits.Get(i) ? 1 : 0);
+      }
+      return out;
+    }
+  }
+}
+
+void Expr::EvalPredicate(const Batch& batch, BitVector* out) const {
+  size_t n = batch.num_rows();
+  switch (kind_) {
+    case Kind::kAnd: {
+      children_[0]->EvalPredicate(batch, out);
+      BitVector rhs;
+      children_[1]->EvalPredicate(batch, &rhs);
+      out->And(rhs);
+      return;
+    }
+    case Kind::kOr: {
+      children_[0]->EvalPredicate(batch, out);
+      BitVector rhs;
+      children_[1]->EvalPredicate(batch, &rhs);
+      out->Or(rhs);
+      return;
+    }
+    case Kind::kNot: {
+      children_[0]->EvalPredicate(batch, out);
+      out->Not();
+      // NULL-as-false asymmetry: NOT(NULL)=NULL=false, but the child
+      // already collapsed NULL to false, so NOT flips it to true. For the
+      // engine's two-valued semantics this is accepted and documented.
+      return;
+    }
+    case Kind::kCompare: {
+      const ExprPtr& l = children_[0];
+      const ExprPtr& r = children_[1];
+      out->Resize(n);
+      out->ClearAll();
+      // Fast path: column vs constant on numeric columns.
+      if (l->kind_ == Kind::kColumn && r->kind_ == Kind::kConst &&
+          !r->constant_.is_null()) {
+        const ColumnVector& col = batch.columns[l->column_];
+        if (col.type() == ValueType::kInt64 &&
+            r->constant_.type() == ValueType::kInt64) {
+          int64_t c = r->constant_.AsInt64();
+          const std::vector<int64_t>& v = col.i64();
+          for (size_t i = 0; i < n; ++i) {
+            if (col.IsNull(i)) continue;
+            bool hit = false;
+            switch (compare_op_) {
+              case CompareOp::kEq:
+                hit = v[i] == c;
+                break;
+              case CompareOp::kNe:
+                hit = v[i] != c;
+                break;
+              case CompareOp::kLt:
+                hit = v[i] < c;
+                break;
+              case CompareOp::kLe:
+                hit = v[i] <= c;
+                break;
+              case CompareOp::kGt:
+                hit = v[i] > c;
+                break;
+              case CompareOp::kGe:
+                hit = v[i] >= c;
+                break;
+            }
+            if (hit) out->Set(i);
+          }
+          return;
+        }
+      }
+      // General path.
+      ColumnVector a = l->EvalBatch(batch);
+      ColumnVector b = r->EvalBatch(batch);
+      for (size_t i = 0; i < n; ++i) {
+        if (a.IsNull(i) || b.IsNull(i)) continue;
+        if (CompareValues(compare_op_, a.GetValue(i), b.GetValue(i))) {
+          out->Set(i);
+        }
+      }
+      return;
+    }
+    case Kind::kIsNull: {
+      ColumnVector a = children_[0]->EvalBatch(batch);
+      out->Resize(n);
+      out->ClearAll();
+      for (size_t i = 0; i < n; ++i) {
+        if (a.IsNull(i)) out->Set(i);
+      }
+      return;
+    }
+    default: {
+      // Arbitrary expression as predicate: nonzero and non-null = true.
+      ColumnVector a = EvalBatch(batch);
+      out->Resize(n);
+      out->ClearAll();
+      for (size_t i = 0; i < n; ++i) {
+        if (!a.IsNull(i) && a.GetValue(i).AsBool()) out->Set(i);
+      }
+      return;
+    }
+  }
+}
+
+bool Expr::AsColumnPredicate(ColumnPredicate* out) const {
+  if (kind_ != Kind::kCompare) return false;
+  const Expr* l = children_[0].get();
+  const Expr* r = children_[1].get();
+  if (l->kind_ == Kind::kColumn && r->kind_ == Kind::kConst) {
+    out->column = l->column_;
+    out->op = compare_op_;
+    out->constant = r->constant_;
+    return true;
+  }
+  if (l->kind_ == Kind::kConst && r->kind_ == Kind::kColumn) {
+    out->column = r->column_;
+    out->op = FlipOp(compare_op_);
+    out->constant = l->constant_;
+    return true;
+  }
+  return false;
+}
+
+void Expr::SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e == nullptr) return;
+  if (e->kind_ == Kind::kAnd) {
+    SplitConjuncts(e->children_[0], out);
+    SplitConjuncts(e->children_[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+ExprPtr Expr::CombineConjuncts(const std::vector<ExprPtr>& terms) {
+  ExprPtr acc;
+  for (const ExprPtr& t : terms) {
+    acc = acc == nullptr ? t : And(acc, t);
+  }
+  return acc;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kColumn:
+      return "$" + std::to_string(column_);
+    case Kind::kConst:
+      return constant_.is_null() ? "NULL" : constant_.ToString();
+    case Kind::kCompare: {
+      const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+      return "(" + children_[0]->ToString() + " " +
+             ops[static_cast<int>(compare_op_)] + " " +
+             children_[1]->ToString() + ")";
+    }
+    case Kind::kAnd:
+      return "(" + children_[0]->ToString() + " AND " +
+             children_[1]->ToString() + ")";
+    case Kind::kOr:
+      return "(" + children_[0]->ToString() + " OR " +
+             children_[1]->ToString() + ")";
+    case Kind::kNot:
+      return "NOT " + children_[0]->ToString();
+    case Kind::kAdd:
+      return "(" + children_[0]->ToString() + " + " +
+             children_[1]->ToString() + ")";
+    case Kind::kSub:
+      return "(" + children_[0]->ToString() + " - " +
+             children_[1]->ToString() + ")";
+    case Kind::kMul:
+      return "(" + children_[0]->ToString() + " * " +
+             children_[1]->ToString() + ")";
+    case Kind::kDiv:
+      return "(" + children_[0]->ToString() + " / " +
+             children_[1]->ToString() + ")";
+    case Kind::kIsNull:
+      return children_[0]->ToString() + " IS NULL";
+  }
+  return "?";
+}
+
+}  // namespace oltap

@@ -1,0 +1,79 @@
+#include "exec/fused_kernels.h"
+
+#include "common/logging.h"
+
+namespace oltap {
+namespace fused {
+namespace {
+
+// Dispatches the comparison once, instantiating the hot loop per operator —
+// the same effect codegen achieves by baking the predicate into the loop.
+template <typename Body>
+void ForEachMatch(const ColumnSegment& filter, CompareOp op, int64_t c,
+                  Body body) {
+  OLTAP_CHECK(filter.type() == ValueType::kInt64);
+  const size_t n = filter.size();
+  auto run = [&](auto cmp) {
+    for (size_t i = 0; i < n; ++i) {
+      if (filter.IsNull(i)) continue;
+      if (cmp(filter.GetInt64(i))) body(i);
+    }
+  };
+  switch (op) {
+    case CompareOp::kEq:
+      run([c](int64_t x) { return x == c; });
+      return;
+    case CompareOp::kNe:
+      run([c](int64_t x) { return x != c; });
+      return;
+    case CompareOp::kLt:
+      run([c](int64_t x) { return x < c; });
+      return;
+    case CompareOp::kLe:
+      run([c](int64_t x) { return x <= c; });
+      return;
+    case CompareOp::kGt:
+      run([c](int64_t x) { return x > c; });
+      return;
+    case CompareOp::kGe:
+      run([c](int64_t x) { return x >= c; });
+      return;
+  }
+}
+
+double NumericAt(const ColumnSegment& seg, size_t i) {
+  return seg.type() == ValueType::kDouble
+             ? seg.GetDouble(i)
+             : static_cast<double>(seg.GetInt64(i));
+}
+
+}  // namespace
+
+double SumWhereInt64(const ColumnSegment& filter, CompareOp op, int64_t c,
+                     const ColumnSegment& agg) {
+  double sum = 0;
+  ForEachMatch(filter, op, c, [&](size_t i) {
+    if (!agg.IsNull(i)) sum += NumericAt(agg, i);
+  });
+  return sum;
+}
+
+int64_t CountWhereInt64(const ColumnSegment& filter, CompareOp op,
+                        int64_t c) {
+  int64_t count = 0;
+  ForEachMatch(filter, op, c, [&](size_t) { ++count; });
+  return count;
+}
+
+double SumProductWhereInt64(const ColumnSegment& filter, CompareOp op,
+                            int64_t c, const ColumnSegment& a,
+                            const ColumnSegment& b) {
+  double sum = 0;
+  ForEachMatch(filter, op, c, [&](size_t i) {
+    if (!a.IsNull(i) && !b.IsNull(i)) sum += NumericAt(a, i) * NumericAt(b, i);
+  });
+  return sum;
+}
+
+}  // namespace fused
+}  // namespace oltap

@@ -1,0 +1,36 @@
+#ifndef OLTAP_EXEC_FUSED_KERNELS_H_
+#define OLTAP_EXEC_FUSED_KERNELS_H_
+
+#include <cstdint>
+
+#include "storage/bitpack.h"
+#include "storage/column_segment.h"
+
+namespace oltap {
+namespace fused {
+
+// Pre-fused single-pass query kernels: the build-time stand-in for LLVM
+// just-in-time code generation (HyPer [28], Impala [41]). A code generator
+// would emit exactly these loops for the benchmarked query shapes — one
+// pass, no operator boundaries, no selection-vector materialization, no
+// virtual dispatch. The E7 benchmark compares them against the vectorized
+// and tuple-at-a-time engines. See DESIGN.md §5 for why this substitution
+// preserves the surveyed claim.
+
+// SELECT SUM(agg) FROM t WHERE filter <op> c  — int64 filter column.
+double SumWhereInt64(const ColumnSegment& filter, CompareOp op, int64_t c,
+                     const ColumnSegment& agg);
+
+// SELECT COUNT(*) FROM t WHERE filter <op> c.
+int64_t CountWhereInt64(const ColumnSegment& filter, CompareOp op, int64_t c);
+
+// SELECT SUM(a*b) FROM t WHERE filter <op> c — two-column arithmetic,
+// the shape of CH-benCHmark Q1-style revenue aggregation.
+double SumProductWhereInt64(const ColumnSegment& filter, CompareOp op,
+                            int64_t c, const ColumnSegment& a,
+                            const ColumnSegment& b);
+
+}  // namespace fused
+}  // namespace oltap
+
+#endif  // OLTAP_EXEC_FUSED_KERNELS_H_

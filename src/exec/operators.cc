@@ -1,0 +1,800 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+std::string HashKeyOf(const Row& values) {
+  std::vector<int> all(values.size());
+  std::iota(all.begin(), all.end(), 0);
+  return EncodeKeyColumns(values, all);
+}
+
+namespace {
+
+// Collects the column indices an expression references.
+void CollectExprColumns(const ExprPtr& e, std::vector<int>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == Expr::Kind::kColumn) out->push_back(e->column_index());
+  for (const ExprPtr& c : e->children()) CollectExprColumns(c, out);
+}
+
+// Rewrites column references through `remap` (schema index → new index).
+ExprPtr RemapExprColumns(const ExprPtr& e, const std::vector<int>& remap) {
+  switch (e->kind()) {
+    case Expr::Kind::kColumn:
+      return Expr::Column(remap[e->column_index()], e->result_type());
+    case Expr::Kind::kConst:
+      return e;
+    case Expr::Kind::kCompare:
+      return Expr::Compare(e->compare_op(),
+                           RemapExprColumns(e->children()[0], remap),
+                           RemapExprColumns(e->children()[1], remap));
+    case Expr::Kind::kAnd:
+      return Expr::And(RemapExprColumns(e->children()[0], remap),
+                       RemapExprColumns(e->children()[1], remap));
+    case Expr::Kind::kOr:
+      return Expr::Or(RemapExprColumns(e->children()[0], remap),
+                      RemapExprColumns(e->children()[1], remap));
+    case Expr::Kind::kNot:
+      return Expr::Not(RemapExprColumns(e->children()[0], remap));
+    case Expr::Kind::kIsNull:
+      return Expr::IsNull(RemapExprColumns(e->children()[0], remap));
+    default:
+      return Expr::Arith(e->kind(),
+                         RemapExprColumns(e->children()[0], remap),
+                         RemapExprColumns(e->children()[1], remap));
+  }
+}
+
+void ExplainInto(const PhysicalOp* op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op->Describe());
+  out->push_back('\n');
+  for (const PhysicalOp* child : op->Children()) {
+    ExplainInto(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PhysicalOp* root) {
+  std::string out;
+  ExplainInto(root, 0, &out);
+  return out;
+}
+
+std::vector<Row> CollectRows(PhysicalOp* op) {
+  std::vector<Row> rows;
+  op->Open();
+  Batch batch;
+  while (op->NextBatch(&batch)) {
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      rows.push_back(batch.GetRow(i));
+    }
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------- ScanOp
+
+std::string ScanOp::Describe() const {
+  std::string out = "Scan(" + table_->name() + " [" +
+                    TableFormatToString(table_->format()) + "]";
+  if (!pushed_.empty() || residual_ != nullptr) {
+    if (predicate_ != nullptr) out += ", pred=" + predicate_->ToString();
+  } else if (predicate_ != nullptr) {
+    out += ", pred=" + predicate_->ToString();
+  }
+  out += ")";
+  return out;
+}
+std::vector<const PhysicalOp*> ScanOp::Children() const { return {}; }
+
+
+ScanOp::ScanOp(const Table* table, Timestamp read_ts, ExprPtr predicate,
+               std::vector<int> projection)
+    : table_(table),
+      read_ts_(read_ts),
+      predicate_(std::move(predicate)),
+      projection_(std::move(projection)) {
+  const Schema& schema = table_->schema();
+  if (projection_.empty()) {
+    projection_.resize(schema.num_columns());
+    std::iota(projection_.begin(), projection_.end(), 0);
+  }
+  out_types_.reserve(projection_.size());
+  for (int c : projection_) {
+    out_types_.push_back(schema.column(c).type);
+  }
+}
+
+std::vector<ValueType> ScanOp::OutputTypes() const { return out_types_; }
+
+void ScanOp::Open() {
+  rows_scanned_ = 0;
+  zones_pruned_ = 0;
+  main_pos_ = 0;
+  pending_rows_.clear();
+  pending_pos_ = 0;
+  delta_done_ = false;
+  row_scan_done_ = false;
+
+  columnar_ = table_->format() != TableFormat::kRow;
+  if (!columnar_) {
+    // Row engine: materialize passing rows once (OLTP-sized tables).
+    table_->ScanVisible(read_ts_, [&](const Row& row) {
+      ++rows_scanned_;
+      if (predicate_ != nullptr) {
+        Value v = predicate_->EvalRow(row);
+        if (v.is_null() || !v.AsBool()) return;
+      }
+      pending_rows_.push_back(row);
+    });
+    return;
+  }
+
+  snap_ = table_->GetColumnSnapshot(read_ts_);
+  OLTAP_CHECK(snap_.has_value());
+
+  // Split the predicate into pushable single-column terms and a residual.
+  pushed_.clear();
+  residual_ = nullptr;
+  if (predicate_ != nullptr) {
+    std::vector<ExprPtr> conjuncts;
+    Expr::SplitConjuncts(predicate_, &conjuncts);
+    std::vector<ExprPtr> residual_terms;
+    for (const ExprPtr& c : conjuncts) {
+      Expr::ColumnPredicate cp;
+      if (c->AsColumnPredicate(&cp)) {
+        pushed_.push_back(cp);
+      } else {
+        residual_terms.push_back(c);
+      }
+    }
+    residual_ = Expr::CombineConjuncts(residual_terms);
+  }
+
+  // Gather only the columns the output or the residual actually touches.
+  needed_ = projection_;
+  CollectExprColumns(residual_, &needed_);
+  std::sort(needed_.begin(), needed_.end());
+  needed_.erase(std::unique(needed_.begin(), needed_.end()), needed_.end());
+  schema_to_batch_.assign(table_->schema().num_columns(), -1);
+  for (size_t i = 0; i < needed_.size(); ++i) {
+    schema_to_batch_[needed_[i]] = static_cast<int>(i);
+  }
+  residual_remapped_ =
+      residual_ == nullptr ? nullptr
+                           : RemapExprColumns(residual_, schema_to_batch_);
+
+  PrepareMainSelection();
+
+  // Delta (and frozen delta) rows: row-at-a-time with the full predicate.
+  auto consume = [&](uint32_t, const Row& row) {
+    ++rows_scanned_;
+    if (predicate_ != nullptr) {
+      Value v = predicate_->EvalRow(row);
+      if (v.is_null() || !v.AsBool()) return;
+    }
+    pending_rows_.push_back(row);
+  };
+  if (snap_->frozen != nullptr) {
+    snap_->frozen->ForEachVisible(read_ts_, consume);
+  }
+  snap_->delta->ForEachVisible(read_ts_, consume);
+}
+
+void ScanOp::PrepareMainSelection() {
+  const MainFragment& main = *snap_->main;
+  main.VisibleMask(read_ts_, &main_sel_);
+  rows_scanned_ += main.num_rows();
+  if (main.num_rows() == 0) return;  // empty main has no segments to scan
+  for (const Expr::ColumnPredicate& cp : pushed_) {
+    const ColumnSegment& seg = main.column(cp.column);
+    // Zone-pruned storage-index scan: only zones whose min/max admit the
+    // predicate are evaluated by the packed kernel.
+    BitVector hits;
+    size_t pruned = 0;
+    seg.ScanCompareZoned(cp.op, cp.constant, &hits, &pruned);
+    zones_pruned_ += pruned;
+    main_sel_.And(hits);
+  }
+}
+
+bool ScanOp::EmitMainBatch(Batch* out) {
+  const MainFragment& main = *snap_->main;
+  const Schema& schema = table_->schema();
+  // Gather the next chunk of selected rowids.
+  std::vector<uint32_t> rids;
+  rids.reserve(kDefaultBatchRows);
+  size_t i = main_sel_.FindNextSet(main_pos_);
+  while (i < main_sel_.size() && rids.size() < kDefaultBatchRows) {
+    rids.push_back(static_cast<uint32_t>(i));
+    i = main_sel_.FindNextSet(i + 1);
+  }
+  main_pos_ = i;
+  if (rids.empty()) return false;
+
+  // Gather the needed columns (projection ∪ residual refs), then filter,
+  // then project.
+  Batch full;
+  full.columns.reserve(needed_.size());
+  for (int c : needed_) {
+    ColumnVector cv(schema.column(c).type);
+    cv.Reserve(rids.size());
+    const ColumnSegment& seg = main.column(c);
+    for (uint32_t rid : rids) {
+      if (seg.IsNull(rid)) {
+        cv.AppendNull();
+        continue;
+      }
+      switch (seg.type()) {
+        case ValueType::kInt64:
+          cv.AppendInt64(seg.GetInt64(rid));
+          break;
+        case ValueType::kDouble:
+          cv.AppendDouble(seg.GetDouble(rid));
+          break;
+        case ValueType::kString:
+          cv.AppendString(std::string(seg.GetString(rid)));
+          break;
+      }
+    }
+    full.columns.push_back(std::move(cv));
+  }
+
+  BitVector keep;
+  if (residual_remapped_ != nullptr) {
+    residual_remapped_->EvalPredicate(full, &keep);
+  } else {
+    keep.Resize(full.num_rows());
+    keep.SetAll();
+  }
+
+  out->columns.clear();
+  out->columns.reserve(projection_.size());
+  for (size_t p = 0; p < projection_.size(); ++p) {
+    const ColumnVector& src =
+        full.columns[schema_to_batch_[projection_[p]]];
+    ColumnVector cv(src.type());
+    for (size_t r = keep.FindNextSet(0); r < keep.size();
+         r = keep.FindNextSet(r + 1)) {
+      cv.AppendValue(src.GetValue(r));
+    }
+    out->columns.push_back(std::move(cv));
+  }
+  return true;
+}
+
+bool ScanOp::EmitDeltaRows(Batch* out) {
+  if (pending_pos_ >= pending_rows_.size()) return false;
+  out->columns.clear();
+  out->columns.reserve(projection_.size());
+  for (size_t p = 0; p < projection_.size(); ++p) {
+    out->columns.emplace_back(out_types_[p]);
+  }
+  size_t end = std::min(pending_rows_.size(), pending_pos_ + kDefaultBatchRows);
+  for (; pending_pos_ < end; ++pending_pos_) {
+    const Row& row = pending_rows_[pending_pos_];
+    for (size_t p = 0; p < projection_.size(); ++p) {
+      out->columns[p].AppendValue(row[projection_[p]]);
+    }
+  }
+  return true;
+}
+
+bool ScanOp::NextBatch(Batch* out) {
+  out->columns.clear();
+  if (columnar_) {
+    while (true) {
+      if (EmitMainBatch(out)) {
+        if (out->num_rows() > 0) return true;
+        continue;  // fully filtered batch; try the next chunk
+      }
+      break;
+    }
+    return EmitDeltaRows(out);
+  }
+  return EmitDeltaRows(out);  // pending_rows_ holds the row-engine result
+}
+
+// --------------------------------------------------------------- FilterOp
+
+std::string FilterOp::Describe() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+std::vector<const PhysicalOp*> FilterOp::Children() const {
+  return {child_.get()};
+}
+
+
+FilterOp::FilterOp(PhysicalOpPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+void FilterOp::Open() { child_->Open(); }
+
+std::vector<ValueType> FilterOp::OutputTypes() const {
+  return child_->OutputTypes();
+}
+
+bool FilterOp::NextBatch(Batch* out) {
+  Batch in;
+  while (child_->NextBatch(&in)) {
+    BitVector keep;
+    predicate_->EvalPredicate(in, &keep);
+    if (keep.CountSet() == 0) continue;
+    out->columns.clear();
+    out->columns.reserve(in.num_columns());
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      ColumnVector cv(in.columns[c].type());
+      for (size_t r = keep.FindNextSet(0); r < keep.size();
+           r = keep.FindNextSet(r + 1)) {
+        cv.AppendValue(in.columns[c].GetValue(r));
+      }
+      out->columns.push_back(std::move(cv));
+    }
+    return true;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- ProjectOp
+
+std::string ProjectOp::Describe() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  return out + ")";
+}
+std::vector<const PhysicalOp*> ProjectOp::Children() const {
+  return {child_.get()};
+}
+
+
+ProjectOp::ProjectOp(PhysicalOpPtr child, std::vector<ExprPtr> exprs)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {}
+
+void ProjectOp::Open() { child_->Open(); }
+
+std::vector<ValueType> ProjectOp::OutputTypes() const {
+  std::vector<ValueType> types;
+  types.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) types.push_back(e->result_type());
+  return types;
+}
+
+bool ProjectOp::NextBatch(Batch* out) {
+  Batch in;
+  if (!child_->NextBatch(&in)) return false;
+  out->columns.clear();
+  out->columns.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    out->columns.push_back(e->EvalBatch(in));
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- HashAggOp
+
+std::string HashAggOp::Describe() const {
+  std::string out = "HashAggregate(groups=";
+  out += std::to_string(group_exprs_.size());
+  out += ", aggs=" + std::to_string(aggs_.size()) + ")";
+  return out;
+}
+std::vector<const PhysicalOp*> HashAggOp::Children() const {
+  return {child_.get()};
+}
+
+
+ValueType AggSpec::OutputType() const {
+  switch (fn) {
+    case Fn::kCountStar:
+    case Fn::kCount:
+      return ValueType::kInt64;
+    case Fn::kAvg:
+      return ValueType::kDouble;
+    case Fn::kSum:
+    case Fn::kMin:
+    case Fn::kMax:
+      return arg->result_type();
+  }
+  return ValueType::kInt64;
+}
+
+HashAggOp::HashAggOp(PhysicalOpPtr child, std::vector<ExprPtr> group_exprs,
+                     std::vector<AggSpec> aggs)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)) {}
+
+std::vector<ValueType> HashAggOp::OutputTypes() const {
+  std::vector<ValueType> types;
+  for (const ExprPtr& g : group_exprs_) types.push_back(g->result_type());
+  for (const AggSpec& a : aggs_) types.push_back(a.OutputType());
+  return types;
+}
+
+void HashAggOp::Open() {
+  child_->Open();
+  index_.clear();
+  groups_.clear();
+  emit_pos_ = 0;
+  done_ = false;
+}
+
+void HashAggOp::Consume(const Batch& batch) {
+  size_t n = batch.num_rows();
+  if (n == 0) return;
+  // Evaluate group keys and agg arguments once per batch.
+  std::vector<ColumnVector> keys;
+  keys.reserve(group_exprs_.size());
+  for (const ExprPtr& g : group_exprs_) keys.push_back(g->EvalBatch(batch));
+  std::vector<ColumnVector> args(aggs_.size());
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    if (aggs_[a].arg != nullptr) args[a] = aggs_[a].arg->EvalBatch(batch);
+  }
+
+  Row key_row(group_exprs_.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < keys.size(); ++k) key_row[k] = keys[k].GetValue(i);
+    std::string hk = HashKeyOf(key_row);
+    auto [it, inserted] = index_.emplace(std::move(hk), groups_.size());
+    if (inserted) {
+      Group g;
+      g.keys = key_row;
+      g.states.resize(aggs_.size());
+      groups_.push_back(std::move(g));
+    }
+    Group& group = groups_[it->second];
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      AggState& st = group.states[a];
+      const AggSpec& spec = aggs_[a];
+      if (spec.fn == AggSpec::Fn::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      if (args[a].IsNull(i)) continue;  // SQL: aggregates skip NULLs
+      Value v = args[a].GetValue(i);
+      ++st.count;
+      switch (spec.fn) {
+        case AggSpec::Fn::kSum:
+        case AggSpec::Fn::kAvg:
+          if (v.type() == ValueType::kInt64) {
+            st.isum += v.AsInt64();
+          }
+          st.sum += v.AsDouble();
+          break;
+        case AggSpec::Fn::kMin:
+          if (!st.any || v.Compare(st.min) < 0) st.min = v;
+          break;
+        case AggSpec::Fn::kMax:
+          if (!st.any || v.Compare(st.max) > 0) st.max = v;
+          break;
+        default:
+          break;
+      }
+      st.any = true;
+    }
+  }
+}
+
+Value HashAggOp::Finalize(const AggSpec& spec, const AggState& st) const {
+  switch (spec.fn) {
+    case AggSpec::Fn::kCountStar:
+    case AggSpec::Fn::kCount:
+      return Value::Int64(st.count);
+    case AggSpec::Fn::kSum:
+      if (st.count == 0) return Value::Null(spec.OutputType());
+      return spec.arg->result_type() == ValueType::kInt64
+                 ? Value::Int64(st.isum)
+                 : Value::Double(st.sum);
+    case AggSpec::Fn::kAvg:
+      if (st.count == 0) return Value::Null(ValueType::kDouble);
+      return Value::Double(st.sum / static_cast<double>(st.count));
+    case AggSpec::Fn::kMin:
+      return st.any ? st.min : Value::Null(spec.OutputType());
+    case AggSpec::Fn::kMax:
+      return st.any ? st.max : Value::Null(spec.OutputType());
+  }
+  return Value::Null();
+}
+
+bool HashAggOp::NextBatch(Batch* out) {
+  if (!done_) {
+    Batch in;
+    while (child_->NextBatch(&in)) Consume(in);
+    if (group_exprs_.empty() && groups_.empty()) {
+      // Global aggregate over zero rows still yields one output row.
+      Group g;
+      g.states.resize(aggs_.size());
+      groups_.push_back(std::move(g));
+    }
+    done_ = true;
+  }
+  if (emit_pos_ >= groups_.size()) return false;
+
+  std::vector<ValueType> types = OutputTypes();
+  out->columns.clear();
+  out->columns.reserve(types.size());
+  for (ValueType t : types) out->columns.emplace_back(t);
+  size_t end = std::min(groups_.size(), emit_pos_ + kDefaultBatchRows);
+  for (; emit_pos_ < end; ++emit_pos_) {
+    const Group& g = groups_[emit_pos_];
+    size_t c = 0;
+    for (size_t k = 0; k < group_exprs_.size(); ++k) {
+      out->columns[c++].AppendValue(g.keys[k]);
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      out->columns[c++].AppendValue(Finalize(aggs_[a], g.states[a]));
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- HashJoinOp
+
+std::string HashJoinOp::Describe() const {
+  std::string out = "HashJoin(keys=";
+  for (size_t i = 0; i < build_keys_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "$" + std::to_string(build_keys_[i]) + "=$" +
+           std::to_string(probe_keys_[i]);
+  }
+  return out + ")";
+}
+std::vector<const PhysicalOp*> HashJoinOp::Children() const {
+  return {build_.get(), probe_.get()};
+}
+
+
+HashJoinOp::HashJoinOp(PhysicalOpPtr build, PhysicalOpPtr probe,
+                       std::vector<int> build_keys,
+                       std::vector<int> probe_keys)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)) {
+  OLTAP_CHECK(build_keys_.size() == probe_keys_.size());
+}
+
+std::vector<ValueType> HashJoinOp::OutputTypes() const {
+  std::vector<ValueType> types = build_->OutputTypes();
+  for (ValueType t : probe_->OutputTypes()) types.push_back(t);
+  return types;
+}
+
+void HashJoinOp::Open() {
+  probe_->Open();
+  build_rows_ = CollectRows(build_.get());  // CollectRows opens the child
+  table_.clear();
+  Row key_row(build_keys_.size());
+  for (size_t i = 0; i < build_rows_.size(); ++i) {
+    bool has_null = false;
+    for (size_t k = 0; k < build_keys_.size(); ++k) {
+      key_row[k] = build_rows_[i][build_keys_[k]];
+      has_null |= key_row[k].is_null();
+    }
+    if (has_null) continue;  // NULL keys never join
+    table_.emplace(HashKeyOf(key_row), i);
+  }
+  probe_pos_ = 0;
+  probe_done_ = false;
+  probe_batch_.columns.clear();
+}
+
+bool HashJoinOp::NextBatch(Batch* out) {
+  std::vector<ValueType> types = OutputTypes();
+  out->columns.clear();
+  out->columns.reserve(types.size());
+  for (ValueType t : types) out->columns.emplace_back(t);
+
+  size_t emitted = 0;
+  Row key_row(probe_keys_.size());
+  while (emitted < kDefaultBatchRows) {
+    if (probe_pos_ >= probe_batch_.num_rows()) {
+      if (probe_done_ || !probe_->NextBatch(&probe_batch_)) {
+        probe_done_ = true;
+        break;
+      }
+      probe_pos_ = 0;
+      continue;
+    }
+    size_t i = probe_pos_++;
+    bool has_null = false;
+    for (size_t k = 0; k < probe_keys_.size(); ++k) {
+      key_row[k] = probe_batch_.columns[probe_keys_[k]].GetValue(i);
+      has_null |= key_row[k].is_null();
+    }
+    if (has_null) continue;
+    auto [lo, hi] = table_.equal_range(HashKeyOf(key_row));
+    for (auto it = lo; it != hi; ++it) {
+      const Row& b = build_rows_[it->second];
+      size_t c = 0;
+      for (const Value& v : b) out->columns[c++].AppendValue(v);
+      for (size_t pc = 0; pc < probe_batch_.num_columns(); ++pc) {
+        out->columns[c++].AppendValue(probe_batch_.columns[pc].GetValue(i));
+      }
+      ++emitted;
+    }
+  }
+  return emitted > 0;
+}
+
+// ----------------------------------------------------------------- SortOp
+
+std::string SortOp::Describe() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "$" + std::to_string(keys_[i].column) +
+           (keys_[i].descending ? " DESC" : " ASC");
+  }
+  return out + ")";
+}
+std::vector<const PhysicalOp*> SortOp::Children() const {
+  return {child_.get()};
+}
+
+
+SortOp::SortOp(PhysicalOpPtr child, std::vector<SortKey> keys)
+    : child_(std::move(child)), keys_(std::move(keys)) {}
+
+std::vector<ValueType> SortOp::OutputTypes() const {
+  return child_->OutputTypes();
+}
+
+void SortOp::Open() {
+  rows_ = CollectRows(child_.get());  // CollectRows opens the child
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const SortKey& k : keys_) {
+                       int cmp = a[k.column].Compare(b[k.column]);
+                       if (cmp != 0) return k.descending ? cmp > 0 : cmp < 0;
+                     }
+                     return false;
+                   });
+  pos_ = 0;
+}
+
+bool SortOp::NextBatch(Batch* out) {
+  if (pos_ >= rows_.size()) return false;
+  std::vector<ValueType> types = OutputTypes();
+  out->columns.clear();
+  out->columns.reserve(types.size());
+  for (ValueType t : types) out->columns.emplace_back(t);
+  size_t end = std::min(rows_.size(), pos_ + kDefaultBatchRows);
+  for (; pos_ < end; ++pos_) {
+    for (size_t c = 0; c < types.size(); ++c) {
+      out->columns[c].AppendValue(rows_[pos_][c]);
+    }
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- TopNOp
+
+std::string TopNOp::Describe() const {
+  std::string out = "TopN(limit=" + std::to_string(limit_) + ", keys=";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "$" + std::to_string(keys_[i].column) +
+           (keys_[i].descending ? " DESC" : " ASC");
+  }
+  return out + ")";
+}
+std::vector<const PhysicalOp*> TopNOp::Children() const {
+  return {child_.get()};
+}
+
+
+TopNOp::TopNOp(PhysicalOpPtr child, std::vector<SortOp::SortKey> keys,
+               size_t limit)
+    : child_(std::move(child)), keys_(std::move(keys)), limit_(limit) {}
+
+std::vector<ValueType> TopNOp::OutputTypes() const {
+  return child_->OutputTypes();
+}
+
+bool TopNOp::Before(const Row& a, const Row& b) const {
+  for (const SortOp::SortKey& k : keys_) {
+    int cmp = a[k.column].Compare(b[k.column]);
+    if (cmp != 0) return k.descending ? cmp > 0 : cmp < 0;
+  }
+  return false;
+}
+
+void TopNOp::Open() {
+  child_->Open();
+  heap_.clear();
+  pos_ = 0;
+  done_ = false;
+}
+
+bool TopNOp::NextBatch(Batch* out) {
+  if (!done_) {
+    // heap_ is a max-heap under Before: heap_.front() is the *worst* of
+    // the current top-k, evicted whenever a better row arrives.
+    auto worse = [this](const Row& a, const Row& b) { return Before(a, b); };
+    Batch in;
+    while (child_->NextBatch(&in)) {
+      for (size_t i = 0; i < in.num_rows(); ++i) {
+        Row row = in.GetRow(i);
+        if (heap_.size() < limit_) {
+          heap_.push_back(std::move(row));
+          std::push_heap(heap_.begin(), heap_.end(), worse);
+        } else if (limit_ > 0 && Before(row, heap_.front())) {
+          std::pop_heap(heap_.begin(), heap_.end(), worse);
+          heap_.back() = std::move(row);
+          std::push_heap(heap_.begin(), heap_.end(), worse);
+        }
+      }
+    }
+    std::sort_heap(heap_.begin(), heap_.end(), worse);
+    done_ = true;
+  }
+  if (pos_ >= heap_.size()) return false;
+  std::vector<ValueType> types = OutputTypes();
+  out->columns.clear();
+  out->columns.reserve(types.size());
+  for (ValueType t : types) out->columns.emplace_back(t);
+  size_t end = std::min(heap_.size(), pos_ + kDefaultBatchRows);
+  for (; pos_ < end; ++pos_) {
+    for (size_t c = 0; c < types.size(); ++c) {
+      out->columns[c].AppendValue(heap_[pos_][c]);
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- LimitOp
+
+std::string LimitOp::Describe() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+std::vector<const PhysicalOp*> LimitOp::Children() const {
+  return {child_.get()};
+}
+
+
+LimitOp::LimitOp(PhysicalOpPtr child, size_t limit)
+    : child_(std::move(child)), limit_(limit) {}
+
+std::vector<ValueType> LimitOp::OutputTypes() const {
+  return child_->OutputTypes();
+}
+
+void LimitOp::Open() {
+  child_->Open();
+  emitted_ = 0;
+}
+
+bool LimitOp::NextBatch(Batch* out) {
+  if (emitted_ >= limit_) return false;
+  Batch in;
+  if (!child_->NextBatch(&in)) return false;
+  size_t take = std::min(in.num_rows(), limit_ - emitted_);
+  if (take == in.num_rows()) {
+    *out = std::move(in);
+  } else {
+    out->columns.clear();
+    out->columns.reserve(in.num_columns());
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      ColumnVector cv(in.columns[c].type());
+      for (size_t r = 0; r < take; ++r) {
+        cv.AppendValue(in.columns[c].GetValue(r));
+      }
+      out->columns.push_back(std::move(cv));
+    }
+  }
+  emitted_ += take;
+  return true;
+}
+
+}  // namespace oltap

@@ -1,0 +1,277 @@
+#ifndef OLTAP_EXEC_OPERATORS_H_
+#define OLTAP_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "exec/batch.h"
+#include "exec/expr.h"
+#include "storage/column_store.h"
+#include "storage/table.h"
+
+namespace oltap {
+
+// Batch-iterator (vectorized Volcano) physical operator. Open() once, then
+// NextBatch until it returns false. Single-threaded per pipeline; the
+// scheduler layer runs whole queries on workers.
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+  virtual void Open() = 0;
+  // Fills `out` (cleared first) with up to kDefaultBatchRows rows; returns
+  // false when exhausted (out may still carry a final partial batch).
+  virtual bool NextBatch(Batch* out) = 0;
+  virtual std::vector<ValueType> OutputTypes() const = 0;
+  // One-line self-description for EXPLAIN output.
+  virtual std::string Describe() const = 0;
+  // Child operators, for plan-tree rendering.
+  virtual std::vector<const PhysicalOp*> Children() const { return {}; }
+};
+
+// Renders the operator tree, one indented line per node (EXPLAIN).
+std::string ExplainPlan(const PhysicalOp* root);
+
+using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
+
+// Table scan with predicate pushdown. For columnar tables, the pushable
+// (column <op> const) conjuncts run as packed-segment kernels with zone-map
+// pruning, the residual predicate runs vectorized per batch, and only the
+// projected columns of selected rows are gathered. Row tables fall back to
+// a row-wise visible scan.
+//
+// `predicate` refers to columns by *table schema* index; `projection`
+// selects and orders the output columns (empty = all columns).
+class ScanOp final : public PhysicalOp {
+ public:
+  ScanOp(const Table* table, Timestamp read_ts, ExprPtr predicate,
+         std::vector<int> projection = {});
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+  // Scan statistics for tests/benches.
+  size_t rows_scanned() const { return rows_scanned_; }
+  size_t zones_pruned() const { return zones_pruned_; }
+
+ private:
+  void PrepareMainSelection();
+  bool EmitMainBatch(Batch* out);
+  bool EmitDeltaRows(Batch* out);
+
+  const Table* table_;
+  Timestamp read_ts_;
+  ExprPtr predicate_;
+  std::vector<int> projection_;
+  std::vector<ValueType> out_types_;
+
+  // Pushdown split (columnar path).
+  std::vector<Expr::ColumnPredicate> pushed_;
+  ExprPtr residual_;
+  // Columns actually gathered from the main (projection ∪ residual refs),
+  // and the schema-index → gathered-batch-position map.
+  std::vector<int> needed_;
+  std::vector<int> schema_to_batch_;
+  ExprPtr residual_remapped_;  // residual with batch-position columns
+
+  // Columnar scan state.
+  bool columnar_ = false;
+  std::optional<ColumnTable::Snapshot> snap_;
+  BitVector main_sel_;
+  size_t main_pos_ = 0;
+  bool delta_done_ = false;
+  std::vector<Row> pending_rows_;  // filtered delta (and row-table) rows
+  size_t pending_pos_ = 0;
+  bool row_scan_done_ = false;
+
+  size_t rows_scanned_ = 0;
+  size_t zones_pruned_ = 0;
+};
+
+// Residual filter (vectorized predicate + gather of passing rows).
+class FilterOp final : public PhysicalOp {
+ public:
+  FilterOp(PhysicalOpPtr child, ExprPtr predicate);
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+ private:
+  PhysicalOpPtr child_;
+  ExprPtr predicate_;
+};
+
+// Computes one output column per expression.
+class ProjectOp final : public PhysicalOp {
+ public:
+  ProjectOp(PhysicalOpPtr child, std::vector<ExprPtr> exprs);
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+// Aggregate function specification.
+struct AggSpec {
+  enum class Fn : uint8_t { kCountStar, kCount, kSum, kMin, kMax, kAvg };
+  Fn fn = Fn::kCountStar;
+  ExprPtr arg;  // null for COUNT(*)
+
+  ValueType OutputType() const;
+};
+
+// Blocking hash aggregation: GROUP BY `group_exprs` with `aggs`. Output
+// columns = group keys then aggregates. With no group keys, emits exactly
+// one row (global aggregate; zero input rows yield COUNT=0 / NULL sums).
+class HashAggOp final : public PhysicalOp {
+ public:
+  HashAggOp(PhysicalOpPtr child, std::vector<ExprPtr> group_exprs,
+            std::vector<AggSpec> aggs);
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+ private:
+  struct AggState {
+    double sum = 0;
+    int64_t isum = 0;
+    int64_t count = 0;
+    Value min, max;
+    bool any = false;
+  };
+  struct Group {
+    Row keys;
+    std::vector<AggState> states;
+  };
+
+  void Consume(const Batch& batch);
+  Value Finalize(const AggSpec& spec, const AggState& st) const;
+
+  PhysicalOpPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<Group> groups_;
+  size_t emit_pos_ = 0;
+  bool done_ = false;
+};
+
+// In-memory hash join (inner equi-join): materializes the build (left)
+// side, streams the probe (right) side. Output = left columns ++ right
+// columns.
+class HashJoinOp final : public PhysicalOp {
+ public:
+  HashJoinOp(PhysicalOpPtr build, PhysicalOpPtr probe,
+             std::vector<int> build_keys, std::vector<int> probe_keys);
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+ private:
+  PhysicalOpPtr build_;
+  PhysicalOpPtr probe_;
+  std::vector<int> build_keys_;
+  std::vector<int> probe_keys_;
+
+  std::vector<Row> build_rows_;
+  std::unordered_multimap<std::string, size_t> table_;
+  Batch probe_batch_;
+  size_t probe_pos_ = 0;
+  bool probe_done_ = false;
+};
+
+// Full sort (blocking). keys = (output column index, descending?).
+class SortOp final : public PhysicalOp {
+ public:
+  struct SortKey {
+    int column;
+    bool descending = false;
+  };
+  SortOp(PhysicalOpPtr child, std::vector<SortKey> keys);
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+// Fused ORDER BY + LIMIT: keeps only the top `limit` rows in a bounded
+// heap while streaming the child — O(n log k) time and O(k) memory where
+// the sort-then-limit pipeline pays O(n log n) / O(n). The planner emits
+// this whenever a query has both clauses.
+class TopNOp final : public PhysicalOp {
+ public:
+  TopNOp(PhysicalOpPtr child, std::vector<SortOp::SortKey> keys,
+         size_t limit);
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+ private:
+  // True if a precedes b in the requested order.
+  bool Before(const Row& a, const Row& b) const;
+
+  PhysicalOpPtr child_;
+  std::vector<SortOp::SortKey> keys_;
+  size_t limit_;
+  std::vector<Row> heap_;  // max-heap on Before (worst row at front)
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+class LimitOp final : public PhysicalOp {
+ public:
+  LimitOp(PhysicalOpPtr child, size_t limit);
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+ private:
+  PhysicalOpPtr child_;
+  size_t limit_;
+  size_t emitted_ = 0;
+};
+
+// Runs an operator tree to completion, collecting all rows.
+std::vector<Row> CollectRows(PhysicalOp* op);
+
+// Serialized group-key encoding shared by aggregation and join (distinct
+// from storage key encoding: order is irrelevant, only equality).
+std::string HashKeyOf(const Row& values);
+
+}  // namespace oltap
+
+#endif  // OLTAP_EXEC_OPERATORS_H_

@@ -1,0 +1,112 @@
+#include "exec/scan_kernels.h"
+
+#include <algorithm>
+
+namespace oltap {
+namespace kernels {
+namespace {
+
+template <typename T, typename Cmp>
+void CompareImpl(const T* v, size_t n, Cmp cmp, BitVector* out) {
+  out->Resize(n);
+  out->ClearAll();
+  uint64_t* words = out->mutable_words();
+  size_t full = n / 64;
+  for (size_t w = 0; w < full; ++w) {
+    uint64_t bits = 0;
+    const T* base = v + w * 64;
+    for (int i = 0; i < 64; ++i) {
+      bits |= static_cast<uint64_t>(cmp(base[i])) << i;
+    }
+    words[w] = bits;
+  }
+  for (size_t i = full * 64; i < n; ++i) {
+    if (cmp(v[i])) out->Set(i);
+  }
+}
+
+template <typename T>
+void CompareDispatch(const T* v, size_t n, CompareOp op, T c,
+                     BitVector* out) {
+  switch (op) {
+    case CompareOp::kEq:
+      CompareImpl(v, n, [c](T x) { return x == c; }, out);
+      return;
+    case CompareOp::kNe:
+      CompareImpl(v, n, [c](T x) { return x != c; }, out);
+      return;
+    case CompareOp::kLt:
+      CompareImpl(v, n, [c](T x) { return x < c; }, out);
+      return;
+    case CompareOp::kLe:
+      CompareImpl(v, n, [c](T x) { return x <= c; }, out);
+      return;
+    case CompareOp::kGt:
+      CompareImpl(v, n, [c](T x) { return x > c; }, out);
+      return;
+    case CompareOp::kGe:
+      CompareImpl(v, n, [c](T x) { return x >= c; }, out);
+      return;
+  }
+}
+
+}  // namespace
+
+void CompareInt64(const int64_t* v, size_t n, CompareOp op, int64_t c,
+                  BitVector* out) {
+  CompareDispatch(v, n, op, c, out);
+}
+
+void CompareDouble(const double* v, size_t n, CompareOp op, double c,
+                   BitVector* out) {
+  CompareDispatch(v, n, op, c, out);
+}
+
+int64_t SumInt64Selected(const int64_t* v, size_t n, const BitVector* sel) {
+  int64_t sum = 0;
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) sum += v[i];
+    return sum;
+  }
+  for (size_t i = sel->FindNextSet(0); i < n; i = sel->FindNextSet(i + 1)) {
+    sum += v[i];
+  }
+  return sum;
+}
+
+double SumDoubleSelected(const double* v, size_t n, const BitVector* sel) {
+  double sum = 0;
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) sum += v[i];
+    return sum;
+  }
+  for (size_t i = sel->FindNextSet(0); i < n; i = sel->FindNextSet(i + 1)) {
+    sum += v[i];
+  }
+  return sum;
+}
+
+bool MinMaxInt64Selected(const int64_t* v, size_t n, const BitVector* sel,
+                         int64_t* min, int64_t* max) {
+  bool any = false;
+  auto consider = [&](int64_t x) {
+    if (!any) {
+      *min = *max = x;
+      any = true;
+    } else {
+      *min = std::min(*min, x);
+      *max = std::max(*max, x);
+    }
+  };
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) consider(v[i]);
+    return any;
+  }
+  for (size_t i = sel->FindNextSet(0); i < n; i = sel->FindNextSet(i + 1)) {
+    consider(v[i]);
+  }
+  return any;
+}
+
+}  // namespace kernels
+}  // namespace oltap

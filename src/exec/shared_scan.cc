@@ -1,0 +1,162 @@
+#include "exec/shared_scan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oltap {
+namespace {
+
+// Evaluates one query over chunk rows [lo, hi) directly on the segments.
+void EvalChunk(const MainFragment& main, const SimpleAggQuery& q, size_t lo,
+               size_t hi, ScanQueryResult* acc) {
+  const ColumnSegment& filter = main.column(q.filter_col);
+  const ColumnSegment& agg = main.column(q.agg_col);
+  auto run = [&](auto cmp) {
+    for (size_t i = lo; i < hi; ++i) {
+      if (filter.IsNull(i)) continue;
+      if (!cmp(filter.GetInt64(i))) continue;
+      ++acc->count;
+      if (!agg.IsNull(i)) {
+        acc->sum += agg.type() == ValueType::kDouble
+                        ? agg.GetDouble(i)
+                        : static_cast<double>(agg.GetInt64(i));
+      }
+    }
+  };
+  int64_t c = q.constant;
+  switch (q.op) {
+    case CompareOp::kEq:
+      run([c](int64_t x) { return x == c; });
+      return;
+    case CompareOp::kNe:
+      run([c](int64_t x) { return x != c; });
+      return;
+    case CompareOp::kLt:
+      run([c](int64_t x) { return x < c; });
+      return;
+    case CompareOp::kLe:
+      run([c](int64_t x) { return x <= c; });
+      return;
+    case CompareOp::kGt:
+      run([c](int64_t x) { return x > c; });
+      return;
+    case CompareOp::kGe:
+      run([c](int64_t x) { return x >= c; });
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<ScanQueryResult> ExecuteSharedOnce(
+    const MainFragment& main, const std::vector<SimpleAggQuery>& queries,
+    size_t chunk_rows) {
+  std::vector<ScanQueryResult> results(queries.size());
+  size_t n = main.num_rows();
+  for (size_t lo = 0; lo < n; lo += chunk_rows) {
+    size_t hi = std::min(n, lo + chunk_rows);
+    // All queries visit the chunk while it is cache-resident.
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EvalChunk(main, queries[q], lo, hi, &results[q]);
+    }
+  }
+  return results;
+}
+
+std::vector<ScanQueryResult> ExecuteIndependent(
+    const MainFragment& main, const std::vector<SimpleAggQuery>& queries) {
+  std::vector<ScanQueryResult> results(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EvalChunk(main, queries[q], 0, main.num_rows(), &results[q]);
+  }
+  return results;
+}
+
+ClockScanServer::ClockScanServer(const MainFragment* main, size_t chunk_rows)
+    : main_(main),
+      chunk_rows_(chunk_rows),
+      num_chunks_((main->num_rows() + chunk_rows - 1) / chunk_rows) {
+  OLTAP_CHECK(main_->num_rows() > 0) << "clock scan over empty fragment";
+  thread_ = std::thread([this] { Loop(); });
+}
+
+ClockScanServer::~ClockScanServer() { Stop(); }
+
+void ClockScanServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  // Fail any queries that never completed a rotation.
+  for (auto& q : active_) {
+    q->done.set_value(q->acc);
+  }
+  for (auto& q : pending_) {
+    q->done.set_value(ScanQueryResult{});
+  }
+}
+
+std::future<ScanQueryResult> ClockScanServer::Submit(
+    const SimpleAggQuery& query) {
+  auto aq = std::make_unique<ActiveQuery>();
+  aq->query = query;
+  aq->chunks_remaining = num_chunks_;
+  std::future<ScanQueryResult> fut = aq->done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(aq));
+    cv_.notify_all();
+  }
+  return fut;
+}
+
+void ClockScanServer::ScanChunk(size_t lo, size_t hi) {
+  for (auto& q : active_) {
+    EvalChunk(*main_, q->query, lo, hi, &q->acc);
+  }
+}
+
+void ClockScanServer::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Admit new queries at the chunk boundary (they attach at the
+      // current clock position).
+      while (!pending_.empty()) {
+        active_.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      if (active_.empty()) {
+        cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      }
+      if (stop_) return;
+      if (active_.empty()) continue;
+    }
+
+    size_t lo = clock_pos_ * chunk_rows_;
+    size_t hi = std::min(main_->num_rows(), lo + chunk_rows_);
+    ScanChunk(lo, hi);
+    chunks_scanned_.fetch_add(1, std::memory_order_relaxed);
+    clock_pos_ = (clock_pos_ + 1) % num_chunks_;
+
+    // Retire queries that completed a full rotation.
+    std::vector<std::unique_ptr<ActiveQuery>> finished;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& q : active_) {
+        if (--q->chunks_remaining == 0) finished.push_back(std::move(q));
+      }
+      active_.erase(std::remove(active_.begin(), active_.end(), nullptr),
+                    active_.end());
+    }
+    for (auto& q : finished) {
+      q->done.set_value(q->acc);
+    }
+  }
+}
+
+}  // namespace oltap

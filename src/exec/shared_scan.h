@@ -1,0 +1,91 @@
+#ifndef OLTAP_EXEC_SHARED_SCAN_H_
+#define OLTAP_EXEC_SHARED_SCAN_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+#include "storage/column_store.h"
+
+namespace oltap {
+
+// Result of one shared-scan query: COUNT and SUM over the matching rows.
+struct ScanQueryResult {
+  int64_t count = 0;
+  double sum = 0;
+};
+
+// One-pass batch sharing: evaluates every query in `queries` during a
+// single sweep over the fragment (chunk at a time, so all queries reuse the
+// chunk while it is cache-resident). The building block the clock scan
+// uses, and the "shared" arm of experiment E6.
+std::vector<ScanQueryResult> ExecuteSharedOnce(
+    const MainFragment& main, const std::vector<SimpleAggQuery>& queries,
+    size_t chunk_rows = 64 * 1024);
+
+// Independent baseline: one full scan per query.
+std::vector<ScanQueryResult> ExecuteIndependent(
+    const MainFragment& main, const std::vector<SimpleAggQuery>& queries);
+
+// Crescando-style clock scan [39] (evolution of the circular scan [12]):
+// a dedicated thread sweeps the fragment continuously, chunk by chunk;
+// queries attach at the current clock position at any time and complete
+// after one full rotation. Throughput is therefore predictable: every
+// query finishes within two rotations regardless of how many queries are
+// active — the property the paper highlights ("predictable performance for
+// unpredictable workloads").
+class ClockScanServer {
+ public:
+  explicit ClockScanServer(const MainFragment* main,
+                           size_t chunk_rows = 64 * 1024);
+  ~ClockScanServer();
+
+  ClockScanServer(const ClockScanServer&) = delete;
+  ClockScanServer& operator=(const ClockScanServer&) = delete;
+
+  // Attaches a query at the next chunk boundary; the future resolves after
+  // the query has seen every chunk exactly once.
+  std::future<ScanQueryResult> Submit(const SimpleAggQuery& query);
+
+  uint64_t chunks_scanned() const {
+    return chunks_scanned_.load(std::memory_order_relaxed);
+  }
+
+  void Stop();
+
+ private:
+  struct ActiveQuery {
+    SimpleAggQuery query;
+    ScanQueryResult acc;
+    size_t chunks_remaining = 0;
+    std::promise<ScanQueryResult> done;
+  };
+
+  void Loop();
+  // Evaluates all active queries over chunk rows [lo, hi).
+  void ScanChunk(size_t lo, size_t hi);
+
+  const MainFragment* main_;
+  const size_t chunk_rows_;
+  const size_t num_chunks_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<ActiveQuery>> pending_;
+  std::vector<std::unique_ptr<ActiveQuery>> active_;
+  bool stop_ = false;
+
+  std::atomic<uint64_t> chunks_scanned_{0};
+  size_t clock_pos_ = 0;  // current chunk index
+  std::thread thread_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_EXEC_SHARED_SCAN_H_

@@ -1,0 +1,36 @@
+#ifndef OLTAP_NUMA_NUMA_SCAN_H_
+#define OLTAP_NUMA_NUMA_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "numa/placement.h"
+
+namespace oltap {
+
+// Result of a NUMA-dispatched parallel scan.
+struct NumaScanResult {
+  int64_t sum = 0;
+  uint64_t local_fragments = 0;
+  uint64_t remote_fragments = 0;
+  // Fragments scanned by each node's worker.
+  std::vector<uint64_t> fragments_per_node;
+};
+
+// Runs SELECT SUM(value) WHERE filter < threshold across the table with one
+// worker thread per NUMA node. Under kNumaLocal routing each worker scans
+// only the fragments homed on its node; under kWorkSteal workers pull
+// fragments from a shared queue irrespective of home node, paying the
+// simulated remote-access penalty (the scan is repeated per the topology's
+// bandwidth ratio — see NumaTopology).
+//
+// This reproduces the scale-up claim (E9): locality-aware placement plus
+// affine routing beats both NUMA-oblivious placement and remote-heavy
+// routing, and the single-node placement bottlenecks on one memory
+// controller.
+NumaScanResult NumaParallelScan(const NumaPartitionedTable& table,
+                                int64_t threshold, TaskRouting routing);
+
+}  // namespace oltap
+
+#endif  // OLTAP_NUMA_NUMA_SCAN_H_

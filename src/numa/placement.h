@@ -1,0 +1,59 @@
+#ifndef OLTAP_NUMA_PLACEMENT_H_
+#define OLTAP_NUMA_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "numa/topology.h"
+
+namespace oltap {
+
+// How table fragments are distributed across NUMA nodes — the data-
+// placement axis of Psaroudakis et al. [31] and the Oracle DBIM
+// NUMA-distributed column store [23, 27].
+enum class PlacementPolicy : uint8_t {
+  kPartitioned,  // fragment f homed on node f % N (partition-affine)
+  kInterleaved,  // round-robin at fragment granularity (OS interleave)
+  kSingleNode,   // everything on node 0 (the unaware baseline)
+};
+
+const char* PlacementPolicyToString(PlacementPolicy p);
+
+// How scan tasks are routed to worker threads (one worker per node).
+enum class TaskRouting : uint8_t {
+  kNumaLocal,   // workers only scan fragments homed on their node
+  kWorkSteal,   // workers take any fragment (ignores home node)
+};
+
+const char* TaskRoutingToString(TaskRouting r);
+
+// A table physically split into fragments, each homed on a NUMA node.
+// Numeric-only (the NUMA experiments isolate memory-traffic effects).
+class NumaPartitionedTable {
+ public:
+  // Builds `num_fragments` fragments of `rows_per_fragment` random rows
+  // each (filter column uniform in [0, 1000), value column uniform).
+  NumaPartitionedTable(const NumaTopology* topo, size_t num_fragments,
+                       size_t rows_per_fragment, PlacementPolicy policy,
+                       Rng* rng);
+
+  struct Fragment {
+    int home_node;
+    std::vector<int64_t> filter;
+    std::vector<int64_t> value;
+  };
+
+  size_t num_fragments() const { return fragments_.size(); }
+  const Fragment& fragment(size_t i) const { return fragments_[i]; }
+  const NumaTopology& topology() const { return *topo_; }
+  size_t total_rows() const;
+
+ private:
+  const NumaTopology* topo_;
+  std::vector<Fragment> fragments_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_NUMA_PLACEMENT_H_

@@ -1,0 +1,17 @@
+#include "numa/topology.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+NumaTopology::NumaTopology(int num_nodes, double remote_penalty)
+    : num_nodes_(num_nodes), remote_penalty_(remote_penalty) {
+  OLTAP_CHECK(num_nodes >= 1);
+  OLTAP_CHECK(remote_penalty >= 1.0);
+  extra_full_ = static_cast<int>(std::floor(remote_penalty)) - 1;
+  fractional_ = remote_penalty - std::floor(remote_penalty);
+}
+
+}  // namespace oltap

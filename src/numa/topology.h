@@ -1,0 +1,45 @@
+#ifndef OLTAP_NUMA_TOPOLOGY_H_
+#define OLTAP_NUMA_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace oltap {
+
+// Simulated NUMA topology (DESIGN.md §5): real multi-socket hardware is not
+// available, so remote memory accesses are modeled by a bandwidth ratio —
+// scanning a fragment homed on a remote node costs `remote_penalty` times
+// the local scan work. The policy questions the surveyed systems answer
+// (where to place data, where to run tasks) depend only on this relative
+// cost, which the model preserves.
+class NumaTopology {
+ public:
+  // `remote_penalty` >= 1.0: e.g. 2.0 means remote bandwidth is half of
+  // local (typical 2-hop QPI/UPI figure).
+  NumaTopology(int num_nodes, double remote_penalty = 2.0);
+
+  int num_nodes() const { return num_nodes_; }
+  double remote_penalty() const { return remote_penalty_; }
+
+  // Cost multiplier for a thread on `cpu_node` touching memory on
+  // `mem_node`.
+  double AccessCost(int cpu_node, int mem_node) const {
+    return cpu_node == mem_node ? 1.0 : remote_penalty_;
+  }
+
+  // Number of extra whole passes a remote scan must perform to model the
+  // bandwidth ratio (floor(penalty) - 1), plus the fractional remainder in
+  // [0,1) applied to a partial pass.
+  int ExtraFullPasses() const { return extra_full_; }
+  double FractionalPass() const { return fractional_; }
+
+ private:
+  int num_nodes_;
+  double remote_penalty_;
+  int extra_full_;
+  double fractional_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_NUMA_TOPOLOGY_H_

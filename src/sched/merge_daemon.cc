@@ -1,0 +1,55 @@
+#include "sched/merge_daemon.h"
+
+#include <chrono>
+
+namespace oltap {
+
+MergeDaemon::MergeDaemon(Catalog* catalog, TransactionManager* tm,
+                         const Options& options)
+    : catalog_(catalog), tm_(tm), options_(options) {
+  if (options_.autostart) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+MergeDaemon::~MergeDaemon() { Stop(); }
+
+void MergeDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+size_t MergeDaemon::RunOnce() {
+  size_t merged = 0;
+  Timestamp merge_ts = tm_->oracle()->CurrentReadTs();
+  Timestamp horizon = tm_->OldestActiveSnapshot();
+  for (Table* table : catalog_->AllTables()) {
+    if (!table->Mergeable()) continue;
+    ColumnTable* ct = table->column_table();
+    if (ct == nullptr || ct->delta_size() < options_.delta_row_threshold) {
+      continue;
+    }
+    table->MergeDelta(merge_ts, horizon);
+    ++merged;
+    merges_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return merged;
+}
+
+void MergeDaemon::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    RunOnce();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_; });
+  }
+}
+
+}  // namespace oltap

@@ -1,0 +1,68 @@
+#ifndef OLTAP_SCHED_MERGE_DAEMON_H_
+#define OLTAP_SCHED_MERGE_DAEMON_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "storage/catalog.h"
+#include "txn/transaction_manager.h"
+
+namespace oltap {
+
+// Background delta-merge scheduler: the automated version of the merge
+// every surveyed delta/main engine runs (HANA's mergedog, BLU ingest
+// consolidation, MemSQL background merger). Wakes periodically, merges any
+// table whose delta exceeds a row threshold, always respecting the
+// transaction manager's oldest active snapshot so merges never GC state a
+// live reader needs.
+class MergeDaemon {
+ public:
+  struct Options {
+    // Merge a table when its delta holds at least this many rows.
+    size_t delta_row_threshold = 8192;
+    // Polling period.
+    int64_t interval_ms = 50;
+    // Start the background thread. With false the daemon is a passive
+    // policy object driven via RunOnce (tests, engine-managed scheduling).
+    bool autostart = true;
+  };
+
+  MergeDaemon(Catalog* catalog, TransactionManager* tm,
+              const Options& options);
+  ~MergeDaemon();
+
+  MergeDaemon(const MergeDaemon&) = delete;
+  MergeDaemon& operator=(const MergeDaemon&) = delete;
+
+  // Stops the background thread (also called by the destructor).
+  void Stop();
+
+  // Runs one merge pass synchronously (what the thread does every tick);
+  // returns the number of tables merged. Usable without Start for tests
+  // and for engines that drive merging from their own scheduler.
+  size_t RunOnce();
+
+  uint64_t merges_performed() const {
+    return merges_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  Catalog* catalog_;
+  TransactionManager* tm_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<uint64_t> merges_{0};
+  std::thread thread_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_SCHED_MERGE_DAEMON_H_

@@ -1,0 +1,171 @@
+#include "sched/workload_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+const char* SchedulingPolicyToString(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kOltpPriority:
+      return "oltp-priority";
+    case SchedulingPolicy::kReservedWorkers:
+      return "reserved-workers";
+  }
+  return "?";
+}
+
+WorkloadManager::WorkloadManager(const Options& options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : SystemClock::Get()) {
+  OLTAP_CHECK(options_.num_workers > 0);
+  if (options_.policy == SchedulingPolicy::kReservedWorkers) {
+    OLTAP_CHECK(options_.reserved_oltp_workers > 0 &&
+                options_.reserved_oltp_workers < options_.num_workers)
+        << "reserved workers must leave room for OLAP";
+  }
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkloadManager::~WorkloadManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<Status> WorkloadManager::Submit(QueryClass qc,
+                                            std::function<void()> work) {
+  auto task = std::make_unique<Task>();
+  task->qc = qc;
+  task->work = std::move(work);
+  task->submit_us = clock_->NowMicros();
+  std::future<Status> fut = task->done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (qc == QueryClass::kOlap && options_.olap_admission_limit > 0 &&
+        olap_queue_.size() >= options_.olap_admission_limit) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      task->done.set_value(
+          Status::Unavailable("OLAP admission limit reached"));
+      return fut;
+    }
+    (qc == QueryClass::kOltp ? oltp_queue_ : olap_queue_)
+        .push_back(std::move(task));
+  }
+  cv_.notify_all();
+  return fut;
+}
+
+std::unique_ptr<WorkloadManager::Task> WorkloadManager::NextTask(
+    size_t worker_index, std::unique_lock<std::mutex>* lock) {
+  while (true) {
+    if (shutdown_) return nullptr;
+    std::deque<std::unique_ptr<Task>>* source = nullptr;
+    switch (options_.policy) {
+      case SchedulingPolicy::kFifo: {
+        // One logical FIFO: pick the older head of the two queues.
+        if (!oltp_queue_.empty() && !olap_queue_.empty()) {
+          source = oltp_queue_.front()->submit_us <=
+                           olap_queue_.front()->submit_us
+                       ? &oltp_queue_
+                       : &olap_queue_;
+        } else if (!oltp_queue_.empty()) {
+          source = &oltp_queue_;
+        } else if (!olap_queue_.empty()) {
+          source = &olap_queue_;
+        }
+        break;
+      }
+      case SchedulingPolicy::kOltpPriority:
+        if (!oltp_queue_.empty()) {
+          source = &oltp_queue_;
+        } else if (!olap_queue_.empty()) {
+          source = &olap_queue_;
+        }
+        break;
+      case SchedulingPolicy::kReservedWorkers:
+        if (worker_index < options_.reserved_oltp_workers) {
+          if (!oltp_queue_.empty()) source = &oltp_queue_;
+        } else {
+          if (!olap_queue_.empty()) source = &olap_queue_;
+        }
+        break;
+    }
+    if (source != nullptr) {
+      std::unique_ptr<Task> task = std::move(source->front());
+      source->pop_front();
+      return task;
+    }
+    cv_.wait(*lock);
+  }
+}
+
+void WorkloadManager::WorkerLoop(size_t worker_index) {
+  while (true) {
+    std::unique_ptr<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task = NextTask(worker_index, &lock);
+      if (task == nullptr) return;
+      ++active_;
+    }
+    task->work();
+    int64_t latency = clock_->NowMicros() - task->submit_us;
+    Record(task->qc, latency);
+    task->done.set_value(Status::OK());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (oltp_queue_.empty() && olap_queue_.empty() && active_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void WorkloadManager::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] {
+    return oltp_queue_.empty() && olap_queue_.empty() && active_ == 0;
+  });
+}
+
+void WorkloadManager::Record(QueryClass qc, int64_t latency_us) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latencies_[static_cast<int>(qc)].push_back(latency_us);
+}
+
+LatencySummary WorkloadManager::StatsFor(QueryClass qc) const {
+  std::vector<int64_t> lat;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    lat = latencies_[static_cast<int>(qc)];
+  }
+  LatencySummary s;
+  s.count = lat.size();
+  if (lat.empty()) return s;
+  std::sort(lat.begin(), lat.end());
+  double total = 0;
+  for (int64_t v : lat) total += static_cast<double>(v);
+  s.mean_us = total / static_cast<double>(lat.size());
+  auto pct = [&](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(lat.size() - 1));
+    return lat[idx];
+  };
+  s.p50_us = pct(0.50);
+  s.p95_us = pct(0.95);
+  s.p99_us = pct(0.99);
+  s.max_us = lat.back();
+  return s;
+}
+
+}  // namespace oltap

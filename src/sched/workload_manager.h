@@ -1,0 +1,117 @@
+#ifndef OLTAP_SCHED_WORKLOAD_MANAGER_H_
+#define OLTAP_SCHED_WORKLOAD_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace oltap {
+
+// Query classes of a mixed operational-analytics workload: short
+// transactional statements vs. long analytic scans. The classification is
+// declared by the submitter (the planner layer knows which is which).
+enum class QueryClass : uint8_t { kOltp = 0, kOlap = 1 };
+
+// Scheduling policies for mixed workloads (Psaroudakis et al. [32]: "a
+// battle of data freshness, flexibility, and scheduling"):
+//  - kFifo: one shared queue — analytic floods starve OLTP (the baseline
+//    failure mode).
+//  - kOltpPriority: two queues, OLTP always dispatched first; OLAP uses
+//    whatever is left.
+//  - kReservedWorkers: hard isolation — R workers serve only OLTP, the
+//    rest only OLAP. Protects OLTP latency at the cost of analytic
+//    flexibility.
+enum class SchedulingPolicy : uint8_t {
+  kFifo = 0,
+  kOltpPriority = 1,
+  kReservedWorkers = 2,
+};
+
+const char* SchedulingPolicyToString(SchedulingPolicy p);
+
+// Latency distribution summary in microseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0;
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+  int64_t max_us = 0;
+};
+
+// Admission-controlled worker pool implementing the three policies.
+// Latency is measured submit→completion (queueing included — that is the
+// quantity workload management exists to protect).
+class WorkloadManager {
+ public:
+  struct Options {
+    size_t num_workers = 4;
+    SchedulingPolicy policy = SchedulingPolicy::kFifo;
+    // kReservedWorkers: how many workers are OLTP-only.
+    size_t reserved_oltp_workers = 1;
+    // Reject OLAP submissions beyond this queue depth (0 = unlimited).
+    size_t olap_admission_limit = 0;
+    const Clock* clock = nullptr;  // defaults to SystemClock
+  };
+
+  explicit WorkloadManager(const Options& options);
+  ~WorkloadManager();
+
+  WorkloadManager(const WorkloadManager&) = delete;
+  WorkloadManager& operator=(const WorkloadManager&) = delete;
+
+  // Enqueues work. The future resolves when the task finishes; it resolves
+  // immediately with kUnavailable if admission control rejects it.
+  std::future<Status> Submit(QueryClass qc, std::function<void()> work);
+
+  // Blocks until both queues are empty and all workers idle.
+  void Drain();
+
+  LatencySummary StatsFor(QueryClass qc) const;
+  uint64_t rejected_olap() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Task {
+    QueryClass qc;
+    std::function<void()> work;
+    std::promise<Status> done;
+    int64_t submit_us = 0;
+  };
+
+  void WorkerLoop(size_t worker_index);
+  // Pops the next task for this worker per policy; null on shutdown.
+  std::unique_ptr<Task> NextTask(size_t worker_index,
+                                 std::unique_lock<std::mutex>* lock);
+  void Record(QueryClass qc, int64_t latency_us);
+
+  Options options_;
+  const Clock* clock_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::unique_ptr<Task>> oltp_queue_;
+  std::deque<std::unique_ptr<Task>> olap_queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+
+  mutable std::mutex stats_mu_;
+  std::vector<int64_t> latencies_[2];
+
+  std::atomic<uint64_t> rejected_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_SCHED_WORKLOAD_MANAGER_H_

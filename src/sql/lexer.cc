@@ -1,0 +1,158 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace oltap {
+namespace sql {
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      t.kind = Token::Kind::kIdent;
+      t.text = input.substr(start, i - start);
+      t.upper = t.text;
+      for (char& ch : t.upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
+      t.text = input.substr(start, i - start);
+      if (is_double) {
+        t.kind = Token::Kind::kDouble;
+        t.double_val = std::stod(t.text);
+      } else {
+        t.kind = Token::Kind::kInt;
+        errno = 0;
+        t.int_val = std::strtoll(t.text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::InvalidArgument("integer literal out of range: " +
+                                         t.text);
+        }
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        value.push_back(input[i++]);
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      t.kind = Token::Kind::kString;
+      t.text = value;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char symbols first.
+    auto sym = [&](const std::string& s) {
+      t.kind = Token::Kind::kSymbol;
+      t.text = s;
+      tokens.push_back(t);
+      i += s.size();
+    };
+    if (c == '<') {
+      if (i + 1 < n && input[i + 1] == '=') {
+        sym("<=");
+      } else if (i + 1 < n && input[i + 1] == '>') {
+        sym("<>");
+      } else {
+        sym("<");
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && input[i + 1] == '=') {
+        sym(">=");
+      } else {
+        sym(">");
+      }
+      continue;
+    }
+    if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      sym("!=");
+      tokens.back().text = "<>";  // normalize
+      continue;
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case '*':
+      case '=':
+      case '+':
+      case '-':
+      case '/':
+      case ';':
+        sym(std::string(1, c));
+        continue;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(i));
+    }
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace oltap

@@ -1,0 +1,43 @@
+#ifndef OLTAP_SQL_LEXER_H_
+#define OLTAP_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oltap {
+namespace sql {
+
+struct Token {
+  enum class Kind : uint8_t {
+    kIdent,    // unquoted identifier or keyword (text uppercased in `upper`)
+    kInt,
+    kDouble,
+    kString,   // 'single quoted' with '' escaping
+    kSymbol,   // ( ) , . * = <> < <= > >= + - /
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;   // original text (identifier case preserved)
+  std::string upper;  // uppercased text for keyword matching
+  int64_t int_val = 0;
+  double double_val = 0;
+  size_t offset = 0;  // byte position, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return kind == Kind::kIdent && upper == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return kind == Kind::kSymbol && text == s;
+  }
+};
+
+// Tokenizes `sql`. Appends a kEnd token on success.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace sql
+}  // namespace oltap
+
+#endif  // OLTAP_SQL_LEXER_H_

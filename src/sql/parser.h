@@ -1,0 +1,28 @@
+#ifndef OLTAP_SQL_PARSER_H_
+#define OLTAP_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace oltap {
+namespace sql {
+
+// Parses one SQL statement (optionally ';'-terminated) of the supported
+// subset:
+//   SELECT ... FROM t [JOIN u ON ...]* [WHERE ...] [GROUP BY ...]
+//     [ORDER BY ...] [LIMIT n]
+//   INSERT INTO t VALUES (...), (...)
+//   UPDATE t SET c = e, ... [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+//   CREATE TABLE t (c TYPE [NOT NULL], ..., PRIMARY KEY (...)) [FORMAT f]
+Result<Statement> Parse(const std::string& sql);
+
+// Parses a standalone scalar expression (tests and tooling).
+Result<ParseExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace sql
+}  // namespace oltap
+
+#endif  // OLTAP_SQL_PARSER_H_

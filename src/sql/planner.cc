@@ -1,0 +1,592 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace oltap {
+namespace sql {
+namespace {
+
+bool IsAggregateName(const std::string& fn) {
+  return fn == "COUNT" || fn == "SUM" || fn == "MIN" || fn == "MAX" ||
+         fn == "AVG";
+}
+
+// Name-resolution scope: the concatenated columns of the FROM tables.
+struct BindScope {
+  struct Col {
+    std::string alias;  // table alias
+    std::string name;
+    ValueType type;
+  };
+  std::vector<Col> cols;
+
+  Result<int> Find(const std::string& qualifier,
+                   const std::string& name) const {
+    int found = -1;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].name != name) continue;
+      if (!qualifier.empty() && cols[i].alias != qualifier) continue;
+      if (found >= 0) {
+        return Status::InvalidArgument("ambiguous column: " + name);
+      }
+      found = static_cast<int>(i);
+    }
+    if (found < 0) {
+      return Status::InvalidArgument(
+          "unknown column: " +
+          (qualifier.empty() ? name : qualifier + "." + name));
+    }
+    return found;
+  }
+};
+
+// Binds a scalar (non-aggregate) parse expression against the scope.
+Result<ExprPtr> Bind(const ParseExpr& e, const BindScope& scope) {
+  switch (e.kind) {
+    case ParseExpr::Kind::kIdent: {
+      OLTAP_ASSIGN_OR_RETURN(int idx, scope.Find(e.qualifier, e.name));
+      return Expr::Column(idx, scope.cols[idx].type);
+    }
+    case ParseExpr::Kind::kIntLit:
+      return Expr::Constant(Value::Int64(e.int_val));
+    case ParseExpr::Kind::kDoubleLit:
+      return Expr::Constant(Value::Double(e.double_val));
+    case ParseExpr::Kind::kStringLit:
+      return Expr::Constant(Value::String(e.str_val));
+    case ParseExpr::Kind::kNullLit:
+      return Expr::Constant(Value::Null());
+    case ParseExpr::Kind::kStar:
+      return Status::InvalidArgument("* is only valid in COUNT(*)");
+    case ParseExpr::Kind::kUnaryNot: {
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr inner, Bind(*e.args[0], scope));
+      return Expr::Not(std::move(inner));
+    }
+    case ParseExpr::Kind::kUnaryMinus: {
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr inner, Bind(*e.args[0], scope));
+      return Expr::Arith(Expr::Kind::kSub,
+                         Expr::Constant(Value::Int64(0)), std::move(inner));
+    }
+    case ParseExpr::Kind::kIsNull: {
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr inner, Bind(*e.args[0], scope));
+      return Expr::IsNull(std::move(inner));
+    }
+    case ParseExpr::Kind::kCall:
+      if (IsAggregateName(e.name)) {
+        return Status::InvalidArgument(
+            "aggregate not allowed in this context: " + e.name);
+      }
+      return Status::InvalidArgument("unknown function: " + e.name);
+    case ParseExpr::Kind::kBinary: {
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr l, Bind(*e.args[0], scope));
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr r, Bind(*e.args[1], scope));
+      if (e.op == "AND") return Expr::And(std::move(l), std::move(r));
+      if (e.op == "OR") return Expr::Or(std::move(l), std::move(r));
+      if (e.op == "+") {
+        return Expr::Arith(Expr::Kind::kAdd, std::move(l), std::move(r));
+      }
+      if (e.op == "-") {
+        return Expr::Arith(Expr::Kind::kSub, std::move(l), std::move(r));
+      }
+      if (e.op == "*") {
+        return Expr::Arith(Expr::Kind::kMul, std::move(l), std::move(r));
+      }
+      if (e.op == "/") {
+        return Expr::Arith(Expr::Kind::kDiv, std::move(l), std::move(r));
+      }
+      CompareOp op;
+      if (e.op == "=") {
+        op = CompareOp::kEq;
+      } else if (e.op == "<>") {
+        op = CompareOp::kNe;
+      } else if (e.op == "<") {
+        op = CompareOp::kLt;
+      } else if (e.op == "<=") {
+        op = CompareOp::kLe;
+      } else if (e.op == ">") {
+        op = CompareOp::kGt;
+      } else if (e.op == ">=") {
+        op = CompareOp::kGe;
+      } else {
+        return Status::InvalidArgument("unknown operator: " + e.op);
+      }
+      return Expr::Compare(op, std::move(l), std::move(r));
+    }
+  }
+  return Status::Internal("unhandled parse expression");
+}
+
+// Column indices referenced by a bound expression.
+void CollectColumns(const ExprPtr& e, std::vector<int>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == Expr::Kind::kColumn) out->push_back(e->column_index());
+  for (const ExprPtr& c : e->children()) CollectColumns(c, out);
+}
+
+// Shifts every column reference in a bound expression by -offset (combined
+// scope index → table-local index).
+ExprPtr ShiftColumns(const ExprPtr& e, int offset) {
+  if (e->kind() == Expr::Kind::kColumn) {
+    return Expr::Column(e->column_index() - offset, e->result_type());
+  }
+  switch (e->kind()) {
+    case Expr::Kind::kConst:
+      return e;
+    case Expr::Kind::kCompare:
+      return Expr::Compare(e->compare_op(),
+                           ShiftColumns(e->children()[0], offset),
+                           ShiftColumns(e->children()[1], offset));
+    case Expr::Kind::kAnd:
+      return Expr::And(ShiftColumns(e->children()[0], offset),
+                       ShiftColumns(e->children()[1], offset));
+    case Expr::Kind::kOr:
+      return Expr::Or(ShiftColumns(e->children()[0], offset),
+                      ShiftColumns(e->children()[1], offset));
+    case Expr::Kind::kNot:
+      return Expr::Not(ShiftColumns(e->children()[0], offset));
+    case Expr::Kind::kIsNull:
+      return Expr::IsNull(ShiftColumns(e->children()[0], offset));
+    default:
+      return Expr::Arith(e->kind(), ShiftColumns(e->children()[0], offset),
+                         ShiftColumns(e->children()[1], offset));
+  }
+}
+
+struct FromTable {
+  const Table* table;
+  std::string alias;
+  int offset;  // first combined column index
+  int width;
+};
+
+}  // namespace
+
+bool ContainsAggregate(const ParseExpr& e) {
+  if (e.kind == ParseExpr::Kind::kCall && IsAggregateName(e.name)) {
+    return true;
+  }
+  for (const auto& a : e.args) {
+    if (ContainsAggregate(*a)) return true;
+  }
+  return false;
+}
+
+Result<ExprPtr> BindOverSchema(const ParseExpr& e, const Schema& schema,
+                               const std::string& alias) {
+  BindScope scope;
+  for (const ColumnDef& c : schema.columns()) {
+    scope.cols.push_back({alias, c.name, c.type});
+  }
+  return Bind(e, scope);
+}
+
+Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
+                                const Catalog& catalog, Timestamp read_ts) {
+  // ---- Resolve FROM tables and build the combined scope. ----
+  BindScope scope;
+  std::vector<FromTable> from;
+  for (const TableRef& ref : stmt.tables) {
+    Table* table = catalog.GetTable(ref.name);
+    if (table == nullptr) {
+      return Status::NotFound("unknown table: " + ref.name);
+    }
+    FromTable ft;
+    ft.table = table;
+    ft.alias = ref.alias;
+    ft.offset = static_cast<int>(scope.cols.size());
+    ft.width = static_cast<int>(table->schema().num_columns());
+    for (const ColumnDef& c : table->schema().columns()) {
+      scope.cols.push_back({ref.alias, c.name, c.type});
+    }
+    from.push_back(ft);
+  }
+
+  // ---- Bind WHERE and classify conjuncts per table. ----
+  std::vector<ExprPtr> table_preds(from.size());
+  std::vector<ExprPtr> residual;
+  if (stmt.where != nullptr) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::InvalidArgument("aggregates not allowed in WHERE");
+    }
+    OLTAP_ASSIGN_OR_RETURN(ExprPtr where, Bind(*stmt.where, scope));
+    std::vector<ExprPtr> conjuncts;
+    Expr::SplitConjuncts(where, &conjuncts);
+    for (const ExprPtr& c : conjuncts) {
+      std::vector<int> cols;
+      CollectColumns(c, &cols);
+      int owner = -1;
+      bool single = true;
+      for (int col : cols) {
+        int t = -1;
+        for (size_t i = 0; i < from.size(); ++i) {
+          if (col >= from[i].offset && col < from[i].offset + from[i].width) {
+            t = static_cast<int>(i);
+          }
+        }
+        if (owner == -1) owner = t;
+        if (t != owner) single = false;
+      }
+      if (single && owner >= 0) {
+        ExprPtr local = ShiftColumns(c, from[owner].offset);
+        table_preds[owner] = table_preds[owner] == nullptr
+                                 ? local
+                                 : Expr::And(table_preds[owner], local);
+      } else if (owner == -1) {
+        // Constant predicate: attach to the first table.
+        table_preds[0] = table_preds[0] == nullptr
+                             ? c
+                             : Expr::And(table_preds[0], c);
+      } else {
+        residual.push_back(c);
+      }
+    }
+  }
+
+  // ---- Scans and left-deep joins in FROM order. ----
+  PhysicalOpPtr plan = std::make_unique<ScanOp>(
+      from[0].table, read_ts, table_preds[0]);
+  for (size_t i = 1; i < stmt.tables.size(); ++i) {
+    if (stmt.tables[i].join_on == nullptr) {
+      return Status::InvalidArgument("missing ON clause");
+    }
+    OLTAP_ASSIGN_OR_RETURN(ExprPtr on, Bind(*stmt.tables[i].join_on, scope));
+    std::vector<ExprPtr> on_terms;
+    Expr::SplitConjuncts(on, &on_terms);
+    std::vector<int> build_keys, probe_keys;
+    std::vector<ExprPtr> post_join;
+    const int offset = from[i].offset;
+    const int width = from[i].width;
+    for (const ExprPtr& term : on_terms) {
+      // Look for equality between an accumulated column and a new-table
+      // column.
+      bool handled = false;
+      if (term->kind() == Expr::Kind::kCompare &&
+          term->compare_op() == CompareOp::kEq) {
+        const ExprPtr& l = term->children()[0];
+        const ExprPtr& r = term->children()[1];
+        if (l->kind() == Expr::Kind::kColumn &&
+            r->kind() == Expr::Kind::kColumn) {
+          int lc = l->column_index(), rc = r->column_index();
+          bool l_new = lc >= offset && lc < offset + width;
+          bool r_new = rc >= offset && rc < offset + width;
+          if (l_new != r_new) {
+            int build = l_new ? rc : lc;
+            int probe = (l_new ? lc : rc) - offset;
+            if (build < offset) {
+              build_keys.push_back(build);
+              probe_keys.push_back(probe);
+              handled = true;
+            }
+          }
+        }
+      }
+      if (!handled) post_join.push_back(term);
+    }
+    if (build_keys.empty()) {
+      return Status::InvalidArgument(
+          "JOIN requires at least one equality between the joined tables");
+    }
+    PhysicalOpPtr scan = std::make_unique<ScanOp>(
+        from[i].table, read_ts, table_preds[i]);
+    plan = std::make_unique<HashJoinOp>(std::move(plan), std::move(scan),
+                                        std::move(build_keys),
+                                        std::move(probe_keys));
+    if (!post_join.empty()) {
+      plan = std::make_unique<FilterOp>(std::move(plan),
+                                        Expr::CombineConjuncts(post_join));
+    }
+  }
+  if (!residual.empty()) {
+    plan = std::make_unique<FilterOp>(std::move(plan),
+                                      Expr::CombineConjuncts(residual));
+  }
+
+  // ---- SELECT list: expand *, detect aggregation. ----
+  std::vector<const SelectItem*> items;
+  std::vector<SelectItem> expanded;
+  if (stmt.items.size() == 1 &&
+      stmt.items[0].expr->kind == ParseExpr::Kind::kStar) {
+    for (const BindScope::Col& c : scope.cols) {
+      SelectItem item;
+      auto ident = std::make_unique<ParseExpr>();
+      ident->kind = ParseExpr::Kind::kIdent;
+      ident->qualifier = c.alias;
+      ident->name = c.name;
+      item.expr = std::move(ident);
+      item.alias = c.name;
+      expanded.push_back(std::move(item));
+    }
+    for (const SelectItem& item : expanded) items.push_back(&item);
+  } else {
+    for (const SelectItem& item : stmt.items) items.push_back(&item);
+  }
+
+  bool has_agg = !stmt.group_by.empty();
+  for (const SelectItem* item : items) {
+    if (ContainsAggregate(*item->expr)) has_agg = true;
+  }
+
+  std::vector<std::string> names;
+  if (!has_agg) {
+    if (stmt.having != nullptr) {
+      return Status::InvalidArgument(
+          "HAVING requires GROUP BY or aggregates");
+    }
+    std::vector<ExprPtr> projections;
+    for (const SelectItem* item : items) {
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr e, Bind(*item->expr, scope));
+      projections.push_back(std::move(e));
+      names.push_back(item->alias.empty() ? item->expr->ToString()
+                                          : item->alias);
+    }
+    plan = std::make_unique<ProjectOp>(std::move(plan),
+                                       std::move(projections));
+  } else {
+    // Bind group keys.
+    std::vector<ExprPtr> group_exprs;
+    std::vector<std::string> group_texts;
+    for (const ParseExprPtr& g : stmt.group_by) {
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr e, Bind(*g, scope));
+      group_exprs.push_back(std::move(e));
+      group_texts.push_back(g->ToString());
+    }
+    // Each select item is either a group expression or a single aggregate.
+    struct OutputRef {
+      bool is_group;
+      size_t index;  // into group_exprs or aggs
+    };
+    std::vector<AggSpec> aggs;
+    std::vector<OutputRef> refs;
+    for (const SelectItem* item : items) {
+      const ParseExpr& pe = *item->expr;
+      names.push_back(item->alias.empty() ? pe.ToString() : item->alias);
+      if (pe.kind == ParseExpr::Kind::kCall && IsAggregateName(pe.name)) {
+        AggSpec spec;
+        if (pe.name == "COUNT") {
+          if (pe.args.size() == 1 &&
+              pe.args[0]->kind == ParseExpr::Kind::kStar) {
+            spec.fn = AggSpec::Fn::kCountStar;
+          } else if (pe.args.size() == 1) {
+            spec.fn = AggSpec::Fn::kCount;
+            OLTAP_ASSIGN_OR_RETURN(spec.arg, Bind(*pe.args[0], scope));
+          } else {
+            return Status::InvalidArgument("COUNT takes one argument");
+          }
+        } else {
+          if (pe.args.size() != 1) {
+            return Status::InvalidArgument(pe.name + " takes one argument");
+          }
+          if (pe.name == "SUM") {
+            spec.fn = AggSpec::Fn::kSum;
+          } else if (pe.name == "MIN") {
+            spec.fn = AggSpec::Fn::kMin;
+          } else if (pe.name == "MAX") {
+            spec.fn = AggSpec::Fn::kMax;
+          } else {
+            spec.fn = AggSpec::Fn::kAvg;
+          }
+          OLTAP_ASSIGN_OR_RETURN(spec.arg, Bind(*pe.args[0], scope));
+        }
+        refs.push_back({false, aggs.size()});
+        aggs.push_back(std::move(spec));
+      } else {
+        // Must match a GROUP BY expression textually.
+        std::string text = pe.ToString();
+        auto it = std::find(group_texts.begin(), group_texts.end(), text);
+        if (it == group_texts.end()) {
+          return Status::InvalidArgument(
+              "select item is neither aggregate nor grouped: " + text);
+        }
+        refs.push_back(
+            {true, static_cast<size_t>(it - group_texts.begin())});
+      }
+    }
+    size_t num_groups = group_exprs.size();
+
+    // Bind HAVING against the aggregate output: aggregate calls become
+    // (possibly hidden) aggregate columns, group expressions become key
+    // columns; anything else must be literal structure over those.
+    ExprPtr having;
+    if (stmt.having != nullptr) {
+      std::function<Result<ExprPtr>(const ParseExpr&)> bind_having =
+          [&](const ParseExpr& pe) -> Result<ExprPtr> {
+        if (pe.kind == ParseExpr::Kind::kCall && IsAggregateName(pe.name)) {
+          AggSpec spec;
+          if (pe.name == "COUNT" && pe.args.size() == 1 &&
+              pe.args[0]->kind == ParseExpr::Kind::kStar) {
+            spec.fn = AggSpec::Fn::kCountStar;
+          } else {
+            if (pe.args.size() != 1) {
+              return Status::InvalidArgument(pe.name + " takes one argument");
+            }
+            if (pe.name == "COUNT") {
+              spec.fn = AggSpec::Fn::kCount;
+            } else if (pe.name == "SUM") {
+              spec.fn = AggSpec::Fn::kSum;
+            } else if (pe.name == "MIN") {
+              spec.fn = AggSpec::Fn::kMin;
+            } else if (pe.name == "MAX") {
+              spec.fn = AggSpec::Fn::kMax;
+            } else {
+              spec.fn = AggSpec::Fn::kAvg;
+            }
+            OLTAP_ASSIGN_OR_RETURN(spec.arg, Bind(*pe.args[0], scope));
+          }
+          ValueType out_type = spec.OutputType();
+          aggs.push_back(std::move(spec));
+          return Expr::Column(static_cast<int>(num_groups + aggs.size() - 1),
+                              out_type);
+        }
+        std::string text = pe.ToString();
+        auto it = std::find(group_texts.begin(), group_texts.end(), text);
+        if (it != group_texts.end()) {
+          size_t g = static_cast<size_t>(it - group_texts.begin());
+          return Expr::Column(static_cast<int>(g),
+                              group_exprs[g]->result_type());
+        }
+        switch (pe.kind) {
+          case ParseExpr::Kind::kIntLit:
+            return Expr::Constant(Value::Int64(pe.int_val));
+          case ParseExpr::Kind::kDoubleLit:
+            return Expr::Constant(Value::Double(pe.double_val));
+          case ParseExpr::Kind::kStringLit:
+            return Expr::Constant(Value::String(pe.str_val));
+          case ParseExpr::Kind::kNullLit:
+            return Expr::Constant(Value::Null());
+          case ParseExpr::Kind::kUnaryNot: {
+            OLTAP_ASSIGN_OR_RETURN(ExprPtr inner, bind_having(*pe.args[0]));
+            return Expr::Not(std::move(inner));
+          }
+          case ParseExpr::Kind::kIsNull: {
+            OLTAP_ASSIGN_OR_RETURN(ExprPtr inner, bind_having(*pe.args[0]));
+            return Expr::IsNull(std::move(inner));
+          }
+          case ParseExpr::Kind::kBinary: {
+            OLTAP_ASSIGN_OR_RETURN(ExprPtr l, bind_having(*pe.args[0]));
+            OLTAP_ASSIGN_OR_RETURN(ExprPtr r, bind_having(*pe.args[1]));
+            if (pe.op == "AND") return Expr::And(std::move(l), std::move(r));
+            if (pe.op == "OR") return Expr::Or(std::move(l), std::move(r));
+            if (pe.op == "+") {
+              return Expr::Arith(Expr::Kind::kAdd, std::move(l),
+                                 std::move(r));
+            }
+            if (pe.op == "-") {
+              return Expr::Arith(Expr::Kind::kSub, std::move(l),
+                                 std::move(r));
+            }
+            if (pe.op == "*") {
+              return Expr::Arith(Expr::Kind::kMul, std::move(l),
+                                 std::move(r));
+            }
+            if (pe.op == "/") {
+              return Expr::Arith(Expr::Kind::kDiv, std::move(l),
+                                 std::move(r));
+            }
+            CompareOp op;
+            if (pe.op == "=") {
+              op = CompareOp::kEq;
+            } else if (pe.op == "<>") {
+              op = CompareOp::kNe;
+            } else if (pe.op == "<") {
+              op = CompareOp::kLt;
+            } else if (pe.op == "<=") {
+              op = CompareOp::kLe;
+            } else if (pe.op == ">") {
+              op = CompareOp::kGt;
+            } else {
+              op = CompareOp::kGe;
+            }
+            return Expr::Compare(op, std::move(l), std::move(r));
+          }
+          default:
+            return Status::InvalidArgument(
+                "HAVING must reference aggregates or GROUP BY columns: " +
+                text);
+        }
+      };
+      OLTAP_ASSIGN_OR_RETURN(having, bind_having(*stmt.having));
+    }
+
+    plan = std::make_unique<HashAggOp>(std::move(plan),
+                                       std::move(group_exprs), aggs);
+    if (having != nullptr) {
+      plan = std::make_unique<FilterOp>(std::move(plan), std::move(having));
+    }
+    // Re-project into select order (dropping hidden HAVING aggregates).
+    std::vector<ExprPtr> projections;
+    std::vector<ValueType> agg_output = plan->OutputTypes();
+    for (const OutputRef& ref : refs) {
+      size_t idx = ref.is_group ? ref.index : num_groups + ref.index;
+      projections.push_back(
+          Expr::Column(static_cast<int>(idx), agg_output[idx]));
+    }
+    plan = std::make_unique<ProjectOp>(std::move(plan),
+                                       std::move(projections));
+  }
+
+  if (stmt.distinct) {
+    // SELECT DISTINCT: group on every output column, no aggregates.
+    std::vector<ValueType> out_types = plan->OutputTypes();
+    std::vector<ExprPtr> keys;
+    keys.reserve(out_types.size());
+    for (size_t i = 0; i < out_types.size(); ++i) {
+      keys.push_back(Expr::Column(static_cast<int>(i), out_types[i]));
+    }
+    plan = std::make_unique<HashAggOp>(std::move(plan), std::move(keys),
+                                       std::vector<AggSpec>{});
+  }
+
+  // ---- ORDER BY / LIMIT over the projected output. ----
+  if (!stmt.order_by.empty()) {
+    std::vector<SortOp::SortKey> keys;
+    for (const OrderItem& item : stmt.order_by) {
+      int col = -1;
+      const ParseExpr& pe = *item.expr;
+      if (pe.kind == ParseExpr::Kind::kIntLit) {
+        // ORDER BY <position>, 1-based.
+        if (pe.int_val < 1 || pe.int_val > static_cast<int64_t>(names.size())) {
+          return Status::InvalidArgument("ORDER BY position out of range");
+        }
+        col = static_cast<int>(pe.int_val - 1);
+      } else {
+        std::string text = pe.ToString();
+        for (size_t i = 0; i < names.size(); ++i) {
+          if (names[i] == text) col = static_cast<int>(i);
+        }
+        if (col < 0) {
+          // Also try matching the un-aliased item text.
+          size_t i = 0;
+          for (const SelectItem* item2 : items) {
+            if (item2->expr->ToString() == text) col = static_cast<int>(i);
+            ++i;
+          }
+        }
+        if (col < 0) {
+          return Status::InvalidArgument(
+              "ORDER BY must reference a select-list column: " + text);
+        }
+      }
+      keys.push_back({col, item.descending});
+    }
+    if (stmt.limit >= 0) {
+      // Fuse ORDER BY + LIMIT into a bounded-heap Top-N.
+      plan = std::make_unique<TopNOp>(std::move(plan), std::move(keys),
+                                      static_cast<size_t>(stmt.limit));
+    } else {
+      plan = std::make_unique<SortOp>(std::move(plan), std::move(keys));
+    }
+  } else if (stmt.limit >= 0) {
+    plan = std::make_unique<LimitOp>(std::move(plan),
+                                     static_cast<size_t>(stmt.limit));
+  }
+
+  PlannedQuery out;
+  out.root = std::move(plan);
+  out.output_names = std::move(names);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace oltap

@@ -1,0 +1,39 @@
+#ifndef OLTAP_SQL_PLANNER_H_
+#define OLTAP_SQL_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "exec/operators.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace oltap {
+namespace sql {
+
+// A bound, executable SELECT plan.
+struct PlannedQuery {
+  PhysicalOpPtr root;
+  std::vector<std::string> output_names;
+};
+
+// Plans a SELECT statement: binds names, pushes single-table predicate
+// conjuncts into scans, builds left-deep hash joins in FROM order, lowers
+// GROUP BY / aggregates, ORDER BY, and LIMIT. Reads run at `read_ts`.
+Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const Catalog& catalog,
+                                Timestamp read_ts);
+
+// Binds an expression against a single table's schema (UPDATE/DELETE
+// predicates and SET expressions). Aggregates are rejected.
+Result<ExprPtr> BindOverSchema(const ParseExpr& e, const Schema& schema,
+                               const std::string& alias);
+
+// True if the parse tree contains an aggregate function call.
+bool ContainsAggregate(const ParseExpr& e);
+
+}  // namespace sql
+}  // namespace oltap
+
+#endif  // OLTAP_SQL_PLANNER_H_

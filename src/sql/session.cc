@@ -1,0 +1,290 @@
+#include "sql/session.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+
+namespace oltap {
+namespace {
+
+// Coerces a literal/computed value to a column type (int <-> double).
+Result<Value> CoerceTo(const Value& v, ValueType type) {
+  if (v.is_null()) return Value::Null(type);
+  if (v.type() == type) return v;
+  if (type == ValueType::kDouble && v.type() == ValueType::kInt64) {
+    return Value::Double(static_cast<double>(v.AsInt64()));
+  }
+  if (type == ValueType::kInt64 && v.type() == ValueType::kDouble) {
+    return Value::Int64(static_cast<int64_t>(v.AsDouble()));
+  }
+  return Status::InvalidArgument(
+      std::string("cannot coerce ") + ValueTypeToString(v.type()) + " to " +
+      ValueTypeToString(type));
+}
+
+}  // namespace
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  size_t shown = std::min(rows.size(), max_rows);
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      cells[r][c] = rows[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  auto pad = [&](const std::string& s, size_t w) {
+    out += s;
+    out.append(w - s.size(), ' ');
+    out += "  ";
+  };
+  for (size_t c = 0; c < columns.size(); ++c) pad(columns[c], widths[c]);
+  out += "\n";
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out.append(widths[c], '-');
+    out += "  ";
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) pad(cells[r][c], widths[c]);
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+Database::Database(Wal* wal) : txn_(&catalog_, wal) {}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  OLTAP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (stmt.kind == sql::Statement::Kind::kCreateTable) {
+    return RunCreate(*stmt.create);
+  }
+  std::unique_ptr<Transaction> txn = txn_.Begin();
+  auto result = RunStatement(txn.get(), stmt);
+  if (!result.ok()) {
+    txn_.Abort(txn.get());
+    return result;
+  }
+  OLTAP_RETURN_NOT_OK(txn_.Commit(txn.get()));
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteIn(Transaction* txn,
+                                        const std::string& sql) {
+  OLTAP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
+  if (stmt.kind == sql::Statement::Kind::kCreateTable) {
+    return Status::FailedPrecondition("DDL is not transactional");
+  }
+  return RunStatement(txn, stmt);
+}
+
+Result<QueryResult> Database::RunStatement(Transaction* txn,
+                                           const sql::Statement& s) {
+  switch (s.kind) {
+    case sql::Statement::Kind::kSelect:
+      return RunSelect(txn, *s.select, s.explain);
+    case sql::Statement::Kind::kInsert:
+      return RunInsert(txn, *s.insert);
+    case sql::Statement::Kind::kUpdate:
+      return RunUpdate(txn, *s.update);
+    case sql::Statement::Kind::kDelete:
+      return RunDelete(txn, *s.del);
+    case sql::Statement::Kind::kCreateTable:
+      return RunCreate(*s.create);
+  }
+  return Status::Internal("unhandled statement");
+}
+
+Result<QueryResult> Database::RunSelect(Transaction* txn,
+                                        const sql::SelectStmt& s,
+                                        bool explain) {
+  OLTAP_ASSIGN_OR_RETURN(sql::PlannedQuery plan,
+                         sql::PlanSelect(s, catalog_, txn->begin_ts()));
+  QueryResult result;
+  if (explain) {
+    result.columns = {"plan"};
+    std::string text = ExplainPlan(plan.root.get());
+    // One output row per plan line.
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) nl = text.size();
+      result.rows.push_back(
+          Row{Value::String(text.substr(start, nl - start))});
+      start = nl + 1;
+    }
+    result.affected = result.rows.size();
+    return result;
+  }
+  result.columns = std::move(plan.output_names);
+  result.rows = ExecutePlan(plan.root.get());
+  result.affected = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> Database::RunInsert(Transaction* txn,
+                                        const sql::InsertStmt& s) {
+  Table* table = catalog_.GetTable(s.table);
+  if (table == nullptr) return Status::NotFound("unknown table: " + s.table);
+  const Schema& schema = table->schema();
+  QueryResult result;
+  for (const auto& exprs : s.rows) {
+    if (exprs.size() != schema.num_columns()) {
+      return Status::InvalidArgument("INSERT arity mismatch");
+    }
+    Row row;
+    row.reserve(exprs.size());
+    for (size_t c = 0; c < exprs.size(); ++c) {
+      // Literal expressions only need an empty scope.
+      OLTAP_ASSIGN_OR_RETURN(
+          ExprPtr bound, sql::BindOverSchema(*exprs[c], Schema(), s.table));
+      Value v = bound->EvalRow(Row{});
+      OLTAP_ASSIGN_OR_RETURN(Value coerced,
+                             CoerceTo(v, schema.column(c).type));
+      if (coerced.is_null() && !schema.column(c).nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL column " +
+                                       schema.column(c).name);
+      }
+      row.push_back(std::move(coerced));
+    }
+    OLTAP_RETURN_NOT_OK(txn->Insert(table, std::move(row)));
+    ++result.affected;
+  }
+  return result;
+}
+
+Result<QueryResult> Database::RunUpdate(Transaction* txn,
+                                        const sql::UpdateStmt& s) {
+  Table* table = catalog_.GetTable(s.table);
+  if (table == nullptr) return Status::NotFound("unknown table: " + s.table);
+  const Schema& schema = table->schema();
+  if (!schema.HasKey()) {
+    return Status::FailedPrecondition("UPDATE requires a primary key");
+  }
+  ExprPtr where;
+  if (s.where != nullptr) {
+    OLTAP_ASSIGN_OR_RETURN(where,
+                           sql::BindOverSchema(*s.where, schema, s.table));
+  }
+  struct SetOp {
+    int column;
+    ExprPtr expr;
+  };
+  std::vector<SetOp> sets;
+  for (const auto& [col, pe] : s.sets) {
+    int idx = schema.FindColumn(col);
+    if (idx < 0) return Status::NotFound("unknown column: " + col);
+    OLTAP_ASSIGN_OR_RETURN(ExprPtr e,
+                           sql::BindOverSchema(*pe, schema, s.table));
+    sets.push_back({idx, std::move(e)});
+  }
+
+  // Collect matching rows (sees own writes), then apply.
+  std::vector<Row> matches;
+  txn->Scan(table, [&](const Row& row) {
+    if (where != nullptr) {
+      Value v = where->EvalRow(row);
+      if (v.is_null() || !v.AsBool()) return;
+    }
+    matches.push_back(row);
+  });
+  QueryResult result;
+  for (const Row& old_row : matches) {
+    Row new_row = old_row;
+    for (const SetOp& op : sets) {
+      Value v = op.expr->EvalRow(old_row);
+      OLTAP_ASSIGN_OR_RETURN(
+          Value coerced, CoerceTo(v, schema.column(op.column).type));
+      new_row[op.column] = std::move(coerced);
+    }
+    if (EncodeKey(schema, new_row) != EncodeKey(schema, old_row)) {
+      return Status::InvalidArgument("UPDATE must not modify the primary key");
+    }
+    OLTAP_RETURN_NOT_OK(txn->Update(table, std::move(new_row)));
+    ++result.affected;
+  }
+  return result;
+}
+
+Result<QueryResult> Database::RunDelete(Transaction* txn,
+                                        const sql::DeleteStmt& s) {
+  Table* table = catalog_.GetTable(s.table);
+  if (table == nullptr) return Status::NotFound("unknown table: " + s.table);
+  const Schema& schema = table->schema();
+  if (!schema.HasKey()) {
+    return Status::FailedPrecondition("DELETE requires a primary key");
+  }
+  ExprPtr where;
+  if (s.where != nullptr) {
+    OLTAP_ASSIGN_OR_RETURN(where,
+                           sql::BindOverSchema(*s.where, schema, s.table));
+  }
+  std::vector<std::string> keys;
+  txn->Scan(table, [&](const Row& row) {
+    if (where != nullptr) {
+      Value v = where->EvalRow(row);
+      if (v.is_null() || !v.AsBool()) return;
+    }
+    keys.push_back(EncodeKey(schema, row));
+  });
+  QueryResult result;
+  for (std::string& key : keys) {
+    OLTAP_RETURN_NOT_OK(txn->DeleteByKey(table, std::move(key)));
+    ++result.affected;
+  }
+  return result;
+}
+
+Result<QueryResult> Database::RunCreate(const sql::CreateTableStmt& s) {
+  SchemaBuilder builder;
+  for (const ColumnDef& c : s.columns) {
+    switch (c.type) {
+      case ValueType::kInt64:
+        builder.AddInt64(c.name, c.nullable);
+        break;
+      case ValueType::kDouble:
+        builder.AddDouble(c.name, c.nullable);
+        break;
+      case ValueType::kString:
+        builder.AddString(c.name, c.nullable);
+        break;
+    }
+  }
+  if (!s.key_columns.empty()) builder.SetKey(s.key_columns);
+  OLTAP_RETURN_NOT_OK(
+      catalog_.CreateTable(s.name, builder.Build(), s.format));
+  QueryResult result;
+  result.affected = 0;
+  return result;
+}
+
+Result<Wal::ReplayStats> Database::RecoverFromWal(
+    const std::string& wal_data) {
+  OLTAP_ASSIGN_OR_RETURN(Wal::ReplayStats stats,
+                         Wal::Replay(wal_data, &catalog_));
+  txn_.oracle()->AdvanceTo(stats.max_commit_ts);
+  return stats;
+}
+
+size_t Database::MergeAll() {
+  size_t total = 0;
+  Timestamp merge_ts = txn_.oracle()->CurrentReadTs();
+  Timestamp horizon = txn_.OldestActiveSnapshot();
+  for (Table* table : catalog_.AllTables()) {
+    if (table->Mergeable()) {
+      total += table->MergeDelta(merge_ts, horizon);
+    }
+  }
+  return total;
+}
+
+}  // namespace oltap

@@ -1,0 +1,69 @@
+#ifndef OLTAP_SQL_SESSION_H_
+#define OLTAP_SQL_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/planner.h"
+#include "storage/catalog.h"
+#include "txn/transaction_manager.h"
+#include "txn/wal.h"
+
+namespace oltap {
+
+// Result of a SQL statement: rows + column names for queries, an affected
+// count for DML/DDL.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  size_t affected = 0;
+
+  // Pretty-printed table (examples / debugging).
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+// The embeddable database facade: catalog + snapshot-isolation transaction
+// manager + SQL front end. This is the object the examples and the
+// CH-benCHmark driver construct.
+//
+// Execute() runs one autocommit statement. ExecuteIn() runs a statement
+// inside a caller-managed transaction: DML is buffered in the transaction;
+// SELECT sees the transaction's begin snapshot (UPDATE/DELETE row selection
+// additionally sees the transaction's own writes, via Transaction::Scan).
+class Database {
+ public:
+  explicit Database(Wal* wal = nullptr);
+
+  Catalog* catalog() { return &catalog_; }
+  TransactionManager* txn_manager() { return &txn_; }
+
+  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> ExecuteIn(Transaction* txn, const std::string& sql);
+
+  // Replays a serialized WAL into this database (tables must already
+  // exist) and fast-forwards the timestamp oracle so new snapshots see the
+  // recovered state.
+  Result<Wal::ReplayStats> RecoverFromWal(const std::string& wal_data);
+
+  // Merges every mergeable table's delta into its main, respecting the
+  // oldest active snapshot. Returns total rows across new mains.
+  size_t MergeAll();
+
+ private:
+  Result<QueryResult> RunStatement(Transaction* txn, const sql::Statement& s);
+  Result<QueryResult> RunSelect(Transaction* txn, const sql::SelectStmt& s,
+                                bool explain);
+  Result<QueryResult> RunInsert(Transaction* txn, const sql::InsertStmt& s);
+  Result<QueryResult> RunUpdate(Transaction* txn, const sql::UpdateStmt& s);
+  Result<QueryResult> RunDelete(Transaction* txn, const sql::DeleteStmt& s);
+  Result<QueryResult> RunCreate(const sql::CreateTableStmt& s);
+
+  Catalog catalog_;
+  TransactionManager txn_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_SQL_SESSION_H_

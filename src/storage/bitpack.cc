@@ -1,0 +1,220 @@
+#include "storage/bitpack.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+int BitsForMax(uint32_t max_value) {
+  int bits = 1;
+  while ((uint64_t{1} << bits) <= max_value) ++bits;
+  return bits;
+}
+
+PackedArray PackedArray::Pack(const std::vector<uint32_t>& codes,
+                              int code_bits) {
+  OLTAP_CHECK(code_bits >= 1 && code_bits <= 31);
+  PackedArray p;
+  p.code_bits_ = code_bits;
+  p.field_bits_ = code_bits + 1;
+  p.codes_per_word_ = 64 / static_cast<size_t>(p.field_bits_);
+  p.code_mask_ = (uint32_t{1} << code_bits) - 1;
+  p.size_ = codes.size();
+
+  uint64_t guard = 0;
+  uint64_t lsb = 0;
+  for (size_t s = 0; s < p.codes_per_word_; ++s) {
+    guard |= uint64_t{1} << (s * p.field_bits_ + code_bits);
+    lsb |= uint64_t{1} << (s * p.field_bits_);
+  }
+  p.guard_mask_ = guard;
+  p.field_lsb_mask_ = lsb;
+
+  size_t num_words =
+      (codes.size() + p.codes_per_word_ - 1) / p.codes_per_word_;
+  p.words_.assign(num_words, 0);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    OLTAP_DCHECK(codes[i] <= p.code_mask_) << "code does not fit";
+    size_t word = i / p.codes_per_word_;
+    size_t slot = i % p.codes_per_word_;
+    p.words_[word] |= static_cast<uint64_t>(codes[i])
+                      << (slot * p.field_bits_);
+  }
+  return p;
+}
+
+void PackedArray::ScanGe(uint32_t constant, BitVector* out) const {
+  out->Resize(size_);
+  out->ClearAll();
+  if (size_ == 0) return;
+  if (constant == 0) {
+    out->SetAll();
+    return;
+  }
+  if (constant > code_mask_) return;  // nothing can be >= constant
+
+  // Replicate the constant into every field.
+  uint64_t c_repl = 0;
+  for (size_t s = 0; s < codes_per_word_; ++s) {
+    c_repl |= static_cast<uint64_t>(constant) << (s * field_bits_);
+  }
+
+  const int shift_to_guard = code_bits_;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    // Borrow-free SWAR compare: guard survives iff field >= constant.
+    uint64_t d = (words_[w] | guard_mask_) - c_repl;
+    uint64_t g = d & guard_mask_;
+    size_t base = w * codes_per_word_;
+    while (g != 0) {
+      int bit = std::countr_zero(g);
+      size_t slot = static_cast<size_t>(bit - shift_to_guard) /
+                    static_cast<size_t>(field_bits_);
+      size_t idx = base + slot;
+      if (idx < size_) out->Set(idx);
+      g &= g - 1;
+    }
+  }
+}
+
+void PackedArray::ScanRangeWindow(uint32_t lo, uint32_t hi, size_t begin,
+                                  size_t end, BitVector* out) const {
+  OLTAP_DCHECK(out->size() == size_);
+  OLTAP_DCHECK(begin <= end && end <= size_);
+  if (begin >= end || lo > hi || lo > code_mask_) return;
+  hi = std::min(hi, code_mask_);
+
+  // Partial leading/trailing slots evaluated per value; whole interior
+  // words via the SWAR kernel.
+  size_t first_full_word = (begin + codes_per_word_ - 1) / codes_per_word_;
+  size_t last_full_word = end / codes_per_word_;
+
+  auto scalar = [&](size_t from, size_t to) {
+    for (size_t i = from; i < to; ++i) {
+      uint32_t c = Get(i);
+      if (c >= lo && c <= hi) out->Set(i);
+    }
+  };
+  if (first_full_word >= last_full_word) {
+    scalar(begin, end);
+    return;
+  }
+  scalar(begin, first_full_word * codes_per_word_);
+  scalar(last_full_word * codes_per_word_, end);
+
+  uint64_t lo_repl = 0, hi1_repl = 0;
+  bool check_hi = hi < code_mask_;
+  for (size_t s = 0; s < codes_per_word_; ++s) {
+    lo_repl |= static_cast<uint64_t>(lo) << (s * field_bits_);
+    if (check_hi) {
+      hi1_repl |= static_cast<uint64_t>(hi + 1) << (s * field_bits_);
+    }
+  }
+  const int shift_to_guard = code_bits_;
+  for (size_t w = first_full_word; w < last_full_word; ++w) {
+    uint64_t x = words_[w] | guard_mask_;
+    // Guard set in g iff code >= lo; cleared in g_hi iff code <= hi.
+    uint64_t g = lo == 0 ? guard_mask_ : (x - lo_repl) & guard_mask_;
+    if (check_hi) g &= ~(x - hi1_repl);
+    size_t base = w * codes_per_word_;
+    while (g != 0) {
+      int bit = std::countr_zero(g);
+      size_t slot = static_cast<size_t>(bit - shift_to_guard) /
+                    static_cast<size_t>(field_bits_);
+      out->Set(base + slot);
+      g &= g - 1;
+    }
+  }
+}
+
+void PackedArray::Scan(CompareOp op, uint32_t constant, BitVector* out) const {
+  switch (op) {
+    case CompareOp::kGe:
+      ScanGe(constant, out);
+      return;
+    case CompareOp::kLt:
+      ScanGe(constant, out);
+      out->Not();
+      return;
+    case CompareOp::kGt:
+      if (constant >= code_mask_) {
+        out->Resize(size_);
+        out->ClearAll();
+        return;
+      }
+      ScanGe(constant + 1, out);
+      return;
+    case CompareOp::kLe:
+      if (constant >= code_mask_) {
+        out->Resize(size_);
+        out->SetAll();
+        return;
+      }
+      ScanGe(constant + 1, out);
+      out->Not();
+      return;
+    case CompareOp::kEq: {
+      ScanGe(constant, out);
+      if (constant < code_mask_) {
+        BitVector ge_next;
+        ScanGe(constant + 1, &ge_next);
+        ge_next.Not();
+        out->And(ge_next);
+      }
+      return;
+    }
+    case CompareOp::kNe: {
+      Scan(CompareOp::kEq, constant, out);
+      out->Not();
+      return;
+    }
+  }
+}
+
+void PackedArray::ScanRange(uint32_t lo, uint32_t hi, BitVector* out) const {
+  if (hi < lo) {
+    out->Resize(size_);
+    out->ClearAll();
+    return;
+  }
+  ScanGe(lo, out);
+  if (hi < code_mask_) {
+    BitVector above;
+    ScanGe(hi + 1, &above);
+    above.Not();
+    out->And(above);
+  }
+}
+
+void PackedArray::ScanScalar(CompareOp op, uint32_t constant,
+                             BitVector* out) const {
+  out->Resize(size_);
+  out->ClearAll();
+  for (size_t i = 0; i < size_; ++i) {
+    uint32_t v = Get(i);
+    bool hit = false;
+    switch (op) {
+      case CompareOp::kEq:
+        hit = v == constant;
+        break;
+      case CompareOp::kNe:
+        hit = v != constant;
+        break;
+      case CompareOp::kLt:
+        hit = v < constant;
+        break;
+      case CompareOp::kLe:
+        hit = v <= constant;
+        break;
+      case CompareOp::kGt:
+        hit = v > constant;
+        break;
+      case CompareOp::kGe:
+        hit = v >= constant;
+        break;
+    }
+    if (hit) out->Set(i);
+  }
+}
+
+}  // namespace oltap

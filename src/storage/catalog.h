@@ -1,0 +1,64 @@
+#ifndef OLTAP_STORAGE_CATALOG_H_
+#define OLTAP_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace oltap {
+
+// Name → table registry shared by the transaction manager, planner, and
+// workload drivers. Table objects are stable for the catalog's lifetime
+// (DROP is intentionally unsupported: none of the surveyed experiments
+// needs it and it would complicate snapshot pinning for little value).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status CreateTable(const std::string& name, Schema schema,
+                     TableFormat format) {
+    std::unique_lock lock(mu_);
+    auto [it, inserted] = tables_.emplace(
+        name, std::make_unique<Table>(name, std::move(schema), format));
+    if (!inserted) return Status::AlreadyExists("table exists: " + name);
+    return Status::OK();
+  }
+
+  Table* GetTable(const std::string& name) const {
+    std::shared_lock lock(mu_);
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : it->second.get();
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::shared_lock lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) names.push_back(name);
+    return names;
+  }
+
+  std::vector<Table*> AllTables() const {
+    std::shared_lock lock(mu_);
+    std::vector<Table*> out;
+    out.reserve(tables_.size());
+    for (const auto& [name, table] : tables_) out.push_back(table.get());
+    return out;
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_CATALOG_H_

@@ -1,0 +1,53 @@
+#include "storage/dictionary.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+Dictionary Dictionary::FromSortedDistinct(
+    std::vector<std::string> distinct_sorted) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < distinct_sorted.size(); ++i) {
+    OLTAP_DCHECK(distinct_sorted[i - 1] < distinct_sorted[i])
+        << "dictionary input not sorted/distinct";
+  }
+#endif
+  Dictionary d;
+  d.values_ = std::move(distinct_sorted);
+  return d;
+}
+
+Dictionary Dictionary::Build(const std::vector<std::string>& values) {
+  std::vector<std::string> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return FromSortedDistinct(std::move(sorted));
+}
+
+int64_t Dictionary::Encode(std::string_view s) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), s);
+  if (it == values_.end() || *it != s) return -1;
+  return it - values_.begin();
+}
+
+uint32_t Dictionary::LowerBound(std::string_view s) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), s);
+  return static_cast<uint32_t>(it - values_.begin());
+}
+
+uint32_t Dictionary::UpperBound(std::string_view s) const {
+  auto it = std::upper_bound(
+      values_.begin(), values_.end(), s,
+      [](std::string_view a, const std::string& b) { return a < b; });
+  return static_cast<uint32_t>(it - values_.begin());
+}
+
+size_t Dictionary::MemoryBytes() const {
+  size_t total = values_.capacity() * sizeof(std::string);
+  for (const std::string& v : values_) total += v.capacity();
+  return total;
+}
+
+}  // namespace oltap

@@ -1,0 +1,52 @@
+#ifndef OLTAP_STORAGE_DICTIONARY_H_
+#define OLTAP_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oltap {
+
+// Order-preserving string dictionary (the HANA / DB2 BLU design): distinct
+// values are stored sorted, so code order == value order and range
+// predicates on strings rewrite to integer code-range predicates that the
+// packed-scan kernels evaluate without decompression.
+//
+// Main-store dictionaries are immutable; the delta store keeps raw values
+// and dictionaries are rebuilt during merge (the standard delta/main
+// lifecycle).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // `distinct_sorted` must be sorted and deduplicated (CHECKed in debug).
+  static Dictionary FromSortedDistinct(std::vector<std::string> distinct_sorted);
+
+  // Builds from arbitrary values: sorts, dedups, and returns the dictionary.
+  static Dictionary Build(const std::vector<std::string>& values);
+
+  uint32_t size() const { return static_cast<uint32_t>(values_.size()); }
+  bool empty() const { return values_.empty(); }
+
+  std::string_view Decode(uint32_t code) const { return values_[code]; }
+
+  // Exact code of `s`, or -1 if not in the dictionary.
+  int64_t Encode(std::string_view s) const;
+
+  // First code whose value >= s (== size() if none). With UpperBound this
+  // turns any comparison predicate into a code range.
+  uint32_t LowerBound(std::string_view s) const;
+  // First code whose value > s.
+  uint32_t UpperBound(std::string_view s) const;
+
+  // Approximate heap footprint, for merge accounting.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> values_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_DICTIONARY_H_

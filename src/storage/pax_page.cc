@@ -1,0 +1,236 @@
+#include "storage/pax_page.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+void RowLayout::AppendRow(const int64_t* values) {
+  data_.insert(data_.end(), values, values + num_columns_);
+  ++num_rows_;
+}
+
+void RowLayout::GetRow(size_t r, int64_t* out) const {
+  const int64_t* base = &data_[r * num_columns_];
+  for (size_t c = 0; c < num_columns_; ++c) out[c] = base[c];
+}
+
+int64_t RowLayout::SumColumn(size_t c) const {
+  int64_t sum = 0;
+  for (size_t r = 0; r < num_rows_; ++r) sum += data_[r * num_columns_ + c];
+  return sum;
+}
+
+int64_t RowLayout::SumWhere(size_t filter_col, int64_t threshold,
+                            size_t sum_col) const {
+  int64_t sum = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    const int64_t* base = &data_[r * num_columns_];
+    if (base[filter_col] < threshold) sum += base[sum_col];
+  }
+  return sum;
+}
+
+void ColumnLayout::AppendRow(const int64_t* values) {
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(values[c]);
+  ++num_rows_;
+}
+
+void ColumnLayout::GetRow(size_t r, int64_t* out) const {
+  for (size_t c = 0; c < cols_.size(); ++c) out[c] = cols_[c][r];
+}
+
+int64_t ColumnLayout::SumColumn(size_t c) const {
+  int64_t sum = 0;
+  for (int64_t v : cols_[c]) sum += v;
+  return sum;
+}
+
+int64_t ColumnLayout::SumWhere(size_t filter_col, int64_t threshold,
+                               size_t sum_col) const {
+  const std::vector<int64_t>& f = cols_[filter_col];
+  const std::vector<int64_t>& s = cols_[sum_col];
+  int64_t sum = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (f[r] < threshold) sum += s[r];
+  }
+  return sum;
+}
+
+std::vector<std::vector<int>> ChooseColumnGroups(
+    size_t num_columns, const std::vector<std::vector<int>>& query_columns,
+    double min_affinity, size_t max_group_width) {
+  // Pairwise co-access counts.
+  std::vector<std::vector<double>> co(num_columns,
+                                      std::vector<double>(num_columns, 0));
+  for (const std::vector<int>& q : query_columns) {
+    for (int a : q) {
+      for (int b : q) {
+        if (a != b) co[a][b] += 1;
+      }
+    }
+  }
+  std::vector<std::vector<int>> groups;
+  for (size_t c = 0; c < num_columns; ++c) {
+    groups.push_back({static_cast<int>(c)});
+  }
+  const double total_queries =
+      query_columns.empty() ? 1.0 : static_cast<double>(query_columns.size());
+  while (true) {
+    double best = 0;
+    int best_a = -1, best_b = -1;
+    for (size_t a = 0; a < groups.size(); ++a) {
+      for (size_t b = a + 1; b < groups.size(); ++b) {
+        if (groups[a].size() + groups[b].size() > max_group_width) continue;
+        double sum = 0;
+        for (int ca : groups[a]) {
+          for (int cb : groups[b]) sum += co[ca][cb];
+        }
+        // Average co-access per cross pair, normalized by workload size.
+        double affinity =
+            sum / (static_cast<double>(groups[a].size() * groups[b].size()) *
+                   total_queries);
+        if (affinity > best) {
+          best = affinity;
+          best_a = static_cast<int>(a);
+          best_b = static_cast<int>(b);
+        }
+      }
+    }
+    if (best_a < 0 || best < min_affinity) break;
+    groups[best_a].insert(groups[best_a].end(), groups[best_b].begin(),
+                          groups[best_b].end());
+    groups.erase(groups.begin() + best_b);
+  }
+  for (std::vector<int>& g : groups) std::sort(g.begin(), g.end());
+  return groups;
+}
+
+GroupedLayout::GroupedLayout(size_t num_columns,
+                             std::vector<std::vector<int>> groups)
+    : column_group_(num_columns, -1), column_offset_(num_columns, -1) {
+  groups_.resize(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    groups_[g].columns = groups[g];
+    for (size_t off = 0; off < groups[g].size(); ++off) {
+      int c = groups[g][off];
+      OLTAP_CHECK(c >= 0 && static_cast<size_t>(c) < num_columns);
+      OLTAP_CHECK(column_group_[c] == -1) << "column in two groups";
+      column_group_[c] = static_cast<int>(g);
+      column_offset_[c] = static_cast<int>(off);
+    }
+  }
+  for (size_t c = 0; c < num_columns; ++c) {
+    OLTAP_CHECK(column_group_[c] >= 0) << "column not in any group";
+  }
+}
+
+void GroupedLayout::AppendRow(const int64_t* values) {
+  for (Group& g : groups_) {
+    for (int c : g.columns) g.data.push_back(values[c]);
+  }
+  ++num_rows_;
+}
+
+int64_t GroupedLayout::Get(size_t r, size_t c) const {
+  const Group& g = groups_[column_group_[c]];
+  return g.data[r * g.columns.size() + column_offset_[c]];
+}
+
+void GroupedLayout::Update(size_t r, size_t c, int64_t v) {
+  Group& g = groups_[column_group_[c]];
+  g.data[r * g.columns.size() + column_offset_[c]] = v;
+}
+
+void GroupedLayout::GetRow(size_t r, int64_t* out) const {
+  for (const Group& g : groups_) {
+    const int64_t* base = &g.data[r * g.columns.size()];
+    for (size_t off = 0; off < g.columns.size(); ++off) {
+      out[g.columns[off]] = base[off];
+    }
+  }
+}
+
+int64_t GroupedLayout::SumColumn(size_t c) const {
+  const Group& g = groups_[column_group_[c]];
+  const size_t width = g.columns.size();
+  const size_t offset = column_offset_[c];
+  int64_t sum = 0;
+  for (size_t r = 0; r < num_rows_; ++r) sum += g.data[r * width + offset];
+  return sum;
+}
+
+int64_t GroupedLayout::SumWhere(size_t filter_col, int64_t threshold,
+                                size_t sum_col) const {
+  const Group& fg = groups_[column_group_[filter_col]];
+  const Group& sg = groups_[column_group_[sum_col]];
+  const size_t fw = fg.columns.size(), fo = column_offset_[filter_col];
+  const size_t sw = sg.columns.size(), so = column_offset_[sum_col];
+  int64_t sum = 0;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (fg.data[r * fw + fo] < threshold) sum += sg.data[r * sw + so];
+  }
+  return sum;
+}
+
+PaxLayout::PaxLayout(size_t num_columns, size_t page_bytes)
+    : num_columns_(num_columns),
+      rows_per_page_(page_bytes / (num_columns * sizeof(int64_t))) {
+  OLTAP_CHECK(rows_per_page_ > 0) << "page too small for schema";
+}
+
+void PaxLayout::AppendRow(const int64_t* values) {
+  if (pages_.empty() || pages_.back().used == rows_per_page_) {
+    Page page;
+    page.data.resize(num_columns_ * rows_per_page_);
+    pages_.push_back(std::move(page));
+  }
+  Page& page = pages_.back();
+  for (size_t c = 0; c < num_columns_; ++c) {
+    page.data[c * rows_per_page_ + page.used] = values[c];
+  }
+  ++page.used;
+  ++num_rows_;
+}
+
+void PaxLayout::GetRow(size_t r, int64_t* out) const {
+  const Page& page = pages_[r / rows_per_page_];
+  size_t slot = r % rows_per_page_;
+  for (size_t c = 0; c < num_columns_; ++c) {
+    out[c] = page.data[c * rows_per_page_ + slot];
+  }
+}
+
+void PaxLayout::Update(size_t r, size_t c, int64_t v) {
+  pages_[r / rows_per_page_].data[c * rows_per_page_ + r % rows_per_page_] = v;
+}
+
+int64_t PaxLayout::Get(size_t r, size_t c) const {
+  return pages_[r / rows_per_page_].data[c * rows_per_page_ +
+                                         r % rows_per_page_];
+}
+
+int64_t PaxLayout::SumColumn(size_t c) const {
+  int64_t sum = 0;
+  for (const Page& page : pages_) {
+    const int64_t* mini = &page.data[c * rows_per_page_];
+    for (size_t i = 0; i < page.used; ++i) sum += mini[i];
+  }
+  return sum;
+}
+
+int64_t PaxLayout::SumWhere(size_t filter_col, int64_t threshold,
+                            size_t sum_col) const {
+  int64_t sum = 0;
+  for (const Page& page : pages_) {
+    const int64_t* f = &page.data[filter_col * rows_per_page_];
+    const int64_t* s = &page.data[sum_col * rows_per_page_];
+    for (size_t i = 0; i < page.used; ++i) {
+      if (f[i] < threshold) sum += s[i];
+    }
+  }
+  return sum;
+}
+
+}  // namespace oltap

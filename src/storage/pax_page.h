@@ -1,0 +1,148 @@
+#ifndef OLTAP_STORAGE_PAX_PAGE_H_
+#define OLTAP_STORAGE_PAX_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oltap {
+
+// Physical-layout study structures for experiment E1 (row vs. column vs.
+// PAX), after Ailamaki et al. [3]. These are deliberately minimal,
+// fixed-width (int64) in-memory layouts so the benchmark isolates pure
+// memory-access patterns: NSM interleaves all columns per row, DSM stores
+// each column contiguously, PAX groups rows into pages with per-column
+// "minipages" (column locality within a page, row locality across one
+// page fetch).
+//
+// All three expose the same API: append, point read of a full row, point
+// update of one cell, sum of one column, and a filtered sum (selection on
+// one column, aggregation of another).
+
+// N-ary storage model: row-major interleaved.
+class RowLayout {
+ public:
+  explicit RowLayout(size_t num_columns) : num_columns_(num_columns) {}
+
+  void AppendRow(const int64_t* values);
+  void GetRow(size_t r, int64_t* out) const;
+  void Update(size_t r, size_t c, int64_t v) { data_[r * num_columns_ + c] = v; }
+  int64_t Get(size_t r, size_t c) const { return data_[r * num_columns_ + c]; }
+
+  int64_t SumColumn(size_t c) const;
+  // SUM(sum_col) WHERE filter_col < threshold.
+  int64_t SumWhere(size_t filter_col, int64_t threshold, size_t sum_col) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return num_columns_; }
+
+ private:
+  size_t num_columns_;
+  size_t num_rows_ = 0;
+  std::vector<int64_t> data_;
+};
+
+// Decomposition storage model: one contiguous array per column.
+class ColumnLayout {
+ public:
+  explicit ColumnLayout(size_t num_columns) : cols_(num_columns) {}
+
+  void AppendRow(const int64_t* values);
+  void GetRow(size_t r, int64_t* out) const;
+  void Update(size_t r, size_t c, int64_t v) { cols_[c][r] = v; }
+  int64_t Get(size_t r, size_t c) const { return cols_[c][r]; }
+
+  int64_t SumColumn(size_t c) const;
+  int64_t SumWhere(size_t filter_col, int64_t threshold, size_t sum_col) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return cols_.size(); }
+
+ private:
+  std::vector<std::vector<int64_t>> cols_;
+  size_t num_rows_ = 0;
+};
+
+// Column-grouped (hybrid vertically partitioned) layout, after Jindal et
+// al. [17] and data morphing [11]: columns that are co-accessed are stored
+// interleaved within a group; groups are stored separately. With one group
+// per column this degenerates to DSM; with a single group it is NSM. The
+// E1 benchmark uses it to show the middle of the layout spectrum: scans
+// touching exactly one group run at columnar speed, scans spanning groups
+// pay partial-row overfetch.
+class GroupedLayout {
+ public:
+  // `groups` partitions [0, num_columns): e.g. {{0,1},{2,3,4}}.
+  GroupedLayout(size_t num_columns, std::vector<std::vector<int>> groups);
+
+  void AppendRow(const int64_t* values);
+  void GetRow(size_t r, int64_t* out) const;
+  void Update(size_t r, size_t c, int64_t v);
+  int64_t Get(size_t r, size_t c) const;
+
+  int64_t SumColumn(size_t c) const;
+  int64_t SumWhere(size_t filter_col, int64_t threshold, size_t sum_col) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return column_group_.size(); }
+  // Which group column c lives in, and at which offset inside the group.
+  int group_of(size_t c) const { return column_group_[c]; }
+
+ private:
+  struct Group {
+    std::vector<int> columns;       // schema columns in this group
+    std::vector<int64_t> data;      // interleaved rows of the group
+  };
+
+  std::vector<Group> groups_;
+  std::vector<int> column_group_;   // column -> group index
+  std::vector<int> column_offset_;  // column -> offset within its group row
+  size_t num_rows_ = 0;
+};
+
+// Data morphing [11]: derives a column grouping from an observed query
+// workload. Each workload entry is the set of columns one query touches;
+// columns that are frequently co-accessed end up in the same group, so the
+// resulting GroupedLayout serves the workload with minimal overfetch.
+//
+// Greedy agglomerative scheme: start with singleton groups, repeatedly
+// merge the pair of groups with the highest co-access affinity (queries
+// touching columns in both, normalized by merged width), stop when no pair
+// clears `min_affinity` or groups would exceed `max_group_width`.
+std::vector<std::vector<int>> ChooseColumnGroups(
+    size_t num_columns, const std::vector<std::vector<int>>& query_columns,
+    double min_affinity = 0.25, size_t max_group_width = 4);
+
+// PAX: pages of `page_bytes`, each divided into per-column minipages.
+class PaxLayout {
+ public:
+  explicit PaxLayout(size_t num_columns, size_t page_bytes = 16 * 1024);
+
+  void AppendRow(const int64_t* values);
+  void GetRow(size_t r, int64_t* out) const;
+  void Update(size_t r, size_t c, int64_t v);
+  int64_t Get(size_t r, size_t c) const;
+
+  int64_t SumColumn(size_t c) const;
+  int64_t SumWhere(size_t filter_col, int64_t threshold, size_t sum_col) const;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return num_columns_; }
+  size_t rows_per_page() const { return rows_per_page_; }
+
+ private:
+  struct Page {
+    // Minipage for column c occupies [c * rows_per_page, (c+1) * rows_per_page).
+    std::vector<int64_t> data;
+    size_t used = 0;  // rows filled
+  };
+
+  size_t num_columns_;
+  size_t rows_per_page_;
+  size_t num_rows_ = 0;
+  std::vector<Page> pages_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_PAX_PAGE_H_

@@ -1,0 +1,159 @@
+#include "storage/row_store.h"
+
+#include <cstdlib>
+#include <new>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace oltap {
+
+RowStore::RowStore(Schema schema) : schema_(std::move(schema)) {
+  head_ = NewEntry("", kMaxHeight);
+}
+
+RowStore::~RowStore() {
+  Entry* node = head_;
+  while (node != nullptr) {
+    Entry* next = node->next[0].load(std::memory_order_relaxed);
+    // Free the version chain.
+    RowVersion* v = node->head.load(std::memory_order_relaxed);
+    while (v != nullptr) {
+      RowVersion* older = v->next;
+      delete v;
+      v = older;
+    }
+    node->~Entry();
+    // Destroy the tail of the tower (placement-constructed in NewEntry).
+    std::free(node);
+    node = next;
+  }
+}
+
+RowStore::Entry* RowStore::NewEntry(std::string_view key, int height) {
+  size_t size =
+      sizeof(Entry) + sizeof(std::atomic<Entry*>) * (height - 1);
+  void* mem = std::malloc(size);
+  OLTAP_CHECK(mem != nullptr);
+  Entry* e = new (mem) Entry();
+  e->key.assign(key.data(), key.size());
+  e->height = height;
+  for (int i = 1; i < height; ++i) {
+    new (&e->next[i]) std::atomic<Entry*>(nullptr);
+  }
+  return e;
+}
+
+int RowStore::RandomHeight() {
+  uint64_t seed =
+      height_seed_.fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed);
+  uint64_t r = Mix64(seed);
+  int height = 1;
+  // p = 1/4 per level.
+  while (height < kMaxHeight && (r & 3) == 0) {
+    ++height;
+    r >>= 2;
+  }
+  return height;
+}
+
+RowStore::Entry* RowStore::FindGreaterOrEqual(std::string_view target,
+                                              Entry** prev) const {
+  Entry* x = head_;
+  int level = max_height_.load(std::memory_order_relaxed) - 1;
+  while (true) {
+    Entry* next = x->next[level].load(std::memory_order_acquire);
+    if (next != nullptr && next->key < target) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+RowStore::Entry* RowStore::Get(std::string_view key) const {
+  Entry* node = FindGreaterOrEqual(key, nullptr);
+  if (node != nullptr && node->key == key) return node;
+  return nullptr;
+}
+
+RowStore::Entry* RowStore::GetOrCreate(std::string_view key) {
+  Entry* prev[kMaxHeight];
+  while (true) {
+    Entry* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && node->key == key) return node;
+
+    int height = RandomHeight();
+    int cur_max = max_height_.load(std::memory_order_relaxed);
+    if (height > cur_max) {
+      // Raise the list height; racing raises are harmless (CAS keeps max).
+      for (int h = cur_max; h < height; ++h) prev[h] = head_;
+      while (cur_max < height &&
+             !max_height_.compare_exchange_weak(cur_max, height,
+                                                std::memory_order_relaxed)) {
+      }
+    }
+
+    Entry* e = NewEntry(key, height);
+    // Link bottom-up; a level-0 failure means a racing insert of (possibly)
+    // the same key, so restart from the search.
+    e->next[0].store(prev[0]->next[0].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    Entry* expected = e->next[0].load(std::memory_order_relaxed);
+    // Recheck ordering: a racing insert may have placed a node between
+    // prev[0] and its successor.
+    if ((expected != nullptr && expected->key < key) ||
+        !prev[0]->next[0].compare_exchange_strong(
+            expected, e, std::memory_order_release)) {
+      e->~Entry();
+      std::free(e);
+      continue;  // retry from scratch
+    }
+    num_entries_.fetch_add(1, std::memory_order_relaxed);
+
+    for (int level = 1; level < height; ++level) {
+      while (true) {
+        Entry* p = prev[level];
+        Entry* succ = p->next[level].load(std::memory_order_acquire);
+        // Skip forward if new nodes were linked at this level meanwhile.
+        while (succ != nullptr && succ->key < e->key) {
+          p = succ;
+          succ = p->next[level].load(std::memory_order_acquire);
+        }
+        if (succ == e) break;  // someone already linked us? impossible; safe.
+        e->next[level].store(succ, std::memory_order_relaxed);
+        if (p->next[level].compare_exchange_strong(
+                succ, e, std::memory_order_release)) {
+          break;
+        }
+      }
+    }
+    return e;
+  }
+}
+
+bool RowStore::InstallVersion(Entry* entry, RowVersion* expected_head,
+                              RowVersion* v) {
+  v->next = expected_head;
+  return entry->head.compare_exchange_strong(expected_head, v,
+                                             std::memory_order_acq_rel);
+}
+
+RowStore::Iterator::Iterator(const RowStore* store) : store_(store) {}
+
+void RowStore::Iterator::Seek(std::string_view target) {
+  node_ = store_->FindGreaterOrEqual(target, nullptr);
+}
+
+void RowStore::Iterator::SeekToFirst() {
+  node_ = store_->head_->next[0].load(std::memory_order_acquire);
+}
+
+void RowStore::Iterator::Next() {
+  OLTAP_DCHECK(Valid());
+  node_ = node_->next[0].load(std::memory_order_acquire);
+}
+
+}  // namespace oltap

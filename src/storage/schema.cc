@@ -1,0 +1,50 @@
+#include "storage/schema.h"
+
+#include "common/logging.h"
+
+namespace oltap {
+
+Schema::Schema(std::vector<ColumnDef> columns, std::vector<int> key_columns)
+    : columns_(std::move(columns)), key_columns_(std::move(key_columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    auto [it, inserted] =
+        by_name_.emplace(columns_[i].name, static_cast<int>(i));
+    OLTAP_CHECK(inserted) << "duplicate column name: " << columns_[i].name;
+  }
+  for (int k : key_columns_) {
+    OLTAP_CHECK(k >= 0 && static_cast<size_t>(k) < columns_.size());
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+SchemaBuilder& SchemaBuilder::SetKey(const std::vector<std::string>& names) {
+  key_.clear();
+  for (const std::string& n : names) {
+    int idx = -1;
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (cols_[i].name == n) idx = static_cast<int>(i);
+    }
+    OLTAP_CHECK(idx >= 0) << "key column not found: " << n;
+    key_.push_back(idx);
+  }
+  return *this;
+}
+
+}  // namespace oltap

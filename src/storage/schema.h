@@ -1,0 +1,75 @@
+#ifndef OLTAP_STORAGE_SCHEMA_H_
+#define OLTAP_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace oltap {
+
+// A column definition within a table schema.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  bool nullable = true;
+};
+
+// Immutable table schema: ordered column definitions plus the primary-key
+// column set. All storage engines, the planner, and the workload generators
+// share this.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<ColumnDef> columns, std::vector<int> key_columns = {});
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Index of `name`, or -1.
+  int FindColumn(const std::string& name) const;
+
+  // Primary-key column indices (empty = no declared key; row store then
+  // keys on an internal sequence).
+  const std::vector<int>& key_columns() const { return key_columns_; }
+  bool HasKey() const { return !key_columns_.empty(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<int> key_columns_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+// Convenience builder used by tests, examples, and workload schemas.
+class SchemaBuilder {
+ public:
+  SchemaBuilder& AddInt64(const std::string& name, bool nullable = true) {
+    cols_.push_back({name, ValueType::kInt64, nullable});
+    return *this;
+  }
+  SchemaBuilder& AddDouble(const std::string& name, bool nullable = true) {
+    cols_.push_back({name, ValueType::kDouble, nullable});
+    return *this;
+  }
+  SchemaBuilder& AddString(const std::string& name, bool nullable = true) {
+    cols_.push_back({name, ValueType::kString, nullable});
+    return *this;
+  }
+  // Declares the primary key by column names (must already be added).
+  SchemaBuilder& SetKey(const std::vector<std::string>& names);
+
+  Schema Build() const { return Schema(cols_, key_); }
+
+ private:
+  std::vector<ColumnDef> cols_;
+  std::vector<int> key_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_SCHEMA_H_

@@ -1,0 +1,97 @@
+#ifndef OLTAP_STORAGE_TABLE_H_
+#define OLTAP_STORAGE_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/column_store.h"
+#include "storage/dual_table.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace oltap {
+
+// Physical organization of a table — the central design axis of the
+// tutorial's survey ("row-based, column-oriented, or hybrid").
+enum class TableFormat : uint8_t {
+  kRow,      // skip-list row store only (pure OLTP engine)
+  kColumn,   // delta + columnar main only (HANA/BLU-style single store)
+  kDual,     // both mirrors, transactionally consistent (Oracle DBIM)
+};
+
+const char* TableFormatToString(TableFormat f);
+
+// Unified table facade over the three storage engines. All mutating calls
+// are *committed* writes stamped with a commit timestamp; the transaction
+// layer (txn/) buffers uncommitted changes and drives these at commit.
+class Table {
+ public:
+  Table(std::string name, Schema schema, TableFormat format);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  TableFormat format() const { return format_; }
+
+  Status InsertCommitted(const Row& row, Timestamp ts);
+  Status DeleteCommitted(std::string_view key, Timestamp ts);
+  Status UpdateCommitted(std::string_view key, const Row& new_row,
+                         Timestamp ts);
+
+  bool Lookup(std::string_view key, Timestamp read_ts, Row* out) const;
+  Timestamp LastWriteTs(std::string_view key) const;
+
+  // Row-wise scan of all rows visible at read_ts (any format). The
+  // columnar engines reconstruct tuples; the vectorized/columnar execution
+  // paths in exec/ bypass this and scan segments directly.
+  void ScanVisible(Timestamp read_ts,
+                   const std::function<void(const Row&)>& fn) const;
+
+  // Ordered range scan over the row mirror (kRow/kDual): up to `limit`
+  // visible rows with key >= start_key, in key order. Falls back to a
+  // filtered full scan for kColumn (which has no ordered access path —
+  // exactly the asymmetry experiment E4 measures). Returns rows visited.
+  size_t ScanRange(std::string_view start_key, size_t limit,
+                   Timestamp read_ts,
+                   const std::function<void(const Row&)>& fn) const;
+
+  // Columnar snapshot for batch scans; nullopt for kRow tables.
+  std::optional<ColumnTable::Snapshot> GetColumnSnapshot(
+      Timestamp read_ts) const;
+
+  // True when the format has a delta/main lifecycle to merge.
+  bool Mergeable() const { return format_ != TableFormat::kRow; }
+  // Folds the columnar delta into the main; no-op (returns 0) for kRow.
+  size_t MergeDelta(Timestamp merge_ts, Timestamp gc_horizon);
+
+  // Number of rows visible at read_ts. O(n) over delta + deletes; cheap
+  // enough for planning heuristics and tests.
+  size_t CountVisible(Timestamp read_ts) const;
+
+  // Fast bulk ingest into an empty kColumn table's main fragment.
+  Status BulkLoadToMain(const std::vector<Row>& rows, Timestamp ts);
+
+  // Engine accessors for specialized paths (may be null depending on
+  // format).
+  RowTable* row_table();
+  const RowTable* row_table() const;
+  ColumnTable* column_table();
+  const ColumnTable* column_table() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  TableFormat format_;
+
+  std::unique_ptr<RowTable> row_;       // kRow
+  std::unique_ptr<ColumnTable> column_; // kColumn
+  std::unique_ptr<DualTable> dual_;     // kDual
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_TABLE_H_

@@ -1,0 +1,68 @@
+#include "storage/value.h"
+
+#include "common/logging.h"
+
+namespace oltap {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  if (null_ || other.null_) {
+    if (null_ && other.null_) return 0;
+    return null_ ? -1 : 1;
+  }
+  if (type_ == ValueType::kString || other.type_ == ValueType::kString) {
+    OLTAP_DCHECK(type_ == ValueType::kString &&
+                 other.type_ == ValueType::kString)
+        << "comparing string to numeric";
+    return str_.compare(other.str_) < 0   ? -1
+           : str_.compare(other.str_) > 0 ? 1
+                                          : 0;
+  }
+  if (type_ == ValueType::kInt64 && other.type_ == ValueType::kInt64) {
+    return i64_ < other.i64_ ? -1 : i64_ > other.i64_ ? 1 : 0;
+  }
+  double a = AsDouble();
+  double b = other.AsDouble();
+  return a < b ? -1 : a > b ? 1 : 0;
+}
+
+uint64_t Value::Hash() const {
+  if (null_) return 0x9ae16a3b2f90404fULL;
+  switch (type_) {
+    case ValueType::kInt64:
+      return HashInt64(i64_);
+    case ValueType::kDouble:
+      return HashDouble(f64_);
+    case ValueType::kString:
+      return HashString(str_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case ValueType::kInt64:
+      return std::to_string(i64_);
+    case ValueType::kDouble: {
+      std::string s = std::to_string(f64_);
+      return s;
+    }
+    case ValueType::kString:
+      return str_;
+  }
+  return "?";
+}
+
+}  // namespace oltap

@@ -1,0 +1,106 @@
+#ifndef OLTAP_STORAGE_VALUE_H_
+#define OLTAP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace oltap {
+
+// Column types supported by the engine. Kept deliberately small: the
+// surveyed systems' architectural trade-offs (layout, compression, MVCC,
+// scans) are fully exercised by integers, doubles, and strings.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+const char* ValueTypeToString(ValueType t);
+
+// A single typed cell. Used on OLTP paths (point reads/writes, row store)
+// and as the scalar currency of the expression interpreter; analytic scans
+// operate on columnar batches instead and never materialize Values per cell.
+class Value {
+ public:
+  Value() : type_(ValueType::kInt64), null_(true), i64_(0), f64_(0) {}
+
+  static Value Null(ValueType t = ValueType::kInt64) {
+    Value v;
+    v.type_ = t;
+    return v;
+  }
+  static Value Int64(int64_t x) {
+    Value v;
+    v.type_ = ValueType::kInt64;
+    v.null_ = false;
+    v.i64_ = x;
+    return v;
+  }
+  static Value Double(double x) {
+    Value v;
+    v.type_ = ValueType::kDouble;
+    v.null_ = false;
+    v.f64_ = x;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = ValueType::kString;
+    v.null_ = false;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value Bool(bool b) { return Int64(b ? 1 : 0); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  int64_t AsInt64() const { return i64_; }
+  double AsDouble() const {
+    return type_ == ValueType::kDouble ? f64_ : static_cast<double>(i64_);
+  }
+  const std::string& AsString() const { return str_; }
+  std::string_view AsStringView() const { return str_; }
+  bool AsBool() const { return !null_ && AsInt64() != 0; }
+
+  // Total order: NULL < everything; cross-numeric comparisons promote to
+  // double; comparing string to numeric is a caller bug (DCHECKed).
+  int Compare(const Value& other) const;
+
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.Compare(b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return a.Compare(b) != 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return a.Compare(b) <= 0;
+  }
+  friend bool operator>(const Value& a, const Value& b) {
+    return a.Compare(b) > 0;
+  }
+  friend bool operator>=(const Value& a, const Value& b) {
+    return a.Compare(b) >= 0;
+  }
+
+ private:
+  ValueType type_;
+  bool null_;
+  int64_t i64_;
+  double f64_;
+  std::string str_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_VALUE_H_

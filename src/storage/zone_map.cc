@@ -1,0 +1,92 @@
+#include "storage/zone_map.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+template <typename T>
+ZoneMap ZoneMap::BuildImpl(const std::vector<T>& values,
+                           const BitVector* nulls, size_t zone_rows) {
+  OLTAP_CHECK(zone_rows > 0);
+  ZoneMap zm;
+  zm.zone_rows_ = zone_rows;
+  size_t n = values.size();
+  zm.zones_.resize((n + zone_rows - 1) / zone_rows);
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls != nullptr && nulls->Get(i)) continue;
+    Zone& z = zm.zones_[i / zone_rows];
+    double v = static_cast<double>(values[i]);
+    if (!z.has_value) {
+      z.min = z.max = v;
+      z.has_value = true;
+    } else {
+      z.min = std::min(z.min, v);
+      z.max = std::max(z.max, v);
+    }
+  }
+  return zm;
+}
+
+ZoneMap ZoneMap::Build(const std::vector<int64_t>& values,
+                       const BitVector* nulls, size_t zone_rows) {
+  return BuildImpl(values, nulls, zone_rows);
+}
+
+ZoneMap ZoneMap::BuildFromCodes(const std::vector<uint32_t>& codes,
+                                const BitVector* nulls, size_t zone_rows) {
+  return BuildImpl(codes, nulls, zone_rows);
+}
+
+ZoneMap ZoneMap::BuildFromDoubles(const std::vector<double>& values,
+                                  const BitVector* nulls, size_t zone_rows) {
+  return BuildImpl(values, nulls, zone_rows);
+}
+
+bool ZoneMap::ZoneMayMatch(size_t z, CompareOp op, double constant) const {
+  OLTAP_DCHECK(z < zones_.size());
+  const Zone& zone = zones_[z];
+  if (!zone.has_value) return false;  // all nulls: no comparison matches
+  switch (op) {
+    case CompareOp::kEq:
+      return zone.min <= constant && constant <= zone.max;
+    case CompareOp::kNe:
+      // Only prunable if every value equals the constant.
+      return !(zone.min == constant && zone.max == constant);
+    case CompareOp::kLt:
+      return zone.min < constant;
+    case CompareOp::kLe:
+      return zone.min <= constant;
+    case CompareOp::kGt:
+      return zone.max > constant;
+    case CompareOp::kGe:
+      return zone.max >= constant;
+  }
+  return true;
+}
+
+bool ZoneMap::AnyZoneMayMatch(CompareOp op, double constant) const {
+  for (size_t z = 0; z < zones_.size(); ++z) {
+    if (ZoneMayMatch(z, op, constant)) return true;
+  }
+  return false;
+}
+
+bool ZoneMap::GlobalBounds(double* min, double* max) const {
+  bool any = false;
+  for (const Zone& z : zones_) {
+    if (!z.has_value) continue;
+    if (!any) {
+      *min = z.min;
+      *max = z.max;
+      any = true;
+    } else {
+      *min = std::min(*min, z.min);
+      *max = std::max(*max, z.max);
+    }
+  }
+  return any;
+}
+
+}  // namespace oltap

@@ -1,0 +1,73 @@
+#ifndef OLTAP_STORAGE_ZONE_MAP_H_
+#define OLTAP_STORAGE_ZONE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "storage/bitpack.h"
+
+namespace oltap {
+
+// In-memory storage index (Oracle Database In-Memory's term) / zone map:
+// per-block min/max over a column segment, letting scans skip blocks that
+// cannot satisfy a predicate. Works on raw int64 values or on dictionary
+// codes (order-preserving encodings keep min/max meaningful).
+class ZoneMap {
+ public:
+  static constexpr size_t kDefaultZoneRows = 1024;
+
+  ZoneMap() = default;
+
+  // Builds zones over `values`; entries where `nulls` is set are ignored.
+  static ZoneMap Build(const std::vector<int64_t>& values,
+                       const BitVector* nulls,
+                       size_t zone_rows = kDefaultZoneRows);
+  static ZoneMap BuildFromCodes(const std::vector<uint32_t>& codes,
+                                const BitVector* nulls,
+                                size_t zone_rows = kDefaultZoneRows);
+  static ZoneMap BuildFromDoubles(const std::vector<double>& values,
+                                  const BitVector* nulls,
+                                  size_t zone_rows = kDefaultZoneRows);
+
+  size_t num_zones() const { return zones_.size(); }
+  size_t zone_rows() const { return zone_rows_; }
+
+  // True if zone `z` could contain a row satisfying `v <op> constant`
+  // (constant in the same domain the map was built over; doubles compare
+  // against the stored double bounds).
+  bool ZoneMayMatch(size_t z, CompareOp op, double constant) const;
+
+  // True if at least one zone may match (whole-segment pruning).
+  bool AnyZoneMayMatch(CompareOp op, double constant) const;
+
+  // Min/max across all zones; false if the segment is all-null/empty.
+  bool GlobalBounds(double* min, double* max) const;
+
+  // Bounds of one zone; false if the zone holds only NULLs.
+  bool ZoneBounds(size_t z, double* min, double* max) const {
+    const Zone& zone = zones_[z];
+    if (!zone.has_value) return false;
+    *min = zone.min;
+    *max = zone.max;
+    return true;
+  }
+
+ private:
+  struct Zone {
+    double min = 0;
+    double max = 0;
+    bool has_value = false;
+  };
+
+  template <typename T>
+  static ZoneMap BuildImpl(const std::vector<T>& values,
+                           const BitVector* nulls, size_t zone_rows);
+
+  std::vector<Zone> zones_;
+  size_t zone_rows_ = kDefaultZoneRows;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_ZONE_MAP_H_

@@ -1,0 +1,65 @@
+#include "txn/checkpoint.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace oltap {
+namespace {
+
+// One WAL record holds a uint16 op count; chunk bulk inserts well below it.
+constexpr size_t kRowsPerRecord = 32000;
+
+}  // namespace
+
+std::string WriteCheckpoint(const Catalog& catalog, Timestamp ts) {
+  Wal buffer;
+  std::vector<std::string> names = catalog.TableNames();
+  std::sort(names.begin(), names.end());  // deterministic output
+  for (const std::string& name : names) {
+    const Table* table = catalog.GetTable(name);
+    std::vector<WalOp> ops;
+    ops.reserve(kRowsPerRecord);
+    auto flush = [&] {
+      if (!ops.empty()) {
+        buffer.LogCommit(/*txn_id=*/0, ts, ops);
+        ops.clear();
+      }
+    };
+    table->ScanVisible(ts, [&](const Row& row) {
+      WalOp op;
+      op.kind = WalOp::kInsert;
+      op.table = name;
+      op.row = row;
+      ops.push_back(std::move(op));
+      if (ops.size() >= kRowsPerRecord) flush();
+    });
+    flush();
+  }
+  return buffer.buffer();
+}
+
+Result<Wal::ReplayStats> RestoreCheckpoint(const std::string& data,
+                                           Catalog* catalog) {
+  return Wal::Replay(data, catalog);
+}
+
+Result<Wal::ReplayStats> RecoverFromCheckpointAndLog(
+    const std::string& checkpoint, const std::string& wal_data,
+    Catalog* catalog) {
+  OLTAP_ASSIGN_OR_RETURN(Wal::ReplayStats snap_stats,
+                         Wal::Replay(checkpoint, catalog));
+  if (snap_stats.truncated_tail) {
+    return Status::Corruption("checkpoint is torn");
+  }
+  OLTAP_ASSIGN_OR_RETURN(
+      Wal::ReplayStats tail_stats,
+      Wal::Replay(wal_data, catalog,
+                  /*skip_through_ts=*/snap_stats.max_commit_ts));
+  tail_stats.txns_applied += snap_stats.txns_applied;
+  tail_stats.ops_applied += snap_stats.ops_applied;
+  tail_stats.max_commit_ts =
+      std::max(tail_stats.max_commit_ts, snap_stats.max_commit_ts);
+  return tail_stats;
+}
+
+}  // namespace oltap

@@ -1,0 +1,37 @@
+#ifndef OLTAP_TXN_CHECKPOINT_H_
+#define OLTAP_TXN_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/catalog.h"
+#include "txn/wal.h"
+
+namespace oltap {
+
+// Consistent checkpointing: serializes every row visible at `ts` so
+// recovery can start from the checkpoint and replay only the WAL tail,
+// instead of replaying history from the beginning — the standard
+// checkpoint + log-truncation pattern of in-memory engines.
+//
+// The checkpoint is encoded as WAL records (one bulk-insert record per
+// table) stamped with commit timestamp `ts`, so restoration is ordinary
+// replay. Because reads go through a snapshot at `ts`, the checkpoint is
+// transaction-consistent even while OLTP continues.
+std::string WriteCheckpoint(const Catalog& catalog, Timestamp ts);
+
+// Restores a checkpoint into a fresh catalog (tables must exist, empty).
+Result<Wal::ReplayStats> RestoreCheckpoint(const std::string& data,
+                                           Catalog* catalog);
+
+// Recovery entry point: restore the checkpoint, then replay the WAL tail —
+// only records with commit_ts > the checkpoint's timestamp are applied.
+// Returns combined stats (max_commit_ts covers the tail).
+Result<Wal::ReplayStats> RecoverFromCheckpointAndLog(
+    const std::string& checkpoint, const std::string& wal_data,
+    Catalog* catalog);
+
+}  // namespace oltap
+
+#endif  // OLTAP_TXN_CHECKPOINT_H_

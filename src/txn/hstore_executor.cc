@@ -1,0 +1,107 @@
+#include "txn/hstore_executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace oltap {
+
+HStoreExecutor::HStoreExecutor(size_t num_partitions) {
+  OLTAP_CHECK(num_partitions > 0);
+  workers_.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (size_t p = 0; p < num_partitions; ++p) {
+    workers_[p]->thread = std::thread([this, p] { WorkerLoop(p); });
+  }
+}
+
+HStoreExecutor::~HStoreExecutor() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) w->thread.join();
+}
+
+std::future<Status> HStoreExecutor::Submit(std::vector<int> partitions,
+                                           std::function<Status()> work) {
+  std::sort(partitions.begin(), partitions.end());
+  partitions.erase(std::unique(partitions.begin(), partitions.end()),
+                   partitions.end());
+  OLTAP_CHECK(!partitions.empty());
+  for (int p : partitions) {
+    OLTAP_CHECK(p >= 0 && static_cast<size_t>(p) < workers_.size());
+  }
+
+  auto job = std::make_shared<Job>();
+  job->work = std::move(work);
+  job->arrivals_needed = partitions.size();
+  std::future<Status> fut = job->done.get_future();
+
+  (partitions.size() == 1 ? single_ : multi_)
+      .fetch_add(1, std::memory_order_relaxed);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> submit_lock(submit_mu_);
+    for (int p : partitions) {
+      Worker& w = *workers_[p];
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.queue.push_back(job);
+      w.cv.notify_one();
+    }
+  }
+  return fut;
+}
+
+void HStoreExecutor::WorkerLoop(size_t partition) {
+  Worker& w = *workers_[partition];
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] {
+        return shutdown_.load(std::memory_order_acquire) || !w.queue.empty();
+      });
+      if (w.queue.empty()) return;  // shutdown and drained
+      job = std::move(w.queue.front());
+      w.queue.pop_front();
+    }
+    bool executes;
+    {
+      // Rendezvous: the last owner thread to arrive executes the body while
+      // the others hold their partitions idle — the multi-partition stall
+      // H-Store is famous for.
+      std::unique_lock<std::mutex> lock(job->mu);
+      executes = (++job->arrived == job->arrivals_needed);
+      if (!executes) {
+        job->cv.wait(lock, [&] { return job->finished; });
+      }
+    }
+    if (executes) {
+      Status st = job->work();
+      {
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->finished = true;
+        job->cv.notify_all();
+      }
+      job->done.set_value(std::move(st));
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void HStoreExecutor::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace oltap

@@ -1,0 +1,93 @@
+#ifndef OLTAP_TXN_HSTORE_EXECUTOR_H_
+#define OLTAP_TXN_HSTORE_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oltap {
+
+// H-Store-style partitioned serial execution [38]: the database is
+// pre-partitioned into conflict-free partitions, each owned by exactly one
+// worker thread that runs its transactions serially — no locks, no
+// versions, no latches on the partition-local data.
+//
+// Single-partition transactions are the fast path: enqueue and run.
+// Multi-partition transactions must rendezvous every involved partition:
+// each owner thread parks at a barrier while one of them executes the
+// transaction body with exclusive access to all involved partitions. This
+// is precisely the cost model that makes H-Store spectacular on
+// partitionable workloads and fragile otherwise — experiment E11 sweeps
+// the multi-partition fraction to reproduce that cliff.
+class HStoreExecutor {
+ public:
+  explicit HStoreExecutor(size_t num_partitions);
+  ~HStoreExecutor();
+
+  HStoreExecutor(const HStoreExecutor&) = delete;
+  HStoreExecutor& operator=(const HStoreExecutor&) = delete;
+
+  size_t num_partitions() const { return workers_.size(); }
+
+  // Schedules `work` to run with exclusive access to every partition in
+  // `partitions` (deduped internally). The future resolves with the body's
+  // status. `work` runs on one of the involved partitions' owner threads.
+  std::future<Status> Submit(std::vector<int> partitions,
+                             std::function<Status()> work);
+
+  // Blocks until all queued transactions have completed.
+  void Drain();
+
+  uint64_t single_partition_txns() const {
+    return single_.load(std::memory_order_relaxed);
+  }
+  uint64_t multi_partition_txns() const {
+    return multi_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One queued transaction; shared by every involved partition's queue.
+  struct Job {
+    std::function<Status()> work;
+    std::promise<Status> done;
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t arrivals_needed = 0;
+    size_t arrived = 0;
+    bool finished = false;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::shared_ptr<Job>> queue;
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t partition);
+
+  // Serializes multi-queue enqueues so every pair of jobs appears in the
+  // same relative order in every queue they share — the property that makes
+  // the rendezvous deadlock-free (the earliest-submitted blocked job can
+  // always complete).
+  std::mutex submit_mu_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> single_{0};
+  std::atomic<uint64_t> multi_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_TXN_HSTORE_EXECUTOR_H_

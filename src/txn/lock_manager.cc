@@ -1,0 +1,139 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace oltap {
+
+size_t LockManager::StripeFor(const std::string& key) const {
+  return HashString(key) % kStripes;
+}
+
+bool LockManager::Compatible(const LockState& state, uint64_t txn_id,
+                             Mode mode) {
+  if (mode == Mode::kShared) {
+    return state.exclusive == 0 || state.exclusive == txn_id;
+  }
+  // Exclusive: no other holder of any kind.
+  if (state.exclusive != 0 && state.exclusive != txn_id) return false;
+  for (uint64_t holder : state.shared) {
+    if (holder != txn_id) return false;
+  }
+  return true;
+}
+
+bool LockManager::MayWait(const LockState& state, uint64_t txn_id,
+                          Mode mode) {
+  // Wait-die: the requester may wait only on strictly younger (larger-id)
+  // holders. Any older conflicting holder means the requester dies.
+  if (state.exclusive != 0 && state.exclusive != txn_id &&
+      state.exclusive < txn_id) {
+    return false;
+  }
+  if (mode == Mode::kExclusive) {
+    for (uint64_t holder : state.shared) {
+      if (holder != txn_id && holder < txn_id) return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const std::string& key,
+                            Mode mode) {
+  Stripe& stripe = stripes_[StripeFor(key)];
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  LockState& state = stripe.locks[key];
+  bool waited = false;
+  while (!Compatible(state, txn_id, mode)) {
+    if (!MayWait(state, txn_id, mode)) {
+      deaths_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("wait-die victim on lock " + key);
+    }
+    waited = true;
+    stripe.cv.wait(lock);
+  }
+  if (waited) waits_.fetch_add(1, std::memory_order_relaxed);
+  if (mode == Mode::kShared) {
+    if (state.exclusive != txn_id) state.shared.insert(txn_id);
+  } else if (state.exclusive != txn_id) {
+    state.shared.erase(txn_id);  // upgrade consumes the shared hold
+    state.exclusive = txn_id;
+  }
+  lock.unlock();
+  {
+    // Record the key once per (txn, key) for ReleaseAll.
+    std::lock_guard<std::mutex> held_lock(held_mu_);
+    std::vector<std::string>& keys = held_[txn_id];
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      keys.push_back(key);
+    }
+  }
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::vector<std::string> keys;
+  {
+    std::lock_guard<std::mutex> held_lock(held_mu_);
+    auto it = held_.find(txn_id);
+    if (it == held_.end()) return;
+    keys = std::move(it->second);
+    held_.erase(it);
+  }
+  for (const std::string& key : keys) {
+    Stripe& stripe = stripes_[StripeFor(key)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.locks.find(key);
+    if (it == stripe.locks.end()) continue;
+    LockState& state = it->second;
+    state.shared.erase(txn_id);
+    if (state.exclusive == txn_id) state.exclusive = 0;
+    if (state.shared.empty() && state.exclusive == 0) {
+      stripe.locks.erase(it);
+    }
+    stripe.cv.notify_all();
+  }
+}
+
+size_t LockManager::num_locked_keys() const {
+  size_t n = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    n += stripe.locks.size();
+  }
+  return n;
+}
+
+Status TwoPLSession::Run(uint64_t txn_id,
+                         const std::vector<std::string>& read_keys,
+                         const std::vector<std::string>& write_keys,
+                         const std::function<Status()>& body) {
+  // Sort the combined lock set so concurrent sessions acquire in the same
+  // order; writes dominate reads on the same key.
+  std::vector<std::pair<std::string, LockManager::Mode>> locks;
+  locks.reserve(read_keys.size() + write_keys.size());
+  for (const std::string& k : write_keys) {
+    locks.emplace_back(k, LockManager::Mode::kExclusive);
+  }
+  for (const std::string& k : read_keys) {
+    locks.emplace_back(k, LockManager::Mode::kShared);
+  }
+  std::sort(locks.begin(), locks.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (const auto& [key, mode] : locks) {
+    // Skip a shared request if the same key was already locked exclusive.
+    Status st = lm_->Acquire(txn_id, key, mode);
+    if (!st.ok()) {
+      lm_->ReleaseAll(txn_id);
+      return st;
+    }
+  }
+  Status st = body();
+  lm_->ReleaseAll(txn_id);
+  return st;
+}
+
+}  // namespace oltap

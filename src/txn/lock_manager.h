@@ -1,0 +1,92 @@
+#ifndef OLTAP_TXN_LOCK_MANAGER_H_
+#define OLTAP_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace oltap {
+
+// Two-phase-locking baseline: per-key shared/exclusive locks with wait-die
+// deadlock avoidance (older transactions — smaller ids — wait; younger ones
+// abort). This is the "traditional" concurrency control the multi-version
+// designs in the tutorial are compared against: analytic readers block
+// writers and vice versa, which experiment E5 measures.
+class LockManager {
+ public:
+  enum class Mode : uint8_t { kShared, kExclusive };
+
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Blocks until granted, or returns kAborted (wait-die victim). Re-entrant
+  // for a holder; S→X upgrade succeeds when the caller is the sole holder.
+  Status Acquire(uint64_t txn_id, const std::string& key, Mode mode);
+
+  // Releases every lock held by `txn_id` (end of the second phase).
+  void ReleaseAll(uint64_t txn_id);
+
+  // Diagnostics.
+  size_t num_locked_keys() const;
+  uint64_t num_waits() const { return waits_.load(std::memory_order_relaxed); }
+  uint64_t num_deaths() const {
+    return deaths_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kStripes = 64;
+
+  struct LockState {
+    std::set<uint64_t> shared;
+    uint64_t exclusive = 0;  // holder id, 0 = none
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<std::string, LockState> locks;
+  };
+
+  size_t StripeFor(const std::string& key) const;
+  // True if `txn_id` may be granted `mode` on `state` right now.
+  static bool Compatible(const LockState& state, uint64_t txn_id, Mode mode);
+  // True if every current conflicting holder is younger than txn_id
+  // (wait-die: an older requester may wait).
+  static bool MayWait(const LockState& state, uint64_t txn_id, Mode mode);
+
+  Stripe stripes_[kStripes];
+
+  mutable std::mutex held_mu_;
+  std::unordered_map<uint64_t, std::vector<std::string>> held_;
+
+  std::atomic<uint64_t> waits_{0};
+  std::atomic<uint64_t> deaths_{0};
+};
+
+// Conservative (static) 2PL convenience: acquires every declared lock up
+// front in sorted order, runs the body, releases. Because all acquisition
+// precedes any data access, an abort during acquisition needs no undo —
+// the body only runs once fully locked.
+class TwoPLSession {
+ public:
+  explicit TwoPLSession(LockManager* lm) : lm_(lm) {}
+
+  // Returns kAborted if lock acquisition dies; otherwise the body's status.
+  Status Run(uint64_t txn_id, const std::vector<std::string>& read_keys,
+             const std::vector<std::string>& write_keys,
+             const std::function<Status()>& body);
+
+ private:
+  LockManager* lm_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,302 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "txn/wal.h"
+
+namespace oltap {
+
+Transaction::~Transaction() {
+  if (!finished_) mgr_->Abort(this);
+}
+
+const Transaction::WriteOp* Transaction::OwnWrite(
+    const Table* table, const std::string& key) const {
+  auto it = latest_.find({table, key});
+  return it == latest_.end() ? nullptr : &ops_[it->second];
+}
+
+Status Transaction::Insert(Table* table, Row row) {
+  if (row.size() != table->schema().num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  std::string key =
+      table->schema().HasKey() ? EncodeKey(table->schema(), row) : "";
+  if (!key.empty()) {
+    const WriteOp* own = OwnWrite(table, key);
+    if (own != nullptr && own->kind != OpKind::kDelete) {
+      return Status::AlreadyExists("duplicate key in transaction");
+    }
+    if (own == nullptr) {
+      Row existing;
+      if (table->Lookup(key, begin_ts_, &existing)) {
+        return Status::AlreadyExists("duplicate primary key");
+      }
+    }
+  }
+  ops_.push_back(WriteOp{OpKind::kInsert, table, key, std::move(row)});
+  if (!key.empty()) latest_[{table, ops_.back().key}] = ops_.size() - 1;
+  return Status::OK();
+}
+
+Status Transaction::Update(Table* table, Row new_row) {
+  if (!table->schema().HasKey()) {
+    return Status::FailedPrecondition("update requires a primary key");
+  }
+  std::string key = EncodeKey(table->schema(), new_row);
+  const WriteOp* own = OwnWrite(table, key);
+  if (own != nullptr) {
+    if (own->kind == OpKind::kDelete) {
+      return Status::NotFound("row deleted in this transaction");
+    }
+  } else {
+    Row existing;
+    if (!table->Lookup(key, begin_ts_, &existing)) {
+      return Status::NotFound("key not visible");
+    }
+  }
+  ops_.push_back(WriteOp{OpKind::kUpdate, table, key, std::move(new_row)});
+  latest_[{table, ops_.back().key}] = ops_.size() - 1;
+  return Status::OK();
+}
+
+Status Transaction::Delete(Table* table, const Row& key_row) {
+  if (!table->schema().HasKey()) {
+    return Status::FailedPrecondition("delete requires a primary key");
+  }
+  return DeleteByKey(table, EncodeKey(table->schema(), key_row));
+}
+
+Status Transaction::DeleteByKey(Table* table, std::string key) {
+  const WriteOp* own = OwnWrite(table, key);
+  if (own != nullptr) {
+    if (own->kind == OpKind::kDelete) {
+      return Status::NotFound("row already deleted in this transaction");
+    }
+  } else {
+    Row existing;
+    if (!table->Lookup(key, begin_ts_, &existing)) {
+      return Status::NotFound("key not visible");
+    }
+  }
+  ops_.push_back(WriteOp{OpKind::kDelete, table, std::move(key), Row{}});
+  latest_[{table, ops_.back().key}] = ops_.size() - 1;
+  return Status::OK();
+}
+
+bool Transaction::Get(Table* table, const std::string& key, Row* out) const {
+  const WriteOp* own = OwnWrite(table, key);
+  if (own != nullptr) {
+    if (own->kind == OpKind::kDelete) return false;
+    *out = own->row;
+    return true;
+  }
+  return table->Lookup(key, begin_ts_, out);
+}
+
+bool Transaction::GetByRow(Table* table, const Row& key_row, Row* out) const {
+  return Get(table, EncodeKey(table->schema(), key_row), out);
+}
+
+void Transaction::Scan(Table* table,
+                       const std::function<void(const Row&)>& fn) const {
+  const bool keyed = table->schema().HasKey();
+  table->ScanVisible(begin_ts_, [&](const Row& row) {
+    if (keyed) {
+      const WriteOp* own = OwnWrite(table, EncodeKey(table->schema(), row));
+      if (own != nullptr) {
+        // Deleted rows vanish; updated rows are emitted from the write set
+        // below only if they replace this one (emit the new image here).
+        if (own->kind == OpKind::kDelete) return;
+        if (own->kind == OpKind::kUpdate) {
+          fn(own->row);
+          return;
+        }
+        // kInsert over a visible row cannot validate; fall through.
+      }
+    }
+    fn(row);
+  });
+  // Own rows not visible in the snapshot (inserted, possibly then updated,
+  // within this transaction).
+  for (const auto& [table_key, idx] : latest_) {
+    if (table_key.first != table) continue;
+    const WriteOp& op = ops_[idx];
+    if (op.kind == OpKind::kDelete) continue;
+    Row existing;
+    if (!table->Lookup(op.key, begin_ts_, &existing)) fn(op.row);
+  }
+  // Keyless appends are never in latest_.
+  for (const WriteOp& op : ops_) {
+    if (op.table == table && op.kind == OpKind::kInsert && op.key.empty()) {
+      fn(op.row);
+    }
+  }
+}
+
+TransactionManager::TransactionManager(Catalog* catalog, Wal* wal)
+    : catalog_(catalog), wal_(wal) {}
+
+Timestamp TransactionManager::VisibleWatermark() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  if (inflight_commits_.empty()) return oracle_.CurrentReadTs();
+  return *inflight_commits_.begin() - 1;
+}
+
+Timestamp TransactionManager::AllocateCommitTs() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  Timestamp ts = oracle_.AllocateCommitTs();
+  inflight_commits_.insert(ts);
+  return ts;
+}
+
+void TransactionManager::FinishCommitTs(Timestamp ts) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_commits_.erase(ts);
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  Timestamp begin_ts = VisibleWatermark();
+  uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    active_snapshots_[begin_ts]++;
+  }
+  return std::unique_ptr<Transaction>(new Transaction(this, id, begin_ts));
+}
+
+size_t TransactionManager::StripeFor(const Table* table,
+                                     const std::string& key) const {
+  uint64_t h = HashCombine(
+      Mix64(reinterpret_cast<uintptr_t>(table)), HashString(key));
+  return h % kLockStripes;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  OLTAP_CHECK(!txn->finished_) << "commit on finished transaction";
+  auto finish = [&](bool committed) {
+    txn->finished_ = true;
+    std::lock_guard<std::mutex> lock(active_mu_);
+    auto it = active_snapshots_.find(txn->begin_ts_);
+    OLTAP_DCHECK(it != active_snapshots_.end());
+    if (--it->second == 0) active_snapshots_.erase(it);
+    (committed ? commits_ : aborts_).fetch_add(1, std::memory_order_relaxed);
+  };
+
+  if (txn->ops_.empty()) {
+    finish(true);
+    return Status::OK();
+  }
+
+  // Lock the stripes covering the write set, in order (deadlock-free).
+  std::set<size_t> stripes;
+  for (const Transaction::WriteOp& op : txn->ops_) {
+    stripes.insert(StripeFor(op.table, op.key));
+  }
+  for (size_t s : stripes) stripes_[s].lock();
+  auto unlock_all = [&] {
+    for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
+      stripes_[*it].unlock();
+    }
+  };
+
+  // First-committer-wins validation per written key. The first op on a key
+  // fixes the existence requirement; LastWriteTs detects writes committed
+  // after our snapshot.
+  Timestamp now = oracle_.CurrentReadTs();
+  std::map<std::pair<const Table*, std::string>, Transaction::OpKind> first;
+  for (const Transaction::WriteOp& op : txn->ops_) {
+    if (op.key.empty()) continue;  // keyless append: conflict-free
+    first.try_emplace({op.table, op.key}, op.kind);
+  }
+  for (const auto& [table_key, kind] : first) {
+    Table* table = const_cast<Table*>(table_key.first);
+    const std::string& key = table_key.second;
+    if (table->LastWriteTs(key) > txn->begin_ts_) {
+      unlock_all();
+      finish(false);
+      return Status::Aborted("write-write conflict on " + table->name());
+    }
+    Row existing;
+    bool live = table->Lookup(key, now, &existing);
+    if (kind == Transaction::OpKind::kInsert && live) {
+      unlock_all();
+      finish(false);
+      return Status::Aborted("concurrent insert of same key");
+    }
+    if (kind != Transaction::OpKind::kInsert && !live) {
+      unlock_all();
+      finish(false);
+      return Status::Aborted("row vanished before commit");
+    }
+  }
+
+  Timestamp commit_ts = AllocateCommitTs();
+  txn->commit_ts_ = commit_ts;
+
+  if (wal_ != nullptr) {
+    std::vector<WalOp> wal_ops;
+    wal_ops.reserve(txn->ops_.size());
+    for (const Transaction::WriteOp& op : txn->ops_) {
+      WalOp w;
+      w.kind = static_cast<WalOp::Kind>(op.kind);
+      w.table = op.table->name();
+      w.key = op.key;
+      w.row = op.row;
+      wal_ops.push_back(std::move(w));
+    }
+    wal_->LogCommit(txn->id_, commit_ts, wal_ops);
+  }
+
+  // Apply. Validation plus the stripe locks guarantee success.
+  for (const Transaction::WriteOp& op : txn->ops_) {
+    Status st;
+    switch (op.kind) {
+      case Transaction::OpKind::kInsert:
+        st = op.table->InsertCommitted(op.row, commit_ts);
+        break;
+      case Transaction::OpKind::kUpdate:
+        st = op.table->UpdateCommitted(op.key, op.row, commit_ts);
+        break;
+      case Transaction::OpKind::kDelete:
+        st = op.table->DeleteCommitted(op.key, commit_ts);
+        break;
+    }
+    OLTAP_CHECK(st.ok()) << "validated commit failed to apply: "
+                         << st.ToString();
+  }
+  FinishCommitTs(commit_ts);
+
+  unlock_all();
+  finish(true);
+  return Status::OK();
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  if (txn->finished_) return;
+  txn->finished_ = true;
+  txn->ops_.clear();
+  txn->latest_.clear();
+  std::lock_guard<std::mutex> lock(active_mu_);
+  auto it = active_snapshots_.find(txn->begin_ts_);
+  if (it != active_snapshots_.end() && --it->second == 0) {
+    active_snapshots_.erase(it);
+  }
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Timestamp TransactionManager::OldestActiveSnapshot() const {
+  // Future transactions can begin no earlier than the visible watermark,
+  // so the GC horizon is the older of the watermark and any live snapshot.
+  Timestamp horizon = VisibleWatermark();
+  std::lock_guard<std::mutex> lock(active_mu_);
+  if (!active_snapshots_.empty()) {
+    horizon = std::min(horizon, active_snapshots_.begin()->first);
+  }
+  return horizon;
+}
+
+}  // namespace oltap

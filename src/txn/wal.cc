@@ -1,0 +1,270 @@
+#include "txn/wal.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace oltap {
+namespace {
+
+// --- little-endian primitive (de)serialization into a std::string ---
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>(v >> 8));
+}
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutBytes(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Reader with bounds checking; any failure flips ok to false.
+struct Reader {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  bool Need(size_t n) {
+    if (static_cast<size_t>(end - p) < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(*p++);
+  }
+  uint16_t U16() {
+    if (!Need(2)) return 0;
+    uint16_t v = static_cast<uint8_t>(p[0]) |
+                 (static_cast<uint16_t>(static_cast<uint8_t>(p[1])) << 8);
+    p += 2;
+    return v;
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    p += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    p += 8;
+    return v;
+  }
+  std::string Bytes() {
+    uint32_t n = U32();
+    if (!Need(n)) return std::string();
+    std::string s(p, n);
+    p += n;
+    return s;
+  }
+};
+
+enum ValueTag : uint8_t {
+  kTagNull = 0,
+  kTagInt = 1,
+  kTagDouble = 2,
+  kTagString = 3,
+};
+
+void PutValue(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    PutU8(out, kTagNull);
+    PutU8(out, static_cast<uint8_t>(v.type()));
+    return;
+  }
+  switch (v.type()) {
+    case ValueType::kInt64:
+      PutU8(out, kTagInt);
+      PutU64(out, static_cast<uint64_t>(v.AsInt64()));
+      return;
+    case ValueType::kDouble: {
+      PutU8(out, kTagDouble);
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      return;
+    }
+    case ValueType::kString:
+      PutU8(out, kTagString);
+      PutBytes(out, v.AsString());
+      return;
+  }
+}
+
+Value ReadValue(Reader* r) {
+  switch (r->U8()) {
+    case kTagNull:
+      return Value::Null(static_cast<ValueType>(r->U8()));
+    case kTagInt:
+      return Value::Int64(static_cast<int64_t>(r->U64()));
+    case kTagDouble: {
+      uint64_t bits = r->U64();
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Value::Double(d);
+    }
+    case kTagString:
+      return Value::String(r->Bytes());
+    default:
+      r->ok = false;
+      return Value();
+  }
+}
+
+std::string SerializeRecord(uint64_t txn_id, Timestamp commit_ts,
+                            const std::vector<WalOp>& ops) {
+  std::string body;
+  PutU64(&body, txn_id);
+  PutU64(&body, commit_ts);
+  PutU16(&body, static_cast<uint16_t>(ops.size()));
+  for (const WalOp& op : ops) {
+    PutU8(&body, op.kind);
+    PutBytes(&body, op.table);
+    PutBytes(&body, op.key);
+    PutU16(&body, static_cast<uint16_t>(op.row.size()));
+    for (const Value& v : op.row) PutValue(&body, v);
+  }
+  std::string record;
+  PutU32(&record, static_cast<uint32_t>(body.size()));
+  PutU64(&record, HashBytes(body.data(), body.size()));
+  record += body;
+  return record;
+}
+
+}  // namespace
+
+Wal::~Wal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open WAL file: " + path);
+  }
+  auto wal = std::make_unique<Wal>();
+  wal->file_ = f;
+  return wal;
+}
+
+void Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
+                    const std::vector<WalOp>& ops) {
+  std::string record = SerializeRecord(txn_id, commit_ts, ops);
+  std::lock_guard<std::mutex> lock(mu_);
+  buf_ += record;
+  ++num_records_;
+  if (file_ != nullptr) {
+    size_t written = std::fwrite(record.data(), 1, record.size(), file_);
+    OLTAP_CHECK(written == record.size()) << "WAL write failed";
+    std::fflush(file_);
+  }
+}
+
+std::string Wal::buffer() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buf_;
+}
+
+size_t Wal::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_records_;
+}
+
+Result<Wal::ReplayStats> Wal::Replay(const std::string& data,
+                                     Catalog* catalog,
+                                     Timestamp skip_through_ts) {
+  ReplayStats stats;
+  Reader outer{data.data(), data.data() + data.size()};
+  while (outer.p < outer.end) {
+    uint32_t len = outer.U32();
+    uint64_t checksum = outer.U64();
+    if (!outer.ok || !outer.Need(len)) {
+      stats.truncated_tail = true;
+      break;
+    }
+    if (HashBytes(outer.p, len) != checksum) {
+      stats.truncated_tail = true;
+      break;
+    }
+    Reader r{outer.p, outer.p + len};
+    outer.p += len;
+
+    r.U64();  // txn_id (informational)
+    Timestamp commit_ts = r.U64();
+    if (commit_ts <= skip_through_ts) continue;  // before the checkpoint
+    uint16_t nops = r.U16();
+    for (uint16_t i = 0; i < nops && r.ok; ++i) {
+      WalOp op;
+      op.kind = static_cast<WalOp::Kind>(r.U8());
+      op.table = r.Bytes();
+      op.key = r.Bytes();
+      uint16_t ncols = r.U16();
+      op.row.reserve(ncols);
+      for (uint16_t c = 0; c < ncols && r.ok; ++c) {
+        op.row.push_back(ReadValue(&r));
+      }
+      if (!r.ok) return Status::Corruption("malformed WAL op");
+
+      Table* table = catalog->GetTable(op.table);
+      if (table == nullptr) {
+        return Status::NotFound("WAL references unknown table: " + op.table);
+      }
+      Status st;
+      switch (op.kind) {
+        case WalOp::kInsert:
+          st = table->InsertCommitted(op.row, commit_ts);
+          break;
+        case WalOp::kUpdate:
+          st = table->UpdateCommitted(op.key, op.row, commit_ts);
+          break;
+        case WalOp::kDelete:
+          st = table->DeleteCommitted(op.key, commit_ts);
+          break;
+      }
+      if (!st.ok()) {
+        return Status::Corruption("WAL replay apply failed: " + st.ToString());
+      }
+      ++stats.ops_applied;
+    }
+    stats.max_commit_ts = std::max(stats.max_commit_ts, commit_ts);
+    ++stats.txns_applied;
+  }
+  return stats;
+}
+
+Result<Wal::ReplayStats> Wal::ReplayFile(const std::string& path,
+                                         Catalog* catalog) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("WAL file not found: " + path);
+  std::string data;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.append(chunk, n);
+  }
+  std::fclose(f);
+  return Replay(data, catalog);
+}
+
+}  // namespace oltap

@@ -1,0 +1,85 @@
+#ifndef OLTAP_TXN_WAL_H_
+#define OLTAP_TXN_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/catalog.h"
+#include "storage/row.h"
+
+namespace oltap {
+
+// One logged DML operation within a committed transaction.
+struct WalOp {
+  enum Kind : uint8_t { kInsert = 0, kUpdate = 1, kDelete = 2 };
+  Kind kind = kInsert;
+  std::string table;
+  std::string key;  // encoded PK; empty for keyless inserts
+  Row row;          // full image for insert/update; empty for delete
+};
+
+// Write-ahead log of committed transactions (redo-only: the deferred-write
+// transaction manager never applies uncommitted changes, so recovery is a
+// pure forward replay — the same simplification Hekaton-style in-memory
+// engines make). Records carry a checksum; replay stops at the first torn
+// or corrupt record.
+//
+// The log always accumulates into an in-memory buffer; when opened with a
+// path it also appends to that file, and LogCommit flushes before
+// returning (group commit is the scheduler layer's concern, not modeled).
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (creating or appending) a file-backed log.
+  static Result<std::unique_ptr<Wal>> OpenFile(const std::string& path);
+
+  // Appends one commit record. Thread-safe; called by the transaction
+  // manager at the durability point (after validation, before apply).
+  void LogCommit(uint64_t txn_id, Timestamp commit_ts,
+                 const std::vector<WalOp>& ops);
+
+  // Serialized bytes logged so far (memory copy; tests and Replay use it).
+  std::string buffer() const;
+
+  size_t num_records() const;
+
+  struct ReplayStats {
+    size_t txns_applied = 0;
+    size_t ops_applied = 0;
+    Timestamp max_commit_ts = 0;
+    bool truncated_tail = false;  // hit a torn/corrupt record and stopped
+  };
+
+  // Replays serialized log `data` into `catalog` (tables must already
+  // exist with matching schemas). Idempotent against already-applied state
+  // is NOT assumed: replay into a fresh catalog. Records with
+  // commit_ts <= `skip_through_ts` are skipped (checkpoint recovery
+  // replays only the tail).
+  static Result<ReplayStats> Replay(const std::string& data, Catalog* catalog,
+                                    Timestamp skip_through_ts = 0);
+
+  // Convenience: reads the file and replays it.
+  static Result<ReplayStats> ReplayFile(const std::string& path,
+                                        Catalog* catalog);
+
+ private:
+  mutable std::mutex mu_;
+  std::string buf_;
+  size_t num_records_ = 0;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_TXN_WAL_H_

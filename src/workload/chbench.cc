@@ -1,0 +1,718 @@
+#include "workload/chbench.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "txn/transaction_manager.h"
+
+namespace oltap {
+namespace {
+
+// Column indices per table, in schema order (kept in one place so the
+// native transactions stay readable).
+namespace wh {
+enum { kId, kName, kState, kTax, kYtd };
+}
+namespace dist_col {
+enum { kWId, kId, kName, kTax, kYtd, kNextOId };
+}
+namespace cust {
+enum {
+  kWId,
+  kDId,
+  kId,
+  kFirst,
+  kLast,
+  kState,
+  kCredit,
+  kDiscount,
+  kBalance,
+  kYtdPayment,
+  kPaymentCnt
+};
+}
+namespace hist {
+enum { kCWId, kCDId, kCId, kWId, kDId, kDate, kAmount };
+}
+namespace nord {
+enum { kWId, kDId, kOId };
+}
+namespace ord {
+enum { kWId, kDId, kId, kCId, kEntryD, kCarrierId, kOlCnt };
+}
+namespace oline {
+enum {
+  kWId,
+  kDId,
+  kOId,
+  kNumber,
+  kIId,
+  kSupplyWId,
+  kDeliveryD,
+  kQuantity,
+  kAmount
+};
+}
+namespace item_col {
+enum { kId, kName, kPrice, kData };
+}
+namespace stock_col {
+enum { kWId, kIId, kQuantity, kYtd, kOrderCnt, kRemoteCnt };
+}
+
+// Encodes a primary key for `table` from the key values in declared key
+// order.
+std::string MakeKey(const Table* table, const std::vector<Value>& key_vals) {
+  const Schema& schema = table->schema();
+  OLTAP_DCHECK(schema.key_columns().size() == key_vals.size());
+  Row row(schema.num_columns());
+  for (size_t i = 0; i < key_vals.size(); ++i) {
+    row[schema.key_columns()[i]] = key_vals[i];
+  }
+  return EncodeKeyColumns(row, schema.key_columns());
+}
+
+constexpr int64_t kLoadDate = 1'000'000;
+constexpr int64_t kNowDate = 2'000'000;
+
+const char* kStates[] = {"CA", "NY", "TX", "WA", "IL",
+                         "MA", "OR", "FL", "CO", "GA"};
+
+}  // namespace
+
+CHBenchmark::CHBenchmark(Database* db, const CHConfig& config)
+    : db_(db), config_(config) {
+  delivery_cursor_.reserve(static_cast<size_t>(config_.warehouses) *
+                           config_.districts_per_warehouse);
+  for (int i = 0;
+       i < config_.warehouses * config_.districts_per_warehouse; ++i) {
+    delivery_cursor_.push_back(std::make_unique<std::atomic<int64_t>>(1));
+  }
+}
+
+Table* CHBenchmark::T(const char* name) const {
+  Table* t = db_->catalog()->GetTable(name);
+  OLTAP_CHECK(t != nullptr) << "missing table " << name;
+  return t;
+}
+
+Status CHBenchmark::CreateTables() {
+  Catalog* cat = db_->catalog();
+  TableFormat f = config_.format;
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "warehouse",
+      SchemaBuilder()
+          .AddInt64("w_id", false)
+          .AddString("w_name")
+          .AddString("w_state")
+          .AddDouble("w_tax")
+          .AddDouble("w_ytd")
+          .SetKey({"w_id"})
+          .Build(),
+      f));
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "district",
+      SchemaBuilder()
+          .AddInt64("d_w_id", false)
+          .AddInt64("d_id", false)
+          .AddString("d_name")
+          .AddDouble("d_tax")
+          .AddDouble("d_ytd")
+          .AddInt64("d_next_o_id")
+          .SetKey({"d_w_id", "d_id"})
+          .Build(),
+      f));
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "customer",
+      SchemaBuilder()
+          .AddInt64("c_w_id", false)
+          .AddInt64("c_d_id", false)
+          .AddInt64("c_id", false)
+          .AddString("c_first")
+          .AddString("c_last")
+          .AddString("c_state")
+          .AddString("c_credit")
+          .AddDouble("c_discount")
+          .AddDouble("c_balance")
+          .AddDouble("c_ytd_payment")
+          .AddInt64("c_payment_cnt")
+          .SetKey({"c_w_id", "c_d_id", "c_id"})
+          .Build(),
+      f));
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "history",
+      SchemaBuilder()
+          .AddInt64("h_c_w_id")
+          .AddInt64("h_c_d_id")
+          .AddInt64("h_c_id")
+          .AddInt64("h_w_id")
+          .AddInt64("h_d_id")
+          .AddInt64("h_date")
+          .AddDouble("h_amount")
+          .Build(),
+      f));
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "neworder",
+      SchemaBuilder()
+          .AddInt64("no_w_id", false)
+          .AddInt64("no_d_id", false)
+          .AddInt64("no_o_id", false)
+          .SetKey({"no_w_id", "no_d_id", "no_o_id"})
+          .Build(),
+      f));
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "orders",
+      SchemaBuilder()
+          .AddInt64("o_w_id", false)
+          .AddInt64("o_d_id", false)
+          .AddInt64("o_id", false)
+          .AddInt64("o_c_id")
+          .AddInt64("o_entry_d")
+          .AddInt64("o_carrier_id")  // NULL until delivered
+          .AddInt64("o_ol_cnt")
+          .SetKey({"o_w_id", "o_d_id", "o_id"})
+          .Build(),
+      f));
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "orderline",
+      SchemaBuilder()
+          .AddInt64("ol_w_id", false)
+          .AddInt64("ol_d_id", false)
+          .AddInt64("ol_o_id", false)
+          .AddInt64("ol_number", false)
+          .AddInt64("ol_i_id")
+          .AddInt64("ol_supply_w_id")
+          .AddInt64("ol_delivery_d")  // NULL until delivered
+          .AddInt64("ol_quantity")
+          .AddDouble("ol_amount")
+          .SetKey({"ol_w_id", "ol_d_id", "ol_o_id", "ol_number"})
+          .Build(),
+      f));
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "item",
+      SchemaBuilder()
+          .AddInt64("i_id", false)
+          .AddString("i_name")
+          .AddDouble("i_price")
+          .AddString("i_data")
+          .SetKey({"i_id"})
+          .Build(),
+      f));
+  OLTAP_RETURN_NOT_OK(cat->CreateTable(
+      "stock",
+      SchemaBuilder()
+          .AddInt64("s_w_id", false)
+          .AddInt64("s_i_id", false)
+          .AddInt64("s_quantity")
+          .AddInt64("s_ytd")
+          .AddInt64("s_order_cnt")
+          .AddInt64("s_remote_cnt")
+          .SetKey({"s_w_id", "s_i_id"})
+          .Build(),
+      f));
+  return Status::OK();
+}
+
+Status CHBenchmark::Load() {
+  Rng rng(config_.seed);
+  const int W = config_.warehouses;
+  const int D = config_.districts_per_warehouse;
+  const int C = config_.customers_per_district;
+  const int I = config_.items;
+  const int O = config_.initial_orders_per_district;
+
+  // Items.
+  {
+    std::vector<Row> rows;
+    rows.reserve(I);
+    for (int64_t i = 1; i <= I; ++i) {
+      rows.push_back(Row{Value::Int64(i),
+                         Value::String("item-" + rng.AlphaString(6, 14)),
+                         Value::Double(1.0 + rng.NextDouble() * 99.0),
+                         Value::String(rng.AlphaString(26, 50))});
+    }
+    OLTAP_RETURN_NOT_OK(T("item")->BulkLoadToMain(rows, 0));
+  }
+  // Warehouses + stock.
+  {
+    std::vector<Row> wrows;
+    std::vector<Row> srows;
+    srows.reserve(static_cast<size_t>(W) * I);
+    for (int64_t w = 1; w <= W; ++w) {
+      wrows.push_back(Row{Value::Int64(w),
+                          Value::String("wh-" + rng.AlphaString(6, 10)),
+                          Value::String(kStates[rng.Uniform(10)]),
+                          Value::Double(rng.NextDouble() * 0.2),
+                          Value::Double(300000.0)});
+      for (int64_t i = 1; i <= I; ++i) {
+        srows.push_back(Row{Value::Int64(w), Value::Int64(i),
+                            Value::Int64(rng.UniformRange(10, 100)),
+                            Value::Int64(0), Value::Int64(0),
+                            Value::Int64(0)});
+      }
+    }
+    OLTAP_RETURN_NOT_OK(T("warehouse")->BulkLoadToMain(wrows, 0));
+    OLTAP_RETURN_NOT_OK(T("stock")->BulkLoadToMain(srows, 0));
+  }
+  // Districts, customers, orders (+lines, new-orders), history.
+  std::vector<Row> drows, crows, hrows, orows, olrows, norows;
+  for (int64_t w = 1; w <= W; ++w) {
+    for (int64_t d = 1; d <= D; ++d) {
+      drows.push_back(Row{Value::Int64(w), Value::Int64(d),
+                          Value::String("dist-" + rng.AlphaString(6, 10)),
+                          Value::Double(rng.NextDouble() * 0.2),
+                          Value::Double(30000.0),
+                          Value::Int64(O + 1)});
+      for (int64_t c = 1; c <= C; ++c) {
+        crows.push_back(Row{Value::Int64(w), Value::Int64(d), Value::Int64(c),
+                            Value::String(rng.AlphaString(8, 16)),
+                            Value::String("CUST" + rng.DigitString(4)),
+                            Value::String(kStates[rng.Uniform(10)]),
+                            Value::String(rng.Bernoulli(0.1) ? "BC" : "GC"),
+                            Value::Double(rng.NextDouble() * 0.5),
+                            Value::Double(-10.0), Value::Double(10.0),
+                            Value::Int64(1)});
+        hrows.push_back(Row{Value::Int64(w), Value::Int64(d), Value::Int64(c),
+                            Value::Int64(w), Value::Int64(d),
+                            Value::Int64(kLoadDate), Value::Double(10.0)});
+      }
+      int64_t first_undelivered =
+          1 + static_cast<int64_t>(
+                  static_cast<double>(O) * (1.0 - config_.undelivered_fraction));
+      DeliveryCursor(w, d).store(first_undelivered);
+      for (int64_t o = 1; o <= O; ++o) {
+        bool delivered = o < first_undelivered;
+        int64_t ol_cnt = rng.UniformRange(5, 15);
+        orows.push_back(Row{
+            Value::Int64(w), Value::Int64(d), Value::Int64(o),
+            Value::Int64(rng.UniformRange(1, C)), Value::Int64(kLoadDate + o),
+            delivered ? Value::Int64(rng.UniformRange(1, 10))
+                      : Value::Null(ValueType::kInt64),
+            Value::Int64(ol_cnt)});
+        if (!delivered) {
+          norows.push_back(
+              Row{Value::Int64(w), Value::Int64(d), Value::Int64(o)});
+        }
+        for (int64_t l = 1; l <= ol_cnt; ++l) {
+          int64_t qty = rng.UniformRange(1, 10);
+          olrows.push_back(Row{
+              Value::Int64(w), Value::Int64(d), Value::Int64(o),
+              Value::Int64(l), Value::Int64(rng.UniformRange(1, I)),
+              Value::Int64(w),
+              delivered ? Value::Int64(kLoadDate + o + 1)
+                        : Value::Null(ValueType::kInt64),
+              Value::Int64(qty),
+              Value::Double(static_cast<double>(qty) *
+                            (1.0 + rng.NextDouble() * 99.0))});
+        }
+      }
+    }
+  }
+  OLTAP_RETURN_NOT_OK(T("district")->BulkLoadToMain(drows, 0));
+  OLTAP_RETURN_NOT_OK(T("customer")->BulkLoadToMain(crows, 0));
+  OLTAP_RETURN_NOT_OK(T("history")->BulkLoadToMain(hrows, 0));
+  OLTAP_RETURN_NOT_OK(T("orders")->BulkLoadToMain(orows, 0));
+  OLTAP_RETURN_NOT_OK(T("orderline")->BulkLoadToMain(olrows, 0));
+  OLTAP_RETURN_NOT_OK(T("neworder")->BulkLoadToMain(norows, 0));
+  return Status::OK();
+}
+
+Status CHBenchmark::NewOrder(Rng* rng) {
+  Table* district = T("district");
+  Table* customer = T("customer");
+  Table* orders = T("orders");
+  Table* neworder = T("neworder");
+  Table* orderline = T("orderline");
+  Table* item = T("item");
+  Table* stock = T("stock");
+
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  int64_t c = rng->UniformRange(1, config_.customers_per_district);
+
+  auto txn = db_->txn_manager()->Begin();
+
+  Row drow;
+  if (!txn->Get(district, MakeKey(district, {Value::Int64(w), Value::Int64(d)}),
+                &drow)) {
+    return Status::Internal("district missing");
+  }
+  int64_t o_id = drow[dist_col::kNextOId].AsInt64();
+  drow[dist_col::kNextOId] = Value::Int64(o_id + 1);
+  OLTAP_RETURN_NOT_OK(txn->Update(district, drow));
+
+  Row crow;
+  if (!txn->Get(customer,
+                MakeKey(customer, {Value::Int64(w), Value::Int64(d),
+                                   Value::Int64(c)}),
+                &crow)) {
+    return Status::Internal("customer missing");
+  }
+
+  int64_t ol_cnt = rng->UniformRange(5, 15);
+  OLTAP_RETURN_NOT_OK(txn->Insert(
+      orders, Row{Value::Int64(w), Value::Int64(d), Value::Int64(o_id),
+                  Value::Int64(c), Value::Int64(kNowDate),
+                  Value::Null(ValueType::kInt64), Value::Int64(ol_cnt)}));
+  OLTAP_RETURN_NOT_OK(txn->Insert(
+      neworder, Row{Value::Int64(w), Value::Int64(d), Value::Int64(o_id)}));
+
+  for (int64_t l = 1; l <= ol_cnt; ++l) {
+    int64_t i_id = rng->UniformRange(1, config_.items);
+    int64_t supply_w = w;
+    if (config_.warehouses > 1 && rng->Bernoulli(0.01)) {
+      do {
+        supply_w = rng->UniformRange(1, config_.warehouses);
+      } while (supply_w == w);
+    }
+    Row irow;
+    if (!txn->Get(item, MakeKey(item, {Value::Int64(i_id)}), &irow)) {
+      return Status::Internal("item missing");
+    }
+    Row srow;
+    if (!txn->Get(stock,
+                  MakeKey(stock, {Value::Int64(supply_w), Value::Int64(i_id)}),
+                  &srow)) {
+      return Status::Internal("stock missing");
+    }
+    int64_t qty = rng->UniformRange(1, 10);
+    int64_t s_qty = srow[stock_col::kQuantity].AsInt64();
+    srow[stock_col::kQuantity] =
+        Value::Int64(s_qty >= qty + 10 ? s_qty - qty : s_qty - qty + 91);
+    srow[stock_col::kYtd] =
+        Value::Int64(srow[stock_col::kYtd].AsInt64() + qty);
+    srow[stock_col::kOrderCnt] =
+        Value::Int64(srow[stock_col::kOrderCnt].AsInt64() + 1);
+    if (supply_w != w) {
+      srow[stock_col::kRemoteCnt] =
+          Value::Int64(srow[stock_col::kRemoteCnt].AsInt64() + 1);
+    }
+    OLTAP_RETURN_NOT_OK(txn->Update(stock, srow));
+
+    double amount = static_cast<double>(qty) *
+                    irow[item_col::kPrice].AsDouble();
+    OLTAP_RETURN_NOT_OK(txn->Insert(
+        orderline,
+        Row{Value::Int64(w), Value::Int64(d), Value::Int64(o_id),
+            Value::Int64(l), Value::Int64(i_id), Value::Int64(supply_w),
+            Value::Null(ValueType::kInt64), Value::Int64(qty),
+            Value::Double(amount)}));
+  }
+  return db_->txn_manager()->Commit(txn.get());
+}
+
+Status CHBenchmark::Payment(Rng* rng) {
+  Table* warehouse = T("warehouse");
+  Table* district = T("district");
+  Table* customer = T("customer");
+  Table* history = T("history");
+
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  int64_t c = rng->UniformRange(1, config_.customers_per_district);
+  // 15%: customer pays through a remote warehouse/district.
+  int64_t c_w = w, c_d = d;
+  if (config_.warehouses > 1 && rng->Bernoulli(0.15)) {
+    do {
+      c_w = rng->UniformRange(1, config_.warehouses);
+    } while (c_w == w);
+    c_d = rng->UniformRange(1, config_.districts_per_warehouse);
+  }
+  double amount = 1.0 + rng->NextDouble() * 4999.0;
+
+  auto txn = db_->txn_manager()->Begin();
+  Row wrow;
+  if (!txn->Get(warehouse, MakeKey(warehouse, {Value::Int64(w)}), &wrow)) {
+    return Status::Internal("warehouse missing");
+  }
+  wrow[wh::kYtd] = Value::Double(wrow[wh::kYtd].AsDouble() + amount);
+  OLTAP_RETURN_NOT_OK(txn->Update(warehouse, wrow));
+
+  Row drow;
+  if (!txn->Get(district,
+                MakeKey(district, {Value::Int64(w), Value::Int64(d)}),
+                &drow)) {
+    return Status::Internal("district missing");
+  }
+  drow[dist_col::kYtd] = Value::Double(drow[dist_col::kYtd].AsDouble() + amount);
+  OLTAP_RETURN_NOT_OK(txn->Update(district, drow));
+
+  Row crow;
+  if (!txn->Get(customer,
+                MakeKey(customer, {Value::Int64(c_w), Value::Int64(c_d),
+                                   Value::Int64(c)}),
+                &crow)) {
+    return Status::Internal("customer missing");
+  }
+  crow[cust::kBalance] = Value::Double(crow[cust::kBalance].AsDouble() - amount);
+  crow[cust::kYtdPayment] =
+      Value::Double(crow[cust::kYtdPayment].AsDouble() + amount);
+  crow[cust::kPaymentCnt] =
+      Value::Int64(crow[cust::kPaymentCnt].AsInt64() + 1);
+  OLTAP_RETURN_NOT_OK(txn->Update(customer, crow));
+
+  OLTAP_RETURN_NOT_OK(txn->Insert(
+      history, Row{Value::Int64(c_w), Value::Int64(c_d), Value::Int64(c),
+                   Value::Int64(w), Value::Int64(d), Value::Int64(kNowDate),
+                   Value::Double(amount)}));
+  return db_->txn_manager()->Commit(txn.get());
+}
+
+Status CHBenchmark::OrderStatus(Rng* rng) {
+  Table* district = T("district");
+  Table* customer = T("customer");
+  Table* orders = T("orders");
+  Table* orderline = T("orderline");
+
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  int64_t c = rng->UniformRange(1, config_.customers_per_district);
+
+  auto txn = db_->txn_manager()->Begin();
+  Row crow;
+  if (!txn->Get(customer,
+                MakeKey(customer, {Value::Int64(w), Value::Int64(d),
+                                   Value::Int64(c)}),
+                &crow)) {
+    return Status::Internal("customer missing");
+  }
+  Row drow;
+  if (!txn->Get(district,
+                MakeKey(district, {Value::Int64(w), Value::Int64(d)}),
+                &drow)) {
+    return Status::Internal("district missing");
+  }
+  int64_t next_o = drow[dist_col::kNextOId].AsInt64();
+  if (next_o > 1) {
+    int64_t lo = std::max<int64_t>(1, next_o - 20);
+    int64_t o_id = rng->UniformRange(lo, next_o - 1);
+    Row orow;
+    if (txn->Get(orders,
+                 MakeKey(orders, {Value::Int64(w), Value::Int64(d),
+                                  Value::Int64(o_id)}),
+                 &orow)) {
+      int64_t ol_cnt = orow[ord::kOlCnt].AsInt64();
+      for (int64_t l = 1; l <= ol_cnt; ++l) {
+        Row olrow;
+        txn->Get(orderline,
+                 MakeKey(orderline, {Value::Int64(w), Value::Int64(d),
+                                     Value::Int64(o_id), Value::Int64(l)}),
+                 &olrow);
+      }
+    }
+  }
+  return db_->txn_manager()->Commit(txn.get());
+}
+
+Status CHBenchmark::Delivery(Rng* rng) {
+  Table* neworder = T("neworder");
+  Table* orders = T("orders");
+  Table* orderline = T("orderline");
+  Table* customer = T("customer");
+
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t carrier = rng->UniformRange(1, 10);
+
+  auto txn = db_->txn_manager()->Begin();
+  std::vector<std::pair<int64_t, int64_t>> advanced;  // (district, o_id)
+  for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+    int64_t o_id = DeliveryCursor(w, d).load(std::memory_order_acquire);
+    std::string no_key = MakeKey(
+        neworder, {Value::Int64(w), Value::Int64(d), Value::Int64(o_id)});
+    Row no_row;
+    if (!txn->Get(neworder, no_key, &no_row)) continue;  // nothing to deliver
+    OLTAP_RETURN_NOT_OK(txn->DeleteByKey(neworder, no_key));
+
+    Row orow;
+    if (!txn->Get(orders,
+                  MakeKey(orders, {Value::Int64(w), Value::Int64(d),
+                                   Value::Int64(o_id)}),
+                  &orow)) {
+      return Status::Internal("order missing for delivery");
+    }
+    orow[ord::kCarrierId] = Value::Int64(carrier);
+    OLTAP_RETURN_NOT_OK(txn->Update(orders, orow));
+
+    double total = 0;
+    int64_t ol_cnt = orow[ord::kOlCnt].AsInt64();
+    for (int64_t l = 1; l <= ol_cnt; ++l) {
+      Row olrow;
+      if (!txn->Get(orderline,
+                    MakeKey(orderline, {Value::Int64(w), Value::Int64(d),
+                                        Value::Int64(o_id), Value::Int64(l)}),
+                    &olrow)) {
+        continue;
+      }
+      olrow[oline::kDeliveryD] = Value::Int64(kNowDate);
+      total += olrow[oline::kAmount].AsDouble();
+      OLTAP_RETURN_NOT_OK(txn->Update(orderline, olrow));
+    }
+
+    int64_t c = orow[ord::kCId].AsInt64();
+    Row crow;
+    if (txn->Get(customer,
+                 MakeKey(customer, {Value::Int64(w), Value::Int64(d),
+                                    Value::Int64(c)}),
+                 &crow)) {
+      crow[cust::kBalance] =
+          Value::Double(crow[cust::kBalance].AsDouble() + total);
+      OLTAP_RETURN_NOT_OK(txn->Update(customer, crow));
+    }
+    advanced.emplace_back(d, o_id);
+  }
+  Status st = db_->txn_manager()->Commit(txn.get());
+  if (st.ok()) {
+    for (auto [d, o_id] : advanced) {
+      // Only advance past the order we actually delivered.
+      int64_t expected = o_id;
+      DeliveryCursor(w, d).compare_exchange_strong(expected, o_id + 1,
+                                                   std::memory_order_acq_rel);
+    }
+  }
+  return st;
+}
+
+Status CHBenchmark::StockLevel(Rng* rng) {
+  Table* district = T("district");
+  Table* orderline = T("orderline");
+  Table* stock = T("stock");
+
+  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  int64_t threshold = rng->UniformRange(10, 20);
+
+  auto txn = db_->txn_manager()->Begin();
+  Row drow;
+  if (!txn->Get(district,
+                MakeKey(district, {Value::Int64(w), Value::Int64(d)}),
+                &drow)) {
+    return Status::Internal("district missing");
+  }
+  int64_t next_o = drow[dist_col::kNextOId].AsInt64();
+  int64_t first_o = std::max<int64_t>(1, next_o - 20);
+  // Ordered range scan over the district's recent order lines (the
+  // skip-list access path dual/row formats provide); a generous limit
+  // covers 20 orders × ≤15 lines, with a district-boundary filter.
+  std::vector<int64_t> items;
+  txn->ScanRange(
+      orderline,
+      MakeKey(orderline, {Value::Int64(w), Value::Int64(d),
+                          Value::Int64(first_o), Value::Int64(1)}),
+      20 * 15, [&](const Row& olrow) {
+        if (olrow[oline::kWId].AsInt64() != w ||
+            olrow[oline::kDId].AsInt64() != d ||
+            olrow[oline::kOId].AsInt64() >= next_o) {
+          return;
+        }
+        items.push_back(olrow[oline::kIId].AsInt64());
+      });
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  int64_t low = 0;
+  for (int64_t i_id : items) {
+    Row srow;
+    if (txn->Get(stock, MakeKey(stock, {Value::Int64(w), Value::Int64(i_id)}),
+                 &srow)) {
+      if (srow[stock_col::kQuantity].AsInt64() < threshold) ++low;
+    }
+  }
+  (void)low;
+  return db_->txn_manager()->Commit(txn.get());
+}
+
+Status CHBenchmark::RunMixed(Rng* rng, CHTxnStats* stats, int max_retries) {
+  uint64_t pick = rng->Uniform(100);
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    Status st;
+    if (pick < 45) {
+      st = NewOrder(rng);
+      if (st.ok()) ++stats->new_order;
+    } else if (pick < 88) {
+      st = Payment(rng);
+      if (st.ok()) ++stats->payment;
+    } else if (pick < 92) {
+      st = OrderStatus(rng);
+      if (st.ok()) ++stats->order_status;
+    } else if (pick < 96) {
+      st = Delivery(rng);
+      if (st.ok()) ++stats->delivery;
+    } else {
+      st = StockLevel(rng);
+      if (st.ok()) ++stats->stock_level;
+    }
+    if (st.ok()) return st;
+    if (!st.IsAborted()) return st;
+    ++stats->aborts;
+  }
+  return Status::Aborted("retries exhausted");
+}
+
+const std::vector<CHBenchmark::AnalyticQuery>& CHBenchmark::Queries() {
+  static const std::vector<AnalyticQuery>* kQueries =
+      new std::vector<AnalyticQuery>{
+          {"A1-pricing-summary",
+           "SELECT ol_number, SUM(ol_quantity) AS sum_qty, "
+           "SUM(ol_amount) AS sum_amount, AVG(ol_quantity) AS avg_qty, "
+           "AVG(ol_amount) AS avg_amount, COUNT(*) AS count_order "
+           "FROM orderline WHERE ol_delivery_d > 1000000 "
+           "GROUP BY ol_number ORDER BY ol_number"},
+          {"A2-undelivered-revenue",
+           "SELECT o_w_id, o_d_id, SUM(ol_amount) AS revenue "
+           "FROM orders JOIN orderline ON ol_w_id = o_w_id AND "
+           "ol_d_id = o_d_id AND ol_o_id = o_id "
+           "WHERE o_carrier_id IS NULL "
+           "GROUP BY o_w_id, o_d_id ORDER BY revenue DESC LIMIT 10"},
+          {"A3-order-size-distribution",
+           "SELECT o_ol_cnt, COUNT(*) AS order_count FROM orders "
+           "GROUP BY o_ol_cnt ORDER BY o_ol_cnt"},
+          {"A4-revenue-by-state",
+           "SELECT c_state, SUM(ol_amount) AS revenue "
+           "FROM customer JOIN orders ON o_w_id = c_w_id AND "
+           "o_d_id = c_d_id AND o_c_id = c_id "
+           "JOIN orderline ON ol_w_id = o_w_id AND ol_d_id = o_d_id AND "
+           "ol_o_id = o_id "
+           "GROUP BY c_state ORDER BY revenue DESC"},
+          {"A5-quantity-band-revenue",
+           "SELECT SUM(ol_amount) AS revenue FROM orderline "
+           "WHERE ol_quantity >= 3 AND ol_quantity <= 7"},
+          {"A6-supply-warehouse-volume",
+           "SELECT ol_supply_w_id, COUNT(*) AS lines, "
+           "SUM(ol_amount) AS revenue FROM orderline "
+           "GROUP BY ol_supply_w_id ORDER BY ol_supply_w_id"},
+          {"A7-carrier-performance",
+           "SELECT o_carrier_id, COUNT(*) AS orders_delivered "
+           "FROM orders WHERE o_carrier_id >= 1 "
+           "GROUP BY o_carrier_id ORDER BY o_carrier_id"},
+          {"A8-top-customers",
+           "SELECT c_w_id, c_d_id, c_id, c_last, c_balance FROM customer "
+           "ORDER BY c_balance DESC LIMIT 10"},
+          {"A9-premium-item-revenue",
+           "SELECT SUM(ol_amount) AS revenue "
+           "FROM item JOIN orderline ON ol_i_id = i_id "
+           "WHERE i_price > 75.0"},
+          {"A10-stock-pressure",
+           "SELECT s_w_id, SUM(s_ytd) AS total_ytd, "
+           "AVG(s_quantity) AS avg_quantity FROM stock "
+           "GROUP BY s_w_id ORDER BY s_w_id"},
+          {"A11-district-tax-ytd",
+           "SELECT d_w_id, SUM(d_ytd) AS ytd FROM district "
+           "GROUP BY d_w_id ORDER BY d_w_id"},
+          {"A12-popular-items",
+           "SELECT ol_i_id, COUNT(*) AS times_ordered, "
+           "SUM(ol_quantity) AS total_qty FROM orderline "
+           "GROUP BY ol_i_id ORDER BY times_ordered DESC, ol_i_id LIMIT 20"},
+          {"A13-heavy-customers",
+           "SELECT o_w_id, o_d_id, o_c_id, COUNT(*) AS orders_placed "
+           "FROM orders WHERE o_ol_cnt BETWEEN 8 AND 15 "
+           "GROUP BY o_w_id, o_d_id, o_c_id HAVING COUNT(*) >= 2 "
+           "ORDER BY orders_placed DESC, o_w_id, o_d_id, o_c_id LIMIT 15"},
+      };
+  return *kQueries;
+}
+
+Result<QueryResult> CHBenchmark::RunQuery(size_t index) {
+  OLTAP_CHECK(index < Queries().size());
+  return db_->Execute(Queries()[index].sql);
+}
+
+}  // namespace oltap

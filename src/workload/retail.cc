@@ -1,0 +1,77 @@
+#include "workload/retail.h"
+
+#include "common/logging.h"
+#include "txn/transaction_manager.h"
+
+namespace oltap {
+
+RetailWorkload::RetailWorkload(Database* db, const Config& config)
+    : db_(db), config_(config), rng_(config.seed) {}
+
+Status RetailWorkload::CreateTable() {
+  return db_->catalog()->CreateTable(
+      "mentions",
+      SchemaBuilder()
+          .AddInt64("seq", false)
+          .AddInt64("ts", false)
+          .AddString("product", false)
+          .AddString("region", false)
+          .AddDouble("sentiment")
+          .SetKey({"seq"})
+          .Build(),
+      config_.format);
+}
+
+Status RetailWorkload::IngestBatch(int64_t base_ts, int count,
+                                   int surge_product) {
+  Table* mentions = db_->catalog()->GetTable("mentions");
+  OLTAP_CHECK(mentions != nullptr);
+  auto txn = db_->txn_manager()->Begin();
+  for (int i = 0; i < count; ++i) {
+    int product;
+    double sentiment;
+    if (surge_product >= 0 && rng_.Bernoulli(0.3)) {
+      product = surge_product;
+      sentiment = 0.5 + rng_.NextDouble() * 0.5;  // surges skew positive
+    } else {
+      product = static_cast<int>(rng_.Zipf(config_.num_products, 0.8));
+      sentiment = rng_.NextDouble() * 2.0 - 1.0;
+    }
+    std::string region = "region-" + std::to_string(
+        rng_.Uniform(config_.num_regions));
+    OLTAP_RETURN_NOT_OK(txn->Insert(
+        mentions,
+        Row{Value::Int64(next_seq_++), Value::Int64(base_ts + i),
+            Value::String(product_name(product)), Value::String(region),
+            Value::Double(sentiment)}));
+  }
+  OLTAP_RETURN_NOT_OK(db_->txn_manager()->Commit(txn.get()));
+  rows_ingested_ += count;
+  return Status::OK();
+}
+
+std::string RetailWorkload::TrendingSince(int64_t ts_lo, int limit) {
+  return "SELECT product, COUNT(*) AS mentions_count, "
+         "AVG(sentiment) AS avg_sentiment FROM mentions WHERE ts >= " +
+         std::to_string(ts_lo) +
+         " GROUP BY product ORDER BY mentions_count DESC LIMIT " +
+         std::to_string(limit);
+}
+
+std::string RetailWorkload::ProductByRegion(int product_id) {
+  return "SELECT region, COUNT(*) AS mentions_count, "
+         "AVG(sentiment) AS avg_sentiment FROM mentions "
+         "WHERE product = 'product-" +
+         std::to_string(product_id) +
+         "' GROUP BY region ORDER BY mentions_count DESC";
+}
+
+std::string RetailWorkload::SurgeScore(int64_t recent_lo, int limit) {
+  return "SELECT product, COUNT(*) AS recent_mentions FROM mentions "
+         "WHERE ts >= " +
+         std::to_string(recent_lo) +
+         " GROUP BY product ORDER BY recent_mentions DESC LIMIT " +
+         std::to_string(limit);
+}
+
+}  // namespace oltap

@@ -1,0 +1,61 @@
+#ifndef OLTAP_WORKLOAD_RETAIL_H_
+#define OLTAP_WORKLOAD_RETAIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sql/session.h"
+
+namespace oltap {
+
+// Social-media retail analytics — the tutorial's second motivating
+// scenario: a stream of product mentions with sentiment scores arrives
+// from social platforms, and merchandisers want *immediate* surge
+// detection to catch product trends while they are happening.
+//
+// Schema: mentions(seq PK, ts, product, region, sentiment). The generator
+// can inject a "surge" (one product spiking in one region) to give the
+// trend queries something to find.
+class RetailWorkload {
+ public:
+  struct Config {
+    int num_products = 200;
+    int num_regions = 8;
+    TableFormat format = TableFormat::kColumn;
+    uint64_t seed = 11;
+  };
+
+  RetailWorkload(Database* db, const Config& config);
+
+  Status CreateTable();
+
+  // Ingests `count` mentions at logical time `base_ts`. If `surge_product`
+  // >= 0, ~30% of the batch targets that product (a viral spike).
+  Status IngestBatch(int64_t base_ts, int count, int surge_product = -1);
+
+  // Trending products within a recent window.
+  static std::string TrendingSince(int64_t ts_lo, int limit);
+  // Sentiment breakdown per region for one product.
+  static std::string ProductByRegion(int product_id);
+  // Surge score: mention count in the recent window.
+  static std::string SurgeScore(int64_t recent_lo, int limit);
+
+  int64_t rows_ingested() const { return rows_ingested_; }
+  std::string product_name(int id) const {
+    return "product-" + std::to_string(id);
+  }
+
+ private:
+  Database* db_;
+  Config config_;
+  Rng rng_;
+  int64_t next_seq_ = 1;
+  int64_t rows_ingested_ = 0;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_WORKLOAD_RETAIL_H_

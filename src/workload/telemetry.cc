@@ -1,0 +1,74 @@
+#include "workload/telemetry.h"
+
+#include "common/logging.h"
+#include "txn/transaction_manager.h"
+
+namespace oltap {
+
+TelemetryWorkload::TelemetryWorkload(Database* db, const Config& config)
+    : db_(db), config_(config), rng_(config.seed) {
+  static const char* kMetricNames[] = {
+      "cpu.util",      "mem.used",      "disk.read_bps", "disk.write_bps",
+      "net.rx_bps",    "net.tx_bps",    "io.latency_ms", "gc.pause_ms",
+      "req.rate",      "err.rate",      "queue.depth",   "fan.rpm"};
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    hosts_.push_back("host-" + std::to_string(h));
+  }
+  for (int m = 0; m < config_.num_metrics && m < 12; ++m) {
+    metrics_.push_back(kMetricNames[m]);
+  }
+}
+
+Status TelemetryWorkload::CreateTable() {
+  return db_->catalog()->CreateTable(
+      "metrics",
+      SchemaBuilder()
+          .AddInt64("seq", false)
+          .AddInt64("ts", false)
+          .AddString("host", false)
+          .AddString("metric", false)
+          .AddDouble("value")
+          .SetKey({"seq"})
+          .Build(),
+      config_.format);
+}
+
+Status TelemetryWorkload::IngestBatch(int64_t base_ts, int count) {
+  Table* metrics = db_->catalog()->GetTable("metrics");
+  OLTAP_CHECK(metrics != nullptr);
+  auto txn = db_->txn_manager()->Begin();
+  for (int i = 0; i < count; ++i) {
+    const std::string& host =
+        hosts_[rng_.Zipf(hosts_.size(), 0.9)];
+    const std::string& metric = metrics_[rng_.Uniform(metrics_.size())];
+    OLTAP_RETURN_NOT_OK(txn->Insert(
+        metrics, Row{Value::Int64(next_seq_++), Value::Int64(base_ts + i),
+                     Value::String(host), Value::String(metric),
+                     Value::Double(rng_.NextDouble() * 100.0)}));
+  }
+  OLTAP_RETURN_NOT_OK(db_->txn_manager()->Commit(txn.get()));
+  rows_ingested_ += count;
+  return Status::OK();
+}
+
+std::string TelemetryWorkload::AvgByMetricSince(int64_t ts_lo) {
+  return "SELECT metric, COUNT(*) AS samples, AVG(value) AS avg_value, "
+         "MAX(value) AS max_value FROM metrics WHERE ts >= " +
+         std::to_string(ts_lo) +
+         " GROUP BY metric ORDER BY avg_value DESC";
+}
+
+std::string TelemetryWorkload::HottestHosts(int64_t ts_lo, int limit) {
+  return "SELECT host, COUNT(*) AS samples, AVG(value) AS avg_value "
+         "FROM metrics WHERE ts >= " +
+         std::to_string(ts_lo) +
+         " GROUP BY host ORDER BY avg_value DESC LIMIT " +
+         std::to_string(limit);
+}
+
+std::string TelemetryWorkload::MetricHistogram(const std::string& metric) {
+  return "SELECT host, COUNT(*) AS samples FROM metrics WHERE metric = '" +
+         metric + "' GROUP BY host ORDER BY samples DESC LIMIT 10";
+}
+
+}  // namespace oltap

@@ -1,0 +1,57 @@
+#ifndef OLTAP_WORKLOAD_TELEMETRY_H_
+#define OLTAP_WORKLOAD_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sql/session.h"
+
+namespace oltap {
+
+// Machine-data analytics workload — the tutorial's first motivating
+// scenario: a data center emits a continuous stream of metrics from hosts,
+// VMs, and network ports, and operators need ad-hoc aggregates over the
+// most recent data *while ingest continues* (no ETL lag).
+//
+// Schema: metrics(seq PK, ts, host, metric, value). Hosts and metric names
+// are drawn Zipf-skewed (a few chatty hosts dominate, like real fleets).
+class TelemetryWorkload {
+ public:
+  struct Config {
+    int num_hosts = 50;
+    int num_metrics = 12;
+    TableFormat format = TableFormat::kColumn;
+    uint64_t seed = 7;
+  };
+
+  TelemetryWorkload(Database* db, const Config& config);
+
+  Status CreateTable();
+
+  // Appends `count` readings stamped with logical time `base_ts` onward
+  // (one SI transaction per batch — the continuous-INGEST pattern).
+  Status IngestBatch(int64_t base_ts, int count);
+
+  // Ad-hoc real-time queries over live data.
+  static std::string AvgByMetricSince(int64_t ts_lo);
+  static std::string HottestHosts(int64_t ts_lo, int limit);
+  static std::string MetricHistogram(const std::string& metric);
+
+  int64_t rows_ingested() const { return rows_ingested_; }
+
+ private:
+  Database* db_;
+  Config config_;
+  Rng rng_;
+  int64_t next_seq_ = 1;
+  int64_t rows_ingested_ = 0;
+  std::vector<std::string> hosts_;
+  std::vector<std::string> metrics_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_WORKLOAD_TELEMETRY_H_

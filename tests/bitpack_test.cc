@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/bitpack.h"
+#include "storage/dictionary.h"
+
+namespace oltap {
+namespace {
+
+TEST(BitsForMaxTest, Boundaries) {
+  EXPECT_EQ(BitsForMax(0), 1);
+  EXPECT_EQ(BitsForMax(1), 1);
+  EXPECT_EQ(BitsForMax(2), 2);
+  EXPECT_EQ(BitsForMax(3), 2);
+  EXPECT_EQ(BitsForMax(4), 3);
+  EXPECT_EQ(BitsForMax(255), 8);
+  EXPECT_EQ(BitsForMax(256), 9);
+}
+
+TEST(PackedArrayTest, RoundTrip) {
+  Rng rng(1);
+  for (int bits = 1; bits <= 31; ++bits) {
+    uint32_t mask = (uint32_t{1} << bits) - 1;
+    std::vector<uint32_t> codes(257);
+    for (auto& c : codes) c = static_cast<uint32_t>(rng.Next()) & mask;
+    PackedArray p = PackedArray::Pack(codes, bits);
+    ASSERT_EQ(p.size(), codes.size());
+    for (size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(p.Get(i), codes[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(PackedArrayTest, EmptyArray) {
+  PackedArray p = PackedArray::Pack({}, 8);
+  EXPECT_EQ(p.size(), 0u);
+  BitVector out;
+  p.Scan(CompareOp::kGe, 0, &out);
+  EXPECT_EQ(out.size(), 0u);
+}
+
+// Property sweep: SWAR scan must agree with the scalar reference for every
+// operator, bit width, and constant position (below/inside/above range).
+using ScanParam = std::tuple<int, CompareOp>;
+
+class PackedScanTest : public ::testing::TestWithParam<ScanParam> {};
+
+TEST_P(PackedScanTest, SwarMatchesScalar) {
+  auto [bits, op] = GetParam();
+  uint32_t mask = (uint32_t{1} << bits) - 1;
+  Rng rng(static_cast<uint64_t>(bits) * 100 + static_cast<uint64_t>(op));
+  std::vector<uint32_t> codes(1000);
+  for (auto& c : codes) c = static_cast<uint32_t>(rng.Next()) & mask;
+  PackedArray p = PackedArray::Pack(codes, bits);
+
+  std::vector<uint32_t> constants = {0, 1, mask / 2, mask};
+  if (mask > 2) constants.push_back(mask - 1);
+  for (uint32_t c : constants) {
+    BitVector swar, scalar;
+    p.Scan(op, c, &swar);
+    p.ScanScalar(op, c, &scalar);
+    EXPECT_EQ(swar, scalar) << "bits=" << bits << " c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidthsAllOps, PackedScanTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 7, 8, 11, 13, 16, 21,
+                                         27, 31),
+                       ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                         CompareOp::kLt, CompareOp::kLe,
+                                         CompareOp::kGt, CompareOp::kGe)));
+
+TEST(PackedArrayTest, ScanRange) {
+  std::vector<uint32_t> codes;
+  for (uint32_t i = 0; i < 100; ++i) codes.push_back(i % 50);
+  PackedArray p = PackedArray::Pack(codes, 6);
+  BitVector out;
+  p.ScanRange(10, 19, &out);
+  size_t expected = 0;
+  for (uint32_t c : codes) {
+    if (c >= 10 && c <= 19) ++expected;
+  }
+  EXPECT_EQ(out.CountSet(), expected);
+  // Degenerate range.
+  p.ScanRange(20, 10, &out);
+  EXPECT_EQ(out.CountSet(), 0u);
+  // Full range.
+  p.ScanRange(0, 63, &out);
+  EXPECT_EQ(out.CountSet(), codes.size());
+}
+
+TEST(DictionaryTest, BuildSortsAndDedups) {
+  Dictionary d = Dictionary::Build({"pear", "apple", "pear", "fig"});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.Decode(0), "apple");
+  EXPECT_EQ(d.Decode(1), "fig");
+  EXPECT_EQ(d.Decode(2), "pear");
+}
+
+TEST(DictionaryTest, EncodeFindsExact) {
+  Dictionary d = Dictionary::Build({"a", "b", "c"});
+  EXPECT_EQ(d.Encode("b"), 1);
+  EXPECT_EQ(d.Encode("zz"), -1);
+  EXPECT_EQ(d.Encode(""), -1);
+}
+
+TEST(DictionaryTest, OrderPreservingCodes) {
+  Rng rng(9);
+  std::vector<std::string> values;
+  for (int i = 0; i < 300; ++i) values.push_back(rng.AlphaString(1, 8));
+  Dictionary d = Dictionary::Build(values);
+  for (const std::string& a : values) {
+    for (int i = 0; i < 5; ++i) {
+      const std::string& b = values[rng.Uniform(values.size())];
+      int64_t ca = d.Encode(a), cb = d.Encode(b);
+      EXPECT_EQ(a < b, ca < cb);
+    }
+  }
+}
+
+TEST(DictionaryTest, BoundsForRangeRewrite) {
+  Dictionary d = Dictionary::Build({"bb", "dd", "ff"});
+  // LowerBound: first code with value >= s.
+  EXPECT_EQ(d.LowerBound("aa"), 0u);
+  EXPECT_EQ(d.LowerBound("bb"), 0u);
+  EXPECT_EQ(d.LowerBound("cc"), 1u);
+  EXPECT_EQ(d.LowerBound("zz"), 3u);
+  // UpperBound: first code with value > s.
+  EXPECT_EQ(d.UpperBound("bb"), 1u);
+  EXPECT_EQ(d.UpperBound("bz"), 1u);
+  EXPECT_EQ(d.UpperBound("ff"), 3u);
+}
+
+TEST(DictionaryTest, EmptyDictionary) {
+  Dictionary d = Dictionary::Build({});
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.Encode("x"), -1);
+  EXPECT_EQ(d.LowerBound("x"), 0u);
+}
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "txn/checkpoint.h"
+
+#include "common/rng.h"
+#include "sql/session.h"
+
+namespace oltap {
+namespace {
+
+std::string CreateSql() {
+  return "CREATE TABLE t (id BIGINT NOT NULL, tag TEXT, v DOUBLE, "
+         "PRIMARY KEY (id)) FORMAT COLUMN";
+}
+
+TEST(CheckpointTest, RoundTripRestoresVisibleState) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  Rng rng(1);
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", 'x', " + std::to_string(rng.NextDouble()) + ")")
+                    .ok());
+  }
+  ASSERT_TRUE(db.Execute("DELETE FROM t WHERE id < 20").ok());
+  db.MergeAll();
+
+  Timestamp ts = db.txn_manager()->oracle()->CurrentReadTs();
+  std::string checkpoint = WriteCheckpoint(*db.catalog(), ts);
+
+  Database restored;
+  ASSERT_TRUE(restored.Execute(CreateSql()).ok());
+  auto stats = RestoreCheckpoint(checkpoint, restored.catalog());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->ops_applied, 180u);
+  restored.txn_manager()->oracle()->AdvanceTo(stats->max_commit_ts);
+
+  auto original = db.Execute("SELECT COUNT(*), SUM(v) FROM t");
+  auto recovered = restored.Execute("SELECT COUNT(*), SUM(v) FROM t");
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->rows[0][0].AsInt64(),
+            original->rows[0][0].AsInt64());
+  EXPECT_DOUBLE_EQ(recovered->rows[0][1].AsDouble(),
+                   original->rows[0][1].AsDouble());
+}
+
+TEST(CheckpointTest, CheckpointPlusWalTailRecovery) {
+  Wal wal;
+  std::string checkpoint;
+  Timestamp checkpoint_ts = 0;
+  std::vector<Row> expected;
+  {
+    Database db(&wal);
+    ASSERT_TRUE(db.Execute(CreateSql()).ok());
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                             ", 'pre', 1.0)")
+                      .ok());
+    }
+    checkpoint_ts = db.txn_manager()->oracle()->CurrentReadTs();
+    checkpoint = WriteCheckpoint(*db.catalog(), checkpoint_ts);
+
+    // Post-checkpoint activity lives only in the WAL tail.
+    ASSERT_TRUE(db.Execute("UPDATE t SET tag = 'post' WHERE id < 10").ok());
+    ASSERT_TRUE(db.Execute("DELETE FROM t WHERE id >= 90").ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (500, 'tail', 2.0)").ok());
+    auto r = db.Execute("SELECT id, tag, v FROM t ORDER BY id");
+    ASSERT_TRUE(r.ok());
+    expected = r->rows;
+  }
+
+  Database recovered;
+  ASSERT_TRUE(recovered.Execute(CreateSql()).ok());
+  auto stats = RecoverFromCheckpointAndLog(checkpoint, wal.buffer(),
+                                           recovered.catalog());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  recovered.txn_manager()->oracle()->AdvanceTo(stats->max_commit_ts);
+
+  auto r = recovered.Execute("SELECT id, tag, v FROM t ORDER BY id");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    for (size_t c = 0; c < expected[i].size(); ++c) {
+      EXPECT_EQ(r->rows[i][c].ToString(), expected[i][c].ToString())
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(CheckpointTest, SnapshotConsistentDespiteLaterWrites) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", 'a', 1.0)")
+                    .ok());
+  }
+  Timestamp ts = db.txn_manager()->oracle()->CurrentReadTs();
+  // Writes after `ts` must not leak into the checkpoint.
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (999, 'late', 9.0)").ok());
+  std::string checkpoint = WriteCheckpoint(*db.catalog(), ts);
+
+  Database restored;
+  ASSERT_TRUE(restored.Execute(CreateSql()).ok());
+  auto stats = RestoreCheckpoint(checkpoint, restored.catalog());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->ops_applied, 50u);
+}
+
+TEST(CheckpointTest, TornCheckpointRejected) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 'a', 1.0)").ok());
+  std::string checkpoint = WriteCheckpoint(
+      *db.catalog(), db.txn_manager()->oracle()->CurrentReadTs());
+  checkpoint.resize(checkpoint.size() / 2);
+  Database restored;
+  ASSERT_TRUE(restored.Execute(CreateSql()).ok());
+  auto stats =
+      RecoverFromCheckpointAndLog(checkpoint, "", restored.catalog());
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/column_segment.h"
+#include "storage/zone_map.h"
+
+namespace oltap {
+namespace {
+
+// Reference predicate evaluation for cross-checking segment scans.
+template <typename T>
+bool RefCompare(CompareOp op, T v, T c) {
+  switch (op) {
+    case CompareOp::kEq:
+      return v == c;
+    case CompareOp::kNe:
+      return v != c;
+    case CompareOp::kLt:
+      return v < c;
+    case CompareOp::kLe:
+      return v <= c;
+    case CompareOp::kGt:
+      return v > c;
+    case CompareOp::kGe:
+      return v >= c;
+  }
+  return false;
+}
+
+TEST(ColumnSegmentTest, Int64PackedRoundTrip) {
+  std::vector<int64_t> values = {100, 105, 110, 100, 200, 150};
+  ColumnSegment seg = ColumnSegment::BuildInt64(values);
+  EXPECT_TRUE(seg.int64_packed());  // small range → frame-of-reference
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(seg.GetInt64(i), values[i]);
+  }
+}
+
+TEST(ColumnSegmentTest, Int64WideRangeFallsBackToRaw) {
+  std::vector<int64_t> values = {INT64_MIN, 0, INT64_MAX};
+  ColumnSegment seg = ColumnSegment::BuildInt64(values);
+  EXPECT_FALSE(seg.int64_packed());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(seg.GetInt64(i), values[i]);
+  }
+}
+
+TEST(ColumnSegmentTest, NegativeValuesPacked) {
+  std::vector<int64_t> values = {-50, -10, -50, 0, 25};
+  ColumnSegment seg = ColumnSegment::BuildInt64(values);
+  EXPECT_TRUE(seg.int64_packed());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(seg.GetInt64(i), values[i]);
+  }
+  BitVector out;
+  seg.ScanCompare(CompareOp::kLt, Value::Int64(0), &out);
+  EXPECT_EQ(out.CountSet(), 3u);
+}
+
+class SegmentScanOpTest : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(SegmentScanOpTest, Int64ScanMatchesReference) {
+  CompareOp op = GetParam();
+  Rng rng(static_cast<uint64_t>(op) + 1);
+  std::vector<int64_t> values(777);
+  for (auto& v : values) v = rng.UniformRange(-100, 100);
+  ColumnSegment seg = ColumnSegment::BuildInt64(values);
+  for (int64_t c : {-150L, -100L, -1L, 0L, 50L, 100L, 150L}) {
+    BitVector out;
+    seg.ScanCompare(op, Value::Int64(c), &out);
+    ASSERT_EQ(out.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(out.Get(i), RefCompare(op, values[i], c))
+          << "c=" << c << " i=" << i << " v=" << values[i];
+    }
+  }
+}
+
+TEST_P(SegmentScanOpTest, StringScanMatchesReference) {
+  CompareOp op = GetParam();
+  Rng rng(static_cast<uint64_t>(op) + 100);
+  std::vector<std::string> values(400);
+  for (auto& v : values) v = rng.AlphaString(1, 4);
+  ColumnSegment seg = ColumnSegment::BuildString(values);
+  // Constants both present and absent from the dictionary.
+  std::vector<std::string> constants = {values[0], values[10], "", "zzzz",
+                                        "m"};
+  for (const std::string& c : constants) {
+    BitVector out;
+    seg.ScanCompare(op, Value::String(c), &out);
+    for (size_t i = 0; i < values.size(); ++i) {
+      bool expect;
+      int cmp = values[i].compare(c);
+      expect = RefCompare(op, cmp, 0);
+      EXPECT_EQ(out.Get(i), expect) << "c=" << c << " v=" << values[i];
+    }
+  }
+}
+
+TEST_P(SegmentScanOpTest, DoubleScanMatchesReference) {
+  CompareOp op = GetParam();
+  Rng rng(static_cast<uint64_t>(op) + 200);
+  std::vector<double> values(300);
+  for (auto& v : values) v = rng.NextDouble() * 10 - 5;
+  ColumnSegment seg = ColumnSegment::BuildDouble(values);
+  for (double c : {-6.0, 0.0, 2.5, 6.0}) {
+    BitVector out;
+    seg.ScanCompare(op, Value::Double(c), &out);
+    for (size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(out.Get(i), RefCompare(op, values[i], c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, SegmentScanOpTest,
+                         ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                           CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe));
+
+TEST(ColumnSegmentTest, NullsNeverMatchAndDecodeAsNull) {
+  std::vector<Value> values = {Value::Int64(1), Value::Null(),
+                               Value::Int64(3), Value::Null(),
+                               Value::Int64(1)};
+  ColumnSegment seg = ColumnSegment::Build(ValueType::kInt64, values);
+  EXPECT_TRUE(seg.has_nulls());
+  EXPECT_TRUE(seg.IsNull(1));
+  EXPECT_FALSE(seg.IsNull(0));
+  EXPECT_TRUE(seg.GetValue(1).is_null());
+  EXPECT_EQ(seg.GetValue(2).AsInt64(), 3);
+
+  BitVector out;
+  seg.ScanCompare(CompareOp::kGe, Value::Int64(0), &out);
+  EXPECT_EQ(out.CountSet(), 3u);  // nulls excluded
+  seg.ScanCompare(CompareOp::kNe, Value::Int64(1), &out);
+  EXPECT_EQ(out.CountSet(), 1u);  // only the 3
+}
+
+TEST(ColumnSegmentTest, CompareWithNullConstantMatchesNothing) {
+  ColumnSegment seg = ColumnSegment::BuildInt64({1, 2, 3});
+  BitVector out;
+  seg.ScanCompare(CompareOp::kEq, Value::Null(), &out);
+  EXPECT_EQ(out.CountSet(), 0u);
+}
+
+TEST(ColumnSegmentTest, StringSegmentDecodes) {
+  std::vector<std::string> values = {"cherry", "apple", "banana", "apple"};
+  ColumnSegment seg = ColumnSegment::BuildString(values);
+  ASSERT_NE(seg.dictionary(), nullptr);
+  EXPECT_EQ(seg.dictionary()->size(), 3u);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(seg.GetString(i), values[i]);
+  }
+}
+
+TEST(ColumnSegmentTest, Int64DoubleConstantComparison) {
+  ColumnSegment seg = ColumnSegment::BuildInt64({1, 2, 3, 4});
+  BitVector out;
+  seg.ScanCompare(CompareOp::kGt, Value::Double(2.5), &out);
+  EXPECT_EQ(out.CountSet(), 2u);  // 3 and 4
+}
+
+TEST(ColumnSegmentTest, GatherDoubles) {
+  ColumnSegment seg = ColumnSegment::BuildInt64({10, 20, 30, 40});
+  BitVector sel(4);
+  sel.Set(1);
+  sel.Set(3);
+  std::vector<double> out;
+  std::vector<uint32_t> rids;
+  seg.GatherDoubles(&sel, &out, &rids);
+  EXPECT_EQ(out, (std::vector<double>{20, 40}));
+  EXPECT_EQ(rids, (std::vector<uint32_t>{1, 3}));
+  seg.GatherDoubles(nullptr, &out, nullptr);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+// Property: the zone-pruned scan is bit-identical to the full scan, for
+// every operator, over random, clustered, and null-bearing data.
+class ZonedScanEquivalenceTest : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(ZonedScanEquivalenceTest, Int64RandomAndSorted) {
+  CompareOp op = GetParam();
+  Rng rng(static_cast<uint64_t>(op) + 300);
+  for (bool sorted : {false, true}) {
+    std::vector<int64_t> values(5000);
+    for (auto& v : values) v = rng.UniformRange(-500, 500);
+    if (sorted) std::sort(values.begin(), values.end());
+    ColumnSegment seg = ColumnSegment::BuildInt64(values);
+    for (int64_t c : {-600L, -500L, -100L, 0L, 250L, 500L, 600L}) {
+      BitVector plain, zoned;
+      size_t pruned = 0;
+      seg.ScanCompare(op, Value::Int64(c), &plain);
+      seg.ScanCompareZoned(op, Value::Int64(c), &zoned, &pruned);
+      EXPECT_EQ(plain, zoned) << "sorted=" << sorted << " c=" << c;
+      EXPECT_LE(pruned, seg.zone_map().num_zones());
+    }
+  }
+}
+
+TEST_P(ZonedScanEquivalenceTest, StringsAndNulls) {
+  CompareOp op = GetParam();
+  Rng rng(static_cast<uint64_t>(op) + 400);
+  std::vector<Value> values;
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.Bernoulli(0.05)) {
+      values.push_back(Value::Null(ValueType::kString));
+    } else {
+      values.push_back(Value::String(rng.AlphaString(1, 3)));
+    }
+  }
+  ColumnSegment seg = ColumnSegment::Build(ValueType::kString, values);
+  for (const char* c : {"", "a", "m", "mm", "zzzz"}) {
+    BitVector plain, zoned;
+    seg.ScanCompare(op, Value::String(c), &plain);
+    seg.ScanCompareZoned(op, Value::String(c), &zoned);
+    EXPECT_EQ(plain, zoned) << "c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ZonedScanEquivalenceTest,
+                         ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                           CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe));
+
+TEST(ZonedScanTest, ClusteredDataPrunesMostZones) {
+  // Sorted values with short runs (so frame-of-reference is chosen, not
+  // RLE): a selective equality should visit ~1 zone.
+  std::vector<int64_t> values(64 * 1024);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i / 4);
+  }
+  ColumnSegment seg = ColumnSegment::BuildInt64(values);
+  ASSERT_EQ(seg.encoding(), ColumnSegment::Encoding::kPacked);
+  BitVector out;
+  size_t pruned = 0;
+  seg.ScanCompareZoned(CompareOp::kEq, Value::Int64(1000), &out, &pruned);
+  EXPECT_EQ(out.CountSet(), 4u);
+  EXPECT_GE(pruned, seg.zone_map().num_zones() - 2);
+}
+
+TEST(RleSegmentTest, ChosenForLongRunsAndRoundTrips) {
+  std::vector<int64_t> values;
+  Rng rng(31);
+  int64_t v = 0;
+  while (values.size() < 10000) {
+    v += rng.UniformRange(1, 5);
+    size_t run = 5 + rng.Uniform(40);
+    for (size_t i = 0; i < run && values.size() < 10000; ++i) {
+      values.push_back(v);
+    }
+  }
+  ColumnSegment seg = ColumnSegment::BuildInt64(values);
+  ASSERT_EQ(seg.encoding(), ColumnSegment::Encoding::kRle);
+  EXPECT_LT(seg.num_runs(), values.size() / 5);
+  for (size_t i = 0; i < values.size(); i += 7) {
+    EXPECT_EQ(seg.GetInt64(i), values[i]) << i;
+  }
+  EXPECT_EQ(seg.GetInt64(0), values[0]);
+  EXPECT_EQ(seg.GetInt64(values.size() - 1), values.back());
+  // RLE is far smaller than the 8-byte-per-value raw form.
+  EXPECT_LT(seg.MemoryBytes(), values.size() * sizeof(int64_t) / 4);
+}
+
+class RleScanOpTest : public ::testing::TestWithParam<CompareOp> {};
+
+TEST_P(RleScanOpTest, MatchesUnencodedScan) {
+  CompareOp op = GetParam();
+  std::vector<int64_t> values;
+  Rng rng(static_cast<uint64_t>(op) + 500);
+  while (values.size() < 5000) {
+    int64_t v = rng.UniformRange(-20, 20);
+    size_t run = 10 + rng.Uniform(30);
+    for (size_t i = 0; i < run && values.size() < 5000; ++i) {
+      values.push_back(v);
+    }
+  }
+  ColumnSegment rle = ColumnSegment::BuildInt64(values);
+  ColumnSegment plain = ColumnSegment::BuildInt64NoRle(values);
+  ASSERT_EQ(rle.encoding(), ColumnSegment::Encoding::kRle);
+  ASSERT_NE(plain.encoding(), ColumnSegment::Encoding::kRle);
+  for (int64_t c : {-25L, -20L, 0L, 13L, 20L, 25L}) {
+    BitVector a, b;
+    rle.ScanCompare(op, Value::Int64(c), &a);
+    plain.ScanCompare(op, Value::Int64(c), &b);
+    EXPECT_EQ(a, b) << "c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, RleScanOpTest,
+                         ::testing::Values(CompareOp::kEq, CompareOp::kNe,
+                                           CompareOp::kLt, CompareOp::kLe,
+                                           CompareOp::kGt, CompareOp::kGe));
+
+TEST(BitVectorSetRangeTest, WordBoundaries) {
+  for (auto [lo, hi] : std::vector<std::pair<size_t, size_t>>{
+           {0, 0}, {0, 1}, {0, 64}, {1, 63}, {63, 65}, {10, 200},
+           {64, 128}, {199, 200}}) {
+    BitVector bv(200);
+    bv.SetRange(lo, hi);
+    for (size_t i = 0; i < 200; ++i) {
+      EXPECT_EQ(bv.Get(i), i >= lo && i < hi)
+          << "range [" << lo << "," << hi << ") bit " << i;
+    }
+    EXPECT_EQ(bv.CountSet(), hi - lo);
+  }
+}
+
+TEST(ZonedScanTest, FallsBackForDoubles) {
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  ColumnSegment seg = ColumnSegment::BuildDouble(values);
+  BitVector plain, zoned;
+  size_t pruned = 123;
+  seg.ScanCompare(CompareOp::kGt, Value::Double(1.5), &plain);
+  seg.ScanCompareZoned(CompareOp::kGt, Value::Double(1.5), &zoned, &pruned);
+  EXPECT_EQ(plain, zoned);
+  EXPECT_EQ(pruned, 0u);  // fallback reports no pruning
+}
+
+TEST(PackedArrayWindowTest, WindowMatchesFullScanSlice) {
+  Rng rng(77);
+  for (int bits : {3, 9, 14}) {
+    uint32_t mask = (uint32_t{1} << bits) - 1;
+    std::vector<uint32_t> codes(3000);
+    for (auto& c : codes) c = static_cast<uint32_t>(rng.Next()) & mask;
+    PackedArray p = PackedArray::Pack(codes, bits);
+    uint32_t lo = mask / 4, hi = mask / 2;
+    BitVector full;
+    p.ScanRange(lo, hi, &full);
+    // Sweep awkward window boundaries (mid-word starts/ends).
+    for (auto [begin, end] : std::vector<std::pair<size_t, size_t>>{
+             {0, 3000}, {1, 2999}, {63, 64}, {100, 1777}, {2950, 3000},
+             {500, 500}}) {
+      BitVector windowed(codes.size());
+      p.ScanRangeWindow(lo, hi, begin, end, &windowed);
+      for (size_t i = 0; i < codes.size(); ++i) {
+        bool expected = i >= begin && i < end && full.Get(i);
+        EXPECT_EQ(windowed.Get(i), expected)
+            << "bits=" << bits << " window=[" << begin << "," << end
+            << ") i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ZoneMapTest, PruningDecisions) {
+  std::vector<int64_t> values(4096);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i);  // zone z covers [1024z, 1024z+1023]
+  }
+  ZoneMap zm = ZoneMap::Build(values, nullptr);
+  ASSERT_EQ(zm.num_zones(), 4u);
+  EXPECT_TRUE(zm.ZoneMayMatch(0, CompareOp::kLt, 10));
+  EXPECT_FALSE(zm.ZoneMayMatch(1, CompareOp::kLt, 10));
+  EXPECT_FALSE(zm.ZoneMayMatch(0, CompareOp::kGt, 1023));
+  EXPECT_TRUE(zm.ZoneMayMatch(3, CompareOp::kGe, 4095));
+  EXPECT_TRUE(zm.ZoneMayMatch(2, CompareOp::kEq, 2500));
+  EXPECT_FALSE(zm.ZoneMayMatch(2, CompareOp::kEq, 5000));
+  EXPECT_FALSE(zm.AnyZoneMayMatch(CompareOp::kGt, 5000));
+  EXPECT_TRUE(zm.AnyZoneMayMatch(CompareOp::kGe, 0));
+}
+
+TEST(ZoneMapTest, AllNullZoneNeverMatches) {
+  std::vector<int64_t> values(2048, 0);
+  BitVector nulls(2048);
+  for (size_t i = 0; i < 1024; ++i) nulls.Set(i);  // zone 0 all null
+  ZoneMap zm = ZoneMap::Build(values, &nulls);
+  EXPECT_FALSE(zm.ZoneMayMatch(0, CompareOp::kEq, 0));
+  EXPECT_TRUE(zm.ZoneMayMatch(1, CompareOp::kEq, 0));
+}
+
+TEST(ZoneMapTest, GlobalBounds) {
+  std::vector<int64_t> values = {5, -3, 12, 7};
+  ZoneMap zm = ZoneMap::Build(values, nullptr, 2);
+  double lo, hi;
+  ASSERT_TRUE(zm.GlobalBounds(&lo, &hi));
+  EXPECT_EQ(lo, -3);
+  EXPECT_EQ(hi, 12);
+}
+
+TEST(ZoneMapTest, NeZonePruning) {
+  // A zone where min==max==c is prunable for Ne.
+  std::vector<int64_t> values(2048, 7);
+  for (size_t i = 1024; i < 2048; ++i) values[i] = 9;
+  ZoneMap zm = ZoneMap::Build(values, nullptr);
+  EXPECT_FALSE(zm.ZoneMayMatch(0, CompareOp::kNe, 7));
+  EXPECT_TRUE(zm.ZoneMayMatch(1, CompareOp::kNe, 7));
+}
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/coordinator.h"
+#include "dist/network.h"
+#include "dist/partition.h"
+
+namespace oltap {
+namespace {
+
+Schema AccountSchema() {
+  return SchemaBuilder()
+      .AddInt64("id", false)
+      .AddInt64("balance")
+      .SetKey({"id"})
+      .Build();
+}
+
+Row MakeRow(int64_t id, int64_t balance) {
+  return Row{Value::Int64(id), Value::Int64(balance)};
+}
+
+DistributedEngine::Options FastNet(int nodes, int partitions, int rf) {
+  DistributedEngine::Options opts;
+  opts.num_nodes = nodes;
+  opts.num_partitions = partitions;
+  opts.replication_factor = rf;
+  opts.net.base_latency_us = 0;  // keep tests fast
+  opts.net.per_kb_us = 0;
+  return opts;
+}
+
+TEST(SimulatedNetworkTest, CountsTraffic) {
+  SimulatedNetwork::Options opts;
+  opts.base_latency_us = 0;
+  SimulatedNetwork net(opts);
+  net.Transfer(0, 1, 2048);
+  net.Transfer(1, 1, 512);  // intra-node: free, uncounted
+  net.RoundTrip(0, 2, 100, 100);
+  EXPECT_EQ(net.messages(), 3u);
+  EXPECT_EQ(net.bytes(), 2048u + 200u);
+}
+
+TEST(DistributedEngineTest, RoutingIsDeterministicAndBalanced) {
+  DistributedEngine engine(AccountSchema(), FastNet(4, 16, 1));
+  std::vector<int> hits(16, 0);
+  Schema schema = AccountSchema();
+  for (int64_t i = 0; i < 1600; ++i) {
+    std::string key = EncodeKey(schema, MakeRow(i, 0));
+    int p = engine.PartitionOf(key);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 16);
+    EXPECT_EQ(p, engine.PartitionOf(key));  // stable
+    hits[p]++;
+  }
+  for (int h : hits) EXPECT_GT(h, 0);  // no empty partition at this scale
+}
+
+TEST(DistributedEngineTest, InsertLookupRoundTrip) {
+  DistributedEngine engine(AccountSchema(), FastNet(4, 8, 3));
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(engine.InsertFrom(0, MakeRow(i, i * 10)).ok());
+  }
+  EXPECT_EQ(engine.TotalRows(), 200u);
+  Row out;
+  ASSERT_TRUE(engine.LookupFrom(1, MakeRow(77, 0), &out));
+  EXPECT_EQ(out[1].AsInt64(), 770);
+  EXPECT_FALSE(engine.LookupFrom(1, MakeRow(999, 0), &out));
+}
+
+TEST(DistributedEngineTest, ReplicasStayConsistent) {
+  DistributedEngine engine(AccountSchema(), FastNet(5, 10, 3));
+  Rng rng(4);
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(engine.InsertFrom(0, MakeRow(i, i)).ok());
+  }
+  for (int k = 0; k < 100; ++k) {
+    int64_t id = rng.UniformRange(0, 299);
+    engine.UpdateFrom(1, MakeRow(id, id + 1000));
+  }
+  for (int k = 0; k < 50; ++k) {
+    int64_t id = rng.UniformRange(0, 299);
+    engine.DeleteFrom(2, MakeRow(id, 0));
+  }
+  EXPECT_TRUE(engine.CheckReplicasConsistent());
+}
+
+TEST(DistributedEngineTest, ScatterGatherSumMatchesLocalComputation) {
+  DistributedEngine engine(AccountSchema(), FastNet(4, 8, 2));
+  int64_t expected = 0;
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(engine.InsertFrom(0, MakeRow(i, i)).ok());
+    if (i % 2 == 0) expected += i;
+  }
+  double sum = engine.SumWhere(/*filter_col=*/1, CompareOp::kLt, 500,
+                               /*agg_col=*/1);
+  // filter: balance < 500 means i < 500 → all rows; narrow it:
+  double even_sum =
+      engine.SumWhere(0, CompareOp::kLt, 500, 1);  // id < 500: all
+  EXPECT_DOUBLE_EQ(sum, 499.0 * 500 / 2);
+  EXPECT_DOUBLE_EQ(even_sum, 499.0 * 500 / 2);
+}
+
+TEST(DistributedEngineTest, ConcurrentClientsScaleWithoutCorruption) {
+  DistributedEngine engine(AccountSchema(), FastNet(4, 16, 3));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        int64_t id = t * kPerThread + i;
+        if (!engine.InsertFrom(t % 4, MakeRow(id, 1)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.TotalRows(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_TRUE(engine.CheckReplicasConsistent());
+  double total = engine.SumWhere(1, CompareOp::kGe, 0, 1);
+  EXPECT_DOUBLE_EQ(total, kThreads * kPerThread);
+}
+
+TEST(TwoPhaseCommitTest, AllYesCommits) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  TwoPhaseCoordinator coord(&net, 0);
+  std::atomic<int> prepared{0}, committed{0};
+  Status st = coord.Run(
+      {1, 2, 3},
+      [&](int) {
+        prepared.fetch_add(1);
+        return Status::OK();
+      },
+      [&](int, bool commit) {
+        if (commit) committed.fetch_add(1);
+      });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(prepared.load(), 3);
+  EXPECT_EQ(committed.load(), 3);
+  EXPECT_EQ(coord.commits(), 1u);
+}
+
+TEST(TwoPhaseCommitTest, OneNoAbortsAll) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  TwoPhaseCoordinator coord(&net, 0);
+  std::atomic<int> rolled_back{0};
+  Status st = coord.Run(
+      {1, 2, 3},
+      [&](int p) {
+        return p == 2 ? Status::Aborted("conflict") : Status::OK();
+      },
+      [&](int, bool commit) {
+        if (!commit) rolled_back.fetch_add(1);
+      });
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_EQ(rolled_back.load(), 3);
+  EXPECT_EQ(coord.aborts(), 1u);
+}
+
+TEST(TwoPhaseCommitTest, CrossPartitionTransferAtomicity) {
+  // Transfer between two accounts on different partitions under 2PC: the
+  // total must be conserved whether the transaction commits or aborts.
+  DistributedEngine engine(AccountSchema(), FastNet(4, 8, 1));
+  ASSERT_TRUE(engine.InsertFrom(0, MakeRow(1, 500)).ok());
+  ASSERT_TRUE(engine.InsertFrom(0, MakeRow(2, 500)).ok());
+
+  TwoPhaseCoordinator coord(engine.network(), 0);
+  auto transfer = [&](int64_t from, int64_t to, int64_t amount,
+                      bool force_abort) {
+    Row from_row, to_row;
+    if (!engine.LookupFrom(0, MakeRow(from, 0), &from_row)) return;
+    if (!engine.LookupFrom(0, MakeRow(to, 0), &to_row)) return;
+    Status st = coord.Run(
+        {engine.LeaderNode(engine.PartitionOf(
+             EncodeKey(AccountSchema(), MakeRow(from, 0)))),
+         engine.LeaderNode(engine.PartitionOf(
+             EncodeKey(AccountSchema(), MakeRow(to, 0))))},
+        [&](int) {
+          return force_abort ? Status::Aborted("forced") : Status::OK();
+        },
+        [&](int, bool commit) { (void)commit; });
+    if (st.ok()) {
+      from_row[1] = Value::Int64(from_row[1].AsInt64() - amount);
+      to_row[1] = Value::Int64(to_row[1].AsInt64() + amount);
+      ASSERT_TRUE(engine.UpdateFrom(0, from_row).ok());
+      ASSERT_TRUE(engine.UpdateFrom(0, to_row).ok());
+    }
+  };
+  transfer(1, 2, 100, /*force_abort=*/false);
+  transfer(2, 1, 50, /*force_abort=*/true);  // aborted: no effect
+  double total = engine.SumWhere(0, CompareOp::kGe, 0, 1);
+  EXPECT_DOUBLE_EQ(total, 1000.0);
+  Row out;
+  ASSERT_TRUE(engine.LookupFrom(0, MakeRow(1, 0), &out));
+  EXPECT_EQ(out[1].AsInt64(), 400);
+}
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "storage/dual_table.h"
+#include "storage/table.h"
+
+namespace oltap {
+namespace {
+
+Schema TestSchema() {
+  return SchemaBuilder()
+      .AddInt64("id", false)
+      .AddInt64("v")
+      .SetKey({"id"})
+      .Build();
+}
+
+Row MakeRow(int64_t id, int64_t v) {
+  return Row{Value::Int64(id), Value::Int64(v)};
+}
+
+std::string KeyOf(int64_t id) {
+  Schema s = TestSchema();
+  return EncodeKey(s, MakeRow(id, 0));
+}
+
+// Reads the same logical state through both mirrors and compares.
+void ExpectMirrorsAgree(DualTable* table, Timestamp read_ts) {
+  std::set<std::pair<int64_t, int64_t>> row_side, col_side;
+  table->row_side()->ScanVisible(read_ts, [&](const Row& r) {
+    row_side.insert({r[0].AsInt64(), r[1].AsInt64()});
+  });
+  ColumnTable::Snapshot snap = table->GetColumnSnapshot(read_ts);
+  BitVector mask;
+  snap.main->VisibleMask(read_ts, &mask);
+  for (size_t i = mask.FindNextSet(0); i < mask.size();
+       i = mask.FindNextSet(i + 1)) {
+    Row r = snap.main->GetRow(static_cast<RowId>(i));
+    col_side.insert({r[0].AsInt64(), r[1].AsInt64()});
+  }
+  auto visit = [&](uint32_t, const Row& r) {
+    col_side.insert({r[0].AsInt64(), r[1].AsInt64()});
+  };
+  if (snap.frozen != nullptr) snap.frozen->ForEachVisible(read_ts, visit);
+  snap.delta->ForEachVisible(read_ts, visit);
+  EXPECT_EQ(row_side, col_side) << "at ts " << read_ts;
+}
+
+TEST(RowTableTest, InsertLookupDeleteUpdate) {
+  RowTable table(TestSchema());
+  ASSERT_TRUE(table.InsertCommitted(MakeRow(1, 10), 5).ok());
+  Row out;
+  ASSERT_TRUE(table.Lookup(KeyOf(1), 5, &out));
+  EXPECT_EQ(out[1].AsInt64(), 10);
+  EXPECT_FALSE(table.Lookup(KeyOf(1), 4, &out));
+
+  ASSERT_TRUE(table.UpdateCommitted(KeyOf(1), MakeRow(1, 20), 8).ok());
+  ASSERT_TRUE(table.Lookup(KeyOf(1), 7, &out));
+  EXPECT_EQ(out[1].AsInt64(), 10);
+  ASSERT_TRUE(table.Lookup(KeyOf(1), 8, &out));
+  EXPECT_EQ(out[1].AsInt64(), 20);
+
+  ASSERT_TRUE(table.DeleteCommitted(KeyOf(1), 12).ok());
+  EXPECT_FALSE(table.Lookup(KeyOf(1), 12, &out));
+  ASSERT_TRUE(table.Lookup(KeyOf(1), 11, &out));
+}
+
+TEST(RowTableTest, DuplicateInsertRejected) {
+  RowTable table(TestSchema());
+  ASSERT_TRUE(table.InsertCommitted(MakeRow(1, 10), 5).ok());
+  EXPECT_EQ(table.InsertCommitted(MakeRow(1, 11), 6).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RowTableTest, ScanVisibleIsKeyOrderedAndFiltered) {
+  RowTable table(TestSchema());
+  for (int64_t i : {3, 1, 2}) {
+    ASSERT_TRUE(table.InsertCommitted(MakeRow(i, i * 10), 5).ok());
+  }
+  ASSERT_TRUE(table.DeleteCommitted(KeyOf(2), 7).ok());
+  std::vector<int64_t> seen;
+  table.ScanVisible(10, [&](const Row& r) { seen.push_back(r[0].AsInt64()); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 3}));
+  seen.clear();
+  table.ScanVisible(6, [&](const Row& r) { seen.push_back(r[0].AsInt64()); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(RowTableTest, KeylessTableAppends) {
+  Schema schema = SchemaBuilder().AddInt64("x").Build();
+  RowTable table(schema);
+  ASSERT_TRUE(table.InsertCommitted(Row{Value::Int64(1)}, 1).ok());
+  ASSERT_TRUE(table.InsertCommitted(Row{Value::Int64(1)}, 2).ok());
+  EXPECT_EQ(table.num_keys(), 2u);
+}
+
+TEST(RowTableTest, LastWriteTs) {
+  RowTable table(TestSchema());
+  EXPECT_EQ(table.LastWriteTs(KeyOf(1)), 0u);
+  ASSERT_TRUE(table.InsertCommitted(MakeRow(1, 1), 5).ok());
+  EXPECT_EQ(table.LastWriteTs(KeyOf(1)), 5u);
+  ASSERT_TRUE(table.DeleteCommitted(KeyOf(1), 9).ok());
+  EXPECT_EQ(table.LastWriteTs(KeyOf(1)), 9u);
+}
+
+TEST(DualTableTest, MirrorsStayConsistent) {
+  DualTable table(TestSchema());
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table.InsertCommitted(MakeRow(i, i), 10).ok());
+  }
+  for (int64_t i = 0; i < 50; i += 5) {
+    ASSERT_TRUE(table.DeleteCommitted(KeyOf(i), 20).ok());
+  }
+  for (int64_t i = 1; i < 50; i += 5) {
+    ASSERT_TRUE(table.UpdateCommitted(KeyOf(i), MakeRow(i, i + 100), 30).ok());
+  }
+  for (Timestamp ts : {10u, 20u, 25u, 30u, 40u}) {
+    ExpectMirrorsAgree(&table, ts);
+  }
+}
+
+TEST(DualTableTest, MirrorsConsistentAcrossMerge) {
+  DualTable table(TestSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.InsertCommitted(MakeRow(i, i), 10).ok());
+  }
+  ASSERT_TRUE(table.DeleteCommitted(KeyOf(5), 20).ok());
+  table.MergeDelta(50, 50);
+  for (int64_t i = 100; i < 120; ++i) {
+    ASSERT_TRUE(table.InsertCommitted(MakeRow(i, i), 60).ok());
+  }
+  ExpectMirrorsAgree(&table, 70);
+}
+
+TEST(DualTableTest, PointReadsServedByRowSide) {
+  DualTable table(TestSchema());
+  ASSERT_TRUE(table.InsertCommitted(MakeRow(7, 70), 5).ok());
+  Row out;
+  ASSERT_TRUE(table.Lookup(KeyOf(7), 5, &out));
+  EXPECT_EQ(out[1].AsInt64(), 70);
+  EXPECT_EQ(table.LastWriteTs(KeyOf(7)), 5u);
+}
+
+TEST(TableFacadeTest, FormatsDispatchCorrectly) {
+  for (TableFormat format :
+       {TableFormat::kRow, TableFormat::kColumn, TableFormat::kDual}) {
+    Table table("t", TestSchema(), format);
+    EXPECT_EQ(table.format(), format);
+    ASSERT_TRUE(table.InsertCommitted(MakeRow(1, 10), 5).ok());
+    ASSERT_TRUE(table.UpdateCommitted(KeyOf(1), MakeRow(1, 20), 6).ok());
+    Row out;
+    ASSERT_TRUE(table.Lookup(KeyOf(1), 6, &out));
+    EXPECT_EQ(out[1].AsInt64(), 20);
+    EXPECT_EQ(table.CountVisible(6), 1u);
+    ASSERT_TRUE(table.DeleteCommitted(KeyOf(1), 7).ok());
+    EXPECT_EQ(table.CountVisible(7), 0u);
+    EXPECT_EQ(table.Mergeable(), format != TableFormat::kRow);
+    EXPECT_EQ(table.GetColumnSnapshot(7).has_value(),
+              format != TableFormat::kRow);
+  }
+}
+
+TEST(TableFacadeTest, ScanVisibleCoversMainAndDelta) {
+  Table table("t", TestSchema(), TableFormat::kColumn);
+  std::vector<Row> initial;
+  for (int64_t i = 0; i < 10; ++i) initial.push_back(MakeRow(i, i));
+  ASSERT_TRUE(table.BulkLoadToMain(initial, 1).ok());
+  ASSERT_TRUE(table.InsertCommitted(MakeRow(100, 100), 5).ok());
+  EXPECT_EQ(table.CountVisible(5), 11u);
+  EXPECT_EQ(table.CountVisible(1), 10u);
+}
+
+TEST(RowTableTest, ScanRangeOrderedAndBounded) {
+  RowTable table(TestSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(table.InsertCommitted(MakeRow(i, i), 5).ok());
+  }
+  ASSERT_TRUE(table.DeleteCommitted(KeyOf(42), 7).ok());
+  std::vector<int64_t> seen;
+  size_t n = table.ScanRange(KeyOf(40), 5, 10,
+                             [&](const Row& r) { seen.push_back(r[0].AsInt64()); });
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(seen, (std::vector<int64_t>{40, 41, 43, 44, 45}));  // 42 deleted
+  // At the pre-delete snapshot, 42 reappears.
+  seen.clear();
+  table.ScanRange(KeyOf(40), 3, 6,
+                  [&](const Row& r) { seen.push_back(r[0].AsInt64()); });
+  EXPECT_EQ(seen, (std::vector<int64_t>{40, 41, 42}));
+}
+
+TEST(TableFacadeTest, ScanRangeAllFormatsAgree) {
+  for (TableFormat format :
+       {TableFormat::kRow, TableFormat::kColumn, TableFormat::kDual}) {
+    Table table("t", TestSchema(), format);
+    for (int64_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE(table.InsertCommitted(MakeRow(i, i * 2), 5).ok());
+    }
+    std::vector<int64_t> seen;
+    size_t n = table.ScanRange(KeyOf(10), 4, 10, [&](const Row& r) {
+      seen.push_back(r[0].AsInt64());
+    });
+    EXPECT_EQ(n, 4u) << TableFormatToString(format);
+    EXPECT_EQ(seen, (std::vector<int64_t>{10, 11, 12, 13}))
+        << TableFormatToString(format);
+  }
+}
+
+TEST(TableFacadeTest, DualBulkLoadFillsBothMirrors) {
+  Table table("t", TestSchema(), TableFormat::kDual);
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 10; ++i) rows.push_back(MakeRow(i, i));
+  ASSERT_TRUE(table.BulkLoadToMain(rows, 1).ok());
+  Row out;
+  ASSERT_TRUE(table.Lookup(KeyOf(3), 1, &out));  // row side
+  EXPECT_EQ(table.column_table()->main_size(), 10u);
+}
+
+}  // namespace
+}  // namespace oltap

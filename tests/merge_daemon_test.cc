@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "sched/merge_daemon.h"
+#include "sql/session.h"
+
+namespace oltap {
+namespace {
+
+TEST(MergeDaemonTest, RunOnceMergesOverThreshold) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE a (id BIGINT NOT NULL, v BIGINT, "
+                         "PRIMARY KEY (id)) FORMAT COLUMN")
+                  .ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE b (id BIGINT NOT NULL, v BIGINT, "
+                         "PRIMARY KEY (id)) FORMAT COLUMN")
+                  .ok());
+  // a: 100 delta rows; b: 5 delta rows.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO a VALUES (" + std::to_string(i) +
+                           ", 1)")
+                    .ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO b VALUES (" + std::to_string(i) +
+                           ", 1)")
+                    .ok());
+  }
+  MergeDaemon::Options opts;
+  opts.delta_row_threshold = 50;
+  opts.autostart = false;  // drive RunOnce deterministically
+  MergeDaemon daemon(db.catalog(), db.txn_manager(), opts);
+
+  EXPECT_EQ(daemon.RunOnce(), 1u);  // only `a` crossed the threshold
+  EXPECT_EQ(db.catalog()->GetTable("a")->column_table()->delta_size(), 0u);
+  EXPECT_EQ(db.catalog()->GetTable("b")->column_table()->delta_size(), 5u);
+  EXPECT_EQ(daemon.RunOnce(), 0u);  // idempotent once merged
+}
+
+TEST(MergeDaemonTest, BackgroundThreadMergesAutomatically) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT NOT NULL, v BIGINT, "
+                         "PRIMARY KEY (id)) FORMAT COLUMN")
+                  .ok());
+  MergeDaemon::Options opts;
+  opts.delta_row_threshold = 10;
+  opts.interval_ms = 5;
+  MergeDaemon daemon(db.catalog(), db.txn_manager(), opts);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", 1)")
+                    .ok());
+  }
+  // The daemon should fold the delta down within a few ticks.
+  for (int tries = 0; tries < 100; ++tries) {
+    if (db.catalog()->GetTable("t")->column_table()->delta_size() < 10) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  daemon.Stop();
+  EXPECT_GT(daemon.merges_performed(), 0u);
+  EXPECT_LT(db.catalog()->GetTable("t")->column_table()->delta_size(), 10u);
+  // Data intact.
+  auto r = db.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt64(), 200);
+}
+
+TEST(MergeDaemonTest, RespectsActiveSnapshots) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT NOT NULL, v BIGINT, "
+                         "PRIMARY KEY (id)) FORMAT COLUMN")
+                  .ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", 1)")
+                    .ok());
+  }
+  auto long_txn = db.txn_manager()->Begin();
+  ASSERT_TRUE(db.Execute("DELETE FROM t WHERE id < 50").ok());
+
+  MergeDaemon::Options opts;
+  opts.delta_row_threshold = 1;
+  opts.autostart = false;
+  MergeDaemon daemon(db.catalog(), db.txn_manager(), opts);
+  daemon.RunOnce();
+
+  // The old snapshot still sees all 100 rows despite the merge.
+  auto old_view = db.ExecuteIn(long_txn.get(), "SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(old_view.ok());
+  EXPECT_EQ(old_view->rows[0][0].AsInt64(), 100);
+  auto fresh = db.Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(fresh->rows[0][0].AsInt64(), 50);
+  db.txn_manager()->Commit(long_txn.get());
+}
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,136 @@
+// Model-checking fuzz: a random DML workload is applied simultaneously to
+// the engine (through SQL, autocommit) and to an in-memory reference model;
+// the full table contents and aggregates must agree at every checkpoint,
+// across all three storage formats, with delta merges interleaved at
+// random. This is the "whole stack agrees with a trivially correct
+// implementation" property that unit tests cannot provide.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "sql/session.h"
+
+namespace oltap {
+namespace {
+
+struct ModelRow {
+  std::string tag;
+  int64_t v;
+};
+
+class ModelCheckTest : public ::testing::TestWithParam<TableFormat> {};
+
+TEST_P(ModelCheckTest, RandomDmlMatchesReferenceModel) {
+  Database db;
+  std::string fmt = TableFormatToString(GetParam());
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT NOT NULL, tag TEXT, "
+                         "v BIGINT, PRIMARY KEY (id)) FORMAT " +
+                         fmt)
+                  .ok());
+  std::map<int64_t, ModelRow> model;
+  Rng rng(2026);
+  const char* tags[] = {"red", "green", "blue", "gold"};
+  constexpr int64_t kKeySpace = 200;
+
+  auto verify = [&] {
+    auto r = db.Execute("SELECT id, tag, v FROM t ORDER BY id");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), model.size()) << "format " << fmt;
+    size_t i = 0;
+    int64_t expected_sum = 0;
+    for (const auto& [id, row] : model) {
+      EXPECT_EQ(r->rows[i][0].AsInt64(), id);
+      EXPECT_EQ(r->rows[i][1].AsString(), row.tag);
+      EXPECT_EQ(r->rows[i][2].AsInt64(), row.v);
+      expected_sum += row.v;
+      ++i;
+    }
+    auto agg = db.Execute("SELECT COUNT(*), SUM(v) FROM t");
+    ASSERT_TRUE(agg.ok());
+    EXPECT_EQ(agg->rows[0][0].AsInt64(),
+              static_cast<int64_t>(model.size()));
+    if (!model.empty()) {
+      EXPECT_EQ(agg->rows[0][1].AsInt64(), expected_sum);
+    }
+    // A filtered group-by must agree too.
+    auto grouped = db.Execute(
+        "SELECT tag, COUNT(*) FROM t WHERE v >= 0 GROUP BY tag ORDER BY tag");
+    ASSERT_TRUE(grouped.ok());
+    std::map<std::string, int64_t> expected_groups;
+    for (const auto& [id, row] : model) {
+      if (row.v >= 0) expected_groups[row.tag]++;
+    }
+    ASSERT_EQ(grouped->rows.size(), expected_groups.size());
+    size_t g = 0;
+    for (const auto& [tag, count] : expected_groups) {
+      EXPECT_EQ(grouped->rows[g][0].AsString(), tag);
+      EXPECT_EQ(grouped->rows[g][1].AsInt64(), count);
+      ++g;
+    }
+  };
+
+  for (int step = 0; step < 1200; ++step) {
+    int64_t id = rng.UniformRange(0, kKeySpace - 1);
+    uint64_t action = rng.Uniform(100);
+    bool exists = model.count(id) > 0;
+    if (action < 45) {
+      // Insert: succeeds iff absent (both sides must agree on the error).
+      const char* tag = tags[rng.Uniform(4)];
+      int64_t v = rng.UniformRange(-50, 50);
+      auto r = db.Execute("INSERT INTO t VALUES (" + std::to_string(id) +
+                          ", '" + tag + "', " + std::to_string(v) + ")");
+      EXPECT_EQ(r.ok(), !exists) << "step " << step << " id " << id;
+      if (!exists) model[id] = ModelRow{tag, v};
+    } else if (action < 75) {
+      // Update by key.
+      int64_t v = rng.UniformRange(-50, 50);
+      auto r = db.Execute("UPDATE t SET v = " + std::to_string(v) +
+                          " WHERE id = " + std::to_string(id));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r->affected, exists ? 1u : 0u);
+      if (exists) model[id].v = v;
+    } else if (action < 95) {
+      // Delete by key.
+      auto r = db.Execute("DELETE FROM t WHERE id = " + std::to_string(id));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(r->affected, exists ? 1u : 0u);
+      model.erase(id);
+    } else {
+      // Range delete, exercising predicate DML.
+      int64_t cut = rng.UniformRange(-50, 50);
+      auto r = db.Execute("DELETE FROM t WHERE v > " + std::to_string(cut));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      size_t expected = 0;
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->second.v > cut) {
+          ++expected;
+          it = model.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(r->affected, expected);
+    }
+    if (step % 150 == 149) {
+      if (GetParam() != TableFormat::kRow && rng.Bernoulli(0.7)) {
+        db.MergeAll();
+      }
+      verify();
+    }
+  }
+  verify();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFormats, ModelCheckTest,
+                         ::testing::Values(TableFormat::kRow,
+                                           TableFormat::kColumn,
+                                           TableFormat::kDual),
+                         [](const auto& info) {
+                           return TableFormatToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/row_store.h"
+#include "txn/mvcc.h"
+
+namespace oltap {
+namespace {
+
+class MvccTest : public ::testing::Test {
+ protected:
+  MvccTest()
+      : store_(SchemaBuilder()
+                   .AddInt64("id", false)
+                   .AddInt64("v")
+                   .SetKey({"id"})
+                   .Build()),
+        engine_(&store_, &oracle_) {}
+
+  Row MakeRow(int64_t id, int64_t v) {
+    return Row{Value::Int64(id), Value::Int64(v)};
+  }
+  std::string KeyOf(int64_t id) {
+    return EncodeKey(store_.schema(), MakeRow(id, 0));
+  }
+
+  TimestampOracle oracle_;
+  RowStore store_;
+  MvccEngine engine_;
+};
+
+TEST_F(MvccTest, CommitMakesVisible) {
+  auto t1 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t1.get(), KeyOf(1), MakeRow(1, 10)).ok());
+  engine_.Commit(t1.get());
+
+  auto t2 = engine_.Begin();
+  Row out;
+  ASSERT_TRUE(engine_.Read(t2.get(), KeyOf(1), &out));
+  EXPECT_EQ(out[1].AsInt64(), 10);
+  engine_.Commit(t2.get());
+}
+
+TEST_F(MvccTest, IntentsInvisibleToOthersVisibleToSelf) {
+  auto t1 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t1.get(), KeyOf(1), MakeRow(1, 10)).ok());
+  Row out;
+  ASSERT_TRUE(engine_.Read(t1.get(), KeyOf(1), &out));  // own intent
+  auto t2 = engine_.Begin();
+  EXPECT_FALSE(engine_.Read(t2.get(), KeyOf(1), &out));
+  engine_.Abort(t1.get());
+  engine_.Abort(t2.get());
+}
+
+TEST_F(MvccTest, AbortUnlinksIntent) {
+  auto t1 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t1.get(), KeyOf(1), MakeRow(1, 10)).ok());
+  engine_.Abort(t1.get());
+  auto t2 = engine_.Begin();
+  Row out;
+  EXPECT_FALSE(engine_.Read(t2.get(), KeyOf(1), &out));
+  // The key can be written again afterwards.
+  ASSERT_TRUE(engine_.Upsert(t2.get(), KeyOf(1), MakeRow(1, 20)).ok());
+  engine_.Commit(t2.get());
+}
+
+TEST_F(MvccTest, AbortRestoresClosedVersion) {
+  auto t1 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t1.get(), KeyOf(1), MakeRow(1, 10)).ok());
+  engine_.Commit(t1.get());
+
+  auto t2 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t2.get(), KeyOf(1), MakeRow(1, 20)).ok());
+  engine_.Abort(t2.get());
+
+  auto t3 = engine_.Begin();
+  Row out;
+  ASSERT_TRUE(engine_.Read(t3.get(), KeyOf(1), &out));
+  EXPECT_EQ(out[1].AsInt64(), 10);
+  engine_.Commit(t3.get());
+}
+
+TEST_F(MvccTest, WriteWriteConflictDetectedAtWriteTime) {
+  auto t0 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t0.get(), KeyOf(1), MakeRow(1, 0)).ok());
+  engine_.Commit(t0.get());
+
+  auto t1 = engine_.Begin();
+  auto t2 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t1.get(), KeyOf(1), MakeRow(1, 1)).ok());
+  Status st = engine_.Upsert(t2.get(), KeyOf(1), MakeRow(1, 2));
+  EXPECT_TRUE(st.IsAborted());
+  EXPECT_GE(engine_.num_conflicts(), 1u);
+  engine_.Commit(t1.get());
+  engine_.Abort(t2.get());
+}
+
+TEST_F(MvccTest, CommitAfterSnapshotConflicts) {
+  auto t0 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t0.get(), KeyOf(1), MakeRow(1, 0)).ok());
+  engine_.Commit(t0.get());
+
+  auto t1 = engine_.Begin();  // snapshot before t2's commit
+  auto t2 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t2.get(), KeyOf(1), MakeRow(1, 5)).ok());
+  engine_.Commit(t2.get());
+  // t1 now tries to write the same key: first-committer-wins kicks in.
+  EXPECT_TRUE(engine_.Upsert(t1.get(), KeyOf(1), MakeRow(1, 9)).IsAborted());
+  engine_.Abort(t1.get());
+}
+
+TEST_F(MvccTest, DeleteHidesRow) {
+  auto t0 = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t0.get(), KeyOf(1), MakeRow(1, 0)).ok());
+  engine_.Commit(t0.get());
+
+  auto reader_before = engine_.Begin();
+  auto t1 = engine_.Begin();
+  ASSERT_TRUE(engine_.Delete(t1.get(), KeyOf(1)).ok());
+  engine_.Commit(t1.get());
+
+  Row out;
+  // The pre-delete snapshot still sees the row.
+  ASSERT_TRUE(engine_.Read(reader_before.get(), KeyOf(1), &out));
+  auto reader_after = engine_.Begin();
+  EXPECT_FALSE(engine_.Read(reader_after.get(), KeyOf(1), &out));
+  engine_.Abort(reader_before.get());
+  engine_.Abort(reader_after.get());
+}
+
+TEST_F(MvccTest, DeleteMissingKeyFails) {
+  auto t = engine_.Begin();
+  EXPECT_TRUE(engine_.Delete(t.get(), KeyOf(404)).IsNotFound());
+  engine_.Abort(t.get());
+}
+
+TEST_F(MvccTest, MultipleOwnWritesToSameKey) {
+  auto t = engine_.Begin();
+  ASSERT_TRUE(engine_.Upsert(t.get(), KeyOf(1), MakeRow(1, 1)).ok());
+  ASSERT_TRUE(engine_.Upsert(t.get(), KeyOf(1), MakeRow(1, 2)).ok());
+  ASSERT_TRUE(engine_.Upsert(t.get(), KeyOf(1), MakeRow(1, 3)).ok());
+  Row out;
+  ASSERT_TRUE(engine_.Read(t.get(), KeyOf(1), &out));
+  EXPECT_EQ(out[1].AsInt64(), 3);
+  engine_.Commit(t.get());
+  auto check = engine_.Begin();
+  ASSERT_TRUE(engine_.Read(check.get(), KeyOf(1), &out));
+  EXPECT_EQ(out[1].AsInt64(), 3);
+  engine_.Commit(check.get());
+}
+
+TEST_F(MvccTest, ConcurrentTransferPreservesTotal) {
+  // Bank-transfer invariant under concurrent readers and writers: the sum
+  // across accounts is constant in every snapshot.
+  constexpr int kAccounts = 10;
+  constexpr int64_t kInitial = 1000;
+  {
+    auto setup = engine_.Begin();
+    for (int64_t a = 0; a < kAccounts; ++a) {
+      ASSERT_TRUE(
+          engine_.Upsert(setup.get(), KeyOf(a), MakeRow(a, kInitial)).ok());
+    }
+    engine_.Commit(setup.get());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_sums{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(w + 1);
+      for (int i = 0; i < 300; ++i) {
+        int64_t from = static_cast<int64_t>(rng.Uniform(kAccounts));
+        int64_t to = static_cast<int64_t>(rng.Uniform(kAccounts));
+        if (from == to) continue;
+        auto t = engine_.Begin();
+        Row a, b;
+        if (!engine_.Read(t.get(), KeyOf(from), &a) ||
+            !engine_.Read(t.get(), KeyOf(to), &b)) {
+          engine_.Abort(t.get());
+          continue;
+        }
+        a[1] = Value::Int64(a[1].AsInt64() - 1);
+        b[1] = Value::Int64(b[1].AsInt64() + 1);
+        if (!engine_.Upsert(t.get(), KeyOf(from), a).ok() ||
+            !engine_.Upsert(t.get(), KeyOf(to), b).ok()) {
+          engine_.Abort(t.get());
+          continue;
+        }
+        engine_.Commit(t.get());
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto t = engine_.Begin();
+      int64_t sum = 0;
+      bool all = true;
+      for (int64_t a = 0; a < kAccounts; ++a) {
+        Row out;
+        if (!engine_.Read(t.get(), KeyOf(a), &out)) {
+          all = false;
+          break;
+        }
+        sum += out[1].AsInt64();
+      }
+      if (all && sum != kAccounts * kInitial) bad_sums.fetch_add(1);
+      engine_.Abort(t.get());
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(bad_sums.load(), 0);
+
+  auto final_check = engine_.Begin();
+  int64_t sum = 0;
+  for (int64_t a = 0; a < kAccounts; ++a) {
+    Row out;
+    ASSERT_TRUE(engine_.Read(final_check.get(), KeyOf(a), &out));
+    sum += out[1].AsInt64();
+  }
+  EXPECT_EQ(sum, kAccounts * kInitial);
+  engine_.Commit(final_check.get());
+}
+
+}  // namespace
+}  // namespace oltap

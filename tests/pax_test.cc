@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/pax_page.h"
+
+namespace oltap {
+namespace {
+
+// All three layouts must agree on every operation — they differ only
+// physically.
+class LayoutTriple {
+ public:
+  explicit LayoutTriple(size_t cols)
+      : row_(cols), col_(cols), pax_(cols, 1024) {}
+
+  void Append(const std::vector<int64_t>& values) {
+    row_.AppendRow(values.data());
+    col_.AppendRow(values.data());
+    pax_.AppendRow(values.data());
+  }
+
+  RowLayout row_;
+  ColumnLayout col_;
+  PaxLayout pax_;
+};
+
+TEST(PaxLayoutTest, AppendAndPointAccessAgree) {
+  constexpr size_t kCols = 4;
+  LayoutTriple t(kCols);
+  Rng rng(1);
+  std::vector<std::vector<int64_t>> rows;
+  for (int r = 0; r < 500; ++r) {
+    std::vector<int64_t> row(kCols);
+    for (auto& v : row) v = rng.UniformRange(-1000, 1000);
+    rows.push_back(row);
+    t.Append(row);
+  }
+  ASSERT_EQ(t.row_.num_rows(), 500u);
+  ASSERT_EQ(t.col_.num_rows(), 500u);
+  ASSERT_EQ(t.pax_.num_rows(), 500u);
+  int64_t buf_r[kCols], buf_c[kCols], buf_p[kCols];
+  for (size_t r = 0; r < rows.size(); ++r) {
+    t.row_.GetRow(r, buf_r);
+    t.col_.GetRow(r, buf_c);
+    t.pax_.GetRow(r, buf_p);
+    for (size_t c = 0; c < kCols; ++c) {
+      EXPECT_EQ(buf_r[c], rows[r][c]);
+      EXPECT_EQ(buf_c[c], rows[r][c]);
+      EXPECT_EQ(buf_p[c], rows[r][c]);
+      EXPECT_EQ(t.row_.Get(r, c), rows[r][c]);
+      EXPECT_EQ(t.col_.Get(r, c), rows[r][c]);
+      EXPECT_EQ(t.pax_.Get(r, c), rows[r][c]);
+    }
+  }
+}
+
+TEST(PaxLayoutTest, AggregatesAgree) {
+  constexpr size_t kCols = 3;
+  LayoutTriple t(kCols);
+  Rng rng(2);
+  for (int r = 0; r < 2000; ++r) {
+    std::vector<int64_t> row(kCols);
+    for (auto& v : row) v = rng.UniformRange(0, 100);
+    t.Append(row);
+  }
+  for (size_t c = 0; c < kCols; ++c) {
+    int64_t expected = t.row_.SumColumn(c);
+    EXPECT_EQ(t.col_.SumColumn(c), expected);
+    EXPECT_EQ(t.pax_.SumColumn(c), expected);
+  }
+  for (int64_t threshold : {0, 25, 50, 100, 101}) {
+    int64_t expected = t.row_.SumWhere(0, threshold, 2);
+    EXPECT_EQ(t.col_.SumWhere(0, threshold, 2), expected);
+    EXPECT_EQ(t.pax_.SumWhere(0, threshold, 2), expected);
+  }
+}
+
+TEST(PaxLayoutTest, UpdatesVisibleEverywhere) {
+  LayoutTriple t(2);
+  int64_t row[2] = {1, 2};
+  t.Append({1, 2});
+  t.Append({3, 4});
+  t.row_.Update(1, 0, 99);
+  t.col_.Update(1, 0, 99);
+  t.pax_.Update(1, 0, 99);
+  t.row_.GetRow(1, row);
+  EXPECT_EQ(row[0], 99);
+  EXPECT_EQ(t.col_.Get(1, 0), 99);
+  EXPECT_EQ(t.pax_.Get(1, 0), 99);
+}
+
+TEST(PaxLayoutTest, PageGeometry) {
+  PaxLayout pax(4, 16 * 1024);
+  // 16KiB page, 4 int64 columns → 512 rows per page.
+  EXPECT_EQ(pax.rows_per_page(), 512u);
+  for (int r = 0; r < 1025; ++r) {
+    int64_t row[4] = {r, r, r, r};
+    pax.AppendRow(row);
+  }
+  EXPECT_EQ(pax.num_rows(), 1025u);
+  EXPECT_EQ(pax.Get(1024, 2), 1024);
+}
+
+TEST(GroupedLayoutTest, AgreesWithRowLayout) {
+  constexpr size_t kCols = 6;
+  RowLayout reference(kCols);
+  GroupedLayout grouped(kCols, {{0, 3}, {1}, {2, 4, 5}});
+  Rng rng(4);
+  for (int r = 0; r < 1000; ++r) {
+    std::vector<int64_t> row(kCols);
+    for (auto& v : row) v = rng.UniformRange(0, 500);
+    reference.AppendRow(row.data());
+    grouped.AppendRow(row.data());
+  }
+  int64_t buf_ref[kCols], buf_grp[kCols];
+  for (size_t r = 0; r < 1000; r += 37) {
+    reference.GetRow(r, buf_ref);
+    grouped.GetRow(r, buf_grp);
+    for (size_t c = 0; c < kCols; ++c) EXPECT_EQ(buf_ref[c], buf_grp[c]);
+  }
+  for (size_t c = 0; c < kCols; ++c) {
+    EXPECT_EQ(grouped.SumColumn(c), reference.SumColumn(c));
+  }
+  // Same-group and cross-group filtered sums.
+  EXPECT_EQ(grouped.SumWhere(0, 250, 3), reference.SumWhere(0, 250, 3));
+  EXPECT_EQ(grouped.SumWhere(0, 250, 1), reference.SumWhere(0, 250, 1));
+  EXPECT_EQ(grouped.SumWhere(2, 100, 5), reference.SumWhere(2, 100, 5));
+  grouped.Update(10, 4, 9999);
+  EXPECT_EQ(grouped.Get(10, 4), 9999);
+}
+
+TEST(GroupedLayoutTest, DegenerateGroupings) {
+  // One group == NSM; one group per column == DSM.
+  GroupedLayout nsm(3, {{0, 1, 2}});
+  GroupedLayout dsm(3, {{0}, {1}, {2}});
+  int64_t row[3] = {1, 2, 3};
+  nsm.AppendRow(row);
+  dsm.AppendRow(row);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(nsm.Get(0, c), row[c]);
+    EXPECT_EQ(dsm.Get(0, c), row[c]);
+  }
+  EXPECT_EQ(nsm.group_of(0), nsm.group_of(2));
+  EXPECT_NE(dsm.group_of(0), dsm.group_of(2));
+}
+
+TEST(DataMorphingTest, GroupsCoAccessedColumns) {
+  // Workload: queries always touch {0,3} together and {1,2} together;
+  // column 4 is accessed alone.
+  std::vector<std::vector<int>> workload;
+  for (int i = 0; i < 50; ++i) {
+    workload.push_back({0, 3});
+    workload.push_back({1, 2});
+  }
+  for (int i = 0; i < 20; ++i) workload.push_back({4});
+  auto groups = ChooseColumnGroups(5, workload);
+  ASSERT_EQ(groups.size(), 3u);
+  // Each column appears exactly once.
+  std::set<int> seen;
+  for (const auto& g : groups) {
+    for (int c : g) EXPECT_TRUE(seen.insert(c).second);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  auto contains = [&](std::vector<int> want) {
+    return std::find(groups.begin(), groups.end(), want) != groups.end();
+  };
+  EXPECT_TRUE(contains({0, 3}));
+  EXPECT_TRUE(contains({1, 2}));
+  EXPECT_TRUE(contains({4}));
+  // The morphed layout is directly usable.
+  GroupedLayout layout(5, groups);
+  int64_t row[5] = {1, 2, 3, 4, 5};
+  layout.AppendRow(row);
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(layout.Get(0, c), row[c]);
+  }
+}
+
+TEST(DataMorphingTest, NoWorkloadMeansSingletons) {
+  auto groups = ChooseColumnGroups(4, {});
+  EXPECT_EQ(groups.size(), 4u);
+}
+
+TEST(DataMorphingTest, MaxGroupWidthRespected) {
+  // All 6 columns always co-accessed, but width capped at 3.
+  std::vector<std::vector<int>> workload(30, {0, 1, 2, 3, 4, 5});
+  auto groups = ChooseColumnGroups(6, workload, 0.25, 3);
+  for (const auto& g : groups) EXPECT_LE(g.size(), 3u);
+  size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(PaxLayoutTest, EmptyLayoutsSumToZero) {
+  LayoutTriple t(2);
+  EXPECT_EQ(t.row_.SumColumn(0), 0);
+  EXPECT_EQ(t.col_.SumColumn(0), 0);
+  EXPECT_EQ(t.pax_.SumColumn(0), 0);
+}
+
+}  // namespace
+}  // namespace oltap

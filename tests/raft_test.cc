@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "dist/cluster.h"
+#include "dist/raft.h"
+
+namespace oltap {
+namespace {
+
+TEST(RaftTest, SingleNodeSelfElectsAndCommits) {
+  RaftCluster::Options opts;
+  opts.num_nodes = 1;
+  RaftCluster cluster(opts);
+  int leader = cluster.AwaitLeader();
+  ASSERT_EQ(leader, 0);
+  ASSERT_TRUE(cluster.Propose("x"));
+  cluster.Step(5);
+  ASSERT_EQ(cluster.CommittedAt(0).size(), 1u);
+  EXPECT_EQ(cluster.CommittedAt(0)[0].payload, "x");
+}
+
+TEST(RaftTest, ThreeNodeElection) {
+  RaftCluster::Options opts;
+  opts.num_nodes = 3;
+  RaftCluster cluster(opts);
+  int leader = cluster.AwaitLeader();
+  ASSERT_GE(leader, 0);
+  // Exactly one leader at the highest term.
+  int leaders = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (cluster.node(i)->role() == RaftNode::Role::kLeader &&
+        cluster.node(i)->term() == cluster.node(leader)->term()) {
+      ++leaders;
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(RaftTest, ReplicationReachesAllNodes) {
+  RaftCluster::Options opts;
+  opts.num_nodes = 5;
+  RaftCluster cluster(opts);
+  ASSERT_GE(cluster.AwaitLeader(), 0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.Propose("entry-" + std::to_string(i)));
+    cluster.Step(2);
+  }
+  cluster.Step(50);
+  for (int n = 0; n < 5; ++n) {
+    ASSERT_EQ(cluster.CommittedAt(n).size(), 20u) << "node " << n;
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(cluster.CommittedAt(n)[i].payload,
+                "entry-" + std::to_string(i));
+    }
+  }
+  EXPECT_TRUE(cluster.CheckCommittedPrefixConsistency());
+}
+
+TEST(RaftTest, CommitsSurviveMessageLoss) {
+  RaftCluster::Options opts;
+  opts.num_nodes = 3;
+  opts.drop_probability = 0.15;
+  opts.seed = 7;
+  RaftCluster cluster(opts);
+  ASSERT_GE(cluster.AwaitLeader(2000), 0);
+  int proposed = 0;
+  for (int round = 0; round < 400 && proposed < 30; ++round) {
+    if (cluster.LeaderId() >= 0 &&
+        cluster.Propose("p" + std::to_string(proposed))) {
+      ++proposed;
+    }
+    cluster.Step(3);
+  }
+  cluster.Step(300);
+  ASSERT_GT(proposed, 0);
+  EXPECT_TRUE(cluster.CheckCommittedPrefixConsistency());
+  // A majority must have committed a prefix of what was proposed.
+  size_t best = 0;
+  for (int n = 0; n < 3; ++n) {
+    best = std::max(best, cluster.CommittedAt(n).size());
+  }
+  EXPECT_GT(best, 0u);
+}
+
+TEST(RaftTest, LeaderCrashTriggersReelection) {
+  RaftCluster::Options opts;
+  opts.num_nodes = 5;
+  RaftCluster cluster(opts);
+  int first = cluster.AwaitLeader();
+  ASSERT_GE(first, 0);
+  ASSERT_TRUE(cluster.Propose("before-crash"));
+  cluster.Step(30);
+
+  cluster.SetNodeDown(first);
+  cluster.Step(100);
+  int second = cluster.LeaderId();
+  ASSERT_GE(second, 0);
+  EXPECT_NE(second, first);
+  ASSERT_TRUE(cluster.Propose("after-crash"));
+  cluster.Step(50);
+  // The new leader's commits extend the old committed prefix.
+  EXPECT_TRUE(cluster.CheckCommittedPrefixConsistency());
+  const auto& log = cluster.CommittedAt(second);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].payload, "before-crash");
+  EXPECT_EQ(log[1].payload, "after-crash");
+}
+
+TEST(RaftTest, MinorityPartitionCannotCommit) {
+  RaftCluster::Options opts;
+  opts.num_nodes = 5;
+  RaftCluster cluster(opts);
+  int leader = cluster.AwaitLeader();
+  ASSERT_GE(leader, 0);
+
+  // Partition the leader plus one follower away from the majority.
+  int buddy = (leader + 1) % 5;
+  cluster.PartitionAway({leader, buddy});
+  // Old leader may still accept proposals but can never commit them.
+  cluster.node(leader)->Propose("doomed");
+  cluster.Step(200);
+  EXPECT_EQ(cluster.CommittedAt(leader).size(), 0u);
+
+  // The majority side elects a fresh leader and commits.
+  int new_leader = cluster.LeaderId();
+  // LeaderId picks highest term; after partition the majority leader has a
+  // higher term than the stale one.
+  ASSERT_GE(new_leader, 0);
+  ASSERT_TRUE(cluster.node(new_leader)->Propose("alive"));
+  cluster.Step(100);
+  EXPECT_GE(cluster.CommittedAt(new_leader).size(), 1u);
+
+  // Heal: the doomed entry is overwritten, logs converge.
+  cluster.Heal();
+  cluster.Step(300);
+  EXPECT_TRUE(cluster.CheckCommittedPrefixConsistency());
+  for (int n = 0; n < 5; ++n) {
+    ASSERT_GE(cluster.CommittedAt(n).size(), 1u) << "node " << n;
+    EXPECT_EQ(cluster.CommittedAt(n)[0].payload, "alive");
+  }
+}
+
+TEST(RaftTest, CrashedFollowerCatchesUpOnRestart) {
+  RaftCluster::Options opts;
+  opts.num_nodes = 3;
+  RaftCluster cluster(opts);
+  ASSERT_GE(cluster.AwaitLeader(), 0);
+  int follower = (cluster.LeaderId() + 1) % 3;
+  cluster.SetNodeDown(follower);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.Propose("while-down-" + std::to_string(i)));
+    cluster.Step(5);
+  }
+  EXPECT_EQ(cluster.CommittedAt(follower).size(), 0u);
+  cluster.SetNodeUp(follower);
+  cluster.Step(200);
+  ASSERT_EQ(cluster.CommittedAt(follower).size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cluster.CommittedAt(follower)[i].payload,
+              "while-down-" + std::to_string(i));
+  }
+  EXPECT_TRUE(cluster.CheckCommittedPrefixConsistency());
+}
+
+TEST(RaftTest, StaleTermMessagesRejected) {
+  RaftNode node(0, 3, 1);
+  // Bring the node to term 5 via a message.
+  RaftMessage bump;
+  bump.type = RaftMessage::Type::kAppendEntries;
+  bump.from = 1;
+  bump.to = 0;
+  bump.term = 5;
+  node.Receive(bump);
+  node.TakeOutbox();
+  EXPECT_EQ(node.term(), 5u);
+
+  // A stale AppendEntries from term 3 gets a failure reply at term 5.
+  RaftMessage stale;
+  stale.type = RaftMessage::Type::kAppendEntries;
+  stale.from = 2;
+  stale.to = 0;
+  stale.term = 3;
+  node.Receive(stale);
+  auto out = node.TakeOutbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, RaftMessage::Type::kAppendReply);
+  EXPECT_FALSE(out[0].success);
+  EXPECT_EQ(out[0].term, 5u);
+}
+
+TEST(RaftTest, VoteDeniedToStaleLog) {
+  RaftNode node(0, 3, 1);
+  // Give the node a log entry at term 2.
+  RaftMessage append;
+  append.type = RaftMessage::Type::kAppendEntries;
+  append.from = 1;
+  append.to = 0;
+  append.term = 2;
+  append.prev_log_index = 0;
+  append.prev_log_term = 0;
+  append.entries = {RaftLogEntry{2, "x"}};
+  node.Receive(append);
+  node.TakeOutbox();
+
+  // Candidate with an older log (empty) must not get the vote.
+  RaftMessage vote;
+  vote.type = RaftMessage::Type::kRequestVote;
+  vote.from = 2;
+  vote.to = 0;
+  vote.term = 3;
+  vote.last_log_index = 0;
+  vote.last_log_term = 0;
+  node.Receive(vote);
+  auto out = node.TakeOutbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].granted);
+}
+
+TEST(RaftTest, ProposeOnFollowerFails) {
+  RaftNode node(0, 3, 1);
+  EXPECT_FALSE(node.Propose("x"));
+}
+
+TEST(RaftTest, LongRunningChaosConvergence) {
+  RaftCluster::Options opts;
+  opts.num_nodes = 5;
+  opts.drop_probability = 0.05;
+  opts.seed = 99;
+  RaftCluster cluster(opts);
+  Rng rng(123);
+  int proposed = 0;
+  std::set<int> down;
+  for (int round = 0; round < 150; ++round) {
+    cluster.Step(5);
+    if (cluster.LeaderId() >= 0 && rng.Bernoulli(0.5)) {
+      if (cluster.Propose("c" + std::to_string(proposed))) ++proposed;
+    }
+    // Randomly crash/restart one node, keeping a majority alive.
+    if (rng.Bernoulli(0.1)) {
+      if (!down.empty() && rng.Bernoulli(0.6)) {
+        int up = *down.begin();
+        cluster.SetNodeUp(up);
+        down.erase(up);
+      } else if (down.size() < 2) {
+        int victim = static_cast<int>(rng.Uniform(5));
+        if (down.count(victim) == 0) {
+          cluster.SetNodeDown(victim);
+          down.insert(victim);
+        }
+      }
+    }
+  }
+  for (int n : down) cluster.SetNodeUp(n);
+  cluster.Step(500);
+  EXPECT_TRUE(cluster.CheckCommittedPrefixConsistency());
+  EXPECT_GT(proposed, 0);
+}
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sched/workload_manager.h"
+
+namespace oltap {
+namespace {
+
+void BusyMicros(int64_t us) {
+  auto end = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+TEST(WorkloadManagerTest, RunsSubmittedWork) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 4;
+  WorkloadManager wm(opts);
+  std::atomic<int> ran{0};
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(wm.Submit(
+        i % 2 == 0 ? QueryClass::kOltp : QueryClass::kOlap,
+        [&ran] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(wm.StatsFor(QueryClass::kOltp).count, 50u);
+  EXPECT_EQ(wm.StatsFor(QueryClass::kOlap).count, 50u);
+}
+
+TEST(WorkloadManagerTest, DrainWaitsForCompletion) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 2;
+  WorkloadManager wm(opts);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    wm.Submit(QueryClass::kOltp, [&done] {
+      BusyMicros(500);
+      done.fetch_add(1);
+    });
+  }
+  wm.Drain();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(WorkloadManagerTest, OltpPriorityJumpsQueue) {
+  // One worker, a pile of slow OLAP queued first, then OLTP: under
+  // priority scheduling the OLTP tasks run before the remaining OLAP.
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  opts.policy = SchedulingPolicy::kOltpPriority;
+  WorkloadManager wm(opts);
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(wm.Submit(QueryClass::kOlap, [&order, &order_mu, i] {
+      BusyMicros(2000);
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(100 + i);  // OLAP marker
+    }));
+  }
+  // Give the worker a moment to start the first OLAP task.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(wm.Submit(QueryClass::kOltp, [&order, &order_mu, i] {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(i);  // OLTP marker
+    }));
+  }
+  for (auto& f : futures) f.get();
+  // All three OLTP tasks must appear before the last OLAP task.
+  int last_oltp = -1, last_olap = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] < 100) last_oltp = static_cast<int>(i);
+    if (order[i] >= 100) last_olap = static_cast<int>(i);
+  }
+  EXPECT_LT(last_oltp, last_olap);
+}
+
+TEST(WorkloadManagerTest, ReservedWorkersIsolateOltp) {
+  // Flood OLAP; OLTP latency must stay low because one worker only ever
+  // serves OLTP.
+  WorkloadManager::Options opts;
+  opts.num_workers = 2;
+  opts.policy = SchedulingPolicy::kReservedWorkers;
+  opts.reserved_oltp_workers = 1;
+  WorkloadManager wm(opts);
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(
+        wm.Submit(QueryClass::kOlap, [] { BusyMicros(1000); }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(wm.Submit(QueryClass::kOltp, [] { BusyMicros(50); }));
+  }
+  for (auto& f : futures) f.get();
+  LatencySummary oltp = wm.StatsFor(QueryClass::kOltp);
+  LatencySummary olap = wm.StatsFor(QueryClass::kOlap);
+  EXPECT_EQ(oltp.count, 50u);
+  // The OLAP queue is ~50ms deep on its single worker; OLTP drains its own
+  // worker at ~50µs each. Mean OLTP latency must be far below mean OLAP.
+  EXPECT_LT(oltp.mean_us, olap.mean_us / 2);
+}
+
+TEST(WorkloadManagerTest, FifoLetsOlapStarveOltp) {
+  // The baseline failure mode: under FIFO with slow OLAP ahead in the
+  // queue, OLTP latency inflates to OLAP scale.
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  opts.policy = SchedulingPolicy::kFifo;
+  WorkloadManager wm(opts);
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(
+        wm.Submit(QueryClass::kOlap, [] { BusyMicros(2000); }));
+  }
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(wm.Submit(QueryClass::kOltp, [] { BusyMicros(10); }));
+  }
+  for (auto& f : futures) f.get();
+  LatencySummary oltp = wm.StatsFor(QueryClass::kOltp);
+  // Every OLTP task waited behind ~20 OLAP tasks of 2ms each.
+  EXPECT_GT(oltp.mean_us, 10000.0);
+}
+
+TEST(WorkloadManagerTest, AdmissionControlRejectsOlapFlood) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  opts.olap_admission_limit = 4;
+  WorkloadManager wm(opts);
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 30; ++i) {
+    futures.push_back(
+        wm.Submit(QueryClass::kOlap, [] { BusyMicros(1000); }));
+  }
+  size_t rejected = 0;
+  for (auto& f : futures) {
+    if (f.get().IsUnavailable()) ++rejected;
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(wm.rejected_olap(), rejected);
+  // OLTP is never rejected.
+  auto f = wm.Submit(QueryClass::kOltp, [] {});
+  EXPECT_TRUE(f.get().ok());
+}
+
+TEST(WorkloadManagerTest, StatsPercentilesOrdered) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 4;
+  WorkloadManager wm(opts);
+  std::vector<std::future<Status>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(
+        wm.Submit(QueryClass::kOltp, [i] { BusyMicros(10 + i % 50); }));
+  }
+  for (auto& f : futures) f.get();
+  LatencySummary s = wm.StatsFor(QueryClass::kOltp);
+  EXPECT_EQ(s.count, 200u);
+  EXPECT_LE(s.p50_us, s.p95_us);
+  EXPECT_LE(s.p95_us, s.p99_us);
+  EXPECT_LE(s.p99_us, s.max_us);
+  EXPECT_GT(s.mean_us, 0.0);
+}
+
+}  // namespace
+}  // namespace oltap

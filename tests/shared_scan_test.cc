@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "exec/shared_scan.h"
+#include "storage/table.h"
+
+namespace oltap {
+namespace {
+
+std::unique_ptr<Table> MakeTable(size_t n) {
+  Schema schema = SchemaBuilder()
+                      .AddInt64("id", false)
+                      .AddInt64("filter", false)
+                      .AddInt64("value", false)
+                      .SetKey({"id"})
+                      .Build();
+  auto table = std::make_unique<Table>("t", schema, TableFormat::kColumn);
+  Rng rng(5);
+  std::vector<Row> rows;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::Int64(static_cast<int64_t>(i)),
+                       Value::Int64(rng.UniformRange(0, 99)),
+                       Value::Int64(rng.UniformRange(0, 1000))});
+  }
+  OLTAP_CHECK(table->BulkLoadToMain(rows, 1).ok());
+  return table;
+}
+
+std::vector<SimpleAggQuery> MakeQueries(int n) {
+  std::vector<SimpleAggQuery> queries;
+  Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    SimpleAggQuery q;
+    q.filter_col = 1;
+    q.op = static_cast<CompareOp>(rng.Uniform(6));
+    q.constant = rng.UniformRange(0, 99);
+    q.agg_col = 2;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+TEST(SharedScanTest, SharedEqualsIndependent) {
+  auto table = MakeTable(20000);
+  auto snap = table->GetColumnSnapshot(10);
+  std::vector<SimpleAggQuery> queries = MakeQueries(16);
+  auto shared = ExecuteSharedOnce(*snap->main, queries, 1024);
+  auto indep = ExecuteIndependent(*snap->main, queries);
+  ASSERT_EQ(shared.size(), indep.size());
+  for (size_t i = 0; i < shared.size(); ++i) {
+    EXPECT_EQ(shared[i].count, indep[i].count) << "query " << i;
+    EXPECT_DOUBLE_EQ(shared[i].sum, indep[i].sum) << "query " << i;
+  }
+}
+
+TEST(SharedScanTest, ResultsMatchVectorizedEngine) {
+  auto table = MakeTable(10000);
+  auto snap = table->GetColumnSnapshot(10);
+  std::vector<SimpleAggQuery> queries = MakeQueries(8);
+  auto results = ExecuteIndependent(*snap->main, queries);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double expected =
+        RunSimpleAgg(*snap->main, queries[i], ExecutionMode::kVectorized);
+    EXPECT_DOUBLE_EQ(results[i].sum, expected) << "query " << i;
+  }
+}
+
+TEST(ClockScanTest, QueriesCompleteWithCorrectResults) {
+  auto table = MakeTable(50000);
+  auto snap = table->GetColumnSnapshot(10);
+  std::vector<SimpleAggQuery> queries = MakeQueries(12);
+  auto expected = ExecuteIndependent(*snap->main, queries);
+
+  ClockScanServer server(snap->main.get(), /*chunk_rows=*/4096);
+  std::vector<std::future<ScanQueryResult>> futures;
+  for (const SimpleAggQuery& q : queries) {
+    futures.push_back(server.Submit(q));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ScanQueryResult r = futures[i].get();
+    EXPECT_EQ(r.count, expected[i].count) << "query " << i;
+    EXPECT_DOUBLE_EQ(r.sum, expected[i].sum) << "query " << i;
+  }
+  server.Stop();
+  EXPECT_GT(server.chunks_scanned(), 0u);
+}
+
+TEST(ClockScanTest, MidRotationAttachStillExact) {
+  auto table = MakeTable(40000);
+  auto snap = table->GetColumnSnapshot(10);
+  ClockScanServer server(snap->main.get(), /*chunk_rows=*/1024);
+
+  // Keep the clock busy with a stream of queries, attaching new ones at
+  // arbitrary clock positions; every result must still be exact.
+  std::vector<SimpleAggQuery> queries = MakeQueries(30);
+  auto expected = ExecuteIndependent(*snap->main, queries);
+  std::vector<std::future<ScanQueryResult>> futures;
+  for (const SimpleAggQuery& q : queries) {
+    futures.push_back(server.Submit(q));
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ScanQueryResult r = futures[i].get();
+    EXPECT_EQ(r.count, expected[i].count) << "query " << i;
+    EXPECT_DOUBLE_EQ(r.sum, expected[i].sum) << "query " << i;
+  }
+  server.Stop();
+}
+
+TEST(ClockScanTest, StopIsIdempotentAndSafeWithIdleServer) {
+  auto table = MakeTable(1000);
+  auto snap = table->GetColumnSnapshot(10);
+  ClockScanServer server(snap->main.get());
+  server.Stop();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace oltap

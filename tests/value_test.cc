@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace oltap {
+namespace {
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Null(), Value::Int64(-100));
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, IntComparisons) {
+  EXPECT_LT(Value::Int64(1), Value::Int64(2));
+  EXPECT_EQ(Value::Int64(5), Value::Int64(5));
+  EXPECT_LT(Value::Int64(-3), Value::Int64(0));
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_LT(Value::Int64(1), Value::Double(1.5));
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_GT(Value::Double(3.1), Value::Int64(3));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("apple"), Value::String("banana"));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, HashEqualValuesEqualHashes) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  EXPECT_EQ(Value::String("hi").Hash(), Value::String("hi").Hash());
+  EXPECT_NE(Value::Int64(1).Hash(), Value::Int64(2).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int64(7).ToString(), "7");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::String("abc").ToString(), "abc");
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+}
+
+TEST(SchemaTest, BuilderAndLookup) {
+  Schema s = SchemaBuilder()
+                 .AddInt64("id", false)
+                 .AddString("name")
+                 .AddDouble("score")
+                 .SetKey({"id"})
+                 .Build();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.FindColumn("name"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+  EXPECT_TRUE(s.HasKey());
+  EXPECT_EQ(s.key_columns(), std::vector<int>{0});
+  EXPECT_FALSE(s.column(0).nullable);
+  EXPECT_TRUE(s.column(1).nullable);
+}
+
+TEST(SchemaTest, CompositeKey) {
+  Schema s = SchemaBuilder()
+                 .AddInt64("w", false)
+                 .AddInt64("d", false)
+                 .AddInt64("id", false)
+                 .SetKey({"w", "d", "id"})
+                 .Build();
+  EXPECT_EQ(s.key_columns().size(), 3u);
+  EXPECT_EQ(s.ToString(), "(w INT64 NOT NULL, d INT64 NOT NULL, id INT64 NOT NULL)");
+}
+
+// Property: EncodeKey is memcmp-order-preserving over tuples.
+TEST(KeyEncodingTest, OrderPreservingInt64) {
+  Schema s = SchemaBuilder().AddInt64("k", false).SetKey({"k"}).Build();
+  Rng rng(5);
+  std::vector<int64_t> values = {INT64_MIN, -1000, -1, 0, 1, 1000, INT64_MAX};
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Next()));
+  }
+  std::sort(values.begin(), values.end());
+  for (size_t i = 1; i < values.size(); ++i) {
+    std::string a = EncodeKey(s, Row{Value::Int64(values[i - 1])});
+    std::string b = EncodeKey(s, Row{Value::Int64(values[i])});
+    EXPECT_LE(a, b) << values[i - 1] << " vs " << values[i];
+  }
+}
+
+TEST(KeyEncodingTest, OrderPreservingDouble) {
+  Schema s = SchemaBuilder().AddDouble("k", false).SetKey({"k"}).Build();
+  std::vector<double> values = {-1e30, -2.5, -0.0, 0.0, 1e-10, 3.7, 1e30};
+  for (size_t i = 1; i < values.size(); ++i) {
+    std::string a = EncodeKey(s, Row{Value::Double(values[i - 1])});
+    std::string b = EncodeKey(s, Row{Value::Double(values[i])});
+    EXPECT_LE(a, b) << values[i - 1] << " vs " << values[i];
+  }
+}
+
+TEST(KeyEncodingTest, OrderPreservingStringsWithEmbeddedNul) {
+  Schema s = SchemaBuilder().AddString("k", false).SetKey({"k"}).Build();
+  std::vector<std::string> values = {"",        std::string("\0", 1),
+                                     "a",       std::string("a\0b", 3),
+                                     "ab",      "abc",
+                                     "b"};
+  std::sort(values.begin(), values.end());
+  for (size_t i = 1; i < values.size(); ++i) {
+    std::string a = EncodeKey(s, Row{Value::String(values[i - 1])});
+    std::string b = EncodeKey(s, Row{Value::String(values[i])});
+    EXPECT_LT(a, b);
+  }
+}
+
+TEST(KeyEncodingTest, CompositeOrdering) {
+  Schema s = SchemaBuilder()
+                 .AddInt64("a", false)
+                 .AddString("b", false)
+                 .SetKey({"a", "b"})
+                 .Build();
+  // (1,"z") < (2,"a"): first component dominates.
+  std::string k1 = EncodeKey(s, Row{Value::Int64(1), Value::String("z")});
+  std::string k2 = EncodeKey(s, Row{Value::Int64(2), Value::String("a")});
+  EXPECT_LT(k1, k2);
+  // Equal first component: second decides.
+  std::string k3 = EncodeKey(s, Row{Value::Int64(2), Value::String("b")});
+  EXPECT_LT(k2, k3);
+}
+
+TEST(KeyEncodingTest, PrefixStringIsNotPrefixProblem) {
+  // "ab" vs "abc": terminator must make the shorter key order first and
+  // prevent prefix collision.
+  Schema s = SchemaBuilder()
+                 .AddString("a", false)
+                 .AddString("b", false)
+                 .SetKey({"a", "b"})
+                 .Build();
+  std::string k1 =
+      EncodeKey(s, Row{Value::String("ab"), Value::String("z")});
+  std::string k2 =
+      EncodeKey(s, Row{Value::String("abc"), Value::String("a")});
+  EXPECT_NE(k1, k2);
+  EXPECT_LT(k1, k2);
+}
+
+TEST(KeyEncodingTest, NullSortsBeforeValues) {
+  std::vector<int> cols = {0};
+  std::string null_key = EncodeKeyColumns(Row{Value::Null()}, cols);
+  std::string min_key =
+      EncodeKeyColumns(Row{Value::Int64(INT64_MIN)}, cols);
+  EXPECT_LT(null_key, min_key);
+}
+
+TEST(VersionVisibilityTest, CommittedWindow) {
+  RowVersion v(Row{Value::Int64(1)});
+  v.begin.store(10);
+  v.end.store(20);
+  EXPECT_FALSE(VersionVisible(v, 9, 0));
+  EXPECT_TRUE(VersionVisible(v, 10, 0));
+  EXPECT_TRUE(VersionVisible(v, 19, 0));
+  EXPECT_FALSE(VersionVisible(v, 20, 0));
+}
+
+TEST(VersionVisibilityTest, UncommittedInsertVisibleOnlyToOwner) {
+  RowVersion v(Row{Value::Int64(1)});
+  v.begin.store(MakeTxnMarker(77));
+  EXPECT_TRUE(VersionVisible(v, 100, 77));
+  EXPECT_FALSE(VersionVisible(v, 100, 78));
+}
+
+TEST(VersionVisibilityTest, UncommittedDeleteHidesFromOwnerOnly) {
+  RowVersion v(Row{Value::Int64(1)});
+  v.begin.store(5);
+  v.end.store(MakeTxnMarker(9));
+  EXPECT_FALSE(VersionVisible(v, 100, 9));
+  EXPECT_TRUE(VersionVisible(v, 100, 10));
+}
+
+}  // namespace
+}  // namespace oltap

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "workload/retail.h"
+#include "workload/telemetry.h"
+
+namespace oltap {
+namespace {
+
+TEST(TelemetryTest, IngestAndQuery) {
+  Database db;
+  TelemetryWorkload::Config config;
+  config.num_hosts = 10;
+  config.num_metrics = 4;
+  TelemetryWorkload wl(&db, config);
+  ASSERT_TRUE(wl.CreateTable().ok());
+  for (int batch = 0; batch < 5; ++batch) {
+    ASSERT_TRUE(wl.IngestBatch(batch * 1000, 200).ok());
+  }
+  EXPECT_EQ(wl.rows_ingested(), 1000);
+
+  auto all = db.Execute("SELECT COUNT(*) FROM metrics");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows[0][0].AsInt64(), 1000);
+
+  // Window query only sees recent rows.
+  auto recent = db.Execute(TelemetryWorkload::AvgByMetricSince(4000));
+  ASSERT_TRUE(recent.ok()) << recent.status().ToString();
+  int64_t samples = 0;
+  for (const Row& r : recent->rows) samples += r[1].AsInt64();
+  EXPECT_EQ(samples, 200);  // only the last batch
+  for (const Row& r : recent->rows) {
+    EXPECT_GE(r[2].AsDouble(), 0.0);
+    EXPECT_LE(r[3].AsDouble(), 100.0);
+  }
+
+  auto hot = db.Execute(TelemetryWorkload::HottestHosts(0, 3));
+  ASSERT_TRUE(hot.ok());
+  EXPECT_LE(hot->rows.size(), 3u);
+
+  auto histogram = db.Execute(TelemetryWorkload::MetricHistogram("cpu.util"));
+  ASSERT_TRUE(histogram.ok());
+  EXPECT_GT(histogram->rows.size(), 0u);
+}
+
+TEST(TelemetryTest, ZipfSkewMakesHotHosts) {
+  Database db;
+  TelemetryWorkload::Config config;
+  config.num_hosts = 50;
+  TelemetryWorkload wl(&db, config);
+  ASSERT_TRUE(wl.CreateTable().ok());
+  ASSERT_TRUE(wl.IngestBatch(0, 2000).ok());
+  auto r = db.Execute(
+      "SELECT host, COUNT(*) AS n FROM metrics GROUP BY host "
+      "ORDER BY n DESC LIMIT 1");
+  ASSERT_TRUE(r.ok());
+  // The hottest of 50 hosts takes far more than 1/50 of the samples.
+  EXPECT_GT(r->rows[0][1].AsInt64(), 2000 / 50 * 3);
+}
+
+TEST(RetailTest, SurgeDetection) {
+  Database db;
+  RetailWorkload::Config config;
+  config.num_products = 100;
+  RetailWorkload wl(&db, config);
+  ASSERT_TRUE(wl.CreateTable().ok());
+
+  // Background traffic, then a surge on product 42.
+  ASSERT_TRUE(wl.IngestBatch(0, 1000).ok());
+  ASSERT_TRUE(wl.IngestBatch(1000, 1000, /*surge_product=*/42).ok());
+
+  auto trending = db.Execute(RetailWorkload::TrendingSince(1000, 5));
+  ASSERT_TRUE(trending.ok()) << trending.status().ToString();
+  ASSERT_GT(trending->rows.size(), 0u);
+  EXPECT_EQ(trending->rows[0][0].AsString(), wl.product_name(42));
+  // Surge sentiment skews positive.
+  EXPECT_GT(trending->rows[0][2].AsDouble(), 0.0);
+
+  auto by_region = db.Execute(RetailWorkload::ProductByRegion(42));
+  ASSERT_TRUE(by_region.ok());
+  EXPECT_LE(by_region->rows.size(), 8u);
+  EXPECT_GT(by_region->rows.size(), 0u);
+
+  auto surge = db.Execute(RetailWorkload::SurgeScore(1000, 3));
+  ASSERT_TRUE(surge.ok());
+  EXPECT_EQ(surge->rows[0][0].AsString(), wl.product_name(42));
+}
+
+TEST(RetailTest, MergeDoesNotChangeTrends) {
+  Database db;
+  RetailWorkload wl(&db, RetailWorkload::Config{});
+  ASSERT_TRUE(wl.CreateTable().ok());
+  ASSERT_TRUE(wl.IngestBatch(0, 500, 7).ok());
+  auto before = db.Execute(RetailWorkload::TrendingSince(0, 5));
+  ASSERT_TRUE(before.ok());
+  db.MergeAll();
+  auto after = db.Execute(RetailWorkload::TrendingSince(0, 5));
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->rows.size(), after->rows.size());
+  for (size_t i = 0; i < before->rows.size(); ++i) {
+    EXPECT_EQ(before->rows[i][0].AsString(), after->rows[i][0].AsString());
+    EXPECT_EQ(before->rows[i][1].AsInt64(), after->rows[i][1].AsInt64());
+  }
+}
+
+}  // namespace
+}  // namespace oltap
