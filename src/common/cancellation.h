@@ -1,0 +1,53 @@
+#ifndef OLTAP_COMMON_CANCELLATION_H_
+#define OLTAP_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace oltap {
+
+// Cooperative cancellation + deadline shared between a query submitter
+// and the worker executing it. Long-running work polls Check() at batch
+// boundaries (one atomic load + one clock read) and unwinds with the
+// returned status; the scheduler also consults the token before dispatch
+// so work whose deadline passed while queued never runs at all.
+class CancellationToken {
+ public:
+  // No deadline; only explicit Cancel() can stop the work.
+  CancellationToken() : clock_(SystemClock::Get()) {}
+
+  // `deadline_us` is absolute on `clock` (0 = none).
+  CancellationToken(const Clock* clock, int64_t deadline_us)
+      : clock_(clock), deadline_us_(deadline_us) {}
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  bool has_deadline() const { return deadline_us_ > 0; }
+  int64_t deadline_us() const { return deadline_us_; }
+
+  // OK while the work may keep running; kAborted after Cancel();
+  // kDeadlineExceeded once the deadline has passed.
+  Status Check() const {
+    if (cancelled()) return Status::Aborted("query cancelled");
+    if (has_deadline() && clock_->NowMicros() > deadline_us_) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Clock* clock_;
+  const int64_t deadline_us_ = 0;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_CANCELLATION_H_

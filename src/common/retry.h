@@ -1,0 +1,30 @@
+#ifndef OLTAP_COMMON_RETRY_H_
+#define OLTAP_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace oltap {
+
+// Bounded exponential backoff for retrying lossy operations (2PC RPCs,
+// replication sends). Attempt numbering is 0-based: BackoffMicros(0) is
+// the wait after the first failed attempt.
+struct RetryPolicy {
+  int max_attempts = 3;  // total tries, including the first; >= 1
+  int64_t initial_backoff_us = 100;
+  double multiplier = 2.0;
+  int64_t max_backoff_us = 10'000;
+
+  int64_t BackoffMicros(int attempt) const {
+    if (initial_backoff_us <= 0) return 0;
+    double b = static_cast<double>(initial_backoff_us) *
+               std::pow(multiplier, attempt);
+    double capped = std::min(b, static_cast<double>(max_backoff_us));
+    return static_cast<int64_t>(capped);
+  }
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_COMMON_RETRY_H_

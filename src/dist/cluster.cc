@@ -42,9 +42,15 @@ void RaftCluster::Step(int steps) {
           ++dropped_;
           continue;
         }
-        uint64_t delay =
-            1 + rng_.Uniform(static_cast<uint64_t>(
-                    std::max(1, options_.max_delivery_delay_steps)));
+        uint64_t max_delay = static_cast<uint64_t>(
+            std::max(1, options_.max_delivery_delay_steps));
+        if (options_.duplicate_probability > 0 &&
+            rng_.Bernoulli(options_.duplicate_probability)) {
+          uint64_t dup_delay = 1 + rng_.Uniform(max_delay);
+          in_flight_.push_back(InFlight{now_ + dup_delay, m});
+          ++duplicated_;
+        }
+        uint64_t delay = 1 + rng_.Uniform(max_delay);
         in_flight_.push_back(InFlight{now_ + delay, std::move(m)});
       }
     }

@@ -25,6 +25,10 @@ class RaftCluster {
     int election_timeout_ticks = 10;
     int max_delivery_delay_steps = 2;  // uniform in [1, max]
     double drop_probability = 0.0;
+    // Chance a sent message is delivered twice (with independent delays).
+    // Raft must tolerate duplicates by construction; this fault makes the
+    // tests prove it.
+    double duplicate_probability = 0.0;
   };
 
   explicit RaftCluster(const Options& options);
@@ -70,6 +74,7 @@ class RaftCluster {
 
   uint64_t messages_delivered() const { return delivered_; }
   uint64_t messages_dropped() const { return dropped_; }
+  uint64_t messages_duplicated() const { return duplicated_; }
 
  private:
   struct InFlight {
@@ -90,6 +95,7 @@ class RaftCluster {
   uint64_t now_ = 0;
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
 };
 
 }  // namespace oltap

@@ -1,8 +1,19 @@
 #include "dist/coordinator.h"
 
+#include <chrono>
 #include <thread>
 
+#include "common/failpoint.h"
+
 namespace oltap {
+namespace {
+
+void Backoff(const RetryPolicy& retry, int attempt) {
+  int64_t us = retry.BackoffMicros(attempt);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
 
 Status TwoPhaseCoordinator::Run(
     const std::vector<int>& participant_nodes,
@@ -11,35 +22,67 @@ Status TwoPhaseCoordinator::Run(
   const size_t n = participant_nodes.size();
   std::vector<Status> votes(n);
 
-  // Phase 1: PREPARE in parallel.
+  // Phase 1: PREPARE in parallel with per-participant retry. A request
+  // lost in flight never reaches the participant, so `prepare` runs at
+  // most once per delivered request.
   {
     std::vector<std::thread> workers;
     workers.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       workers.emplace_back([&, i] {
         int p = participant_nodes[i];
-        net_->Transfer(node_, p, 64);
-        votes[i] = prepare(p);
-        net_->Transfer(p, node_, 16);
+        for (int attempt = 0;; ++attempt) {
+          net_->Transfer(node_, p, 64);
+          if (!OLTAP_FAILPOINT_STATUS("2pc.prepare.timeout").ok()) {
+            prepare_retries_.fetch_add(1, std::memory_order_relaxed);
+            if (attempt + 1 >= options_.retry.max_attempts) {
+              votes[i] = Status::DeadlineExceeded(
+                  "participant " + std::to_string(p) +
+                  " unresponsive to PREPARE");
+              break;
+            }
+            Backoff(options_.retry, attempt);
+            continue;
+          }
+          votes[i] = prepare(p);
+          net_->Transfer(p, node_, 16);
+          break;
+        }
       });
     }
     for (std::thread& t : workers) t.join();
   }
   bool commit = true;
+  bool indecision = false;
   for (const Status& v : votes) {
     if (!v.ok()) commit = false;
+    if (v.code() == StatusCode::kDeadlineExceeded) indecision = true;
   }
 
-  // Phase 2: COMMIT/ABORT in parallel.
+  // Phase 2: broadcast the decision until each participant ACKs or the
+  // retry budget runs out. The decision is already fixed, so redelivery
+  // after a lost ACK is always identical.
   {
     std::vector<std::thread> workers;
     workers.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       workers.emplace_back([&, i] {
         int p = participant_nodes[i];
-        net_->Transfer(node_, p, 16);
-        finish(p, commit);
-        net_->Transfer(p, node_, 16);
+        for (int attempt = 0;; ++attempt) {
+          net_->Transfer(node_, p, 16);
+          finish(p, commit);
+          if (!OLTAP_FAILPOINT_STATUS("2pc.ack.lost").ok()) {
+            finish_retries_.fetch_add(1, std::memory_order_relaxed);
+            if (attempt + 1 >= options_.retry.max_attempts) {
+              unacked_finishes_.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+            Backoff(options_.retry, attempt);
+            continue;
+          }
+          net_->Transfer(p, node_, 16);
+          break;
+        }
       });
     }
     for (std::thread& t : workers) t.join();
@@ -50,6 +93,10 @@ Status TwoPhaseCoordinator::Run(
     return Status::OK();
   }
   aborts_.fetch_add(1, std::memory_order_relaxed);
+  if (indecision) {
+    indecision_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Aborted("2PC aborted: participant unresponsive");
+  }
   return Status::Aborted("2PC participant voted no");
 }
 

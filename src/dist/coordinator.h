@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "dist/network.h"
 
@@ -17,27 +18,65 @@ namespace oltap {
 // in parallel and collects votes; phase 2 broadcasts COMMIT or ABORT.
 // Participants are callbacks so the same coordinator serves tests, the
 // distributed engine, and the E10/E11 benchmarks.
+//
+// Fault handling: a lost PREPARE (failpoint "2pc.prepare.timeout") is
+// retried with bounded exponential backoff; a participant that stays
+// silent past the retry budget counts as a NO vote — abort-on-indecision,
+// since aborting is always safe while presuming COMMIT could contradict
+// another participant's outcome. A lost decision ACK (failpoint
+// "2pc.ack.lost") makes the coordinator resend the decision, so `finish`
+// must tolerate redelivery; the decision is fixed before the first send,
+// so every delivery to a prepared participant is identical.
 class TwoPhaseCoordinator {
  public:
-  TwoPhaseCoordinator(SimulatedNetwork* network, int coordinator_node)
-      : net_(network), node_(coordinator_node) {}
+  struct Options {
+    // Per-participant RPC retry budget, applied to both phases.
+    RetryPolicy retry;
+  };
+
+  TwoPhaseCoordinator(SimulatedNetwork* network, int coordinator_node,
+                      const Options& options = Options{})
+      : net_(network), node_(coordinator_node), options_(options) {}
 
   // `prepare(participant)` returns OK to vote yes; any error aborts the
-  // transaction. `finish(participant, commit)` applies or rolls back.
-  // Returns OK if committed, kAborted otherwise. Network round trips are
-  // charged per participant per phase (in parallel: wall-clock ≈ 2 RTT).
+  // transaction. `finish(participant, commit)` applies or rolls back and
+  // must be idempotent (the decision may be redelivered after a lost
+  // ACK). Returns OK if committed, kAborted otherwise. Network round
+  // trips are charged per participant per phase (in parallel: wall-clock
+  // ≈ 2 RTT when fault-free).
   Status Run(const std::vector<int>& participant_nodes,
              const std::function<Status(int)>& prepare,
              const std::function<void(int, bool)>& finish);
 
   uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
   uint64_t aborts() const { return aborts_.load(std::memory_order_relaxed); }
+  // Transactions aborted because a participant never answered PREPARE.
+  uint64_t indecision_aborts() const {
+    return indecision_aborts_.load(std::memory_order_relaxed);
+  }
+  uint64_t prepare_retries() const {
+    return prepare_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t finish_retries() const {
+    return finish_retries_.load(std::memory_order_relaxed);
+  }
+  // Decisions that were never ACKed within the retry budget (the
+  // participant is presumed reachable eventually; a real system would
+  // hand these to a background resolver).
+  uint64_t unacked_finishes() const {
+    return unacked_finishes_.load(std::memory_order_relaxed);
+  }
 
  private:
   SimulatedNetwork* net_;
   int node_;
+  Options options_;
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> indecision_aborts_{0};
+  std::atomic<uint64_t> prepare_retries_{0};
+  std::atomic<uint64_t> finish_retries_{0};
+  std::atomic<uint64_t> unacked_finishes_{0};
 };
 
 }  // namespace oltap

@@ -38,7 +38,7 @@ void RaftNode::BecomeCandidate() {
   role_ = Role::kCandidate;
   ++term_;
   voted_for_ = id_;
-  votes_received_ = 1;  // self-vote
+  votes_from_ = {id_};  // self-vote
   ResetElectionTimer();
   if (cluster_size_ == 1) {
     BecomeLeader();
@@ -157,8 +157,11 @@ void RaftNode::Receive(const RaftMessage& msg) {
     }
     case RaftMessage::Type::kVoteReply: {
       if (role_ != Role::kCandidate || msg.term != term_) return;
-      if (msg.granted && ++votes_received_ * 2 > cluster_size_) {
-        BecomeLeader();
+      if (msg.granted) {
+        votes_from_.insert(msg.from);
+        if (static_cast<int>(votes_from_.size()) * 2 > cluster_size_) {
+          BecomeLeader();
+        }
       }
       return;
     }

@@ -2,6 +2,7 @@
 #define OLTAP_DIST_RAFT_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -116,7 +117,9 @@ class RaftNode {
   int ticks_since_heard_ = 0;
   int current_timeout_ = 0;
   int ticks_since_heartbeat_ = 0;
-  int votes_received_ = 0;
+  // Voter ids, not a count: the network may deliver a VoteReply twice,
+  // and a duplicated grant must not be double-counted toward majority.
+  std::set<int> votes_from_;
 
   // Leader replication state (1-based).
   std::vector<uint64_t> next_index_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace oltap {
@@ -33,36 +34,84 @@ WorkloadManager::WorkloadManager(const Options& options)
   }
 }
 
-WorkloadManager::~WorkloadManager() {
+WorkloadManager::~WorkloadManager() { Shutdown(); }
+
+void WorkloadManager::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // Workers exit immediately on shutdown; fail whatever they left queued
+  // so no submitter blocks on a promise that will never resolve.
+  std::vector<std::unique_ptr<Task>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto* q : {&oltp_queue_, &olap_queue_}) {
+      while (!q->empty()) {
+        orphans.push_back(std::move(q->front()));
+        q->pop_front();
+      }
+    }
+  }
+  for (auto& task : orphans) {
+    task->done.set_value(
+        Status::Unavailable("workload manager shut down before task ran"));
+  }
+  drain_cv_.notify_all();
 }
 
 std::future<Status> WorkloadManager::Submit(QueryClass qc,
                                             std::function<void()> work) {
+  return SubmitCancellable(
+             qc, /*deadline_us=*/0,
+             [w = std::move(work)](const CancellationToken&) {
+               w();
+               return Status::OK();
+             })
+      .done;
+}
+
+WorkloadManager::Submission WorkloadManager::SubmitCancellable(
+    QueryClass qc, int64_t deadline_us, CancellableWork work) {
   auto task = std::make_unique<Task>();
   task->qc = qc;
   task->work = std::move(work);
   task->submit_us = clock_->NowMicros();
-  std::future<Status> fut = task->done.get_future();
+  task->token = std::make_shared<CancellationToken>(
+      clock_, deadline_us > 0 ? task->submit_us + deadline_us : 0);
+
+  Submission sub;
+  sub.done = task->done.get_future();
+  sub.token = task->token;
+
+  Status admit;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (qc == QueryClass::kOlap && options_.olap_admission_limit > 0 &&
-        olap_queue_.size() >= options_.olap_admission_limit) {
+    Status injected = OLTAP_FAILPOINT_STATUS("wm.admit.reject");
+    if (shutdown_) {
+      admit = Status::Unavailable("workload manager is shut down");
+    } else if (!injected.ok()) {
+      admit = injected;
+    } else if (qc == QueryClass::kOlap && options_.olap_admission_limit > 0 &&
+               olap_queue_.size() >= options_.olap_admission_limit) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      task->done.set_value(
-          Status::Unavailable("OLAP admission limit reached"));
-      return fut;
+      admit = Status::Unavailable("OLAP admission limit reached");
     }
-    (qc == QueryClass::kOltp ? oltp_queue_ : olap_queue_)
-        .push_back(std::move(task));
+    if (admit.ok()) {
+      (qc == QueryClass::kOltp ? oltp_queue_ : olap_queue_)
+          .push_back(std::move(task));
+    }
+  }
+  if (!admit.ok()) {
+    task->done.set_value(std::move(admit));
+    return sub;
   }
   cv_.notify_all();
-  return fut;
+  return sub;
 }
 
 std::unique_ptr<WorkloadManager::Task> WorkloadManager::NextTask(
@@ -118,10 +167,18 @@ void WorkloadManager::WorkerLoop(size_t worker_index) {
       if (task == nullptr) return;
       ++active_;
     }
-    task->work();
+    // A query cancelled or past its deadline while queued completes
+    // without running — this is what lets Drain() make progress through
+    // an OLAP flood instead of executing every stale query.
+    Status result = task->token->Check();
+    if (result.ok()) {
+      result = task->work(*task->token);
+    } else if (result.code() == StatusCode::kDeadlineExceeded) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+    }
     int64_t latency = clock_->NowMicros() - task->submit_us;
     Record(task->qc, latency);
-    task->done.set_value(Status::OK());
+    task->done.set_value(std::move(result));
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
@@ -135,7 +192,8 @@ void WorkloadManager::WorkerLoop(size_t worker_index) {
 void WorkloadManager::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   drain_cv_.wait(lock, [this] {
-    return oltp_queue_.empty() && olap_queue_.empty() && active_ == 0;
+    return (oltp_queue_.empty() && olap_queue_.empty() && active_ == 0) ||
+           shutdown_;
   });
 }
 

@@ -6,10 +6,12 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/clock.h"
 #include "common/status.h"
 
@@ -50,6 +52,12 @@ struct LatencySummary {
 // Admission-controlled worker pool implementing the three policies.
 // Latency is measured submit→completion (queueing included — that is the
 // quantity workload management exists to protect).
+//
+// Every query carries a CancellationToken: cooperative work polls
+// Check() and unwinds; queries whose deadline passes while still queued
+// are completed with kDeadlineExceeded without ever running, so an OLAP
+// flood drains instead of wedging Drain(). Failpoint site:
+// "wm.admit.reject" fails admission with the injected status.
 class WorkloadManager {
  public:
   struct Options {
@@ -62,6 +70,18 @@ class WorkloadManager {
     const Clock* clock = nullptr;  // defaults to SystemClock
   };
 
+  // Work that observes its token; the returned status resolves the
+  // submission future (kDeadlineExceeded / kAborted when the work
+  // cooperatively stopped early).
+  using CancellableWork = std::function<Status(const CancellationToken&)>;
+
+  // Handle returned by SubmitCancellable: the completion future plus the
+  // token through which the submitter can cancel the query.
+  struct Submission {
+    std::future<Status> done;
+    std::shared_ptr<CancellationToken> token;
+  };
+
   explicit WorkloadManager(const Options& options);
   ~WorkloadManager();
 
@@ -69,8 +89,20 @@ class WorkloadManager {
   WorkloadManager& operator=(const WorkloadManager&) = delete;
 
   // Enqueues work. The future resolves when the task finishes; it resolves
-  // immediately with kUnavailable if admission control rejects it.
+  // immediately with kUnavailable if admission control rejects it or the
+  // pool is already shut down.
   std::future<Status> Submit(QueryClass qc, std::function<void()> work);
+
+  // Deadline-aware, cancellable submission. `deadline_us` is relative to
+  // now (0 = no deadline).
+  Submission SubmitCancellable(QueryClass qc, int64_t deadline_us,
+                               CancellableWork work);
+
+  // Stops the workers and fails every still-queued task with
+  // kUnavailable. Idempotent; the destructor calls it. After Shutdown,
+  // Submit cleanly returns kUnavailable instead of enqueueing into a
+  // dead pool.
+  void Shutdown();
 
   // Blocks until both queues are empty and all workers idle.
   void Drain();
@@ -79,11 +111,16 @@ class WorkloadManager {
   uint64_t rejected_olap() const {
     return rejected_.load(std::memory_order_relaxed);
   }
+  // Queries completed with kDeadlineExceeded before dispatch.
+  uint64_t expired_in_queue() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Task {
     QueryClass qc;
-    std::function<void()> work;
+    CancellableWork work;
+    std::shared_ptr<CancellationToken> token;
     std::promise<Status> done;
     int64_t submit_us = 0;
   };
@@ -109,6 +146,7 @@ class WorkloadManager {
   std::vector<int64_t> latencies_[2];
 
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> expired_{0};
   std::vector<std::thread> workers_;
 };
 

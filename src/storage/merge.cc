@@ -108,11 +108,15 @@ class MergeJob {
       }
     }
     for (size_t c = 0; c < schema.num_columns(); ++c) {
-      const ColumnSegment& old_col = old_main_->column(c);
-      for (size_t r = 0; r < n_old; ++r) {
-        if (main_to_new_[r] != kInvalidRowId) {
-          column_values[main_to_new_[r]] =
-              old_col.GetValue(static_cast<RowId>(r));
+      // The first merge starts from an empty main with no column
+      // segments; don't form a reference into its empty vector.
+      if (n_old > 0) {
+        const ColumnSegment& old_col = old_main_->column(c);
+        for (size_t r = 0; r < n_old; ++r) {
+          if (main_to_new_[r] != kInvalidRowId) {
+            column_values[main_to_new_[r]] =
+                old_col.GetValue(static_cast<RowId>(r));
+          }
         }
       }
       for (size_t d = 0; d < n_delta; ++d) {

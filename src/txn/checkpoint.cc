@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace oltap {
 namespace {
 
@@ -11,8 +13,10 @@ constexpr size_t kRowsPerRecord = 32000;
 
 }  // namespace
 
-std::string WriteCheckpoint(const Catalog& catalog, Timestamp ts) {
+Result<std::string> WriteCheckpoint(const Catalog& catalog, Timestamp ts) {
+  OLTAP_FAILPOINT("checkpoint.write.error");
   Wal buffer;
+  Status write_status;
   std::vector<std::string> names = catalog.TableNames();
   std::sort(names.begin(), names.end());  // deterministic output
   for (const std::string& name : names) {
@@ -21,7 +25,8 @@ std::string WriteCheckpoint(const Catalog& catalog, Timestamp ts) {
     ops.reserve(kRowsPerRecord);
     auto flush = [&] {
       if (!ops.empty()) {
-        buffer.LogCommit(/*txn_id=*/0, ts, ops);
+        Status st = buffer.LogCommit(/*txn_id=*/0, ts, ops);
+        if (write_status.ok()) write_status = st;
         ops.clear();
       }
     };
@@ -34,12 +39,21 @@ std::string WriteCheckpoint(const Catalog& catalog, Timestamp ts) {
       if (ops.size() >= kRowsPerRecord) flush();
     });
     flush();
+    if (!write_status.ok()) return write_status;
   }
-  return buffer.buffer();
+  std::string data = buffer.buffer();
+  // Torn-write injection: the tail of the image never reached disk (crash
+  // mid-checkpoint). Chopping a few bytes always tears the last record,
+  // which restoration reports as Corruption.
+  if (!OLTAP_FAILPOINT_STATUS("checkpoint.write.torn").ok()) {
+    data.resize(data.size() - std::min<size_t>(data.size(), 5));
+  }
+  return data;
 }
 
 Result<Wal::ReplayStats> RestoreCheckpoint(const std::string& data,
                                            Catalog* catalog) {
+  OLTAP_FAILPOINT("checkpoint.restore.error");
   return Wal::Replay(data, catalog);
 }
 

@@ -19,9 +19,15 @@ namespace oltap {
 // table) stamped with commit timestamp `ts`, so restoration is ordinary
 // replay. Because reads go through a snapshot at `ts`, the checkpoint is
 // transaction-consistent even while OLTP continues.
-std::string WriteCheckpoint(const Catalog& catalog, Timestamp ts);
+//
+// Fault injection: "checkpoint.write.error" fails the write outright;
+// "checkpoint.write.torn" returns an image truncated mid-record,
+// modeling a crash during the checkpoint write — restoration detects the
+// tear and the recovery driver must fall back to an older checkpoint.
+Result<std::string> WriteCheckpoint(const Catalog& catalog, Timestamp ts);
 
 // Restores a checkpoint into a fresh catalog (tables must exist, empty).
+// Failpoint site: "checkpoint.restore.error".
 Result<Wal::ReplayStats> RestoreCheckpoint(const std::string& data,
                                            Catalog* catalog);
 

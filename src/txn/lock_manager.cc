@@ -44,22 +44,28 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& key,
                             Mode mode) {
   Stripe& stripe = stripes_[StripeFor(key)];
   std::unique_lock<std::mutex> lock(stripe.mu);
-  LockState& state = stripe.locks[key];
   bool waited = false;
-  while (!Compatible(state, txn_id, mode)) {
+  while (true) {
+    // Re-resolve the entry after every wait: the last releasing holder
+    // erases it from the map, destroying any LockState reference held
+    // across the sleep.
+    LockState& state = stripe.locks[key];
+    if (Compatible(state, txn_id, mode)) {
+      if (waited) waits_.fetch_add(1, std::memory_order_relaxed);
+      if (mode == Mode::kShared) {
+        if (state.exclusive != txn_id) state.shared.insert(txn_id);
+      } else if (state.exclusive != txn_id) {
+        state.shared.erase(txn_id);  // upgrade consumes the shared hold
+        state.exclusive = txn_id;
+      }
+      break;
+    }
     if (!MayWait(state, txn_id, mode)) {
       deaths_.fetch_add(1, std::memory_order_relaxed);
       return Status::Aborted("wait-die victim on lock " + key);
     }
     waited = true;
     stripe.cv.wait(lock);
-  }
-  if (waited) waits_.fetch_add(1, std::memory_order_relaxed);
-  if (mode == Mode::kShared) {
-    if (state.exclusive != txn_id) state.shared.insert(txn_id);
-  } else if (state.exclusive != txn_id) {
-    state.shared.erase(txn_id);  // upgrade consumes the shared hold
-    state.exclusive = txn_id;
   }
   lock.unlock();
   {

@@ -248,7 +248,17 @@ Status TransactionManager::Commit(Transaction* txn) {
       w.row = op.row;
       wal_ops.push_back(std::move(w));
     }
-    wal_->LogCommit(txn->id_, commit_ts, wal_ops);
+    Status wal_st = wal_->LogCommit(txn->id_, commit_ts, wal_ops);
+    if (!wal_st.ok()) {
+      // The commit record never became durable, so the transaction must
+      // not apply: retire the timestamp unused (a harmless gap in the
+      // commit sequence) and surface the IO error to the caller.
+      txn->commit_ts_ = 0;
+      FinishCommitTs(commit_ts);
+      unlock_all();
+      finish(false);
+      return wal_st;
+    }
   }
 
   // Apply. Validation plus the stripe locks guarantee success.

@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/logging.h"
 
@@ -158,27 +163,60 @@ Wal::~Wal() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path) {
+Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path,
+                                           const Options& options) {
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) {
     return Status::Unavailable("cannot open WAL file: " + path);
   }
-  auto wal = std::make_unique<Wal>();
+  auto wal = std::make_unique<Wal>(options);
   wal->file_ = f;
   return wal;
 }
 
-void Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
-                    const std::vector<WalOp>& ops) {
+Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
+                      const std::vector<WalOp>& ops) {
   std::string record = SerializeRecord(txn_id, commit_ts, ops);
   std::lock_guard<std::mutex> lock(mu_);
+
+  // Torn-append injection: only a prefix of the record reaches the log,
+  // as if the process died mid-write. The commit fails; recovery must
+  // stop cleanly at the partial record.
+  Status torn = OLTAP_FAILPOINT_STATUS("wal.append.torn");
+  if (!torn.ok()) {
+    std::string prefix = record.substr(0, record.size() / 2);
+    buf_ += prefix;
+    if (file_ != nullptr) {
+      std::fwrite(prefix.data(), 1, prefix.size(), file_);
+      std::fflush(file_);
+    }
+    return torn;
+  }
+  // Clean append failure: nothing reaches the log.
+  OLTAP_FAILPOINT("wal.append.error");
+
   buf_ += record;
   ++num_records_;
   if (file_ != nullptr) {
     size_t written = std::fwrite(record.data(), 1, record.size(), file_);
-    OLTAP_CHECK(written == record.size()) << "WAL write failed";
-    std::fflush(file_);
+    if (written != record.size()) {
+      return Status::Unavailable("short WAL write: " +
+                                 std::to_string(written) + " of " +
+                                 std::to_string(record.size()) + " bytes");
+    }
+    if (std::fflush(file_) != 0) {
+      return Status::Unavailable("WAL flush failed");
+    }
+    if (options_.fsync_on_commit) {
+      OLTAP_FAILPOINT("wal.fsync.error");
+#if defined(__unix__) || defined(__APPLE__)
+      if (::fsync(fileno(file_)) != 0) {
+        return Status::Unavailable("WAL fsync failed");
+      }
+#endif
+    }
   }
+  return Status::OK();
 }
 
 std::string Wal::buffer() const {

@@ -35,19 +35,36 @@ struct WalOp {
 // returning (group commit is the scheduler layer's concern, not modeled).
 class Wal {
  public:
+  struct Options {
+    // fsync the file at the commit durability point. fflush alone hands
+    // the record to the OS (survives process death, not OS crash);
+    // fsync makes the commit durable across power loss at the cost of a
+    // device write per commit.
+    bool fsync_on_commit = false;
+  };
+
   Wal() = default;
+  explicit Wal(const Options& options) : options_(options) {}
   ~Wal();
 
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
   // Opens (creating or appending) a file-backed log.
-  static Result<std::unique_ptr<Wal>> OpenFile(const std::string& path);
+  static Result<std::unique_ptr<Wal>> OpenFile(const std::string& path) {
+    return OpenFile(path, Options{});
+  }
+  static Result<std::unique_ptr<Wal>> OpenFile(const std::string& path,
+                                               const Options& options);
 
   // Appends one commit record. Thread-safe; called by the transaction
   // manager at the durability point (after validation, before apply).
-  void LogCommit(uint64_t txn_id, Timestamp commit_ts,
-                 const std::vector<WalOp>& ops);
+  // On a short write, fsync failure, or injected fault (failpoints
+  // "wal.append.torn", "wal.append.error", "wal.fsync.error") the record
+  // is not durable and the caller must fail the commit; a torn append
+  // leaves a partial record that Replay reports as truncated_tail.
+  Status LogCommit(uint64_t txn_id, Timestamp commit_ts,
+                   const std::vector<WalOp>& ops);
 
   // Serialized bytes logged so far (memory copy; tests and Replay use it).
   std::string buffer() const;
@@ -74,6 +91,7 @@ class Wal {
                                         Catalog* catalog);
 
  private:
+  Options options_;
   mutable std::mutex mu_;
   std::string buf_;
   size_t num_records_ = 0;

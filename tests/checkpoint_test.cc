@@ -26,11 +26,12 @@ TEST(CheckpointTest, RoundTripRestoresVisibleState) {
   db.MergeAll();
 
   Timestamp ts = db.txn_manager()->oracle()->CurrentReadTs();
-  std::string checkpoint = WriteCheckpoint(*db.catalog(), ts);
+  auto checkpoint = WriteCheckpoint(*db.catalog(), ts);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
 
   Database restored;
   ASSERT_TRUE(restored.Execute(CreateSql()).ok());
-  auto stats = RestoreCheckpoint(checkpoint, restored.catalog());
+  auto stats = RestoreCheckpoint(*checkpoint, restored.catalog());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->ops_applied, 180u);
   restored.txn_manager()->oracle()->AdvanceTo(stats->max_commit_ts);
@@ -59,7 +60,9 @@ TEST(CheckpointTest, CheckpointPlusWalTailRecovery) {
                       .ok());
     }
     checkpoint_ts = db.txn_manager()->oracle()->CurrentReadTs();
-    checkpoint = WriteCheckpoint(*db.catalog(), checkpoint_ts);
+    auto ck = WriteCheckpoint(*db.catalog(), checkpoint_ts);
+    ASSERT_TRUE(ck.ok()) << ck.status().ToString();
+    checkpoint = std::move(ck).value();
 
     // Post-checkpoint activity lives only in the WAL tail.
     ASSERT_TRUE(db.Execute("UPDATE t SET tag = 'post' WHERE id < 10").ok());
@@ -99,11 +102,12 @@ TEST(CheckpointTest, SnapshotConsistentDespiteLaterWrites) {
   Timestamp ts = db.txn_manager()->oracle()->CurrentReadTs();
   // Writes after `ts` must not leak into the checkpoint.
   ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (999, 'late', 9.0)").ok());
-  std::string checkpoint = WriteCheckpoint(*db.catalog(), ts);
+  auto checkpoint = WriteCheckpoint(*db.catalog(), ts);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
 
   Database restored;
   ASSERT_TRUE(restored.Execute(CreateSql()).ok());
-  auto stats = RestoreCheckpoint(checkpoint, restored.catalog());
+  auto stats = RestoreCheckpoint(*checkpoint, restored.catalog());
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->ops_applied, 50u);
 }
@@ -112,8 +116,10 @@ TEST(CheckpointTest, TornCheckpointRejected) {
   Database db;
   ASSERT_TRUE(db.Execute(CreateSql()).ok());
   ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 'a', 1.0)").ok());
-  std::string checkpoint = WriteCheckpoint(
-      *db.catalog(), db.txn_manager()->oracle()->CurrentReadTs());
+  auto ck = WriteCheckpoint(*db.catalog(),
+                            db.txn_manager()->oracle()->CurrentReadTs());
+  ASSERT_TRUE(ck.ok());
+  std::string checkpoint = std::move(ck).value();
   checkpoint.resize(checkpoint.size() / 2);
   Database restored;
   ASSERT_TRUE(restored.Execute(CreateSql()).ok());

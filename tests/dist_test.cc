@@ -4,6 +4,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "dist/coordinator.h"
 #include "dist/network.h"
@@ -164,6 +165,106 @@ TEST(TwoPhaseCommitTest, OneNoAbortsAll) {
   EXPECT_TRUE(st.IsAborted());
   EXPECT_EQ(rolled_back.load(), 3);
   EXPECT_EQ(coord.aborts(), 1u);
+}
+
+TwoPhaseCoordinator::Options FastRetry(int max_attempts) {
+  TwoPhaseCoordinator::Options opts;
+  opts.retry.max_attempts = max_attempts;
+  opts.retry.initial_backoff_us = 1;  // keep tests fast
+  opts.retry.max_backoff_us = 4;
+  return opts;
+}
+
+TEST(TwoPhaseCommitTest, LostPrepareIsRetriedThenCommits) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  TwoPhaseCoordinator coord(&net, 0, FastRetry(4));
+  FailpointConfig cfg;
+  cfg.max_fires = 2;  // first two PREPARE sends vanish in flight
+  ScopedFailpoint lost("2pc.prepare.timeout", cfg);
+  std::atomic<int> prepared{0}, committed{0};
+  Status st = coord.Run(
+      {1},
+      [&](int) {
+        prepared.fetch_add(1);
+        return Status::OK();
+      },
+      [&](int, bool commit) {
+        if (commit) committed.fetch_add(1);
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  // A lost request never reaches the participant: prepare ran exactly
+  // once, on the delivery that finally got through.
+  EXPECT_EQ(prepared.load(), 1);
+  EXPECT_EQ(committed.load(), 1);
+  EXPECT_EQ(coord.prepare_retries(), 2u);
+  EXPECT_EQ(coord.commits(), 1u);
+}
+
+TEST(TwoPhaseCommitTest, SilentParticipantAbortsOnIndecision) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  TwoPhaseCoordinator coord(&net, 0, FastRetry(3));
+  FailpointConfig cfg;
+  cfg.max_fires = -1;  // every PREPARE is lost: participants stay silent
+  ScopedFailpoint lost("2pc.prepare.timeout", cfg);
+  std::atomic<int> prepared{0}, rolled_back{0};
+  Status st = coord.Run(
+      {1, 2, 3},
+      [&](int) {
+        prepared.fetch_add(1);
+        return Status::OK();
+      },
+      [&](int, bool commit) {
+        if (!commit) rolled_back.fetch_add(1);
+      });
+  EXPECT_TRUE(st.IsAborted());
+  // Silence is a NO vote: abort reaches everyone, prepare reached no one.
+  EXPECT_EQ(prepared.load(), 0);
+  EXPECT_EQ(rolled_back.load(), 3);
+  EXPECT_EQ(coord.indecision_aborts(), 1u);
+  EXPECT_EQ(coord.prepare_retries(), 9u);  // 3 participants x 3 attempts
+}
+
+TEST(TwoPhaseCommitTest, LostAckRedeliversDecision) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  TwoPhaseCoordinator coord(&net, 0, FastRetry(3));
+  FailpointConfig cfg;
+  cfg.max_fires = 1;  // the first COMMIT ACK is lost
+  ScopedFailpoint lost("2pc.ack.lost", cfg);
+  std::atomic<int> finish_calls{0};
+  std::atomic<int> commit_deliveries{0};
+  Status st = coord.Run(
+      {1},
+      [&](int) { return Status::OK(); },
+      [&](int, bool commit) {
+        finish_calls.fetch_add(1);
+        if (commit) commit_deliveries.fetch_add(1);
+      });
+  EXPECT_TRUE(st.ok());
+  // The decision was redelivered after the lost ACK — finish must be
+  // idempotent, and every delivery carried the same COMMIT decision.
+  EXPECT_EQ(finish_calls.load(), 2);
+  EXPECT_EQ(commit_deliveries.load(), 2);
+  EXPECT_EQ(coord.finish_retries(), 1u);
+  EXPECT_EQ(coord.unacked_finishes(), 0u);
+}
+
+TEST(TwoPhaseCommitTest, UnackedDecisionDoesNotChangeOutcome) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  TwoPhaseCoordinator coord(&net, 0, FastRetry(2));
+  FailpointConfig cfg;
+  cfg.max_fires = -1;  // no ACK ever arrives
+  ScopedFailpoint lost("2pc.ack.lost", cfg);
+  std::atomic<int> commit_deliveries{0};
+  Status st = coord.Run(
+      {1},
+      [&](int) { return Status::OK(); },
+      [&](int, bool commit) {
+        if (commit) commit_deliveries.fetch_add(1);
+      });
+  // The decision is fixed once votes are in; a lost ACK cannot flip it.
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(commit_deliveries.load(), 2);
+  EXPECT_EQ(coord.unacked_finishes(), 1u);
 }
 
 TEST(TwoPhaseCommitTest, CrossPartitionTransferAtomicity) {

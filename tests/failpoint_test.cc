@@ -1,0 +1,127 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace oltap {
+namespace {
+
+// A library function with an inline failpoint, as production code uses it.
+Status GuardedOperation() {
+  OLTAP_FAILPOINT("test.guarded.op");
+  return Status::OK();
+}
+
+TEST(FailpointTest, InactiveByDefault) {
+  Failpoint& fp = FailpointRegistry::Get().Register("test.inactive");
+  EXPECT_FALSE(fp.IsActive());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(GuardedOperation().ok());
+  }
+}
+
+TEST(FailpointTest, MacroReturnsInjectedStatus) {
+  FailpointConfig cfg;
+  cfg.status = Status::Unavailable("boom");
+  ScopedFailpoint armed("test.guarded.op", cfg);
+  Status st = GuardedOperation();
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(st.message(), "boom");
+  // max_fires defaults to 1: the site disarmed itself.
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST(FailpointTest, SkipPassesThroughThenFires) {
+  FailpointConfig cfg;
+  cfg.skip = 3;
+  cfg.max_fires = 2;
+  FailpointRegistry::Get().Enable("test.skip", cfg);
+  Failpoint* fp = FailpointRegistry::Get().Find("test.skip");
+  ASSERT_NE(fp, nullptr);
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(!fp->Evaluate().ok());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true, true, false}));
+  EXPECT_EQ(fp->fires(), 2u);
+  EXPECT_FALSE(fp->IsActive());  // exhausted -> disarmed
+}
+
+TEST(FailpointTest, UnlimitedFiresUntilDisabled) {
+  FailpointConfig cfg;
+  cfg.max_fires = -1;
+  FailpointRegistry::Get().Enable("test.unlimited", cfg);
+  Failpoint* fp = FailpointRegistry::Get().Find("test.unlimited");
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fp->Evaluate().ok());
+  FailpointRegistry::Get().Disable("test.unlimited");
+  EXPECT_FALSE(fp->IsActive());
+  EXPECT_TRUE(fp->Evaluate().ok());
+}
+
+TEST(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  FailpointConfig cfg;
+  cfg.probability = 0.3;
+  cfg.max_fires = -1;
+  cfg.seed = 7;
+  FailpointRegistry::Get().Enable("test.prob", cfg);
+  Failpoint* fp = FailpointRegistry::Get().Find("test.prob");
+  std::vector<bool> first;
+  for (int i = 0; i < 200; ++i) first.push_back(!fp->Evaluate().ok());
+  size_t fires = static_cast<size_t>(fp->fires());
+  EXPECT_GT(fires, 30u);  // ~60 expected
+  EXPECT_LT(fires, 100u);
+  // Re-arming with the same seed reproduces the exact firing pattern.
+  FailpointRegistry::Get().Enable("test.prob", cfg);
+  std::vector<bool> second;
+  for (int i = 0; i < 200; ++i) second.push_back(!fp->Evaluate().ok());
+  EXPECT_EQ(first, second);
+  FailpointRegistry::Get().Disable("test.prob");
+}
+
+TEST(FailpointTest, DisableAllDisarmsEverything) {
+  FailpointConfig cfg;
+  cfg.max_fires = -1;
+  FailpointRegistry::Get().Enable("test.all.a", cfg);
+  FailpointRegistry::Get().Enable("test.all.b", cfg);
+  FailpointRegistry::Get().DisableAll();
+  EXPECT_FALSE(FailpointRegistry::Get().Find("test.all.a")->IsActive());
+  EXPECT_FALSE(FailpointRegistry::Get().Find("test.all.b")->IsActive());
+}
+
+TEST(FailpointTest, ConcurrentEvaluateFiresExactlyMaxTimes) {
+  constexpr int kFires = 64;
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 500;
+  FailpointConfig cfg;
+  cfg.max_fires = kFires;
+  FailpointRegistry::Get().Enable("test.concurrent", cfg);
+  Failpoint* fp = FailpointRegistry::Get().Find("test.concurrent");
+  std::atomic<int> observed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        // Mirror the macro's fast path: check IsActive before Evaluate.
+        if (fp->IsActive() && !fp->Evaluate().ok()) {
+          observed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(observed.load(), kFires);
+  EXPECT_FALSE(fp->IsActive());
+}
+
+TEST(FailpointTest, ExpressionFormReportsWithoutReturning) {
+  FailpointConfig cfg;
+  cfg.status = Status::DeadlineExceeded("late");
+  ScopedFailpoint armed("test.expr", cfg);
+  Status st = OLTAP_FAILPOINT_STATUS("test.expr");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(OLTAP_FAILPOINT_STATUS("test.expr").ok());
+}
+
+}  // namespace
+}  // namespace oltap

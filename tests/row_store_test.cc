@@ -142,7 +142,7 @@ TEST(RowStoreTest, ConcurrentReadersDuringInserts) {
   });
   std::vector<std::thread> readers;
   for (int r = 0; r < 4; ++r) {
-    readers.emplace_back([&] {
+    readers.emplace_back([&, r] {
       Rng rng(r + 1);
       while (!stop.load(std::memory_order_acquire)) {
         // Iterate a stretch; keys must stay sorted even mid-insert.

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/failpoint.h"
 #include "sched/workload_manager.h"
 
 namespace oltap {
@@ -148,6 +151,151 @@ TEST(WorkloadManagerTest, AdmissionControlRejectsOlapFlood) {
   // OLTP is never rejected.
   auto f = wm.Submit(QueryClass::kOltp, [] {});
   EXPECT_TRUE(f.get().ok());
+}
+
+TEST(WorkloadManagerTest, SubmitAfterShutdownReturnsUnavailable) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 2;
+  WorkloadManager wm(opts);
+  std::atomic<int> ran{0};
+  auto before = wm.Submit(QueryClass::kOltp, [&ran] { ran.fetch_add(1); });
+  EXPECT_TRUE(before.get().ok());
+  wm.Shutdown();
+
+  auto after = wm.Submit(QueryClass::kOltp, [&ran] { ran.fetch_add(1); });
+  Status st = after.get();  // resolves immediately, no hang
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  auto sub = wm.SubmitCancellable(
+      QueryClass::kOlap, /*deadline_us=*/0,
+      [&ran](const CancellationToken&) {
+        ran.fetch_add(1);
+        return Status::OK();
+      });
+  EXPECT_TRUE(sub.done.get().IsUnavailable());
+  EXPECT_EQ(ran.load(), 1);
+  wm.Shutdown();  // idempotent
+}
+
+TEST(WorkloadManagerTest, ShutdownFailsQueuedTasksWithoutRunningThem) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  WorkloadManager wm(opts);
+  // Park the only worker so subsequent tasks stay queued.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> blocker_running{false};
+  auto blocker = wm.Submit(QueryClass::kOltp, [&blocker_running, opened] {
+    blocker_running.store(true);
+    opened.wait();
+  });
+  while (!blocker_running.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  std::vector<std::future<Status>> queued;
+  for (int i = 0; i < 8; ++i) {
+    queued.push_back(
+        wm.Submit(QueryClass::kOlap, [&ran] { ran.fetch_add(1); }));
+  }
+  gate.set_value();
+  wm.Shutdown();
+  EXPECT_TRUE(blocker.get().ok());
+  // Every task the workers never reached resolves kUnavailable; none of
+  // the futures hang on a dead pool.
+  int orphaned = 0;
+  for (auto& f : queued) {
+    if (f.get().IsUnavailable()) ++orphaned;
+  }
+  EXPECT_EQ(orphaned + ran.load(), 8);
+}
+
+TEST(WorkloadManagerTest, DeadlineExpiredInQueueNeverRuns) {
+  ManualClock clock;
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  opts.clock = &clock;
+  WorkloadManager wm(opts);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto blocker =
+      wm.Submit(QueryClass::kOlap, [opened] { opened.wait(); });
+  std::atomic<bool> ran{false};
+  auto sub = wm.SubmitCancellable(QueryClass::kOlap, /*deadline_us=*/100,
+                                  [&ran](const CancellationToken&) {
+                                    ran.store(true);
+                                    return Status::OK();
+                                  });
+  // The deadline passes while the query is still queued behind the
+  // blocker; dispatch must resolve it without executing the work.
+  clock.AdvanceMicros(500);
+  gate.set_value();
+  Status st = sub.done.get();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded) << st.ToString();
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(wm.expired_in_queue(), 1u);
+  wm.Drain();  // expired work must not wedge the drain
+  EXPECT_TRUE(blocker.get().ok());
+}
+
+TEST(WorkloadManagerTest, CooperativeCancellationUnwindsRunningQuery) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  WorkloadManager wm(opts);
+  std::atomic<bool> started{false};
+  auto sub = wm.SubmitCancellable(
+      QueryClass::kOlap, /*deadline_us=*/0,
+      [&started](const CancellationToken& token) {
+        started.store(true);
+        // A long scan polling its token at batch boundaries.
+        while (true) {
+          Status st = token.Check();
+          if (!st.ok()) return st;
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      });
+  while (!started.load()) std::this_thread::yield();
+  sub.token->Cancel();
+  Status st = sub.done.get();
+  EXPECT_TRUE(st.IsAborted()) << st.ToString();
+}
+
+TEST(WorkloadManagerTest, DeadlineInterruptsRunningQuery) {
+  ManualClock clock;
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  opts.clock = &clock;
+  WorkloadManager wm(opts);
+  std::atomic<bool> started{false};
+  auto sub = wm.SubmitCancellable(
+      QueryClass::kOlap, /*deadline_us=*/1000,
+      [&started](const CancellationToken& token) {
+        started.store(true);
+        while (true) {
+          Status st = token.Check();
+          if (!st.ok()) return st;
+          std::this_thread::yield();
+        }
+      });
+  while (!started.load()) std::this_thread::yield();
+  clock.AdvanceMicros(2000);
+  Status st = sub.done.get();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(WorkloadManagerTest, AdmissionFailpointRejectsWithInjectedStatus) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  WorkloadManager wm(opts);
+  FailpointConfig cfg;
+  cfg.status = Status::FailedPrecondition("injected admission pressure");
+  ScopedFailpoint armed("wm.admit.reject", cfg);
+  std::atomic<bool> ran{false};
+  auto rejected = wm.Submit(QueryClass::kOltp, [&ran] { ran.store(true); });
+  Status st = rejected.get();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  EXPECT_FALSE(ran.load());
+  // max_fires=1: the next submission is admitted normally.
+  auto ok = wm.Submit(QueryClass::kOltp, [&ran] { ran.store(true); });
+  EXPECT_TRUE(ok.get().ok());
+  EXPECT_TRUE(ran.load());
 }
 
 TEST(WorkloadManagerTest, StatsPercentilesOrdered) {

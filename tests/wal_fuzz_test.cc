@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/catalog.h"
+#include "txn/wal.h"
+
+namespace oltap {
+namespace {
+
+// Replay-robustness fuzz: random truncations and bit flips over a valid
+// log must never crash Wal::Replay, must flag truncated_tail whenever the
+// log ends mid-record, and must never apply a record whose checksum
+// fails — the applied transactions are always an exact prefix of the
+// intact log.
+
+constexpr int kRecords = 40;
+constexpr Timestamp kFarFuture = 1'000'000'000;
+
+Schema FuzzSchema() {
+  return SchemaBuilder()
+      .AddInt64("id", false)
+      .AddString("s")
+      .AddDouble("d")
+      .SetKey({"id"})
+      .Build();
+}
+
+Row MakeRow(int64_t id) {
+  return Row{Value::Int64(id), Value::String("row-" + std::to_string(id)),
+             Value::Double(static_cast<double>(id) * 1.5)};
+}
+
+std::unique_ptr<Catalog> FreshCatalog() {
+  auto catalog = std::make_unique<Catalog>();
+  EXPECT_TRUE(
+      catalog->CreateTable("t", FuzzSchema(), TableFormat::kColumn).ok());
+  return catalog;
+}
+
+// Builds a log of kRecords single-insert commits (record i inserts id i
+// at commit_ts i+1) and returns the byte offset where each record ends.
+std::string BuildLog(std::vector<size_t>* boundaries) {
+  Wal wal;
+  boundaries->clear();
+  for (int i = 0; i < kRecords; ++i) {
+    WalOp op;
+    op.kind = WalOp::kInsert;
+    op.table = "t";
+    op.row = MakeRow(i);
+    EXPECT_TRUE(wal.LogCommit(/*txn_id=*/i + 1, /*commit_ts=*/i + 1, {op})
+                    .ok());
+    boundaries->push_back(wal.buffer().size());
+  }
+  return wal.buffer();
+}
+
+// The applied state must be exactly the first `applied` inserts.
+void ExpectPrefixState(const Catalog& catalog, size_t applied) {
+  const Table* table = catalog.GetTable("t");
+  ASSERT_EQ(table->CountVisible(kFarFuture), applied);
+  for (size_t i = 0; i < applied; ++i) {
+    Row out;
+    ASSERT_TRUE(table->Lookup(
+        EncodeKey(table->schema(), MakeRow(static_cast<int64_t>(i))),
+        kFarFuture, &out));
+    EXPECT_EQ(out[1].AsString(), "row-" + std::to_string(i));
+  }
+}
+
+TEST(WalFuzzTest, RandomTruncationNeverCrashesAndAppliesPrefix) {
+  std::vector<size_t> boundaries;
+  const std::string log = BuildLog(&boundaries);
+  std::set<size_t> boundary_set(boundaries.begin(), boundaries.end());
+  Rng rng(31);
+
+  std::vector<size_t> cuts;
+  for (int iter = 0; iter < 300; ++iter) cuts.push_back(rng.Uniform(log.size()));
+  // Exact record boundaries are the edge case: no tear to report.
+  cuts.insert(cuts.end(), boundaries.begin(), boundaries.end());
+  cuts.push_back(0);
+
+  for (size_t cut : cuts) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    auto catalog = FreshCatalog();
+    auto stats = Wal::Replay(log.substr(0, cut), catalog.get());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    size_t full_records = 0;
+    for (size_t b : boundaries) full_records += (b <= cut) ? 1 : 0;
+    EXPECT_EQ(stats->txns_applied, full_records);
+    EXPECT_EQ(stats->truncated_tail,
+              cut != 0 && boundary_set.count(cut) == 0);
+    ExpectPrefixState(*catalog, full_records);
+  }
+}
+
+TEST(WalFuzzTest, RandomBitFlipsNeverApplyCorruptRecords) {
+  std::vector<size_t> boundaries;
+  const std::string log = BuildLog(&boundaries);
+  Rng rng(32);
+
+  for (int iter = 0; iter < 300; ++iter) {
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    std::string fuzzed = log;
+    int nflips = 1 + static_cast<int>(rng.Uniform(3));
+    size_t first_hit_record = kRecords;
+    for (int f = 0; f < nflips; ++f) {
+      size_t pos = rng.Uniform(fuzzed.size());
+      fuzzed[pos] ^= static_cast<char>(1u << rng.Uniform(8));
+      // Which record does this byte belong to?
+      size_t rec = 0;
+      while (boundaries[rec] <= pos) ++rec;
+      first_hit_record = std::min(first_hit_record, rec);
+    }
+    auto catalog = FreshCatalog();
+    auto stats = Wal::Replay(fuzzed, catalog.get());
+    // The checksum guards every field, so corruption can only look like
+    // a torn tail — never a parse error or a misapplied record.
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->txns_applied, first_hit_record);
+    EXPECT_TRUE(stats->truncated_tail);
+    ExpectPrefixState(*catalog, first_hit_record);
+  }
+}
+
+TEST(WalFuzzTest, CombinedTruncationAndFlipsStayWithinPrefix) {
+  std::vector<size_t> boundaries;
+  const std::string log = BuildLog(&boundaries);
+  Rng rng(33);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    std::string fuzzed = log.substr(0, rng.Uniform(log.size()) + 1);
+    int nflips = static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < nflips && !fuzzed.empty(); ++f) {
+      size_t pos = rng.Uniform(fuzzed.size());
+      fuzzed[pos] ^= static_cast<char>(1u << rng.Uniform(8));
+    }
+    auto catalog = FreshCatalog();
+    auto stats = Wal::Replay(fuzzed, catalog.get());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_LE(stats->txns_applied, static_cast<size_t>(kRecords));
+    ExpectPrefixState(*catalog, stats->txns_applied);
+  }
+}
+
+}  // namespace
+}  // namespace oltap

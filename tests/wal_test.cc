@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/failpoint.h"
 #include "storage/catalog.h"
 #include "txn/transaction_manager.h"
 #include "txn/wal.h"
@@ -115,9 +116,10 @@ TEST(WalTest, TornTailStopsReplayCleanly) {
 
 TEST(WalTest, CorruptRecordDetectedByChecksum) {
   Wal wal;
-  wal.LogCommit(1, 10,
-                {WalOp{WalOp::kInsert, "t",
-                       "", MakeRow(1, "x", 0)}});
+  ASSERT_TRUE(wal.LogCommit(1, 10,
+                            {WalOp{WalOp::kInsert, "t",
+                                   "", MakeRow(1, "x", 0)}})
+                  .ok());
   std::string data = wal.buffer();
   data[data.size() / 2] ^= 0x40;  // flip a bit in the body
   Catalog recovered;
@@ -157,9 +159,143 @@ TEST(WalTest, FileBackedLogReplays) {
   std::remove(path.c_str());
 }
 
+TEST(WalTest, FsyncOnCommitPathIsDurable) {
+  std::string path = ::testing::TempDir() + "/oltap_wal_fsync_test.log";
+  std::remove(path.c_str());
+  {
+    Wal::Options wopts;
+    wopts.fsync_on_commit = true;
+    auto wal = Wal::OpenFile(path, wopts);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    Catalog source;
+    ASSERT_TRUE(
+        source.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+    TransactionManager tm(&source, wal->get());
+    Table* table = source.GetTable("t");
+    for (int i = 0; i < 5; ++i) {
+      auto t = tm.Begin();
+      ASSERT_TRUE(t->Insert(table, MakeRow(i, "sync", i * 1.0)).ok());
+      ASSERT_TRUE(tm.Commit(t.get()).ok());
+    }
+  }
+  Catalog recovered;
+  ASSERT_TRUE(
+      recovered.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  auto stats = Wal::ReplayFile(path, &recovered);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->txns_applied, 5u);
+  EXPECT_EQ(recovered.GetTable("t")->CountVisible(1'000'000), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, InjectedAppendErrorFailsCommitCleanly) {
+  Wal wal;
+  Catalog source;
+  ASSERT_TRUE(source.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  TransactionManager tm(&source, &wal);
+  Table* table = source.GetTable("t");
+
+  FailpointConfig cfg;
+  cfg.status = Status::Unavailable("injected WAL write error");
+  ScopedFailpoint armed("wal.append.error", cfg);
+  {
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(1, "lost", 0)).ok());
+    Status st = tm.Commit(t.get());
+    EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  }
+  // The commit failed at the durability point: nothing was logged and
+  // nothing is visible.
+  EXPECT_EQ(wal.num_records(), 0u);
+  EXPECT_EQ(table->CountVisible(1'000'000), 0u);
+
+  // The engine keeps working once the fault passes (max_fires=1).
+  {
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(2, "kept", 0)).ok());
+    ASSERT_TRUE(tm.Commit(t.get()).ok());
+  }
+  EXPECT_EQ(wal.num_records(), 1u);
+  EXPECT_EQ(table->CountVisible(1'000'000), 1u);
+
+  // Replay reflects only the surviving commit.
+  Catalog recovered;
+  ASSERT_TRUE(
+      recovered.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  auto stats = Wal::Replay(wal.buffer(), &recovered);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->txns_applied, 1u);
+  Row out;
+  EXPECT_TRUE(recovered.GetTable("t")->Lookup(
+      EncodeKey(table->schema(), MakeRow(2, "", 0)), 1'000'000, &out));
+}
+
+TEST(WalTest, InjectedFsyncErrorSurfacesThroughCommit) {
+  std::string path = ::testing::TempDir() + "/oltap_wal_fsyncfail_test.log";
+  std::remove(path.c_str());
+  Wal::Options wopts;
+  wopts.fsync_on_commit = true;
+  auto wal = Wal::OpenFile(path, wopts);
+  ASSERT_TRUE(wal.ok());
+  Catalog source;
+  ASSERT_TRUE(source.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  TransactionManager tm(&source, wal->get());
+  Table* table = source.GetTable("t");
+
+  FailpointConfig cfg;
+  cfg.status = Status::Unavailable("injected fsync failure");
+  ScopedFailpoint armed("wal.fsync.error", cfg);
+  auto t = tm.Begin();
+  ASSERT_TRUE(t->Insert(table, MakeRow(1, "x", 0)).ok());
+  Status st = tm.Commit(t.get());
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_EQ(table->CountVisible(1'000'000), 0u);
+
+  auto t2 = tm.Begin();
+  ASSERT_TRUE(t2->Insert(table, MakeRow(2, "y", 0)).ok());
+  EXPECT_TRUE(tm.Commit(t2.get()).ok());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, TornAppendLeavesReplayablePrefix) {
+  Wal wal;
+  Catalog source;
+  ASSERT_TRUE(source.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  TransactionManager tm(&source, &wal);
+  Table* table = source.GetTable("t");
+  for (int i = 0; i < 2; ++i) {
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(i, "pre", 0)).ok());
+    ASSERT_TRUE(tm.Commit(t.get()).ok());
+  }
+
+  FailpointConfig cfg;
+  cfg.status = Status::Unavailable("injected torn append");
+  ScopedFailpoint armed("wal.append.torn", cfg);
+  {
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(99, "torn", 0)).ok());
+    EXPECT_TRUE(tm.Commit(t.get()).IsUnavailable());
+  }
+
+  // The half-written record is on "disk": replay applies the intact
+  // prefix, reports the tear, and never applies the torn transaction.
+  Catalog recovered;
+  ASSERT_TRUE(
+      recovered.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  auto stats = Wal::Replay(wal.buffer(), &recovered);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->txns_applied, 2u);
+  EXPECT_TRUE(stats->truncated_tail);
+  Row out;
+  EXPECT_FALSE(recovered.GetTable("t")->Lookup(
+      EncodeKey(table->schema(), MakeRow(99, "", 0)), 1'000'000, &out));
+}
+
 TEST(WalTest, ReplayUnknownTableFails) {
   Wal wal;
-  wal.LogCommit(1, 10, {WalOp{WalOp::kInsert, "nope", "", Row{}}});
+  ASSERT_TRUE(
+      wal.LogCommit(1, 10, {WalOp{WalOp::kInsert, "nope", "", Row{}}}).ok());
   Catalog empty;
   auto stats = Wal::Replay(wal.buffer(), &empty);
   EXPECT_FALSE(stats.ok());
