@@ -21,6 +21,10 @@ Status TwoPhaseCoordinator::Run(
     const std::function<void(int, bool)>& finish) {
   const size_t n = participant_nodes.size();
   std::vector<Status> votes(n);
+  // Set only when a participant never answered PREPARE within the retry
+  // budget — a participant's own DeadlineExceeded vote is a definite NO,
+  // not indecision.
+  std::vector<char> unresponsive(n, 0);
 
   // Phase 1: PREPARE in parallel with per-participant retry. A request
   // lost in flight never reaches the participant, so `prepare` runs at
@@ -36,6 +40,7 @@ Status TwoPhaseCoordinator::Run(
           if (!OLTAP_FAILPOINT_STATUS("2pc.prepare.timeout").ok()) {
             prepare_retries_.fetch_add(1, std::memory_order_relaxed);
             if (attempt + 1 >= options_.retry.max_attempts) {
+              unresponsive[i] = 1;
               votes[i] = Status::DeadlineExceeded(
                   "participant " + std::to_string(p) +
                   " unresponsive to PREPARE");
@@ -54,9 +59,9 @@ Status TwoPhaseCoordinator::Run(
   }
   bool commit = true;
   bool indecision = false;
-  for (const Status& v : votes) {
-    if (!v.ok()) commit = false;
-    if (v.code() == StatusCode::kDeadlineExceeded) indecision = true;
+  for (size_t i = 0; i < n; ++i) {
+    if (!votes[i].ok()) commit = false;
+    if (unresponsive[i] != 0) indecision = true;
   }
 
   // Phase 2: broadcast the decision until each participant ACKs or the

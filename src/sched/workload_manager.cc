@@ -182,7 +182,8 @@ void WorkloadManager::WorkerLoop(size_t worker_index) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
-      if (oltp_queue_.empty() && olap_queue_.empty() && active_ == 0) {
+      if (active_ == 0 &&
+          (shutdown_ || (oltp_queue_.empty() && olap_queue_.empty()))) {
         drain_cv_.notify_all();
       }
     }
@@ -191,9 +192,11 @@ void WorkloadManager::WorkerLoop(size_t worker_index) {
 
 void WorkloadManager::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
+  // During shutdown workers exit without emptying the queues (Shutdown
+  // fails the orphans), so only require that no task is still running.
   drain_cv_.wait(lock, [this] {
-    return (oltp_queue_.empty() && olap_queue_.empty() && active_ == 0) ||
-           shutdown_;
+    return active_ == 0 &&
+           (shutdown_ || (oltp_queue_.empty() && olap_queue_.empty()));
   });
 }
 

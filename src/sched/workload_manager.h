@@ -104,7 +104,9 @@ class WorkloadManager {
   // dead pool.
   void Shutdown();
 
-  // Blocks until both queues are empty and all workers idle.
+  // Blocks until all workers are idle and both queues are empty — or,
+  // once Shutdown has been requested (workers stop without emptying the
+  // queues), until every in-flight task has finished.
   void Drain();
 
   LatencySummary StatsFor(QueryClass qc) const;

@@ -60,11 +60,13 @@ Result<Wal::ReplayStats> RestoreCheckpoint(const std::string& data,
 Result<Wal::ReplayStats> RecoverFromCheckpointAndLog(
     const std::string& checkpoint, const std::string& wal_data,
     Catalog* catalog) {
-  OLTAP_ASSIGN_OR_RETURN(Wal::ReplayStats snap_stats,
-                         Wal::Replay(checkpoint, catalog));
-  if (snap_stats.truncated_tail) {
+  // A torn checkpoint is rejected before anything is applied, so the
+  // caller can retry an older image against the same catalog.
+  if (!Wal::IsWellFormed(checkpoint)) {
     return Status::Corruption("checkpoint is torn");
   }
+  OLTAP_ASSIGN_OR_RETURN(Wal::ReplayStats snap_stats,
+                         Wal::Replay(checkpoint, catalog));
   OLTAP_ASSIGN_OR_RETURN(
       Wal::ReplayStats tail_stats,
       Wal::Replay(wal_data, catalog,

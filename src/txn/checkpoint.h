@@ -34,6 +34,12 @@ Result<Wal::ReplayStats> RestoreCheckpoint(const std::string& data,
 // Recovery entry point: restore the checkpoint, then replay the WAL tail —
 // only records with commit_ts > the checkpoint's timestamp are applied.
 // Returns combined stats (max_commit_ts covers the tail).
+//
+// A torn checkpoint is detected up front (kCorruption) with `catalog`
+// untouched, so falling back to an older image may reuse the catalog. Any
+// other failure (a corrupt op body, an unknown table, a failed apply) can
+// surface mid-replay with `catalog` partially populated: discard the
+// catalog before retrying, or rows would be applied twice.
 Result<Wal::ReplayStats> RecoverFromCheckpointAndLog(
     const std::string& checkpoint, const std::string& wal_data,
     Catalog* catalog);

@@ -178,10 +178,15 @@ Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
                       const std::vector<WalOp>& ops) {
   std::string record = SerializeRecord(txn_id, commit_ts, ops);
   std::lock_guard<std::mutex> lock(mu_);
+  if (sealed_) {
+    return Status::Unavailable("WAL sealed after a failed append");
+  }
 
   // Torn-append injection: only a prefix of the record reaches the log,
-  // as if the process died mid-write. The commit fails; recovery must
-  // stop cleanly at the partial record.
+  // as if the process died mid-write. The partial bytes stay — they are
+  // the crash artifact recovery must stop at — so the log seals itself:
+  // Replay stops at the first corrupt record, and a commit appended
+  // after the tear would be acknowledged yet silently lost.
   Status torn = OLTAP_FAILPOINT_STATUS("wal.append.torn");
   if (!torn.ok()) {
     std::string prefix = record.substr(0, record.size() / 2);
@@ -190,33 +195,78 @@ Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
       std::fwrite(prefix.data(), 1, prefix.size(), file_);
       std::fflush(file_);
     }
+    sealed_ = true;
     return torn;
   }
   // Clean append failure: nothing reaches the log.
   OLTAP_FAILPOINT("wal.append.error");
 
+  const size_t good_size = buf_.size();
+  long file_start = -1;
+  if (file_ != nullptr) {
+    // Where this record begins ("ab" mode appends at end-of-file), so a
+    // failed append can be trimmed back off the file.
+    std::fseek(file_, 0, SEEK_END);
+    file_start = std::ftell(file_);
+  }
+  // Undoes a failed append: buf_ and the file shrink back to the last
+  // complete record, keeping the log appendable. If the file cannot be
+  // restored it is torn at an unknown point, so the Wal seals instead.
+  auto fail = [&](Status st) {
+    buf_.resize(good_size);
+    if (file_ != nullptr) {
+      std::clearerr(file_);
+      bool restored = false;
+#if defined(__unix__) || defined(__APPLE__)
+      restored = file_start >= 0 && std::fflush(file_) == 0 &&
+                 ::ftruncate(fileno(file_), file_start) == 0;
+#endif
+      if (!restored) sealed_ = true;
+    }
+    return st;
+  };
+
   buf_ += record;
-  ++num_records_;
   if (file_ != nullptr) {
     size_t written = std::fwrite(record.data(), 1, record.size(), file_);
     if (written != record.size()) {
-      return Status::Unavailable("short WAL write: " +
-                                 std::to_string(written) + " of " +
-                                 std::to_string(record.size()) + " bytes");
+      return fail(Status::Unavailable("short WAL write: " +
+                                      std::to_string(written) + " of " +
+                                      std::to_string(record.size()) +
+                                      " bytes"));
     }
     if (std::fflush(file_) != 0) {
-      return Status::Unavailable("WAL flush failed");
+      return fail(Status::Unavailable("WAL flush failed"));
     }
     if (options_.fsync_on_commit) {
-      OLTAP_FAILPOINT("wal.fsync.error");
+      Status synced = OLTAP_FAILPOINT_STATUS("wal.fsync.error");
+      if (!synced.ok()) return fail(synced);
 #if defined(__unix__) || defined(__APPLE__)
       if (::fsync(fileno(file_)) != 0) {
-        return Status::Unavailable("WAL fsync failed");
+        return fail(Status::Unavailable("WAL fsync failed"));
       }
 #endif
     }
   }
+  ++num_records_;
   return Status::OK();
+}
+
+bool Wal::sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_;
+}
+
+bool Wal::IsWellFormed(const std::string& data) {
+  Reader outer{data.data(), data.data() + data.size()};
+  while (outer.p < outer.end) {
+    uint32_t len = outer.U32();
+    uint64_t checksum = outer.U64();
+    if (!outer.ok || !outer.Need(len)) return false;
+    if (HashBytes(outer.p, len) != checksum) return false;
+    outer.p += len;
+  }
+  return true;
 }
 
 std::string Wal::buffer() const {

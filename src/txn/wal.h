@@ -59,12 +59,21 @@ class Wal {
 
   // Appends one commit record. Thread-safe; called by the transaction
   // manager at the durability point (after validation, before apply).
-  // On a short write, fsync failure, or injected fault (failpoints
+  // On a short write, flush/fsync failure, or injected fault (failpoints
   // "wal.append.torn", "wal.append.error", "wal.fsync.error") the record
-  // is not durable and the caller must fail the commit; a torn append
-  // leaves a partial record that Replay reports as truncated_tail.
+  // is not durable and the caller must fail the commit. The failed
+  // append is undone — buffer and file are trimmed back to the last
+  // complete record — so recovery never resurrects the failed
+  // transaction. When the partial bytes cannot be removed (a torn append
+  // deliberately leaves them; a file trim can fail) the Wal seals
+  // instead: every later LogCommit returns kUnavailable, because a
+  // commit appended after a tear would be acknowledged yet unreachable
+  // by Replay, which stops at the first corrupt record.
   Status LogCommit(uint64_t txn_id, Timestamp commit_ts,
                    const std::vector<WalOp>& ops);
+
+  // True once a failed append has left the log torn (see LogCommit).
+  bool sealed() const;
 
   // Serialized bytes logged so far (memory copy; tests and Replay use it).
   std::string buffer() const;
@@ -90,11 +99,17 @@ class Wal {
   static Result<ReplayStats> ReplayFile(const std::string& path,
                                         Catalog* catalog);
 
+  // True when every record frame in `data` parses with a valid checksum
+  // (no torn tail). Scans frames without applying them — use to validate
+  // an image before mutating a catalog with Replay.
+  static bool IsWellFormed(const std::string& data);
+
  private:
   Options options_;
   mutable std::mutex mu_;
   std::string buf_;
   size_t num_records_ = 0;
+  bool sealed_ = false;
   std::FILE* file_ = nullptr;
 };
 

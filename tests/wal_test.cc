@@ -250,10 +250,28 @@ TEST(WalTest, InjectedFsyncErrorSurfacesThroughCommit) {
   Status st = tm.Commit(t.get());
   EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
   EXPECT_EQ(table->CountVisible(1'000'000), 0u);
+  // The failed record was trimmed back off the log, so the engine keeps
+  // working and recovery cannot resurrect the transaction the client was
+  // told failed.
+  EXPECT_FALSE((*wal)->sealed());
+  EXPECT_EQ((*wal)->num_records(), 0u);
 
   auto t2 = tm.Begin();
   ASSERT_TRUE(t2->Insert(table, MakeRow(2, "y", 0)).ok());
   EXPECT_TRUE(tm.Commit(t2.get()).ok());
+
+  Catalog recovered;
+  ASSERT_TRUE(
+      recovered.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  auto stats = Wal::ReplayFile(path, &recovered);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->txns_applied, 1u);
+  EXPECT_FALSE(stats->truncated_tail);
+  Row out;
+  EXPECT_FALSE(recovered.GetTable("t")->Lookup(
+      EncodeKey(table->schema(), MakeRow(1, "", 0)), 1'000'000, &out));
+  EXPECT_TRUE(recovered.GetTable("t")->Lookup(
+      EncodeKey(table->schema(), MakeRow(2, "", 0)), 1'000'000, &out));
   std::remove(path.c_str());
 }
 
@@ -275,6 +293,15 @@ TEST(WalTest, TornAppendLeavesReplayablePrefix) {
   {
     auto t = tm.Begin();
     ASSERT_TRUE(t->Insert(table, MakeRow(99, "torn", 0)).ok());
+    EXPECT_TRUE(tm.Commit(t.get()).IsUnavailable());
+  }
+
+  // The tear seals the log: a commit appended after the partial record
+  // would be acknowledged but unreachable by replay, so it must fail.
+  EXPECT_TRUE(wal.sealed());
+  {
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(100, "after", 0)).ok());
     EXPECT_TRUE(tm.Commit(t.get()).IsUnavailable());
   }
 
