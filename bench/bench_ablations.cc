@@ -11,6 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("ablations");
+
 #include <algorithm>
 #include <map>
 #include <memory>

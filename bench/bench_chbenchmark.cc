@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("chbenchmark");
+
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -25,6 +29,12 @@ CHConfig BenchConfig() {
   config.customers_per_district = 100;
   config.items = 1000;
   config.initial_orders_per_district = 30;
+  bench::Reporter::Get()->Config("warehouses", config.warehouses);
+  bench::Reporter::Get()->Config("districts_per_warehouse",
+                                 config.districts_per_warehouse);
+  bench::Reporter::Get()->Config("customers_per_district",
+                                 config.customers_per_district);
+  bench::Reporter::Get()->Config("items", config.items);
   return config;
 }
 

@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("delta_merge");
+
 #include <memory>
 
 #include "common/rng.h"

@@ -10,6 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("dual_format");
+
 #include <atomic>
 #include <map>
 #include <memory>

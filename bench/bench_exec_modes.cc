@@ -12,6 +12,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("exec_modes");
+
 #include <memory>
 
 #include "common/rng.h"

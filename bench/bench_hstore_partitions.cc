@@ -10,6 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("hstore_partitions");
+
 #include <future>
 #include <vector>
 

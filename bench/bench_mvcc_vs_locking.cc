@@ -11,6 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("mvcc_vs_locking");
+
 #include <atomic>
 #include <memory>
 #include <thread>

@@ -13,6 +13,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("numa_placement");
+
 #include <map>
 #include <memory>
 #include <tuple>

@@ -1,0 +1,139 @@
+#include "bench_reporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+
+namespace oltap {
+namespace bench {
+namespace {
+
+// All state lives behind a function-local static: OLTAP_BENCH_REPORTER
+// calls SetName from another TU's static initializer, before this TU's
+// globals would have been dynamically initialized.
+struct State {
+  std::mutex mu;
+  std::string name;                           // empty = no report
+  std::map<std::string, std::string> config;  // values are raw JSON
+  std::map<std::string, double> metrics;
+  bool atexit_registered = false;
+};
+
+State& GetState() {
+  static State* state = new State();
+  return *state;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void WriteLocked(const State& state) {
+  if (state.name.empty()) return;
+  std::string out = "{\"name\":" + JsonEscape(state.name);
+  out += ",\"config\":{";
+  bool first = true;
+  for (const auto& [k, v] : state.config) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonEscape(k) + ":" + v;
+  }
+  out += "},\"metrics\":{";
+  first = true;
+  for (const auto& [k, v] : state.metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonEscape(k) + ":" + JsonNumber(v);
+  }
+  out += "},\"registry\":";
+  out += obs::RenderJson(*obs::MetricsRegistry::Default());
+  out += "}\n";
+
+  std::string path = "BENCH_" + state.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+}
+
+void FlushAtExit() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  WriteLocked(state);
+}
+
+}  // namespace
+
+Reporter* Reporter::Get() {
+  static Reporter* instance = new Reporter();
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.atexit_registered) {
+    state.atexit_registered = true;
+    std::atexit(FlushAtExit);
+  }
+  return instance;
+}
+
+void Reporter::SetName(const std::string& name) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.name = name;
+}
+
+void Reporter::Config(const std::string& key, const std::string& value) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.config[key] = JsonEscape(value);
+}
+
+void Reporter::Config(const std::string& key, double value) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.config[key] = JsonNumber(value);
+}
+
+void Reporter::Metric(const std::string& key, double value) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.metrics[key] = value;
+}
+
+void Reporter::Write() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  WriteLocked(state);
+}
+
+}  // namespace bench
+}  // namespace oltap

@@ -1,0 +1,53 @@
+#ifndef OLTAP_BENCH_BENCH_REPORTER_H_
+#define OLTAP_BENCH_BENCH_REPORTER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace oltap {
+namespace bench {
+
+// Writes BENCH_<name>.json into the working directory when the benchmark
+// process exits: benchmark name, free-form config entries, free-form
+// metrics, and a full snapshot of the global obs metrics registry. The
+// google-benchmark binaries link benchmark_main, so there is no custom
+// main() to hook — the reporter is a process-wide singleton flushed from
+// an atexit handler instead.
+//
+// Usage (file scope, once per bench binary):
+//   OLTAP_BENCH_REPORTER("delta_merge");
+// and optionally, anywhere:
+//   bench::Reporter::Get()->Config("rows", 1e6);
+//   bench::Reporter::Get()->Metric("merge_throughput_rows_s", r);
+class Reporter {
+ public:
+  static Reporter* Get();
+
+  // Names the output file BENCH_<name>.json. Last call wins.
+  void SetName(const std::string& name);
+
+  void Config(const std::string& key, const std::string& value);
+  void Config(const std::string& key, double value);
+  void Metric(const std::string& key, double value);
+
+  // Writes the JSON file now (also runs at exit; idempotent per content).
+  void Write();
+
+ private:
+  Reporter() = default;
+};
+
+// Registers the report at static-initialization time so merely linking the
+// translation unit is enough; the atexit flush does the rest.
+#define OLTAP_BENCH_REPORTER(name)                                      \
+  namespace {                                                           \
+  const bool oltap_bench_reporter_registered = [] {                     \
+    ::oltap::bench::Reporter::Get()->SetName(name);                     \
+    return true;                                                        \
+  }();                                                                  \
+  }
+
+}  // namespace bench
+}  // namespace oltap
+
+#endif  // OLTAP_BENCH_BENCH_REPORTER_H_

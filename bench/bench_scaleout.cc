@@ -11,6 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("scaleout");
+
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -111,11 +115,18 @@ void BM_DistributedAggregate(benchmark::State& state) {
     it = cache->emplace(nodes, std::move(engine)).first;
   }
   DistributedEngine* engine = it->second.get();
+  // The engine (and its network) is cached across phases; reset the
+  // per-instance counters so this phase reports only its own traffic.
+  engine->network()->Reset();
   for (auto _ : state) {
     double sum = engine->SumWhere(1, CompareOp::kLt, 500, 2);
     benchmark::DoNotOptimize(sum);
   }
   state.counters["nodes"] = nodes;
+  state.counters["net_messages"] = static_cast<double>(
+      engine->network()->messages());
+  state.counters["net_bytes"] =
+      static_cast<double>(engine->network()->bytes());
 }
 
 // Raft replication cost: committed entries per second through a step-driven

@@ -12,6 +12,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("shared_scan");
+
 #include <future>
 #include <memory>
 

@@ -13,6 +13,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("simd_scan");
+
 #include <map>
 #include <string>
 #include <vector>

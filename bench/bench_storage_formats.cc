@@ -11,6 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("storage_formats");
+
 #include "common/rng.h"
 #include "storage/pax_page.h"
 

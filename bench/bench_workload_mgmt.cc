@@ -13,6 +13,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("workload_mgmt");
+
 #include <chrono>
 #include <future>
 #include <vector>

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace oltap {
 
@@ -37,6 +38,9 @@ void RaftCluster::Step(int steps) {
     for (auto& node : nodes_) {
       if (down_.count(node->id()) > 0) continue;
       for (RaftMessage& m : node->TakeOutbox()) {
+        static obs::Counter* raft_messages =
+            obs::MetricsRegistry::Default()->GetCounter("raft.messages");
+        raft_messages->Add(1);
         if (options_.drop_probability > 0 &&
             rng_.Bernoulli(options_.drop_probability)) {
           ++dropped_;

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace oltap {
 namespace {
@@ -39,6 +40,11 @@ Status TwoPhaseCoordinator::Run(
           net_->Transfer(node_, p, 64);
           if (!OLTAP_FAILPOINT_STATUS("2pc.prepare.timeout").ok()) {
             prepare_retries_.fetch_add(1, std::memory_order_relaxed);
+            {
+              static obs::Counter* c =
+                  obs::MetricsRegistry::Default()->GetCounter("2pc.prepare_retries");
+              c->Add(1);
+            }
             if (attempt + 1 >= options_.retry.max_attempts) {
               unresponsive[i] = 1;
               votes[i] = Status::DeadlineExceeded(
@@ -78,6 +84,11 @@ Status TwoPhaseCoordinator::Run(
           finish(p, commit);
           if (!OLTAP_FAILPOINT_STATUS("2pc.ack.lost").ok()) {
             finish_retries_.fetch_add(1, std::memory_order_relaxed);
+            {
+              static obs::Counter* c =
+                  obs::MetricsRegistry::Default()->GetCounter("2pc.finish_retries");
+              c->Add(1);
+            }
             if (attempt + 1 >= options_.retry.max_attempts) {
               unacked_finishes_.fetch_add(1, std::memory_order_relaxed);
               break;
@@ -93,13 +104,21 @@ Status TwoPhaseCoordinator::Run(
     for (std::thread& t : workers) t.join();
   }
 
+  auto* registry = obs::MetricsRegistry::Default();
   if (commit) {
     commits_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* commit_count = registry->GetCounter("2pc.commits");
+    commit_count->Add(1);
     return Status::OK();
   }
   aborts_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* abort_count = registry->GetCounter("2pc.aborts");
+  abort_count->Add(1);
   if (indecision) {
     indecision_aborts_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* indecision_count =
+        registry->GetCounter("2pc.indecision_aborts");
+    indecision_count->Add(1);
     return Status::Aborted("2PC aborted: participant unresponsive");
   }
   return Status::Aborted("2PC participant voted no");

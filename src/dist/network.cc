@@ -7,8 +7,14 @@ namespace oltap {
 
 void SimulatedNetwork::Transfer(int from, int to, size_t bytes) {
   if (from == to) return;
-  messages_.fetch_add(1, std::memory_order_relaxed);
-  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  messages_.Add(1);
+  bytes_.Add(bytes);
+  static obs::Counter* global_messages =
+      obs::MetricsRegistry::Default()->GetCounter("net.messages");
+  static obs::Counter* global_bytes =
+      obs::MetricsRegistry::Default()->GetCounter("net.bytes");
+  global_messages->Add(1);
+  global_bytes->Add(bytes);
   int64_t us = options_.base_latency_us +
                options_.per_kb_us * static_cast<int64_t>(bytes / 1024);
   if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));

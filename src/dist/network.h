@@ -1,8 +1,9 @@
 #ifndef OLTAP_DIST_NETWORK_H_
 #define OLTAP_DIST_NETWORK_H_
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/metrics.h"
 
 namespace oltap {
 
@@ -28,15 +29,21 @@ class SimulatedNetwork {
   // Round trip: request of `request_bytes`, reply of `reply_bytes`.
   void RoundTrip(int from, int to, size_t request_bytes, size_t reply_bytes);
 
-  uint64_t messages() const {
-    return messages_.load(std::memory_order_relaxed);
+  uint64_t messages() const { return messages_.Value(); }
+  uint64_t bytes() const { return bytes_.Value(); }
+
+  // Zeroes the per-instance counters (the global registry's net.* counters
+  // are untouched) — lets a multi-phase benchmark report per-phase traffic
+  // from a cached engine.
+  void Reset() {
+    messages_.Reset();
+    bytes_.Reset();
   }
-  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
 
  private:
   Options options_;
-  std::atomic<uint64_t> messages_{0};
-  std::atomic<uint64_t> bytes_{0};
+  obs::Counter messages_;
+  obs::Counter bytes_;
 };
 
 }  // namespace oltap

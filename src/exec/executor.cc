@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "exec/fused_kernels.h"
 #include "exec/scan_kernels.h"
+#include "obs/metrics.h"
 
 namespace oltap {
 
@@ -66,6 +67,15 @@ double RunSimpleAgg(const MainFragment& main, const SimpleAggQuery& query,
   return 0;
 }
 
-std::vector<Row> ExecutePlan(PhysicalOp* root) { return CollectRows(root); }
+std::vector<Row> ExecutePlan(PhysicalOp* root) {
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Default()->GetCounter("exec.queries");
+  static obs::Counter* rows_out =
+      obs::MetricsRegistry::Default()->GetCounter("exec.rows_out");
+  std::vector<Row> rows = CollectRows(root);
+  queries->Add(1);
+  rows_out->Add(rows.size());
+  return rows;
+}
 
 }  // namespace oltap

@@ -67,11 +67,60 @@ std::string ExplainPlan(const PhysicalOp* root) {
   return out;
 }
 
+void PhysicalOp::OpenTimed() {
+  stats_.Reset();
+  obs::ScopedTimer timer(&stats_.open_ns);
+  Open();
+}
+
+bool PhysicalOp::NextBatchTimed(Batch* out) {
+  bool more;
+  {
+    obs::ScopedTimer timer(&stats_.next_ns);
+    more = NextBatch(out);
+  }
+  // Row/batch tallies are plain member increments (no clock read) and
+  // stay on even under OLTAP_OBS_DISABLED, so EXPLAIN ANALYZE keeps its
+  // exact row counts there; only timings degrade to zero. Only a true
+  // return delivers a batch — on false `out` holds stale content from
+  // the previous pull (callers never read it).
+  if (more) {
+    size_t n = out->num_rows();
+    if (n > 0) {
+      stats_.rows += n;
+      ++stats_.batches;
+    }
+  }
+  return more;
+}
+
+namespace {
+
+void ProfileInto(const PhysicalOp* op, obs::QueryProfile::Node* node) {
+  const obs::OpStats& st = op->op_stats();
+  node->name = op->Describe();
+  node->rows = st.rows;
+  node->batches = st.batches;
+  node->time_ns = st.total_ns();
+  for (const PhysicalOp* child : op->Children()) {
+    node->children.emplace_back();
+    ProfileInto(child, &node->children.back());
+  }
+}
+
+}  // namespace
+
+obs::QueryProfile BuildQueryProfile(const PhysicalOp* root) {
+  obs::QueryProfile profile;
+  ProfileInto(root, &profile.root);
+  return profile;
+}
+
 std::vector<Row> CollectRows(PhysicalOp* op) {
   std::vector<Row> rows;
-  op->Open();
+  op->OpenTimed();
   Batch batch;
-  while (op->NextBatch(&batch)) {
+  while (op->NextBatchTimed(&batch)) {
     for (size_t i = 0; i < batch.num_rows(); ++i) {
       rows.push_back(batch.GetRow(i));
     }
@@ -315,7 +364,7 @@ std::vector<const PhysicalOp*> FilterOp::Children() const {
 FilterOp::FilterOp(PhysicalOpPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-void FilterOp::Open() { child_->Open(); }
+void FilterOp::Open() { child_->OpenTimed(); }
 
 std::vector<ValueType> FilterOp::OutputTypes() const {
   return child_->OutputTypes();
@@ -323,7 +372,7 @@ std::vector<ValueType> FilterOp::OutputTypes() const {
 
 bool FilterOp::NextBatch(Batch* out) {
   Batch in;
-  while (child_->NextBatch(&in)) {
+  while (child_->NextBatchTimed(&in)) {
     BitVector keep;
     predicate_->EvalPredicate(in, &keep);
     if (keep.CountSet() == 0) continue;
@@ -360,7 +409,7 @@ std::vector<const PhysicalOp*> ProjectOp::Children() const {
 ProjectOp::ProjectOp(PhysicalOpPtr child, std::vector<ExprPtr> exprs)
     : child_(std::move(child)), exprs_(std::move(exprs)) {}
 
-void ProjectOp::Open() { child_->Open(); }
+void ProjectOp::Open() { child_->OpenTimed(); }
 
 std::vector<ValueType> ProjectOp::OutputTypes() const {
   std::vector<ValueType> types;
@@ -371,7 +420,7 @@ std::vector<ValueType> ProjectOp::OutputTypes() const {
 
 bool ProjectOp::NextBatch(Batch* out) {
   Batch in;
-  if (!child_->NextBatch(&in)) return false;
+  if (!child_->NextBatchTimed(&in)) return false;
   out->columns.clear();
   out->columns.reserve(exprs_.size());
   for (const ExprPtr& e : exprs_) {
@@ -422,7 +471,7 @@ std::vector<ValueType> HashAggOp::OutputTypes() const {
 }
 
 void HashAggOp::Open() {
-  child_->Open();
+  child_->OpenTimed();
   index_.clear();
   groups_.clear();
   emit_pos_ = 0;
@@ -509,7 +558,7 @@ Value HashAggOp::Finalize(const AggSpec& spec, const AggState& st) const {
 bool HashAggOp::NextBatch(Batch* out) {
   if (!done_) {
     Batch in;
-    while (child_->NextBatch(&in)) Consume(in);
+    while (child_->NextBatchTimed(&in)) Consume(in);
     if (group_exprs_.empty() && groups_.empty()) {
       // Global aggregate over zero rows still yields one output row.
       Group g;
@@ -571,7 +620,7 @@ std::vector<ValueType> HashJoinOp::OutputTypes() const {
 }
 
 void HashJoinOp::Open() {
-  probe_->Open();
+  probe_->OpenTimed();
   build_rows_ = CollectRows(build_.get());  // CollectRows opens the child
   table_.clear();
   Row key_row(build_keys_.size());
@@ -599,7 +648,7 @@ bool HashJoinOp::NextBatch(Batch* out) {
   Row key_row(probe_keys_.size());
   while (emitted < kDefaultBatchRows) {
     if (probe_pos_ >= probe_batch_.num_rows()) {
-      if (probe_done_ || !probe_->NextBatch(&probe_batch_)) {
+      if (probe_done_ || !probe_->NextBatchTimed(&probe_batch_)) {
         probe_done_ = true;
         break;
       }
@@ -711,7 +760,7 @@ bool TopNOp::Before(const Row& a, const Row& b) const {
 }
 
 void TopNOp::Open() {
-  child_->Open();
+  child_->OpenTimed();
   heap_.clear();
   pos_ = 0;
   done_ = false;
@@ -723,7 +772,7 @@ bool TopNOp::NextBatch(Batch* out) {
     // the current top-k, evicted whenever a better row arrives.
     auto worse = [this](const Row& a, const Row& b) { return Before(a, b); };
     Batch in;
-    while (child_->NextBatch(&in)) {
+    while (child_->NextBatchTimed(&in)) {
       for (size_t i = 0; i < in.num_rows(); ++i) {
         Row row = in.GetRow(i);
         if (heap_.size() < limit_) {
@@ -771,14 +820,14 @@ std::vector<ValueType> LimitOp::OutputTypes() const {
 }
 
 void LimitOp::Open() {
-  child_->Open();
+  child_->OpenTimed();
   emitted_ = 0;
 }
 
 bool LimitOp::NextBatch(Batch* out) {
   if (emitted_ >= limit_) return false;
   Batch in;
-  if (!child_->NextBatch(&in)) return false;
+  if (!child_->NextBatchTimed(&in)) return false;
   size_t take = std::min(in.num_rows(), limit_ - emitted_);
   if (take == in.num_rows()) {
     *out = std::move(in);

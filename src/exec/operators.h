@@ -9,6 +9,7 @@
 #include "common/bitvector.h"
 #include "exec/batch.h"
 #include "exec/expr.h"
+#include "obs/trace.h"
 #include "storage/column_store.h"
 #include "storage/table.h"
 
@@ -17,6 +18,12 @@ namespace oltap {
 // Batch-iterator (vectorized Volcano) physical operator. Open() once, then
 // NextBatch until it returns false. Single-threaded per pipeline; the
 // scheduler layer runs whole queries on workers.
+//
+// Parents and the executor drive children through the instrumented
+// OpenTimed/NextBatchTimed entry points, so every operator accumulates
+// rows/batches/inclusive-time into op_stats() — the raw material of
+// EXPLAIN ANALYZE (obs::QueryProfile). The cost is one clock read per
+// batch (~2k rows), compiled out under OLTAP_OBS_DISABLED.
 class PhysicalOp {
  public:
   virtual ~PhysicalOp() = default;
@@ -29,10 +36,23 @@ class PhysicalOp {
   virtual std::string Describe() const = 0;
   // Child operators, for plan-tree rendering.
   virtual std::vector<const PhysicalOp*> Children() const { return {}; }
+
+  // Instrumented pull API: Open + NextBatch with per-operator profiling.
+  void OpenTimed();
+  bool NextBatchTimed(Batch* out);
+  const obs::OpStats& op_stats() const { return stats_; }
+
+ private:
+  obs::OpStats stats_;
 };
 
 // Renders the operator tree, one indented line per node (EXPLAIN).
 std::string ExplainPlan(const PhysicalOp* root);
+
+// Builds the EXPLAIN ANALYZE profile from an executed plan: the operator
+// tree annotated with each node's op_stats(). Call after the plan has run
+// through the instrumented pull API.
+obs::QueryProfile BuildQueryProfile(const PhysicalOp* root);
 
 using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
 

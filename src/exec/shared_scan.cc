@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace oltap {
 namespace {
@@ -111,6 +112,9 @@ std::future<ScanQueryResult> ClockScanServer::Submit(
     pending_.push_back(std::move(aq));
     cv_.notify_all();
   }
+  static obs::Counter* attached =
+      obs::MetricsRegistry::Default()->GetCounter("sharedscan.attached");
+  attached->Add(1);
   return fut;
 }
 
@@ -141,6 +145,9 @@ void ClockScanServer::Loop() {
     size_t hi = std::min(main_->num_rows(), lo + chunk_rows_);
     ScanChunk(lo, hi);
     chunks_scanned_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* chunks =
+        obs::MetricsRegistry::Default()->GetCounter("sharedscan.chunks");
+    chunks->Add(1);
     clock_pos_ = (clock_pos_ + 1) % num_chunks_;
 
     // Retire queries that completed a full rotation.

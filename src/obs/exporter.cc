@@ -1,0 +1,107 @@
+#include "obs/exporter.h"
+
+#include <cstdio>
+
+namespace oltap {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+// Metric names are dot-separated identifiers, but escape defensively so
+// the output is always valid JSON.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string HistogramJson(const HistogramSnapshot& h) {
+  std::string out = "{";
+  out += "\"count\":" + std::to_string(h.count);
+  out += ",\"mean\":" + FormatDouble(h.mean);
+  out += ",\"p50\":" + std::to_string(h.p50);
+  out += ",\"p95\":" + std::to_string(h.p95);
+  out += ",\"p99\":" + std::to_string(h.p99);
+  out += ",\"max\":" + std::to_string(h.max);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string RenderText(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    out += "counter " + name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    out += "gauge " + name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out += "histogram " + name + " count=" + std::to_string(h.count) +
+           " mean=" + FormatDouble(h.mean) + " p50=" + std::to_string(h.p50) +
+           " p95=" + std::to_string(h.p95) + " p99=" + std::to_string(h.p99) +
+           " max=" + std::to_string(h.max) + "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snap) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(name) + ":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(name) + ":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(name) + ":" + HistogramJson(h);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RenderText(const MetricsRegistry& registry) {
+  return RenderText(registry.Snapshot());
+}
+
+std::string RenderJson(const MetricsRegistry& registry) {
+  return RenderJson(registry.Snapshot());
+}
+
+}  // namespace obs
+}  // namespace oltap

@@ -1,0 +1,27 @@
+#ifndef OLTAP_OBS_EXPORTER_H_
+#define OLTAP_OBS_EXPORTER_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace oltap {
+namespace obs {
+
+// One metric per line, sorted by name:
+//   counter wal.records 12
+//   gauge wm.queue_depth.oltp 0
+//   histogram wal.append_ns count=12 mean=830.1 p50=511 p95=2047 ...
+std::string RenderText(const MetricsSnapshot& snap);
+
+// {"counters":{...},"gauges":{...},"histograms":{"name":{"count":...}}}
+std::string RenderJson(const MetricsSnapshot& snap);
+
+// Convenience overloads snapshotting the registry first.
+std::string RenderText(const MetricsRegistry& registry);
+std::string RenderJson(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace oltap
+
+#endif  // OLTAP_OBS_EXPORTER_H_

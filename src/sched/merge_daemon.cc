@@ -1,6 +1,10 @@
 #include "sched/merge_daemon.h"
 
+#include <algorithm>
 #include <chrono>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace oltap {
 
@@ -25,19 +29,46 @@ void MergeDaemon::Stop() {
 }
 
 size_t MergeDaemon::RunOnce() {
+  auto* registry = obs::MetricsRegistry::Default();
+  static obs::Counter* runs = registry->GetCounter("merge.runs");
+  static obs::Counter* tables_merged =
+      registry->GetCounter("merge.tables_merged");
+  static obs::Counter* rows_merged = registry->GetCounter("merge.rows_merged");
+  static obs::Counter* bytes_merged =
+      registry->GetCounter("merge.bytes_merged");
+  static obs::Gauge* delta_rows = registry->GetGauge("storage.delta_rows");
+  static obs::Gauge* freshness =
+      registry->GetGauge("storage.freshness_lag_us");
+  runs->Add(1);
+
   size_t merged = 0;
+  int64_t now_us = SystemClock::Get()->NowMicros();
+  int64_t max_lag_us = 0;
+  int64_t unmerged_rows = 0;
   Timestamp merge_ts = tm_->oracle()->CurrentReadTs();
   Timestamp horizon = tm_->OldestActiveSnapshot();
   for (Table* table : catalog_->AllTables()) {
     if (!table->Mergeable()) continue;
     ColumnTable* ct = table->column_table();
-    if (ct == nullptr || ct->delta_size() < options_.delta_row_threshold) {
+    if (ct == nullptr) continue;
+    size_t delta_rows_before = ct->delta_size();
+    if (delta_rows_before < options_.delta_row_threshold) {
+      unmerged_rows += static_cast<int64_t>(delta_rows_before);
+      max_lag_us = std::max(max_lag_us, ct->DeltaAgeMicros(now_us));
       continue;
     }
+    size_t bytes_before = ct->MemoryBytes();
     table->MergeDelta(merge_ts, horizon);
     ++merged;
     merges_.fetch_add(1, std::memory_order_relaxed);
+    tables_merged->Add(1);
+    rows_merged->Add(delta_rows_before);
+    bytes_merged->Add(bytes_before);
+    unmerged_rows += static_cast<int64_t>(ct->delta_size());
+    max_lag_us = std::max(max_lag_us, ct->DeltaAgeMicros(now_us));
   }
+  delta_rows->Set(unmerged_rows);
+  freshness->Set(max_lag_us);
   return merged;
 }
 

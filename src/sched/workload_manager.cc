@@ -4,8 +4,21 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace oltap {
+
+namespace {
+
+obs::Gauge* QueueDepthGauge(QueryClass qc) {
+  static obs::Gauge* oltp =
+      obs::MetricsRegistry::Default()->GetGauge("wm.queue_depth.oltp");
+  static obs::Gauge* olap =
+      obs::MetricsRegistry::Default()->GetGauge("wm.queue_depth.olap");
+  return qc == QueryClass::kOltp ? oltp : olap;
+}
+
+}  // namespace
 
 const char* SchedulingPolicyToString(SchedulingPolicy p) {
   switch (p) {
@@ -99,11 +112,15 @@ WorkloadManager::Submission WorkloadManager::SubmitCancellable(
     } else if (qc == QueryClass::kOlap && options_.olap_admission_limit > 0 &&
                olap_queue_.size() >= options_.olap_admission_limit) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* rejected =
+          obs::MetricsRegistry::Default()->GetCounter("wm.rejected_olap");
+      rejected->Add(1);
       admit = Status::Unavailable("OLAP admission limit reached");
     }
     if (admit.ok()) {
-      (qc == QueryClass::kOltp ? oltp_queue_ : olap_queue_)
-          .push_back(std::move(task));
+      auto& queue = qc == QueryClass::kOltp ? oltp_queue_ : olap_queue_;
+      queue.push_back(std::move(task));
+      QueueDepthGauge(qc)->Set(static_cast<int64_t>(queue.size()));
     }
   }
   if (!admit.ok()) {
@@ -152,6 +169,7 @@ std::unique_ptr<WorkloadManager::Task> WorkloadManager::NextTask(
     if (source != nullptr) {
       std::unique_ptr<Task> task = std::move(source->front());
       source->pop_front();
+      QueueDepthGauge(task->qc)->Set(static_cast<int64_t>(source->size()));
       return task;
     }
     cv_.wait(*lock);
@@ -175,6 +193,9 @@ void WorkloadManager::WorkerLoop(size_t worker_index) {
       result = task->work(*task->token);
     } else if (result.code() == StatusCode::kDeadlineExceeded) {
       expired_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* expired =
+          obs::MetricsRegistry::Default()->GetCounter("wm.expired_in_queue");
+      expired->Add(1);
     }
     int64_t latency = clock_->NowMicros() - task->submit_us;
     Record(task->qc, latency);
@@ -201,6 +222,12 @@ void WorkloadManager::Drain() {
 }
 
 void WorkloadManager::Record(QueryClass qc, int64_t latency_us) {
+  static obs::Histogram* oltp_lat =
+      obs::MetricsRegistry::Default()->GetHistogram("wm.latency_us.oltp");
+  static obs::Histogram* olap_lat =
+      obs::MetricsRegistry::Default()->GetHistogram("wm.latency_us.olap");
+  (qc == QueryClass::kOltp ? oltp_lat : olap_lat)
+      ->Record(latency_us > 0 ? static_cast<uint64_t>(latency_us) : 0);
   std::lock_guard<std::mutex> lock(stats_mu_);
   latencies_[static_cast<int>(qc)].push_back(latency_us);
 }

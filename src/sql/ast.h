@@ -101,9 +101,11 @@ struct Statement {
     kUpdate,
     kDelete,
     kCreateTable,
+    kShowStats,  // SHOW STATS: engine metrics snapshot, no table access
   };
   Kind kind = Kind::kSelect;
   bool explain = false;  // EXPLAIN SELECT ...: plan only, no execution
+  bool analyze = false;  // EXPLAIN ANALYZE: execute, report per-op profile
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<UpdateStmt> update;

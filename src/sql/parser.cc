@@ -37,9 +37,21 @@ class Parser {
     Statement stmt;
     if (AcceptKeyword("EXPLAIN")) {
       stmt.explain = true;
+      if (AcceptKeyword("ANALYZE")) stmt.analyze = true;
       if (!Peek().IsKeyword("SELECT")) {
-        return Err("EXPLAIN supports SELECT only");
+        return Err(stmt.analyze ? "EXPLAIN ANALYZE supports SELECT only"
+                                : "EXPLAIN supports SELECT only");
       }
+    }
+    if (Peek().IsKeyword("SHOW")) {
+      Advance();
+      OLTAP_RETURN_NOT_OK(ExpectKeyword("STATS"));
+      stmt.kind = Statement::Kind::kShowStats;
+      if (Peek().IsSymbol(";")) Advance();
+      if (Peek().kind != Token::Kind::kEnd) {
+        return Err("unexpected trailing input");
+      }
+      return stmt;
     }
     if (Peek().IsKeyword("SELECT")) {
       stmt.kind = Statement::Kind::kSelect;

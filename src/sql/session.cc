@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
+#include "storage/column_store.h"
 
 namespace oltap {
 namespace {
@@ -91,7 +94,7 @@ Result<QueryResult> Database::RunStatement(Transaction* txn,
                                            const sql::Statement& s) {
   switch (s.kind) {
     case sql::Statement::Kind::kSelect:
-      return RunSelect(txn, *s.select, s.explain);
+      return RunSelect(txn, *s.select, s.explain, s.analyze);
     case sql::Statement::Kind::kInsert:
       return RunInsert(txn, *s.insert);
     case sql::Statement::Kind::kUpdate:
@@ -100,16 +103,47 @@ Result<QueryResult> Database::RunStatement(Transaction* txn,
       return RunDelete(txn, *s.del);
     case sql::Statement::Kind::kCreateTable:
       return RunCreate(*s.create);
+    case sql::Statement::Kind::kShowStats:
+      return RunShowStats();
   }
   return Status::Internal("unhandled statement");
 }
 
+namespace {
+
+// One result row per profile node: operator (indented by depth), rows,
+// batches, inclusive time in milliseconds.
+void FlattenProfile(const obs::QueryProfile::Node& node, int depth,
+                    std::vector<Row>* out) {
+  std::string label(static_cast<size_t>(depth) * 2, ' ');
+  label += node.name;
+  out->push_back(Row{Value::String(std::move(label)),
+                     Value::Int64(static_cast<int64_t>(node.rows)),
+                     Value::Int64(static_cast<int64_t>(node.batches)),
+                     Value::Double(static_cast<double>(node.time_ns) * 1e-6)});
+  for (const obs::QueryProfile::Node& child : node.children) {
+    FlattenProfile(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
 Result<QueryResult> Database::RunSelect(Transaction* txn,
                                         const sql::SelectStmt& s,
-                                        bool explain) {
+                                        bool explain, bool analyze) {
   OLTAP_ASSIGN_OR_RETURN(sql::PlannedQuery plan,
                          sql::PlanSelect(s, catalog_, txn->begin_ts()));
   QueryResult result;
+  if (explain && analyze) {
+    // Execute for real, then report the per-operator profile instead of
+    // the query output.
+    ExecutePlan(plan.root.get());
+    obs::QueryProfile profile = BuildQueryProfile(plan.root.get());
+    result.columns = {"operator", "rows", "batches", "time_ms"};
+    FlattenProfile(profile.root, 0, &result.rows);
+    result.affected = result.rows.size();
+    return result;
+  }
   if (explain) {
     result.columns = {"plan"};
     std::string text = ExplainPlan(plan.root.get());
@@ -127,6 +161,48 @@ Result<QueryResult> Database::RunSelect(Transaction* txn,
   }
   result.columns = std::move(plan.output_names);
   result.rows = ExecutePlan(plan.root.get());
+  result.affected = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> Database::RunShowStats() {
+  auto* registry = obs::MetricsRegistry::Default();
+  // Refresh the storage gauges from this catalog so SHOW STATS reports
+  // live freshness even without a merge daemon running.
+  int64_t now_us = SystemClock::Get()->NowMicros();
+  int64_t max_lag_us = 0;
+  int64_t unmerged_rows = 0;
+  for (Table* table : catalog_.AllTables()) {
+    ColumnTable* ct = table->column_table();
+    if (ct == nullptr) continue;
+    unmerged_rows += static_cast<int64_t>(ct->delta_size());
+    max_lag_us = std::max(max_lag_us, ct->DeltaAgeMicros(now_us));
+  }
+  registry->GetGauge("storage.delta_rows")->Set(unmerged_rows);
+  registry->GetGauge("storage.freshness_lag_us")->Set(max_lag_us);
+
+  obs::MetricsSnapshot snap = registry->Snapshot();
+  QueryResult result;
+  result.columns = {"metric", "value"};
+  for (const auto& [name, v] : snap.counters) {
+    result.rows.push_back(
+        Row{Value::String(name), Value::Int64(static_cast<int64_t>(v))});
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    result.rows.push_back(Row{Value::String(name), Value::Int64(v)});
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    auto add = [&](const char* suffix, Value value) {
+      result.rows.push_back(
+          Row{Value::String(name + suffix), std::move(value)});
+    };
+    add(".count", Value::Int64(static_cast<int64_t>(h.count)));
+    add(".mean", Value::Double(h.mean));
+    add(".p50", Value::Int64(static_cast<int64_t>(h.p50)));
+    add(".p95", Value::Int64(static_cast<int64_t>(h.p95)));
+    add(".p99", Value::Int64(static_cast<int64_t>(h.p99)));
+    add(".max", Value::Int64(static_cast<int64_t>(h.max)));
+  }
   result.affected = result.rows.size();
   return result;
 }

@@ -54,7 +54,11 @@ class Database {
  private:
   Result<QueryResult> RunStatement(Transaction* txn, const sql::Statement& s);
   Result<QueryResult> RunSelect(Transaction* txn, const sql::SelectStmt& s,
-                                bool explain);
+                                bool explain, bool analyze);
+  // SHOW STATS: one row per metric from the global registry (histograms
+  // expand to .count/.mean/.p50/.p95/.p99/.max rows), with storage
+  // freshness gauges refreshed from this database's catalog first.
+  Result<QueryResult> RunShowStats();
   Result<QueryResult> RunInsert(Transaction* txn, const sql::InsertStmt& s);
   Result<QueryResult> RunUpdate(Transaction* txn, const sql::UpdateStmt& s);
   Result<QueryResult> RunDelete(Transaction* txn, const sql::DeleteStmt& s);

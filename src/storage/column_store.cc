@@ -272,4 +272,17 @@ size_t ColumnTable::MemoryBytes() const {
   return total;
 }
 
+int64_t ColumnTable::DeltaAgeMicros(int64_t now_us) const {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  int64_t oldest = 0;  // 0 = no unmerged rows
+  if (frozen_delta_ != nullptr) {
+    int64_t t = frozen_delta_->OldestAppendMicros();
+    if (t > 0) oldest = t;
+  }
+  int64_t t = delta_->OldestAppendMicros();
+  if (t > 0 && (oldest == 0 || t < oldest)) oldest = t;
+  if (oldest == 0) return 0;
+  return now_us > oldest ? now_us - oldest : 0;
+}
+
 }  // namespace oltap

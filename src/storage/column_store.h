@@ -148,6 +148,11 @@ class ColumnTable {
   }
   size_t MemoryBytes() const;
 
+  // Age in micros (relative to `now_us`, same clock as SystemClock) of the
+  // oldest unmerged delta row, across the live and frozen deltas; 0 when
+  // the deltas are empty. This is the table's OLAP freshness lag.
+  int64_t DeltaAgeMicros(int64_t now_us) const;
+
  private:
   friend class MergeJob;
 

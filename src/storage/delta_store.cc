@@ -1,11 +1,13 @@
 #include "storage/delta_store.h"
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace oltap {
 
 uint32_t DeltaStore::Append(Row row, Timestamp commit_ts) {
   std::unique_lock lock(mu_);
+  if (rows_.empty()) first_append_us_ = SystemClock::Get()->NowMicros();
   rows_.push_back(std::move(row));
   insert_ts_.push_back(commit_ts);
   delete_ts_.push_back(kMaxTimestamp);
@@ -60,6 +62,11 @@ Row DeltaStore::GetRaw(uint32_t idx) const {
   std::shared_lock lock(mu_);
   OLTAP_DCHECK(idx < rows_.size());
   return rows_[idx];
+}
+
+int64_t DeltaStore::OldestAppendMicros() const {
+  std::shared_lock lock(mu_);
+  return rows_.empty() ? 0 : first_append_us_;
 }
 
 size_t DeltaStore::MemoryBytes() const {

@@ -61,11 +61,18 @@ class DeltaStore {
 
   size_t MemoryBytes() const;
 
+  // Wall-clock micros of the first append into this (empty-at-the-time)
+  // store, or 0 if nothing was ever appended. Deltas are replaced wholesale
+  // at merge, so this is exactly the age of the oldest unmerged row — the
+  // freshness lag an OLAP snapshot pays relative to the merged main.
+  int64_t OldestAppendMicros() const;
+
  private:
   mutable std::shared_mutex mu_;
   std::deque<Row> rows_;
   std::deque<Timestamp> insert_ts_;
   std::deque<Timestamp> delete_ts_;  // kMaxTimestamp while live
+  int64_t first_append_us_ = 0;
 };
 
 }  // namespace oltap

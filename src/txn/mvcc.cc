@@ -4,8 +4,22 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace oltap {
+
+namespace {
+
+// Mirrors the engine-local conflict count into the global registry.
+void NoteConflict(std::atomic<uint64_t>* local) {
+  local->fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default()->GetCounter("mvcc.conflicts");
+  c->Add(1);
+}
+
+}  // namespace
+
 
 // Transaction-state side table (the Hekaton postprocessing design): while a
 // transaction's intents are being finalized, readers that encounter a
@@ -134,11 +148,11 @@ Status MvccEngine::Upsert(Txn* txn, std::string_view key, Row row) {
     // Another transaction's intent anywhere on the newest version is a
     // write-write conflict (pessimistic first-committer-wins).
     if (IsTxnId(begin) && TxnIdOf(begin) != txn->id_) {
-      conflicts_.fetch_add(1, std::memory_order_relaxed);
+      NoteConflict(&conflicts_);
       return Status::Aborted("uncommitted write by another transaction");
     }
     if (IsTxnId(end) && TxnIdOf(end) != txn->id_) {
-      conflicts_.fetch_add(1, std::memory_order_relaxed);
+      NoteConflict(&conflicts_);
       return Status::Aborted("uncommitted delete by another transaction");
     }
     // A commit after our snapshot is also a conflict.
@@ -148,7 +162,7 @@ Status MvccEngine::Upsert(Txn* txn, std::string_view key, Row row) {
       last_write = std::max(last_write, end);
     }
     if (last_write > txn->begin_ts_) {
-      conflicts_.fetch_add(1, std::memory_order_relaxed);
+      NoteConflict(&conflicts_);
       return Status::Aborted("write committed after snapshot");
     }
     // Live newest version (own intent or committed): close it.
@@ -158,7 +172,7 @@ Status MvccEngine::Upsert(Txn* txn, std::string_view key, Row row) {
       if (!head->end.compare_exchange_strong(expected,
                                              MakeTxnMarker(txn->id_),
                                              std::memory_order_acq_rel)) {
-        conflicts_.fetch_add(1, std::memory_order_relaxed);
+        NoteConflict(&conflicts_);
         return Status::Aborted("lost race closing version");
       }
       closed = head;
@@ -172,10 +186,13 @@ Status MvccEngine::Upsert(Txn* txn, std::string_view key, Row row) {
     if (closed != nullptr) {
       closed->end.store(kMaxTimestamp, std::memory_order_release);
     }
-    conflicts_.fetch_add(1, std::memory_order_relaxed);
+    NoteConflict(&conflicts_);
     return Status::Aborted("lost race installing version");
   }
   txn->writes_.push_back(Txn::WriteRecord{entry, v, closed});
+  static obs::Counter* installed =
+      obs::MetricsRegistry::Default()->GetCounter("mvcc.versions_installed");
+  installed->Add(1);
   return Status::OK();
 }
 
@@ -190,7 +207,7 @@ Status MvccEngine::Delete(Txn* txn, std::string_view key) {
   Timestamp end = head->end.load(std::memory_order_acquire);
   if ((IsTxnId(begin) && TxnIdOf(begin) != txn->id_) ||
       (IsTxnId(end) && TxnIdOf(end) != txn->id_)) {
-    conflicts_.fetch_add(1, std::memory_order_relaxed);
+    NoteConflict(&conflicts_);
     return Status::Aborted("uncommitted write by another transaction");
   }
   Timestamp last_write = IsTxnId(begin) ? 0 : begin;
@@ -198,7 +215,7 @@ Status MvccEngine::Delete(Txn* txn, std::string_view key) {
     last_write = std::max(last_write, end);
   }
   if (last_write > txn->begin_ts_) {
-    conflicts_.fetch_add(1, std::memory_order_relaxed);
+    NoteConflict(&conflicts_);
     return Status::Aborted("write committed after snapshot");
   }
   if (end != kMaxTimestamp) return Status::NotFound("key not live");
@@ -206,7 +223,7 @@ Status MvccEngine::Delete(Txn* txn, std::string_view key) {
   Timestamp expected = kMaxTimestamp;
   if (!head->end.compare_exchange_strong(expected, MakeTxnMarker(txn->id_),
                                          std::memory_order_acq_rel)) {
-    conflicts_.fetch_add(1, std::memory_order_relaxed);
+    NoteConflict(&conflicts_);
     return Status::Aborted("lost race closing version");
   }
   txn->writes_.push_back(Txn::WriteRecord{entry, nullptr, head});

@@ -5,6 +5,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "txn/wal.h"
 
 namespace oltap {
@@ -177,6 +179,9 @@ size_t TransactionManager::StripeFor(const Table* table,
 
 Status TransactionManager::Commit(Transaction* txn) {
   OLTAP_CHECK(!txn->finished_) << "commit on finished transaction";
+  static obs::Histogram* commit_ns =
+      obs::MetricsRegistry::Default()->GetHistogram("txn.commit_ns");
+  obs::ScopedTimer commit_timer(commit_ns);
   auto finish = [&](bool committed) {
     txn->finished_ = true;
     std::lock_guard<std::mutex> lock(active_mu_);
@@ -184,6 +189,11 @@ Status TransactionManager::Commit(Transaction* txn) {
     OLTAP_DCHECK(it != active_snapshots_.end());
     if (--it->second == 0) active_snapshots_.erase(it);
     (committed ? commits_ : aborts_).fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* commit_count =
+        obs::MetricsRegistry::Default()->GetCounter("txn.commits");
+    static obs::Counter* abort_count =
+        obs::MetricsRegistry::Default()->GetCounter("txn.aborts");
+    (committed ? commit_count : abort_count)->Add(1);
   };
 
   if (txn->ops_.empty()) {
@@ -296,6 +306,9 @@ void TransactionManager::Abort(Transaction* txn) {
     active_snapshots_.erase(it);
   }
   aborts_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* abort_count =
+      obs::MetricsRegistry::Default()->GetCounter("txn.aborts");
+  abort_count->Add(1);
 }
 
 Timestamp TransactionManager::OldestActiveSnapshot() const {

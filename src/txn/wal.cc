@@ -9,6 +9,8 @@
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace oltap {
 namespace {
@@ -176,6 +178,9 @@ Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path,
 
 Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
                       const std::vector<WalOp>& ops) {
+  static obs::Histogram* append_ns =
+      obs::MetricsRegistry::Default()->GetHistogram("wal.append_ns");
+  obs::ScopedTimer append_timer(append_ns);
   std::string record = SerializeRecord(txn_id, commit_ts, ops);
   std::lock_guard<std::mutex> lock(mu_);
   if (sealed_) {
@@ -239,6 +244,9 @@ Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
       return fail(Status::Unavailable("WAL flush failed"));
     }
     if (options_.fsync_on_commit) {
+      static obs::Histogram* fsync_ns =
+          obs::MetricsRegistry::Default()->GetHistogram("wal.fsync_ns");
+      obs::ScopedTimer fsync_timer(fsync_ns);
       Status synced = OLTAP_FAILPOINT_STATUS("wal.fsync.error");
       if (!synced.ok()) return fail(synced);
 #if defined(__unix__) || defined(__APPLE__)
@@ -249,6 +257,12 @@ Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
     }
   }
   ++num_records_;
+  static obs::Counter* records =
+      obs::MetricsRegistry::Default()->GetCounter("wal.records");
+  static obs::Counter* bytes =
+      obs::MetricsRegistry::Default()->GetCounter("wal.bytes");
+  records->Add(1);
+  bytes->Add(record.size());
   return Status::OK();
 }
 

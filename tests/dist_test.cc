@@ -46,6 +46,20 @@ TEST(SimulatedNetworkTest, CountsTraffic) {
   EXPECT_EQ(net.bytes(), 2048u + 200u);
 }
 
+TEST(SimulatedNetworkTest, ResetZeroesPerInstanceCounters) {
+  SimulatedNetwork::Options opts;
+  opts.base_latency_us = 0;
+  SimulatedNetwork net(opts);
+  net.Transfer(0, 1, 1024);
+  EXPECT_EQ(net.messages(), 1u);
+  net.Reset();
+  EXPECT_EQ(net.messages(), 0u);
+  EXPECT_EQ(net.bytes(), 0u);
+  net.Transfer(1, 0, 256);
+  EXPECT_EQ(net.messages(), 1u);
+  EXPECT_EQ(net.bytes(), 256u);
+}
+
 TEST(DistributedEngineTest, RoutingIsDeterministicAndBalanced) {
   DistributedEngine engine(AccountSchema(), FastNet(4, 16, 1));
   std::vector<int> hits(16, 0);

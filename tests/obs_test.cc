@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace oltap {
+namespace {
+
+// The global registry is process-wide and shared with every other test in
+// this binary, so these tests use private Counter/Histogram instances or a
+// local registry, and only assert presence/monotonicity on the global one.
+
+// Tests that assert mutators actually mutate cannot run in a build that
+// compiles the instrumentation out.
+#ifdef OLTAP_OBS_DISABLED
+#define OLTAP_REQUIRE_OBS() \
+  GTEST_SKIP() << "instrumentation compiled out (OLTAP_OBS_DISABLED)"
+#else
+#define OLTAP_REQUIRE_OBS() static_cast<void>(0)
+#endif
+
+TEST(ObsCounterTest, ConcurrentAddsAreExact) {
+  OLTAP_REQUIRE_OBS();
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kAddsPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(ObsGaugeTest, SetAndAdd) {
+  OLTAP_REQUIRE_OBS();
+  obs::Gauge gauge;
+  gauge.Set(42);
+  EXPECT_EQ(gauge.Value(), 42);
+  gauge.Add(-50);
+  EXPECT_EQ(gauge.Value(), -8);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(ObsHistogramTest, PercentilesFromLogBuckets) {
+  OLTAP_REQUIRE_OBS();
+  obs::Histogram hist;
+  for (uint64_t v = 1; v <= 1000; ++v) hist.Record(v);
+  obs::HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_NEAR(snap.mean, 500.5, 0.01);
+  EXPECT_EQ(snap.max, 1000u);
+  // Buckets are powers of two, so a percentile is only bracketed: the true
+  // p50 (500) lies in bucket (255, 511], reported as its upper bound.
+  EXPECT_GE(snap.p50, 500u);
+  EXPECT_LE(snap.p50, 511u);
+  EXPECT_GE(snap.p95, 950u);
+  EXPECT_LE(snap.p95, 1000u);  // clamped to recorded max
+  EXPECT_GE(snap.p99, snap.p95);
+  EXPECT_LE(snap.p99, snap.max);
+}
+
+TEST(ObsHistogramTest, ZeroAndEmpty) {
+  OLTAP_REQUIRE_OBS();
+  obs::Histogram hist;
+  obs::HistogramSnapshot empty = hist.Snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.p99, 0u);
+  hist.Record(0);
+  obs::HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.p50, 0u);
+  EXPECT_EQ(snap.max, 0u);
+}
+
+TEST(ObsHistogramTest, ConcurrentRecordsKeepCountAndMax) {
+  OLTAP_REQUIRE_OBS();
+  obs::Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kRecordsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kRecordsPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(t * kRecordsPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  obs::HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread);
+  EXPECT_EQ(snap.max,
+            static_cast<uint64_t>(kThreads) * kRecordsPerThread - 1);
+}
+
+TEST(ObsRegistryTest, SameNameSamePointer) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("x.count");
+  obs::Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("y.count"), a);
+  EXPECT_EQ(registry.GetHistogram("x.lat"), registry.GetHistogram("x.lat"));
+  EXPECT_EQ(registry.GetGauge("x.depth"), registry.GetGauge("x.depth"));
+}
+
+TEST(ObsRegistryTest, ConcurrentRegistrationAndMutation) {
+  OLTAP_REQUIRE_OBS();
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kIters; ++i) {
+        registry.GetCounter("shared.count")->Add(1);
+        registry.GetHistogram("shared.lat")->Record(
+            static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared.count")->Value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(registry.GetHistogram("shared.lat")->Snapshot().count,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsRegistryTest, SnapshotAndResetAll) {
+  OLTAP_REQUIRE_OBS();
+  obs::MetricsRegistry registry;
+  registry.GetCounter("a.count")->Add(7);
+  registry.GetGauge("a.depth")->Set(3);
+  registry.GetHistogram("a.lat")->Record(100);
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "a.count");
+  EXPECT_EQ(snap.counters[0].second, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 3);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+
+  registry.ResetAll();
+  snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters[0].second, 0u);
+  EXPECT_EQ(snap.gauges[0].second, 0);
+  EXPECT_EQ(snap.histograms[0].second.count, 0u);
+}
+
+TEST(ObsRegistryTest, DefaultPreRegistersCoreMetrics) {
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Default()->Snapshot();
+  auto has_counter = [&](const std::string& name) {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  auto has_histogram = [&](const std::string& name) {
+    for (const auto& [n, v] : snap.histograms) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_counter("txn.commits"));
+  EXPECT_TRUE(has_counter("merge.runs"));
+  EXPECT_TRUE(has_counter("2pc.commits"));
+  EXPECT_TRUE(has_counter("net.messages"));
+  EXPECT_TRUE(has_histogram("wal.fsync_ns"));
+  EXPECT_TRUE(has_histogram("wm.latency_us.oltp"));
+}
+
+TEST(ObsScopedTimerTest, AccumulatesIntoSinkAndHistogram) {
+  obs::Histogram hist;
+  uint64_t sink = 0;
+  {
+    obs::ScopedTimer timer(&sink, &hist);
+    // Do a little work so the clock advances on coarse-clock platforms.
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 10000; ++i) x += static_cast<uint64_t>(i);
+  }
+#ifndef OLTAP_OBS_DISABLED
+  EXPECT_GT(sink, 0u);
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+#endif
+}
+
+TEST(ObsExporterTest, TextAndJsonFormats) {
+  OLTAP_REQUIRE_OBS();
+  obs::MetricsRegistry registry;
+  registry.GetCounter("e.count")->Add(5);
+  registry.GetGauge("e.depth")->Set(-2);
+  registry.GetHistogram("e.lat")->Record(64);
+
+  std::string text = obs::RenderText(registry);
+  EXPECT_NE(text.find("counter e.count 5"), std::string::npos);
+  EXPECT_NE(text.find("gauge e.depth -2"), std::string::npos);
+  EXPECT_NE(text.find("histogram e.lat count=1"), std::string::npos);
+
+  std::string json = obs::RenderJson(registry);
+  EXPECT_NE(json.find("\"counters\":{\"e.count\":5}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"e.depth\":-2}"), std::string::npos);
+  EXPECT_NE(json.find("\"e.lat\":{\"count\":1"), std::string::npos);
+}
+
+TEST(ObsQueryProfileTest, RenderShowsTree) {
+  obs::QueryProfile profile;
+  profile.root.name = "HashAgg";
+  profile.root.rows = 1;
+  profile.root.batches = 1;
+  profile.root.time_ns = 2500000;
+  obs::QueryProfile::Node child;
+  child.name = "Scan(t)";
+  child.rows = 100;
+  child.batches = 1;
+  profile.root.children.push_back(std::move(child));
+  std::string text = profile.Render();
+  EXPECT_NE(text.find("HashAgg rows=1 batches=1 time=2.500ms"),
+            std::string::npos);
+  EXPECT_NE(text.find("\n  Scan(t) rows=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oltap
