@@ -1,0 +1,199 @@
+// E15 — Robustness under chaos: throughput and failure behavior of the
+// replicated engine on an adversarial fabric, with and without the
+// fault-tolerance machinery (retry + circuit breaker + leader failover),
+// and OLTP latency under an OLAP flood with and without load shedding.
+//
+// Expected shape: on a faulty fabric the fault-oblivious configuration
+// loses a large fraction of writes outright (every error is surfaced to
+// the client with no recourse), while failover+retry recovers almost all
+// of them at a modest throughput cost; with admission control on, OLTP
+// p99 stays bounded during an OLAP flood because excess analytics are
+// shed (kResourceExhausted) or degraded instead of queueing ahead of
+// transactions. The active fault schedule (seed, drop rates, partitions)
+// is recorded in BENCH_chaos.json so every number stays attributable to
+// its exact chaos configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("chaos");
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "dist/chaos.h"
+#include "dist/partition.h"
+#include "sched/workload_manager.h"
+
+namespace oltap {
+namespace {
+
+constexpr int kNodes = 4;
+constexpr uint64_t kChaosSeed = 42;
+constexpr double kDropProbability = 0.02;
+constexpr int kChaosRounds = 8;
+
+Schema BenchSchema() {
+  return SchemaBuilder()
+      .AddInt64("id", false)
+      .AddInt64("v", false)
+      .SetKey({"id"})
+      .Build();
+}
+
+DistributedEngine::Options EngineOptions(bool fault_tolerant) {
+  DistributedEngine::Options opts;
+  opts.num_nodes = kNodes;
+  opts.num_partitions = 16;
+  opts.replication_factor = 3;
+  opts.net.base_latency_us = 20;
+  opts.net.per_kb_us = 1;
+  if (fault_tolerant) {
+    opts.rpc_retry.max_attempts = 3;
+    opts.rpc_retry.initial_backoff_us = 10;
+    opts.rpc_retry.max_backoff_us = 100;
+    opts.rpc_retry.deadline_us = 20'000;
+    opts.breaker.failure_threshold = 4;
+    opts.breaker.open_cooldown_us = 0;
+    opts.max_read_staleness = 1'000'000'000;
+  } else {
+    opts.rpc_retry.max_attempts = 1;  // every fault surfaces immediately
+  }
+  return opts;
+}
+
+ChaosPlan MakePlan() {
+  ChaosPlan::Options opts;
+  opts.num_nodes = kNodes;
+  opts.rounds = kChaosRounds;
+  opts.seed = kChaosSeed;
+  opts.max_drop_probability = kDropProbability;
+  opts.max_jitter_us = 50;
+  return ChaosPlan(opts);
+}
+
+void RecordChaosConfig(const ChaosPlan& plan) {
+  static const bool once = [&] {
+    auto* r = bench::Reporter::Get();
+    r->Config("chaos_seed", static_cast<double>(kChaosSeed));
+    r->Config("chaos_rounds", static_cast<double>(kChaosRounds));
+    r->Config("max_drop_probability", kDropProbability);
+    r->Config("partition_schedule", plan.Describe());
+    return true;
+  }();
+  (void)once;
+}
+
+// Write throughput + acknowledged-write ratio across a full chaos
+// schedule. arg 0: 1 = failover/retry/breaker on, 0 = fault-oblivious.
+void BM_ChaosIngest(benchmark::State& state) {
+  const bool fault_tolerant = state.range(0) == 1;
+  ChaosPlan plan = MakePlan();
+  RecordChaosConfig(plan);
+  uint64_t ok_total = 0, attempted_total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DistributedEngine engine(BenchSchema(), EngineOptions(fault_tolerant));
+    state.ResumeTiming();
+    std::atomic<int64_t> next_id{0};
+    std::atomic<uint64_t> ok{0};
+    for (int r = 0; r < plan.num_rounds(); ++r) {
+      plan.Install(r, engine.network());
+      std::vector<std::thread> clients;
+      for (int c = 0; c < kNodes; ++c) {
+        clients.emplace_back([&, c] {
+          for (int i = 0; i < 100; ++i) {
+            int64_t id = next_id.fetch_add(1);
+            if (engine
+                    .InsertFrom(c, Row{Value::Int64(id), Value::Int64(1)})
+                    .ok()) {
+              ok.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (auto& c : clients) c.join();
+      plan.Restore(r, engine.network());
+      engine.CatchUpReplicas();
+    }
+    ok_total += ok.load();
+    attempted_total += static_cast<uint64_t>(next_id.load());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ok_total));
+  double ack_ratio = attempted_total == 0
+                         ? 0.0
+                         : static_cast<double>(ok_total) /
+                               static_cast<double>(attempted_total);
+  state.counters["ack_ratio"] = ack_ratio;
+  state.counters["fault_tolerant"] = fault_tolerant ? 1 : 0;
+  bench::Reporter::Get()->Metric(
+      fault_tolerant ? "ack_ratio_failover" : "ack_ratio_oblivious",
+      ack_ratio);
+}
+
+// OLTP p99 under an OLAP flood on a healthy fabric. arg 0: 1 = admission
+// control + degradation on, 0 = unbounded queues.
+void BM_OverloadOltpP99(benchmark::State& state) {
+  const bool protected_mode = state.range(0) == 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    DistributedEngine engine(BenchSchema(), EngineOptions(true));
+    for (int64_t i = 0; i < 20'000; ++i) {
+      engine.InsertFrom(0, Row{Value::Int64(i), Value::Int64(1)}).ok();
+    }
+    WorkloadManager::Options wopts;
+    wopts.num_workers = 4;
+    wopts.policy = SchedulingPolicy::kOltpPriority;
+    if (protected_mode) {
+      wopts.olap_admission_limit = 8;
+      wopts.olap_degrade_threshold = 4;
+      wopts.degraded_batch_rows = 512;
+    }
+    WorkloadManager wm(wopts);
+    state.ResumeTiming();
+
+    std::vector<WorkloadManager::Submission> subs;
+    std::atomic<int64_t> next_id{20'000};
+    for (int q = 0; q < 64; ++q) {
+      subs.push_back(wm.SubmitBudgeted(
+          QueryClass::kOlap, WorkloadManager::QuerySpec{},
+          [&](const CancellationToken&, const WorkloadManager::QueryGrant&) {
+            double sum = engine.SumWhere(1, CompareOp::kGe, 0, 1);
+            benchmark::DoNotOptimize(sum);
+            return Status::OK();
+          }));
+    }
+    for (int t = 0; t < 200; ++t) {
+      subs.push_back(wm.SubmitBudgeted(
+          QueryClass::kOltp, WorkloadManager::QuerySpec{},
+          [&](const CancellationToken&, const WorkloadManager::QueryGrant&) {
+            int64_t id = next_id.fetch_add(1);
+            return engine.InsertFrom(static_cast<int>(id % kNodes),
+                                     Row{Value::Int64(id), Value::Int64(1)});
+          }));
+    }
+    for (auto& s : subs) s.done.get();
+    state.PauseTiming();
+    LatencySummary oltp = wm.StatsFor(QueryClass::kOltp);
+    state.counters["oltp_p99_us"] = static_cast<double>(oltp.p99_us);
+    state.counters["olap_shed"] = static_cast<double>(wm.shed());
+    state.counters["olap_degraded"] =
+        static_cast<double>(wm.degraded_admissions());
+    bench::Reporter::Get()->Metric(protected_mode
+                                       ? "oltp_p99_us_shedding"
+                                       : "oltp_p99_us_unprotected",
+                                   static_cast<double>(oltp.p99_us));
+    state.ResumeTiming();
+  }
+  state.counters["protected"] = protected_mode ? 1 : 0;
+}
+
+BENCHMARK(BM_ChaosIngest)->Arg(0)->Arg(1)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OverloadOltpP99)->Arg(0)->Arg(1)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oltap

@@ -22,6 +22,7 @@ OLTAP_BENCH_REPORTER("scaleout");
 #include "common/rng.h"
 #include "dist/cluster.h"
 #include "dist/partition.h"
+#include "obs/metrics.h"
 
 namespace oltap {
 namespace {
@@ -115,18 +116,24 @@ void BM_DistributedAggregate(benchmark::State& state) {
     it = cache->emplace(nodes, std::move(engine)).first;
   }
   DistributedEngine* engine = it->second.get();
-  // The engine (and its network) is cached across phases; reset the
-  // per-instance counters so this phase reports only its own traffic.
-  engine->network()->Reset();
+  // The engine (and its network) is cached across phases. Reset() only
+  // zeroes the *per-instance* counters; the registry's global net.* keep
+  // accumulating across every engine in the process, so the per-phase
+  // global numbers come from snapshot-and-diff around the timed loop.
+  auto* registry = obs::MetricsRegistry::Default();
+  obs::Counter* net_messages = registry->GetCounter("net.messages");
+  obs::Counter* net_bytes = registry->GetCounter("net.bytes");
+  const uint64_t messages_before = net_messages->Value();
+  const uint64_t bytes_before = net_bytes->Value();
   for (auto _ : state) {
     double sum = engine->SumWhere(1, CompareOp::kLt, 500, 2);
     benchmark::DoNotOptimize(sum);
   }
   state.counters["nodes"] = nodes;
-  state.counters["net_messages"] = static_cast<double>(
-      engine->network()->messages());
+  state.counters["net_messages"] =
+      static_cast<double>(net_messages->Value() - messages_before);
   state.counters["net_bytes"] =
-      static_cast<double>(engine->network()->bytes());
+      static_cast<double>(net_bytes->Value() - bytes_before);
 }
 
 // Raft replication cost: committed entries per second through a step-driven

@@ -79,4 +79,13 @@ void FailpointRegistry::DisableAll() {
   for (auto& [name, fp] : points_) fp->Disable();
 }
 
+std::vector<std::string> FailpointRegistry::ActiveList() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> active;
+  for (auto& [name, fp] : points_) {
+    if (fp->IsActive()) active.push_back(name);
+  }
+  return active;
+}
+
 }  // namespace oltap

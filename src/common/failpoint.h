@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -91,6 +92,10 @@ class FailpointRegistry {
   void Enable(const std::string& name, const FailpointConfig& config);
   void Disable(const std::string& name);
   void DisableAll();
+
+  // Names of every currently-armed failpoint, sorted. Test fixtures use
+  // this to assert no site leaked past a test's lifetime.
+  std::vector<std::string> ActiveList();
 
  private:
   FailpointRegistry() = default;

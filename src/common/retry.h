@@ -15,6 +15,11 @@ struct RetryPolicy {
   int64_t initial_backoff_us = 100;
   double multiplier = 2.0;
   int64_t max_backoff_us = 10'000;
+  // Total wall-clock budget across all attempts (0 = attempts-only). A
+  // retry loop gives up once this much time has elapsed since the first
+  // try, even with attempts left — an overloaded cluster must fail calls
+  // in bounded time instead of stacking backoffs.
+  int64_t deadline_us = 0;
 
   int64_t BackoffMicros(int attempt) const {
     if (initial_backoff_us <= 0) return 0;
@@ -22,6 +27,14 @@ struct RetryPolicy {
                std::pow(multiplier, attempt);
     double capped = std::min(b, static_cast<double>(max_backoff_us));
     return static_cast<int64_t>(capped);
+  }
+
+  // True if attempt `next_attempt` (0-based) may still run given time
+  // `elapsed_us` already spent.
+  bool ShouldRetry(int next_attempt, int64_t elapsed_us) const {
+    if (next_attempt >= max_attempts) return false;
+    if (deadline_us > 0 && elapsed_us >= deadline_us) return false;
+    return true;
   }
 };
 

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "deadline exceeded";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
     case StatusCode::kCorruption:
       return "corruption";
     case StatusCode::kNotImplemented:

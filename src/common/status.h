@@ -19,7 +19,8 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,
   kAborted,         // transaction aborts (conflicts, first-committer-wins)
   kDeadlineExceeded,
-  kUnavailable,     // e.g. raft leader unknown, admission rejected
+  kUnavailable,     // e.g. raft leader unknown, node unreachable
+  kResourceExhausted,  // admission control shed the request (overload)
   kCorruption,      // log / storage integrity violations
   kNotImplemented,
   kInternal,
@@ -60,6 +61,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
@@ -77,6 +81,9 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   // "OK" or "<code>: <message>".
   std::string ToString() const;

@@ -1,0 +1,140 @@
+#include "dist/chaos.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace oltap {
+
+ChaosPlan::ChaosPlan(const Options& options) : options_(options) {
+  OLTAP_CHECK(options_.num_nodes >= 2);
+  OLTAP_CHECK(options_.rounds >= 1);
+  Rng rng(options_.seed);
+  double total_weight =
+      options_.symmetric_partition_weight +
+      options_.asymmetric_partition_weight + options_.crash_weight +
+      options_.noise_only_weight;
+  OLTAP_CHECK(total_weight > 0);
+
+  rounds_.reserve(options_.rounds);
+  for (int r = 0; r < options_.rounds; ++r) {
+    Round round;
+    double draw = rng.NextDouble() * total_weight;
+    if ((draw -= options_.symmetric_partition_weight) < 0) {
+      round.kind = Round::Kind::kSymmetricPartition;
+    } else if ((draw -= options_.asymmetric_partition_weight) < 0) {
+      round.kind = Round::Kind::kAsymmetricPartition;
+    } else if ((draw -= options_.crash_weight) < 0) {
+      round.kind = Round::Kind::kCrash;
+    } else {
+      round.kind = Round::Kind::kNoiseOnly;
+    }
+
+    switch (round.kind) {
+      case Round::Kind::kSymmetricPartition:
+      case Round::Kind::kAsymmetricPartition: {
+        // Cut away a strict minority so a quorum always survives on the
+        // majority side — the invariant the failover layer must exploit.
+        int max_minority = (options_.num_nodes - 1) / 2;
+        int k = 1 + static_cast<int>(rng.Uniform(
+                        static_cast<uint64_t>(std::max(1, max_minority))));
+        k = std::min(k, std::max(1, max_minority));
+        while (static_cast<int>(round.group.size()) < k) {
+          round.group.insert(static_cast<int>(
+              rng.Uniform(static_cast<uint64_t>(options_.num_nodes))));
+        }
+        break;
+      }
+      case Round::Kind::kCrash:
+        round.group.insert(static_cast<int>(
+            rng.Uniform(static_cast<uint64_t>(options_.num_nodes))));
+        break;
+      case Round::Kind::kNoiseOnly:
+        break;
+    }
+
+    round.faults.drop_probability =
+        rng.NextDouble() * options_.max_drop_probability;
+    round.faults.duplicate_probability =
+        rng.NextDouble() * options_.max_duplicate_probability;
+    round.faults.jitter_us = options_.max_jitter_us > 0
+                                 ? static_cast<int64_t>(rng.Uniform(
+                                       static_cast<uint64_t>(
+                                           options_.max_jitter_us) +
+                                       1))
+                                 : 0;
+    // Per-round noise seed derives from the plan seed + round index so a
+    // round's drop schedule does not depend on how much traffic earlier
+    // rounds generated.
+    round.faults.seed = options_.seed * 1000003u + static_cast<uint64_t>(r);
+    rounds_.push_back(std::move(round));
+  }
+}
+
+void ChaosPlan::Install(int i, SimulatedNetwork* net) const {
+  const Round& r = rounds_[i];
+  net->SetFaults(r.faults);
+  std::set<int> rest;
+  for (int n = 0; n < options_.num_nodes; ++n) {
+    if (r.group.count(n) == 0) rest.insert(n);
+  }
+  switch (r.kind) {
+    case Round::Kind::kSymmetricPartition:
+      net->Partition(r.group, rest);
+      break;
+    case Round::Kind::kAsymmetricPartition:
+      net->PartitionOneWay(r.group, rest);
+      break;
+    case Round::Kind::kCrash:
+      for (int n : r.group) net->SetNodeDown(n);
+      break;
+    case Round::Kind::kNoiseOnly:
+      break;
+  }
+}
+
+void ChaosPlan::Restore(int i, SimulatedNetwork* net) const {
+  const Round& r = rounds_[i];
+  net->Heal();
+  if (r.kind == Round::Kind::kCrash) {
+    for (int n : r.group) net->SetNodeUp(n);
+  }
+  net->ClearFaults();
+}
+
+const char* ChaosPlan::KindToString(Round::Kind kind) {
+  switch (kind) {
+    case Round::Kind::kSymmetricPartition:
+      return "part";
+    case Round::Kind::kAsymmetricPartition:
+      return "apart";
+    case Round::Kind::kCrash:
+      return "crash";
+    case Round::Kind::kNoiseOnly:
+      return "noise";
+  }
+  return "?";
+}
+
+std::string ChaosPlan::Describe() const {
+  std::string out;
+  for (size_t i = 0; i < rounds_.size(); ++i) {
+    if (i > 0) out += "|";
+    const Round& r = rounds_[i];
+    out += KindToString(r.kind);
+    if (!r.group.empty()) {
+      out += "{";
+      bool first = true;
+      for (int n : r.group) {
+        if (!first) out += ",";
+        first = false;
+        out += std::to_string(n);
+      }
+      out += "}";
+    }
+  }
+  return out;
+}
+
+}  // namespace oltap

@@ -1,0 +1,78 @@
+#ifndef OLTAP_DIST_CHAOS_H_
+#define OLTAP_DIST_CHAOS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dist/network.h"
+
+namespace oltap {
+
+// A pre-generated, seeded schedule of cluster faults: each round picks one
+// structural fault (symmetric/asymmetric partition, node crash, or pure
+// link noise) plus per-round probabilistic link faults, all derived from
+// one Rng at construction. Same (seed, options) ⇒ byte-identical schedule,
+// which is what makes the chaos torture test and E15 reproducible — the
+// determinism is itself under test (ChaosPlanDeterminism).
+//
+// The driver loop is: Install(i, net) → run traffic → Restore(i, net) →
+// let the system re-converge → next round.
+class ChaosPlan {
+ public:
+  struct Options {
+    int num_nodes = 4;
+    int rounds = 24;
+    uint64_t seed = 42;
+    // Relative weights of the structural fault drawn each round.
+    double symmetric_partition_weight = 0.4;
+    double asymmetric_partition_weight = 0.2;
+    double crash_weight = 0.2;
+    double noise_only_weight = 0.2;
+    // Upper bounds for the per-round link-noise draw.
+    double max_drop_probability = 0.05;
+    double max_duplicate_probability = 0.02;
+    int64_t max_jitter_us = 200;
+  };
+
+  struct Round {
+    enum class Kind : uint8_t {
+      kSymmetricPartition = 0,
+      kAsymmetricPartition = 1,
+      kCrash = 2,
+      kNoiseOnly = 3,
+    };
+    Kind kind = Kind::kNoiseOnly;
+    // kSymmetric/kAsymmetricPartition: minority side (cut away from the
+    // rest; for asymmetric, messages *from* this group are the ones lost).
+    // kCrash: the single crashed node.
+    std::set<int> group;
+    SimulatedNetwork::FaultOptions faults;  // per-round link noise
+  };
+
+  explicit ChaosPlan(const Options& options);
+
+  int num_rounds() const { return static_cast<int>(rounds_.size()); }
+  const Round& round(int i) const { return rounds_[i]; }
+
+  // Applies round i's structural fault + link noise to `net`.
+  void Install(int i, SimulatedNetwork* net) const;
+  // Heals the partition, restarts the crashed node, clears link noise.
+  void Restore(int i, SimulatedNetwork* net) const;
+
+  // Compact human/JSON-safe schedule description, e.g.
+  // "part{1,3}|crash{2}|noise" — goes into BENCH_*.json so fault-injected
+  // perf numbers stay attributable to their exact schedule.
+  std::string Describe() const;
+
+  static const char* KindToString(Round::Kind kind);
+
+ private:
+  Options options_;
+  std::vector<Round> rounds_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_DIST_CHAOS_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/failpoint.h"
 #include "obs/metrics.h"
 
@@ -12,6 +13,11 @@ namespace {
 void Backoff(const RetryPolicy& retry, int attempt) {
   int64_t us = retry.BackoffMicros(attempt);
   if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void CountRetry(const char* counter_name, std::atomic<uint64_t>* local) {
+  local->fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Default()->GetCounter(counter_name)->Add(1);
 }
 
 }  // namespace
@@ -27,37 +33,58 @@ Status TwoPhaseCoordinator::Run(
   // not indecision.
   std::vector<char> unresponsive(n, 0);
 
-  // Phase 1: PREPARE in parallel with per-participant retry. A request
-  // lost in flight never reaches the participant, so `prepare` runs at
-  // most once per delivered request.
+  // One delivery attempt of a message to `p`: breaker first (a node known
+  // dead is shed without touching the network), then the lossy fabric,
+  // then an optional in-flight-loss failpoint. Returns OK when the
+  // message arrived.
+  auto send = [&](int p, size_t bytes, const char* loss_failpoint) -> Status {
+    if (options_.breakers != nullptr) {
+      OLTAP_RETURN_NOT_OK(options_.breakers->Allow(p));
+    }
+    Status sent = net_->TryTransfer(node_, p, bytes);
+    if (sent.ok() && loss_failpoint != nullptr) {
+      Failpoint& fp = FailpointRegistry::Get().Register(loss_failpoint);
+      if (fp.IsActive()) sent = fp.Evaluate();
+    }
+    if (options_.breakers != nullptr) {
+      if (sent.ok()) {
+        options_.breakers->RecordSuccess(p);
+      } else {
+        options_.breakers->RecordFailure(p);
+      }
+    }
+    return sent;
+  };
+
+  // Phase 1: PREPARE in parallel with per-participant retry under the
+  // backoff + deadline budget. A request lost in flight never reaches the
+  // participant; a *reply* lost on the way back redelivers PREPARE, so
+  // `prepare` must be idempotent on a lossy fabric.
   {
     std::vector<std::thread> workers;
     workers.reserve(n);
     for (size_t i = 0; i < n; ++i) {
       workers.emplace_back([&, i] {
         int p = participant_nodes[i];
+        Stopwatch sw;
         for (int attempt = 0;; ++attempt) {
-          net_->Transfer(node_, p, 64);
-          if (!OLTAP_FAILPOINT_STATUS("2pc.prepare.timeout").ok()) {
-            prepare_retries_.fetch_add(1, std::memory_order_relaxed);
-            {
-              static obs::Counter* c =
-                  obs::MetricsRegistry::Default()->GetCounter("2pc.prepare_retries");
-              c->Add(1);
-            }
-            if (attempt + 1 >= options_.retry.max_attempts) {
-              unresponsive[i] = 1;
-              votes[i] = Status::DeadlineExceeded(
-                  "participant " + std::to_string(p) +
-                  " unresponsive to PREPARE");
-              break;
-            }
-            Backoff(options_.retry, attempt);
-            continue;
+          Status sent = send(p, 64, "2pc.prepare.timeout");
+          if (sent.ok()) {
+            votes[i] = prepare(p);
+            sent = net_->TryTransfer(p, node_, 16);
+            if (sent.ok()) break;
           }
-          votes[i] = prepare(p);
-          net_->Transfer(p, node_, 16);
-          break;
+          CountRetry("2pc.prepare_retries", &prepare_retries_);
+          if (!options_.retry.ShouldRetry(attempt + 1, sw.ElapsedMicros())) {
+            // Silence past the budget — including a vote we never heard —
+            // is indecision; abort is the only safe presumption.
+            unresponsive[i] = 1;
+            votes[i] = Status::DeadlineExceeded(
+                "participant " + std::to_string(p) +
+                " unresponsive to PREPARE");
+            break;
+          }
+          Backoff(options_.retry, attempt);
         }
       });
     }
@@ -79,25 +106,21 @@ Status TwoPhaseCoordinator::Run(
     for (size_t i = 0; i < n; ++i) {
       workers.emplace_back([&, i] {
         int p = participant_nodes[i];
+        Stopwatch sw;
         for (int attempt = 0;; ++attempt) {
-          net_->Transfer(node_, p, 16);
-          finish(p, commit);
-          if (!OLTAP_FAILPOINT_STATUS("2pc.ack.lost").ok()) {
-            finish_retries_.fetch_add(1, std::memory_order_relaxed);
-            {
-              static obs::Counter* c =
-                  obs::MetricsRegistry::Default()->GetCounter("2pc.finish_retries");
-              c->Add(1);
-            }
-            if (attempt + 1 >= options_.retry.max_attempts) {
-              unacked_finishes_.fetch_add(1, std::memory_order_relaxed);
-              break;
-            }
-            Backoff(options_.retry, attempt);
-            continue;
+          Status acked = send(p, 16, nullptr);
+          if (acked.ok()) {
+            finish(p, commit);
+            acked = OLTAP_FAILPOINT_STATUS("2pc.ack.lost");
+            if (acked.ok()) acked = net_->TryTransfer(p, node_, 16);
+            if (acked.ok()) break;
           }
-          net_->Transfer(p, node_, 16);
-          break;
+          CountRetry("2pc.finish_retries", &finish_retries_);
+          if (!options_.retry.ShouldRetry(attempt + 1, sw.ElapsedMicros())) {
+            unacked_finishes_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          Backoff(options_.retry, attempt);
         }
       });
     }

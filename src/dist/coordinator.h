@@ -8,6 +8,7 @@
 
 #include "common/retry.h"
 #include "common/status.h"
+#include "dist/circuit_breaker.h"
 #include "dist/network.h"
 
 namespace oltap {
@@ -19,23 +20,35 @@ namespace oltap {
 // Participants are callbacks so the same coordinator serves tests, the
 // distributed engine, and the E10/E11 benchmarks.
 //
-// Fault handling: a lost PREPARE (failpoint "2pc.prepare.timeout") is
-// retried with bounded exponential backoff; a participant that stays
-// silent past the retry budget counts as a NO vote — abort-on-indecision,
-// since aborting is always safe while presuming COMMIT could contradict
-// another participant's outcome. A lost decision ACK (failpoint
-// "2pc.ack.lost") makes the coordinator resend the decision, so `finish`
-// must tolerate redelivery; the decision is fixed before the first send,
-// so every delivery to a prepared participant is identical.
+// Fault handling: a lost PREPARE (failpoint "2pc.prepare.timeout", or a
+// message the network model drops / a partition swallows) is retried with
+// bounded exponential backoff under an optional wall-clock deadline
+// (RetryPolicy::deadline_us); a participant that stays silent past the
+// retry budget counts as a NO vote — abort-on-indecision, since aborting
+// is always safe while presuming COMMIT could contradict another
+// participant's outcome. A lost decision ACK (failpoint "2pc.ack.lost" or
+// a network loss on the reply leg) makes the coordinator resend the
+// decision, so `finish` must tolerate redelivery; the decision is fixed
+// before the first send, so every delivery to a prepared participant is
+// identical. A reply lost *after* `prepare` ran triggers a PREPARE
+// redelivery, so under a lossy fabric `prepare` must be idempotent too.
+//
+// When Options::breakers is set, sends to a participant whose breaker is
+// open are shed immediately (counted as a failed attempt) instead of
+// burning network time on a node already known dead.
 class TwoPhaseCoordinator {
  public:
   struct Options {
     // Per-participant RPC retry budget, applied to both phases.
     RetryPolicy retry;
+    // Optional per-node circuit breakers (not owned).
+    CircuitBreakerSet* breakers = nullptr;
   };
 
+  TwoPhaseCoordinator(SimulatedNetwork* network, int coordinator_node)
+      : net_(network), node_(coordinator_node) {}
   TwoPhaseCoordinator(SimulatedNetwork* network, int coordinator_node,
-                      const Options& options = Options{})
+                      const Options& options)
       : net_(network), node_(coordinator_node), options_(options) {}
 
   // `prepare(participant)` returns OK to vote yes; any error aborts the

@@ -4,26 +4,158 @@
 #include <thread>
 
 namespace oltap {
+namespace {
 
-void SimulatedNetwork::Transfer(int from, int to, size_t bytes) {
-  if (from == to) return;
+struct NetCounters {
+  obs::Counter* messages;
+  obs::Counter* bytes;
+  obs::Counter* dropped;
+  obs::Counter* duplicated;
+};
+
+NetCounters& GlobalNetCounters() {
+  static NetCounters c = {
+      obs::MetricsRegistry::Default()->GetCounter("net.messages"),
+      obs::MetricsRegistry::Default()->GetCounter("net.bytes"),
+      obs::MetricsRegistry::Default()->GetCounter("net.dropped"),
+      obs::MetricsRegistry::Default()->GetCounter("net.duplicated"),
+  };
+  return c;
+}
+
+}  // namespace
+
+bool SimulatedNetwork::LinkCut(int from, int to) const {
+  if (down_.count(from) > 0 || down_.count(to) > 0) return true;
+  if (!partitioned_) return false;
+  if (cut_from_.count(from) > 0 && cut_to_.count(to) > 0) return true;
+  if (!one_way_ && cut_from_.count(to) > 0 && cut_to_.count(from) > 0) {
+    return true;
+  }
+  return false;
+}
+
+bool SimulatedNetwork::Deliver(int from, int to, size_t bytes) {
+  if (from == to) return true;
+  NetCounters& global = GlobalNetCounters();
   messages_.Add(1);
   bytes_.Add(bytes);
-  static obs::Counter* global_messages =
-      obs::MetricsRegistry::Default()->GetCounter("net.messages");
-  static obs::Counter* global_bytes =
-      obs::MetricsRegistry::Default()->GetCounter("net.bytes");
-  global_messages->Add(1);
-  global_bytes->Add(bytes);
+  global.messages->Add(1);
+  global.bytes->Add(bytes);
+
+  int64_t extra_us = 0;
+  bool delivered = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (LinkCut(from, to)) {
+      delivered = false;
+    } else if (faults_active_) {
+      if (faults_.drop_probability > 0 &&
+          rng_.Bernoulli(faults_.drop_probability)) {
+        delivered = false;
+      } else if (faults_.duplicate_probability > 0 &&
+                 rng_.Bernoulli(faults_.duplicate_probability)) {
+        // The duplicate travels in parallel — it shows up in the traffic
+        // counters (receivers must tolerate redelivery) but adds no
+        // serial latency to the sender.
+        duplicated_.Add(1);
+        global.duplicated->Add(1);
+      }
+      if (faults_.jitter_us > 0) {
+        extra_us = static_cast<int64_t>(
+            rng_.Uniform(static_cast<uint64_t>(faults_.jitter_us) + 1));
+      }
+    }
+  }
+  // The cost is charged whether or not the message arrives: a sender
+  // facing a dead link burns the same wall-clock waiting for silence.
   int64_t us = options_.base_latency_us +
-               options_.per_kb_us * static_cast<int64_t>(bytes / 1024);
+               options_.per_kb_us * static_cast<int64_t>(bytes / 1024) +
+               extra_us;
   if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  if (!delivered) {
+    dropped_.Add(1);
+    global.dropped->Add(1);
+  }
+  return delivered;
+}
+
+void SimulatedNetwork::Transfer(int from, int to, size_t bytes) {
+  Deliver(from, to, bytes);
 }
 
 void SimulatedNetwork::RoundTrip(int from, int to, size_t request_bytes,
                                  size_t reply_bytes) {
   Transfer(from, to, request_bytes);
   Transfer(to, from, reply_bytes);
+}
+
+Status SimulatedNetwork::TryTransfer(int from, int to, size_t bytes) {
+  if (!Deliver(from, to, bytes)) {
+    return Status::Unavailable("message lost: node " + std::to_string(from) +
+                               " -> node " + std::to_string(to));
+  }
+  return Status::OK();
+}
+
+Status SimulatedNetwork::TryRoundTrip(int from, int to, size_t request_bytes,
+                                      size_t reply_bytes) {
+  OLTAP_RETURN_NOT_OK(TryTransfer(from, to, request_bytes));
+  return TryTransfer(to, from, reply_bytes);
+}
+
+void SimulatedNetwork::SetFaults(const FaultOptions& faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = faults;
+  faults_active_ = true;
+  rng_ = Rng(faults.seed);
+}
+
+void SimulatedNetwork::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_active_ = false;
+}
+
+void SimulatedNetwork::Partition(const std::set<int>& group_a,
+                                 const std::set<int>& group_b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_ = true;
+  one_way_ = false;
+  cut_from_ = group_a;
+  cut_to_ = group_b;
+}
+
+void SimulatedNetwork::PartitionOneWay(const std::set<int>& from_group,
+                                       const std::set<int>& to_group) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_ = true;
+  one_way_ = true;
+  cut_from_ = from_group;
+  cut_to_ = to_group;
+}
+
+void SimulatedNetwork::Heal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitioned_ = false;
+  one_way_ = false;
+  cut_from_.clear();
+  cut_to_.clear();
+}
+
+void SimulatedNetwork::SetNodeDown(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_.insert(node);
+}
+
+void SimulatedNetwork::SetNodeUp(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  down_.erase(node);
+}
+
+bool SimulatedNetwork::Reachable(int from, int to) const {
+  if (from == to) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return !LinkCut(from, to);
 }
 
 }  // namespace oltap

@@ -2,7 +2,13 @@
 #define OLTAP_DIST_NETWORK_H_
 
 #include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
 
+#include "common/rng.h"
+#include "common/status.h"
 #include "obs/metrics.h"
 
 namespace oltap {
@@ -13,6 +19,15 @@ namespace oltap {
 // stands in for the real datacenter fabric (DESIGN.md §5); the scale-out
 // experiment's shape depends only on the relative cost of network hops vs.
 // local work, which the model preserves.
+//
+// The fabric can be made adversarial: a seeded, deterministic fault plan
+// (per-link drop/duplicate probability and latency jitter — jitter is what
+// reorders messages in a latency-charging model) plus runtime-installable
+// symmetric or asymmetric partitions and node crashes. TryTransfer /
+// TryRoundTrip surface loss as kUnavailable so callers can retry, fail
+// over, or trip a circuit breaker instead of silently blocking; the legacy
+// void Transfer/RoundTrip remain for fault-free cost charging and always
+// deliver.
 class SimulatedNetwork {
  public:
   struct Options {
@@ -20,30 +35,95 @@ class SimulatedNetwork {
     int64_t per_kb_us = 5;
   };
 
+  // Probabilistic link faults. All randomness comes from one Rng seeded
+  // here, so the full drop/duplicate/jitter schedule is a deterministic
+  // function of (seed, call sequence) — E15 and the chaos torture test
+  // depend on that reproducibility.
+  struct FaultOptions {
+    double drop_probability = 0.0;       // message vanishes in flight
+    double duplicate_probability = 0.0;  // cost (and obs) charged twice
+    int64_t jitter_us = 0;               // extra one-way delay in [0, jitter]
+    uint64_t seed = 42;
+  };
+
   explicit SimulatedNetwork(const Options& options) : options_(options) {}
   SimulatedNetwork() : SimulatedNetwork(Options{}) {}
 
-  // Blocks for the one-way transfer cost from `from` to `to`.
+  // Blocks for the one-way transfer cost from `from` to `to`. Always
+  // delivers (ignores the fault plan) — fault-oblivious callers keep
+  // their exact pre-chaos semantics.
   void Transfer(int from, int to, size_t bytes);
 
   // Round trip: request of `request_bytes`, reply of `reply_bytes`.
   void RoundTrip(int from, int to, size_t request_bytes, size_t reply_bytes);
 
+  // Fault-observing transfer: returns kUnavailable when the link is cut
+  // (partition / crashed endpoint) or the fault plan drops the message.
+  // Latency (with jitter) is still charged on loss — the sender waited
+  // for an answer that never came.
+  Status TryTransfer(int from, int to, size_t bytes);
+  Status TryRoundTrip(int from, int to, size_t request_bytes,
+                      size_t reply_bytes);
+
+  // Installs the probabilistic fault plan / removes it.
+  void SetFaults(const FaultOptions& faults);
+  void ClearFaults();
+
+  // Cuts every link between `group_a` and `group_b`, both directions
+  // (symmetric partition). Replaces any previously installed cut.
+  void Partition(const std::set<int>& group_a, const std::set<int>& group_b);
+  // Asymmetric partition: only messages from `from_group` to `to_group`
+  // are cut (the pathological half-open link real fabrics produce).
+  void PartitionOneWay(const std::set<int>& from_group,
+                       const std::set<int>& to_group);
+  // Restores full connectivity (crashed nodes stay down).
+  void Heal();
+
+  // Crash / restart a node: all links touching it are cut.
+  void SetNodeDown(int node);
+  void SetNodeUp(int node);
+
+  // True when `from` can currently reach `to` (partition + crash state
+  // only; probabilistic drops are transient and not reported here).
+  bool Reachable(int from, int to) const;
+
   uint64_t messages() const { return messages_.Value(); }
   uint64_t bytes() const { return bytes_.Value(); }
+  uint64_t dropped() const { return dropped_.Value(); }
+  uint64_t duplicated() const { return duplicated_.Value(); }
 
   // Zeroes the per-instance counters (the global registry's net.* counters
   // are untouched) — lets a multi-phase benchmark report per-phase traffic
-  // from a cached engine.
+  // from a cached engine. Multi-phase *global* deltas should instead
+  // snapshot-and-diff the registry (see bench_scaleout).
   void Reset() {
     messages_.Reset();
     bytes_.Reset();
+    dropped_.Reset();
+    duplicated_.Reset();
   }
 
  private:
+  // Blocks for the one-way cost incl. jitter; returns false if the
+  // message was lost (cut link or probabilistic drop).
+  bool Deliver(int from, int to, size_t bytes);
+  bool LinkCut(int from, int to) const;
+
   Options options_;
   obs::Counter messages_;
   obs::Counter bytes_;
+  obs::Counter dropped_;
+  obs::Counter duplicated_;
+
+  mutable std::mutex mu_;  // guards fault state + rng
+  bool faults_active_ = false;
+  FaultOptions faults_;
+  Rng rng_{42};
+  bool partitioned_ = false;
+  bool one_way_ = false;
+  std::set<int> cut_from_;
+  std::set<int> cut_to_;
+  std::set<int> down_;
 };
 
 }  // namespace oltap

@@ -1,6 +1,7 @@
 #include "dist/partition.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/hash.h"
@@ -8,12 +9,34 @@
 #include "exec/operators.h"
 
 namespace oltap {
+namespace {
+
+struct DistCounters {
+  obs::Counter* retries;
+  obs::Counter* leader_failovers;
+  obs::Counter* read_failovers;
+  obs::Counter* quorum_failures;
+};
+
+DistCounters& GlobalDistCounters() {
+  static DistCounters c = {
+      obs::MetricsRegistry::Default()->GetCounter("net.retries"),
+      obs::MetricsRegistry::Default()->GetCounter("dist.leader_failovers"),
+      obs::MetricsRegistry::Default()->GetCounter("dist.read_failovers"),
+      obs::MetricsRegistry::Default()->GetCounter(
+          "dist.write_quorum_failures"),
+  };
+  return c;
+}
+
+}  // namespace
 
 DistributedEngine::DistributedEngine(Schema schema, const Options& options)
     : schema_(std::move(schema)),
       options_(options),
       rf_(std::min(options.replication_factor, options.num_nodes)),
-      net_(options.net) {
+      net_(options.net),
+      breakers_(options.num_nodes, options.breaker) {
   OLTAP_CHECK(options_.num_nodes >= 1);
   OLTAP_CHECK(options_.num_partitions >= 1);
   OLTAP_CHECK(schema_.HasKey()) << "distributed tables require a primary key";
@@ -23,6 +46,8 @@ DistributedEngine::DistributedEngine(Schema schema, const Options& options)
     for (int r = 0; r < rf_; ++r) {
       tablet->replicas.push_back(std::make_unique<ColumnTable>(schema_));
     }
+    tablet->applied.assign(rf_, 0);
+    tablet->applied_ts.assign(rf_, 0);
     tablets_.push_back(std::move(tablet));
   }
 }
@@ -41,6 +66,12 @@ std::vector<int> DistributedEngine::ReplicaNodes(int partition) const {
   return nodes;
 }
 
+int DistributedEngine::CurrentLeaderNode(int partition) {
+  Tablet& tablet = *tablets_[partition];
+  std::lock_guard<std::mutex> lock(tablet.mu);
+  return ReplicaNodes(partition)[tablet.leader_r];
+}
+
 size_t DistributedEngine::ApproxRowBytes(const Row& row) {
   size_t bytes = 16;
   for (const Value& v : row) {
@@ -49,71 +80,235 @@ size_t DistributedEngine::ApproxRowBytes(const Row& row) {
   return bytes;
 }
 
-Status DistributedEngine::InsertFrom(int client_node, const Row& row) {
-  std::string key = EncodeKey(schema_, row);
+Status DistributedEngine::Rpc(int from, int to, size_t request_bytes,
+                              size_t reply_bytes) {
+  if (from == to) return Status::OK();
+  OLTAP_RETURN_NOT_OK(breakers_.Allow(to));
+  Stopwatch sw;
+  for (int attempt = 0;; ++attempt) {
+    Status st = net_.TryRoundTrip(from, to, request_bytes, reply_bytes);
+    if (st.ok()) {
+      breakers_.RecordSuccess(to);
+      return st;
+    }
+    if (!options_.rpc_retry.ShouldRetry(attempt + 1, sw.ElapsedMicros())) {
+      breakers_.RecordFailure(to);
+      return st;
+    }
+    rpc_retries_.fetch_add(1, std::memory_order_relaxed);
+    GlobalDistCounters().retries->Add(1);
+    int64_t backoff_us = options_.rpc_retry.BackoffMicros(attempt);
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+  }
+}
+
+void DistributedEngine::ApplyLogLocked(Tablet& tablet, int r) {
+  while (tablet.applied[r] < tablet.log.size()) {
+    const Op& op = tablet.log[tablet.applied[r]];
+    Status fs;
+    switch (op.kind) {
+      case Op::Kind::kInsert:
+        fs = tablet.replicas[r]->InsertCommitted(op.row, op.ts);
+        break;
+      case Op::Kind::kUpdate:
+        fs = tablet.replicas[r]->UpdateCommitted(op.key, op.row, op.ts);
+        break;
+      case Op::Kind::kDelete:
+        fs = tablet.replicas[r]->DeleteCommitted(op.key, op.ts);
+        break;
+    }
+    OLTAP_CHECK(fs.ok()) << "replica divergence: " << fs.ToString();
+    ++tablet.applied[r];
+    tablet.applied_ts[r] = op.ts;
+  }
+}
+
+Status DistributedEngine::FailoverLeaderLocked(int partition, Tablet& tablet,
+                                               int client_node) {
+  std::vector<int> nodes = ReplicaNodes(partition);
+  for (int step = 1; step < rf_; ++step) {
+    int r = (tablet.leader_r + step) % rf_;
+    int node = nodes[r];
+    if (!net_.Reachable(client_node, node)) continue;
+    if (tablet.applied[r] < tablet.log.size()) {
+      // A stale candidate must first catch up from some fully-applied
+      // replica it can reach; otherwise promoting it would silently drop
+      // committed writes.
+      int donor = -1;
+      for (int f = 0; f < rf_; ++f) {
+        if (tablet.applied[f] == tablet.log.size() &&
+            net_.Reachable(nodes[f], node)) {
+          donor = f;
+          break;
+        }
+      }
+      if (donor < 0) continue;
+      size_t backlog = tablet.log.size() - tablet.applied[r];
+      net_.Transfer(nodes[donor], node, 64 * backlog);
+      ApplyLogLocked(tablet, r);
+    }
+    tablet.leader_r = r;
+    leader_failovers_.fetch_add(1, std::memory_order_relaxed);
+    GlobalDistCounters().leader_failovers->Add(1);
+    return Status::OK();
+  }
+  return Status::Unavailable("no reachable caught-up replica for partition " +
+                             std::to_string(partition));
+}
+
+Status DistributedEngine::ReplicatedWrite(int client_node, Op::Kind kind,
+                                          std::string key, const Row& row) {
   int p = PartitionOf(key);
-  int leader = LeaderNode(p);
-  size_t bytes = ApproxRowBytes(row);
-  net_.RoundTrip(client_node, leader, bytes, 16);
+  size_t bytes = kind == Op::Kind::kDelete ? 32 : ApproxRowBytes(row);
   Tablet& tablet = *tablets_[p];
   std::lock_guard<std::mutex> lock(tablet.mu);
+  std::vector<int> nodes = ReplicaNodes(p);
+
+  // Reach the tablet leader, failing over to a surviving replica when the
+  // current one is unreachable after the retry budget.
+  Status rpc = Rpc(client_node, nodes[tablet.leader_r], bytes, 16);
+  if (!rpc.ok()) {
+    OLTAP_RETURN_NOT_OK(FailoverLeaderLocked(p, tablet, client_node));
+    OLTAP_RETURN_NOT_OK(Rpc(client_node, nodes[tablet.leader_r], bytes, 16));
+  }
+  int leader_node = nodes[tablet.leader_r];
+
+  // Majority ack check BEFORE applying anything: an OK result must mean
+  // "durable on a quorum", a failure must mean "no effect" — the chaos
+  // torture test holds the engine to exactly that contract.
+  int acks = 1;  // the leader itself
+  int first_follower = -1;
+  for (int r = 0; r < rf_; ++r) {
+    if (r == tablet.leader_r) continue;
+    if (first_follower < 0) first_follower = r;
+    if (net_.Reachable(leader_node, nodes[r])) ++acks;
+  }
   if (rf_ > 1) {
     // Followers replicate in parallel; the cost is one round trip.
-    net_.RoundTrip(leader, (p + 1) % options_.num_nodes, bytes, 16);
+    net_.TryRoundTrip(leader_node, nodes[first_follower], bytes, 16);
   }
+  if (acks < rf_ / 2 + 1) {
+    quorum_failures_.fetch_add(1, std::memory_order_relaxed);
+    GlobalDistCounters().quorum_failures->Add(1);
+    return Status::Unavailable("write quorum unreachable (" +
+                               std::to_string(acks) + "/" +
+                               std::to_string(rf_) + " acks)");
+  }
+
   Timestamp ts = NextTs();
-  Status st = tablet.replicas[0]->InsertCommitted(row, ts);
+  Status st;
+  switch (kind) {
+    case Op::Kind::kInsert:
+      st = tablet.replicas[tablet.leader_r]->InsertCommitted(row, ts);
+      break;
+    case Op::Kind::kUpdate:
+      st = tablet.replicas[tablet.leader_r]->UpdateCommitted(key, row, ts);
+      break;
+    case Op::Kind::kDelete:
+      st = tablet.replicas[tablet.leader_r]->DeleteCommitted(key, ts);
+      break;
+  }
   if (!st.ok()) return st;
-  for (int r = 1; r < rf_; ++r) {
-    Status fs = tablet.replicas[r]->InsertCommitted(row, ts);
-    OLTAP_CHECK(fs.ok()) << "replica divergence: " << fs.ToString();
+
+  tablet.log.push_back(Op{kind, std::move(key), row, ts});
+  tablet.applied[tablet.leader_r] = tablet.log.size();
+  tablet.applied_ts[tablet.leader_r] = ts;
+  // Synchronously apply to every reachable follower (replaying any
+  // backlog it accumulated while unreachable); the rest stay stale until
+  // the partition heals.
+  for (int r = 0; r < rf_; ++r) {
+    if (r == tablet.leader_r) continue;
+    if (net_.Reachable(leader_node, nodes[r])) ApplyLogLocked(tablet, r);
   }
   return Status::OK();
+}
+
+Status DistributedEngine::InsertFrom(int client_node, const Row& row) {
+  return ReplicatedWrite(client_node, Op::Kind::kInsert,
+                         EncodeKey(schema_, row), row);
 }
 
 Status DistributedEngine::UpdateFrom(int client_node, const Row& new_row) {
-  std::string key = EncodeKey(schema_, new_row);
-  int p = PartitionOf(key);
-  int leader = LeaderNode(p);
-  size_t bytes = ApproxRowBytes(new_row);
-  net_.RoundTrip(client_node, leader, bytes, 16);
-  Tablet& tablet = *tablets_[p];
-  std::lock_guard<std::mutex> lock(tablet.mu);
-  if (rf_ > 1) net_.RoundTrip(leader, (p + 1) % options_.num_nodes, bytes, 16);
-  Timestamp ts = NextTs();
-  Status st = tablet.replicas[0]->UpdateCommitted(key, new_row, ts);
-  if (!st.ok()) return st;
-  for (int r = 1; r < rf_; ++r) {
-    Status fs = tablet.replicas[r]->UpdateCommitted(key, new_row, ts);
-    OLTAP_CHECK(fs.ok()) << "replica divergence: " << fs.ToString();
-  }
-  return Status::OK();
+  return ReplicatedWrite(client_node, Op::Kind::kUpdate,
+                         EncodeKey(schema_, new_row), new_row);
 }
 
 Status DistributedEngine::DeleteFrom(int client_node, const Row& key_row) {
-  std::string key = EncodeKey(schema_, key_row);
-  int p = PartitionOf(key);
-  int leader = LeaderNode(p);
-  net_.RoundTrip(client_node, leader, 32, 16);
-  Tablet& tablet = *tablets_[p];
-  std::lock_guard<std::mutex> lock(tablet.mu);
-  if (rf_ > 1) net_.RoundTrip(leader, (p + 1) % options_.num_nodes, 32, 16);
-  Timestamp ts = NextTs();
-  Status st = tablet.replicas[0]->DeleteCommitted(key, ts);
-  if (!st.ok()) return st;
-  for (int r = 1; r < rf_; ++r) {
-    Status fs = tablet.replicas[r]->DeleteCommitted(key, ts);
-    OLTAP_CHECK(fs.ok()) << "replica divergence: " << fs.ToString();
-  }
-  return Status::OK();
+  return ReplicatedWrite(client_node, Op::Kind::kDelete,
+                         EncodeKey(schema_, key_row), key_row);
 }
 
 bool DistributedEngine::LookupFrom(int client_node, const Row& key_row,
                                    Row* out) {
   std::string key = EncodeKey(schema_, key_row);
   int p = PartitionOf(key);
-  net_.RoundTrip(client_node, LeaderNode(p), 32, 64);
-  return tablets_[p]->replicas[0]->Lookup(key, current_ts(), out);
+  Tablet& tablet = *tablets_[p];
+  std::lock_guard<std::mutex> lock(tablet.mu);
+  net_.RoundTrip(client_node, ReplicaNodes(p)[tablet.leader_r], 32, 64);
+  return tablet.replicas[tablet.leader_r]->Lookup(key, current_ts(), out);
+}
+
+Result<Row> DistributedEngine::FailoverLookup(int client_node,
+                                              const Row& key_row) {
+  std::string key = EncodeKey(schema_, key_row);
+  int p = PartitionOf(key);
+  Tablet& tablet = *tablets_[p];
+  std::lock_guard<std::mutex> lock(tablet.mu);
+  std::vector<int> nodes = ReplicaNodes(p);
+
+  Status st = Rpc(client_node, nodes[tablet.leader_r], 32, 64);
+  if (st.ok()) {
+    Row out;
+    if (tablet.replicas[tablet.leader_r]->Lookup(key, current_ts(), &out)) {
+      return out;
+    }
+    return Status::NotFound("key not found");
+  }
+
+  // Leader unreachable: fall back to a surviving replica whose data is
+  // within the staleness bound, reading at its applied high-water mark
+  // (a consistent-but-possibly-stale snapshot).
+  Timestamp now_ts = current_ts();
+  for (int step = 1; step < rf_; ++step) {
+    int r = (tablet.leader_r + step) % rf_;
+    if (!net_.Reachable(client_node, nodes[r])) continue;
+    int64_t staleness =
+        static_cast<int64_t>(now_ts) - static_cast<int64_t>(
+                                           tablet.applied_ts[r]);
+    if (tablet.applied[r] < tablet.log.size() &&
+        staleness > options_.max_read_staleness) {
+      continue;
+    }
+    if (!Rpc(client_node, nodes[r], 32, 64).ok()) continue;
+    read_failovers_.fetch_add(1, std::memory_order_relaxed);
+    GlobalDistCounters().read_failovers->Add(1);
+    Row out;
+    if (tablet.replicas[r]->Lookup(key, tablet.applied_ts[r], &out)) {
+      return out;
+    }
+    return Status::NotFound("key not found (stale replica read)");
+  }
+  return Status::Unavailable(
+      "no replica reachable within the staleness bound");
+}
+
+void DistributedEngine::CatchUpReplicas() {
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    Tablet& tablet = *tablets_[p];
+    std::lock_guard<std::mutex> lock(tablet.mu);
+    std::vector<int> nodes = ReplicaNodes(p);
+    int leader_node = nodes[tablet.leader_r];
+    for (int r = 0; r < rf_; ++r) {
+      if (r == tablet.leader_r) continue;
+      if (tablet.applied[r] >= tablet.log.size()) continue;
+      if (!net_.Reachable(leader_node, nodes[r])) continue;
+      size_t backlog = tablet.log.size() - tablet.applied[r];
+      net_.Transfer(leader_node, nodes[r], 64 * backlog);
+      ApplyLogLocked(tablet, r);
+    }
+  }
 }
 
 double DistributedEngine::SumWhere(int filter_col, CompareOp op,
@@ -128,8 +323,13 @@ double DistributedEngine::SumWhere(int filter_col, CompareOp op,
       double sum = 0;
       for (int p = 0; p < options_.num_partitions; ++p) {
         if (LeaderNode(p) != node) continue;
-        ColumnTable::Snapshot snap =
-            tablets_[p]->replicas[0]->GetSnapshot(read_ts);
+        Tablet& tablet = *tablets_[p];
+        ColumnTable* leader;
+        {
+          std::lock_guard<std::mutex> lock(tablet.mu);
+          leader = tablet.replicas[tablet.leader_r].get();
+        }
+        ColumnTable::Snapshot snap = leader->GetSnapshot(read_ts);
         // Main fragment: packed scan + gather.
         BitVector sel;
         snap.main->VisibleMask(read_ts, &sel);
@@ -187,7 +387,13 @@ size_t DistributedEngine::TotalRows() {
   Timestamp read_ts = current_ts();
   size_t total = 0;
   for (int p = 0; p < options_.num_partitions; ++p) {
-    ColumnTable::Snapshot snap = tablets_[p]->replicas[0]->GetSnapshot(read_ts);
+    Tablet& tablet = *tablets_[p];
+    ColumnTable* leader;
+    {
+      std::lock_guard<std::mutex> lock(tablet.mu);
+      leader = tablet.replicas[tablet.leader_r].get();
+    }
+    ColumnTable::Snapshot snap = leader->GetSnapshot(read_ts);
     BitVector sel;
     snap.main->VisibleMask(read_ts, &sel);
     total += sel.CountSet();

@@ -6,8 +6,10 @@
 #include <mutex>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "dist/circuit_breaker.h"
 #include "dist/network.h"
 #include "storage/column_store.h"
 #include "storage/row.h"
@@ -23,6 +25,19 @@ namespace oltap {
 // the way a per-tablet Raft log serializes it (the consensus protocol
 // itself is implemented and tested separately in dist/raft.h — here its
 // cost model is one replication round trip per write batch).
+//
+// Partition tolerance (PR 4): every RPC runs through a per-node circuit
+// breaker plus bounded retry with exponential backoff and a deadline
+// (common/retry.h). Writes commit only when the leader can ack a majority
+// of replicas — a client stranded in a minority partition gets
+// kUnavailable and *no* state change, so an OK result always means the
+// write is durable on a quorum (the invariant the chaos torture test
+// asserts). When a tablet's leader is unreachable, writes and reads fail
+// over to a caught-up surviving replica (leader re-election stand-in;
+// real elections are exercised in dist/cluster.h). Reads may additionally
+// fall back to a *stale* follower within `max_read_staleness` logical
+// timestamps. Followers that missed writes during a partition are caught
+// up from the tablet op log on the next contact or via CatchUpReplicas().
 class DistributedEngine {
  public:
   struct Options {
@@ -30,6 +45,14 @@ class DistributedEngine {
     int num_partitions = 16;
     int replication_factor = 3;  // clamped to num_nodes
     SimulatedNetwork::Options net;
+    // Fault-tolerance knobs (inert on a fault-free fabric: the breaker
+    // never trips and every RPC succeeds on its first attempt).
+    RetryPolicy rpc_retry;
+    CircuitBreaker::Options breaker;
+    // FailoverLookup: max logical-timestamp lag tolerated when reading
+    // from a follower because the leader is unreachable (0 = only fully
+    // caught-up replicas may serve failover reads).
+    int64_t max_read_staleness = 0;
   };
 
   DistributedEngine(Schema schema, const Options& options);
@@ -39,19 +62,35 @@ class DistributedEngine {
   int replication_factor() const { return rf_; }
 
   int PartitionOf(const std::string& key) const;
+  // Static home node of the tablet (replica 0); leadership may have
+  // failed over — see CurrentLeaderNode.
   int LeaderNode(int partition) const {
     return partition % options_.num_nodes;
   }
+  int CurrentLeaderNode(int partition);
   std::vector<int> ReplicaNodes(int partition) const;
 
   // Routed write from a client co-located with `client_node`: one client→
   // leader round trip plus one leader→follower replication round trip.
+  // Under faults: kUnavailable once the retry budget and failover
+  // candidates are exhausted, or when no write quorum is reachable.
   Status InsertFrom(int client_node, const Row& row);
   Status UpdateFrom(int client_node, const Row& new_row);
   Status DeleteFrom(int client_node, const Row& key_row);
 
-  // Routed point read (leader read, one round trip).
+  // Routed point read (leader read, one round trip). Fault-oblivious:
+  // always reaches the leader replica (kept for fault-free callers).
   bool LookupFrom(int client_node, const Row& key_row, Row* out);
+
+  // Fault-aware point read: tries the tablet leader, then fails over to a
+  // surviving replica within the staleness bound. kNotFound when reached
+  // but absent; kUnavailable when no eligible replica is reachable.
+  Result<Row> FailoverLookup(int client_node, const Row& key_row);
+
+  // Replays the tablet op log into every replica that is currently
+  // reachable from the tablet's leader (post-heal convergence; also runs
+  // incrementally whenever a write contacts a lagging follower).
+  void CatchUpReplicas();
 
   // Scatter-gather SUM(agg_col) WHERE filter_col <op> constant over every
   // tablet leader, one worker thread per node, one round trip per node.
@@ -66,14 +105,43 @@ class DistributedEngine {
   bool CheckReplicasConsistent();
 
   SimulatedNetwork* network() { return &net_; }
+  CircuitBreakerSet* breakers() { return &breakers_; }
   Timestamp current_ts() const {
     return next_ts_.load(std::memory_order_acquire) - 1;
   }
 
+  uint64_t leader_failovers() const {
+    return leader_failovers_.load(std::memory_order_relaxed);
+  }
+  uint64_t read_failovers() const {
+    return read_failovers_.load(std::memory_order_relaxed);
+  }
+  uint64_t quorum_failures() const {
+    return quorum_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t rpc_retries() const {
+    return rpc_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // One committed mutation in a tablet's replicated log. Replicas that
+  // miss the synchronous apply (unreachable during a partition) replay
+  // from here when they become reachable again.
+  struct Op {
+    enum class Kind : uint8_t { kInsert, kUpdate, kDelete };
+    Kind kind;
+    std::string key;
+    Row row;
+    Timestamp ts;
+  };
+
   struct Tablet {
     std::mutex mu;  // stands in for the tablet's Raft log serialization
-    std::vector<std::unique_ptr<ColumnTable>> replicas;  // [0] = leader
+    std::vector<std::unique_ptr<ColumnTable>> replicas;  // [0] = home leader
+    std::vector<size_t> applied;        // ops applied, per replica
+    std::vector<Timestamp> applied_ts;  // high-water ts, per replica
+    std::vector<Op> log;                // committed ops, in ts order
+    int leader_r = 0;                   // current leader's replica index
   };
 
   static size_t ApproxRowBytes(const Row& row);
@@ -81,12 +149,30 @@ class DistributedEngine {
     return next_ts_.fetch_add(1, std::memory_order_acq_rel);
   }
 
+  // Round-trip RPC with circuit breaker + bounded backoff/deadline retry.
+  Status Rpc(int from, int to, size_t request_bytes, size_t reply_bytes);
+
+  // Shared routed-write path. Caller passes the already-encoded key.
+  Status ReplicatedWrite(int client_node, Op::Kind kind, std::string key,
+                         const Row& row);
+  // Promotes a caught-up, reachable replica to tablet leader. Caller
+  // holds tablet.mu.
+  Status FailoverLeaderLocked(int partition, Tablet& tablet, int client_node);
+  // Replays tablet.log[applied[r]..] into replica r. Caller holds
+  // tablet.mu.
+  void ApplyLogLocked(Tablet& tablet, int r);
+
   Schema schema_;
   Options options_;
   int rf_;
   SimulatedNetwork net_;
+  CircuitBreakerSet breakers_;
   std::vector<std::unique_ptr<Tablet>> tablets_;
   std::atomic<Timestamp> next_ts_{1};
+  std::atomic<uint64_t> leader_failovers_{0};
+  std::atomic<uint64_t> read_failovers_{0};
+  std::atomic<uint64_t> quorum_failures_{0};
+  std::atomic<uint64_t> rpc_retries_{0};
 };
 
 }  // namespace oltap

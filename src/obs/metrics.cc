@@ -87,12 +87,16 @@ void RegisterCoreMetrics(MetricsRegistry* r) {
         "merge.bytes_merged", "wm.rejected_olap", "wm.expired_in_queue",
         "2pc.commits", "2pc.aborts", "2pc.prepare_retries",
         "2pc.finish_retries", "2pc.indecision_aborts", "net.messages",
-        "net.bytes", "raft.messages"}) {
+        "net.bytes", "net.dropped", "net.duplicated", "net.retries",
+        "raft.messages", "dist.breaker.trips", "dist.breaker.rejected",
+        "dist.leader_failovers", "dist.read_failovers",
+        "dist.write_quorum_failures", "sched.admitted", "sched.shed",
+        "sched.degraded"}) {
     r->GetCounter(name);
   }
   for (const char* name :
        {"wm.queue_depth.oltp", "wm.queue_depth.olap", "storage.delta_rows",
-        "storage.freshness_lag_us"}) {
+        "storage.freshness_lag_us", "dist.breaker_open"}) {
     r->GetGauge(name);
   }
   for (const char* name :

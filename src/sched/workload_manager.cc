@@ -70,11 +70,22 @@ void WorkloadManager::Shutdown() {
       }
     }
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : orphans) {
+      memory_in_use_ -= std::min(memory_in_use_, task->est_memory_bytes);
+    }
+  }
   for (auto& task : orphans) {
     task->done.set_value(
         Status::Unavailable("workload manager shut down before task ran"));
   }
   drain_cv_.notify_all();
+}
+
+size_t WorkloadManager::memory_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_in_use_;
 }
 
 std::future<Status> WorkloadManager::Submit(QueryClass qc,
@@ -90,35 +101,89 @@ std::future<Status> WorkloadManager::Submit(QueryClass qc,
 
 WorkloadManager::Submission WorkloadManager::SubmitCancellable(
     QueryClass qc, int64_t deadline_us, CancellableWork work) {
+  QuerySpec spec;
+  spec.deadline_us = deadline_us;
+  return SubmitBudgeted(
+      qc, spec,
+      [w = std::move(work)](const CancellationToken& token, const QueryGrant&) {
+        return w(token);
+      });
+}
+
+WorkloadManager::Submission WorkloadManager::SubmitBudgeted(
+    QueryClass qc, const QuerySpec& spec, BudgetedWork work) {
   auto task = std::make_unique<Task>();
   task->qc = qc;
   task->work = std::move(work);
+  task->est_memory_bytes = spec.est_memory_bytes;
   task->submit_us = clock_->NowMicros();
   task->token = std::make_shared<CancellationToken>(
-      clock_, deadline_us > 0 ? task->submit_us + deadline_us : 0);
+      clock_,
+      spec.deadline_us > 0 ? task->submit_us + spec.deadline_us : 0);
 
   Submission sub;
   sub.done = task->done.get_future();
   sub.token = task->token;
 
+  auto shed = [&](std::string why) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* shed_count =
+        obs::MetricsRegistry::Default()->GetCounter("sched.shed");
+    shed_count->Add(1);
+    return Status::ResourceExhausted(std::move(why));
+  };
+
   Status admit;
   {
     std::lock_guard<std::mutex> lock(mu_);
     Status injected = OLTAP_FAILPOINT_STATUS("wm.admit.reject");
+    size_t queue_limit = qc == QueryClass::kOltp
+                             ? options_.oltp_admission_limit
+                             : options_.olap_admission_limit;
+    auto& queue = qc == QueryClass::kOltp ? oltp_queue_ : olap_queue_;
     if (shutdown_) {
       admit = Status::Unavailable("workload manager is shut down");
     } else if (!injected.ok()) {
       admit = injected;
-    } else if (qc == QueryClass::kOlap && options_.olap_admission_limit > 0 &&
-               olap_queue_.size() >= options_.olap_admission_limit) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      static obs::Counter* rejected =
-          obs::MetricsRegistry::Default()->GetCounter("wm.rejected_olap");
-      rejected->Add(1);
-      admit = Status::Unavailable("OLAP admission limit reached");
+    } else if (queue_limit > 0 && queue.size() >= queue_limit) {
+      // Bounded admission queue: shedding beats unbounded queueing — a
+      // rejected query can be retried, a queued-forever one holds its
+      // client's resources while missing its deadline anyway.
+      if (qc == QueryClass::kOlap) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter* rejected =
+            obs::MetricsRegistry::Default()->GetCounter("wm.rejected_olap");
+        rejected->Add(1);
+      }
+      admit = shed(qc == QueryClass::kOltp ? "OLTP admission queue full"
+                                           : "OLAP admission queue full");
+    } else if (qc == QueryClass::kOlap && options_.memory_budget_bytes > 0 &&
+               task->est_memory_bytes > 0 &&
+               memory_in_use_ + task->est_memory_bytes >
+                   options_.memory_budget_bytes) {
+      // Soft memory budget: only OLAP is shed for memory — transactional
+      // work is small and is the class overload protection exists to
+      // protect.
+      admit = shed("memory budget exhausted");
     }
     if (admit.ok()) {
-      auto& queue = qc == QueryClass::kOltp ? oltp_queue_ : olap_queue_;
+      if (qc == QueryClass::kOlap && options_.olap_degrade_threshold > 0 &&
+          queue.size() >= options_.olap_degrade_threshold) {
+        // Pressure short of shedding: admit, but tell the query to run
+        // with a reduced batch budget (sampled / small-batch scan) so
+        // analytics bend before OLTP latency breaks.
+        task->grant.degraded = true;
+        task->grant.batch_budget_rows = options_.degraded_batch_rows;
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter* degraded_count =
+            obs::MetricsRegistry::Default()->GetCounter("sched.degraded");
+        degraded_count->Add(1);
+      }
+      memory_in_use_ += task->est_memory_bytes;
+      admitted_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* admitted_count =
+          obs::MetricsRegistry::Default()->GetCounter("sched.admitted");
+      admitted_count->Add(1);
       queue.push_back(std::move(task));
       QueueDepthGauge(qc)->Set(static_cast<int64_t>(queue.size()));
     }
@@ -190,7 +255,7 @@ void WorkloadManager::WorkerLoop(size_t worker_index) {
     // an OLAP flood instead of executing every stale query.
     Status result = task->token->Check();
     if (result.ok()) {
-      result = task->work(*task->token);
+      result = task->work(*task->token, task->grant);
     } else if (result.code() == StatusCode::kDeadlineExceeded) {
       expired_.fetch_add(1, std::memory_order_relaxed);
       static obs::Counter* expired =
@@ -203,6 +268,7 @@ void WorkloadManager::WorkerLoop(size_t worker_index) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;
+      memory_in_use_ -= std::min(memory_in_use_, task->est_memory_bytes);
       if (active_ == 0 &&
           (shutdown_ || (oltp_queue_.empty() && olap_queue_.empty()))) {
         drain_cv_.notify_all();

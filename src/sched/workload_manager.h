@@ -58,6 +58,16 @@ struct LatencySummary {
 // are completed with kDeadlineExceeded without ever running, so an OLAP
 // flood drains instead of wedging Drain(). Failpoint site:
 // "wm.admit.reject" fails admission with the injected status.
+//
+// Overload protection (PR 4): both classes have bounded admission queues
+// and submissions may declare an estimated memory footprint against a
+// soft engine-wide budget. When a bound is hit the manager *sheds* the
+// request with kResourceExhausted (OLAP first — OLTP is never shed for
+// memory, only for its own queue bound); before shedding, OLAP work is
+// *degraded* — admitted with a QueryGrant telling it to run with a
+// smaller batch budget / sampled scan — so analytic throughput bends
+// before OLTP latency breaks. Counters: sched.admitted / sched.shed /
+// sched.degraded.
 class WorkloadManager {
  public:
   struct Options {
@@ -65,15 +75,47 @@ class WorkloadManager {
     SchedulingPolicy policy = SchedulingPolicy::kFifo;
     // kReservedWorkers: how many workers are OLTP-only.
     size_t reserved_oltp_workers = 1;
-    // Reject OLAP submissions beyond this queue depth (0 = unlimited).
+    // Shed OLAP submissions beyond this queue depth (0 = unlimited).
     size_t olap_admission_limit = 0;
+    // Shed OLTP submissions beyond this queue depth (0 = unlimited) —
+    // even the protected class needs a backstop against total collapse.
+    size_t oltp_admission_limit = 0;
+    // OLAP admitted while its queue is at least this deep is *degraded*
+    // (QueryGrant::degraded, batch budget below). 0 = never degrade.
+    size_t olap_degrade_threshold = 0;
+    // Batch-size budget handed to degraded OLAP work (rows per batch the
+    // executor should drop to; a sampled scan is the extreme case).
+    size_t degraded_batch_rows = 1024;
+    // Soft memory budget over declared QuerySpec::est_memory_bytes of
+    // queued + running work. OLAP beyond it is shed; OLTP is exempt.
+    // 0 = unlimited.
+    size_t memory_budget_bytes = 0;
     const Clock* clock = nullptr;  // defaults to SystemClock
+  };
+
+  // Declared resource needs of a submission.
+  struct QuerySpec {
+    int64_t deadline_us = 0;        // relative to now; 0 = none
+    size_t est_memory_bytes = 0;    // charged against memory_budget_bytes
+  };
+
+  // What admission granted: full service, or degraded execution under
+  // overload. Degraded OLAP should shrink its batches to
+  // `batch_budget_rows` (or sample) so it yields the CPU and memory that
+  // OLTP needs.
+  struct QueryGrant {
+    bool degraded = false;
+    size_t batch_budget_rows = 0;  // 0 = unconstrained
   };
 
   // Work that observes its token; the returned status resolves the
   // submission future (kDeadlineExceeded / kAborted when the work
   // cooperatively stopped early).
   using CancellableWork = std::function<Status(const CancellationToken&)>;
+
+  // Work that additionally observes its admission grant (degraded mode).
+  using BudgetedWork =
+      std::function<Status(const CancellationToken&, const QueryGrant&)>;
 
   // Handle returned by SubmitCancellable: the completion future plus the
   // token through which the submitter can cancel the query.
@@ -98,6 +140,12 @@ class WorkloadManager {
   Submission SubmitCancellable(QueryClass qc, int64_t deadline_us,
                                CancellableWork work);
 
+  // Full-control submission: deadline, declared memory, and a grant the
+  // work can consult for degraded execution. The future resolves with
+  // kResourceExhausted when admission sheds the request.
+  Submission SubmitBudgeted(QueryClass qc, const QuerySpec& spec,
+                            BudgetedWork work);
+
   // Stops the workers and fails every still-queued task with
   // kUnavailable. Idempotent; the destructor calls it. After Shutdown,
   // Submit cleanly returns kUnavailable instead of enqueueing into a
@@ -117,11 +165,23 @@ class WorkloadManager {
   uint64_t expired_in_queue() const {
     return expired_.load(std::memory_order_relaxed);
   }
+  // Overload-protection telemetry (mirrored into sched.* obs counters).
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t degraded_admissions() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  // Declared memory of queued + running work (soft budget bookkeeping).
+  size_t memory_in_use() const;
 
  private:
   struct Task {
     QueryClass qc;
-    CancellableWork work;
+    BudgetedWork work;
+    QueryGrant grant;
+    size_t est_memory_bytes = 0;
     std::shared_ptr<CancellationToken> token;
     std::promise<Status> done;
     int64_t submit_us = 0;
@@ -136,19 +196,23 @@ class WorkloadManager {
   Options options_;
   const Clock* clock_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable drain_cv_;
   std::deque<std::unique_ptr<Task>> oltp_queue_;
   std::deque<std::unique_ptr<Task>> olap_queue_;
   size_t active_ = 0;
   bool shutdown_ = false;
+  size_t memory_in_use_ = 0;  // guarded by mu_
 
   mutable std::mutex stats_mu_;
   std::vector<int64_t> latencies_[2];
 
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> degraded_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -98,13 +98,18 @@ RowStore::Entry* RowStore::GetOrCreate(std::string_view key) {
 
     Entry* e = NewEntry(key, height);
     // Link bottom-up; a level-0 failure means a racing insert of (possibly)
-    // the same key, so restart from the search.
-    e->next[0].store(prev[0]->next[0].load(std::memory_order_relaxed),
+    // the same key, so restart from the search. The successor load must be
+    // acquire: the ordering recheck below reads expected->key, which is
+    // only safe against a concurrently *published* entry if this load
+    // synchronizes with the publisher's release CAS.
+    e->next[0].store(prev[0]->next[0].load(std::memory_order_acquire),
                      std::memory_order_relaxed);
     Entry* expected = e->next[0].load(std::memory_order_relaxed);
     // Recheck ordering: a racing insert may have placed a node between
-    // prev[0] and its successor.
-    if ((expected != nullptr && expected->key < key) ||
+    // prev[0] and its successor — including one with *this* key (<=, not
+    // <: linking in front of a racing equal node would duplicate it; the
+    // retry's search returns the existing entry instead).
+    if ((expected != nullptr && expected->key <= key) ||
         !prev[0]->next[0].compare_exchange_strong(
             expected, e, std::memory_order_release)) {
       e->~Entry();

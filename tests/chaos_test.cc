@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "dist/chaos.h"
+#include "dist/circuit_breaker.h"
+#include "dist/network.h"
+#include "dist/partition.h"
+
+namespace oltap {
+namespace {
+
+Schema AccountSchema() {
+  return SchemaBuilder()
+      .AddInt64("id", false)
+      .AddInt64("balance")
+      .SetKey({"id"})
+      .Build();
+}
+
+Row MakeRow(int64_t id, int64_t balance) {
+  return Row{Value::Int64(id), Value::Int64(balance)};
+}
+
+// Fault-tolerant engine with a fast retry budget and a breaker that
+// recovers instantly after a heal (cooldown 0: open promotes straight to
+// half-open, so the first post-heal call probes and closes it).
+DistributedEngine::Options ChaosNet(int nodes, int partitions, int rf) {
+  DistributedEngine::Options opts;
+  opts.num_nodes = nodes;
+  opts.num_partitions = partitions;
+  opts.replication_factor = rf;
+  opts.net.base_latency_us = 0;
+  opts.net.per_kb_us = 0;
+  opts.rpc_retry.max_attempts = 2;
+  opts.rpc_retry.initial_backoff_us = 1;
+  opts.rpc_retry.max_backoff_us = 2;
+  opts.breaker.failure_threshold = 3;
+  opts.breaker.open_cooldown_us = 0;
+  opts.max_read_staleness = 1'000'000'000;
+  return opts;
+}
+
+TEST(SimulatedNetworkFaultTest, PartitionCutsBothDirectionsUntilHeal) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  net.Partition({0, 1}, {2, 3});
+  EXPECT_FALSE(net.Reachable(0, 2));
+  EXPECT_FALSE(net.Reachable(3, 1));
+  EXPECT_TRUE(net.Reachable(0, 1));
+  EXPECT_TRUE(net.Reachable(2, 3));
+  EXPECT_TRUE(net.TryTransfer(0, 1, 64).ok());
+  EXPECT_TRUE(net.TryTransfer(0, 2, 64).IsUnavailable());
+  EXPECT_TRUE(net.TryRoundTrip(2, 0, 64, 64).IsUnavailable());
+  EXPECT_EQ(net.dropped(), 2u);
+  net.Heal();
+  EXPECT_TRUE(net.Reachable(0, 2));
+  EXPECT_TRUE(net.TryRoundTrip(2, 0, 64, 64).ok());
+}
+
+TEST(SimulatedNetworkFaultTest, OneWayPartitionIsAsymmetric) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  net.PartitionOneWay({0}, {1, 2});
+  EXPECT_FALSE(net.Reachable(0, 1));
+  EXPECT_TRUE(net.Reachable(1, 0));  // the half-open link
+  EXPECT_TRUE(net.TryTransfer(0, 1, 64).IsUnavailable());
+  EXPECT_TRUE(net.TryTransfer(1, 0, 64).ok());
+  // Round trips die whichever leg crosses the cut: 1→0 loses the reply,
+  // 0→2 loses the request.
+  EXPECT_TRUE(net.TryRoundTrip(1, 0, 64, 64).IsUnavailable());
+  EXPECT_TRUE(net.TryRoundTrip(0, 2, 64, 64).IsUnavailable());
+  net.Heal();
+  EXPECT_TRUE(net.TryTransfer(0, 1, 64).ok());
+}
+
+TEST(SimulatedNetworkFaultTest, CrashedNodeIsUnreachableUntilRestart) {
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  net.SetNodeDown(2);
+  EXPECT_FALSE(net.Reachable(0, 2));
+  EXPECT_FALSE(net.Reachable(2, 0));
+  EXPECT_TRUE(net.Reachable(0, 1));
+  // Heal() restores partitions, not crashed nodes.
+  net.Heal();
+  EXPECT_FALSE(net.Reachable(0, 2));
+  net.SetNodeUp(2);
+  EXPECT_TRUE(net.Reachable(0, 2));
+}
+
+TEST(SimulatedNetworkFaultTest, SameSeedSameDropSchedule) {
+  SimulatedNetwork::FaultOptions faults;
+  faults.drop_probability = 0.3;
+  faults.duplicate_probability = 0.2;
+  faults.seed = 7;
+
+  auto run = [&](uint64_t seed) {
+    SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+    SimulatedNetwork::FaultOptions f = faults;
+    f.seed = seed;
+    net.SetFaults(f);
+    std::vector<char> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(net.TryTransfer(0, 1, 64).ok() ? 1 : 0);
+    }
+    return std::make_tuple(outcomes, net.dropped(), net.duplicated());
+  };
+
+  auto a = run(7);
+  auto b = run(7);
+  auto c = run(8);
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_GT(std::get<1>(a), 0u);  // the schedule actually drops
+  EXPECT_NE(std::get<0>(a), std::get<0>(c));  // and depends on the seed
+  // ClearFaults restores a reliable link.
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  net.SetFaults(faults);
+  net.ClearFaults();
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(net.TryTransfer(0, 1, 64).ok());
+}
+
+TEST(CircuitBreakerTest, ClosedOpenHalfOpenLifecycle) {
+  ManualClock clock;
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 3;
+  opts.open_cooldown_us = 1000;
+  opts.half_open_probes = 1;
+  opts.clock = &clock;
+  CircuitBreaker cb(opts);
+
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.Allow().ok());
+  cb.RecordFailure();
+  cb.RecordFailure();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);  // below threshold
+  cb.RecordFailure();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  EXPECT_TRUE(cb.Allow().IsUnavailable());  // shedding, O(1)
+  EXPECT_EQ(cb.rejected(), 1u);
+
+  // Cooldown elapses → half-open: exactly one probe passes.
+  clock.AdvanceMicros(1000);
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(cb.Allow().ok());
+  EXPECT_TRUE(cb.Allow().IsUnavailable());  // probe budget spent
+
+  // A failed probe reopens and restarts the cooldown.
+  cb.RecordFailure();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kOpen);
+  clock.AdvanceMicros(999);
+  EXPECT_TRUE(cb.Allow().IsUnavailable());
+  clock.AdvanceMicros(1);
+  EXPECT_TRUE(cb.Allow().ok());
+
+  // A successful probe closes the breaker for good.
+  cb.RecordSuccess();
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(cb.Allow().ok());
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailureCount) {
+  ManualClock clock;
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 2;
+  opts.clock = &clock;
+  CircuitBreaker cb(opts);
+  for (int i = 0; i < 10; ++i) {
+    cb.RecordFailure();
+    cb.RecordSuccess();  // never two in a row → never trips
+  }
+  EXPECT_EQ(cb.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerSetTest, OpenCountTracksPerNodeState) {
+  ManualClock clock;
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 1;
+  opts.open_cooldown_us = 1'000'000;
+  opts.clock = &clock;
+  CircuitBreakerSet set(4, opts);
+  EXPECT_EQ(set.open_count(), 0);
+  set.RecordFailure(1);
+  set.RecordFailure(3);
+  EXPECT_EQ(set.open_count(), 2);
+  EXPECT_TRUE(set.Allow(1).IsUnavailable());
+  EXPECT_TRUE(set.Allow(0).ok());
+  // Cooldown elapses: both breakers move to half-open (no longer open).
+  clock.AdvanceMicros(1'000'000);
+  ASSERT_TRUE(set.Allow(1).ok());  // half-open probe
+  set.RecordSuccess(1);            // node 1 closes
+  ASSERT_TRUE(set.Allow(3).ok());
+  set.RecordFailure(3);  // failed probe: node 3 reopens
+  EXPECT_EQ(set.open_count(), 1);
+  EXPECT_TRUE(set.Allow(1).ok());
+}
+
+TEST(ChaosPlanTest, SameSeedSameSchedule) {
+  ChaosPlan::Options opts;
+  opts.num_nodes = 5;
+  opts.rounds = 32;
+  opts.seed = 1234;
+  ChaosPlan a(opts);
+  ChaosPlan b(opts);
+  ASSERT_EQ(a.num_rounds(), 32);
+  ASSERT_EQ(b.num_rounds(), 32);
+  EXPECT_EQ(a.Describe(), b.Describe());
+  for (int i = 0; i < a.num_rounds(); ++i) {
+    EXPECT_EQ(a.round(i).kind, b.round(i).kind) << "round " << i;
+    EXPECT_EQ(a.round(i).group, b.round(i).group) << "round " << i;
+    EXPECT_EQ(a.round(i).faults.seed, b.round(i).faults.seed);
+    EXPECT_DOUBLE_EQ(a.round(i).faults.drop_probability,
+                     b.round(i).faults.drop_probability);
+  }
+  opts.seed = 1235;
+  ChaosPlan c(opts);
+  EXPECT_NE(a.Describe(), c.Describe());
+}
+
+TEST(ChaosPlanTest, PartitionsAlwaysLeaveAMajority) {
+  ChaosPlan::Options opts;
+  opts.num_nodes = 5;
+  opts.rounds = 64;
+  opts.seed = 99;
+  ChaosPlan plan(opts);
+  int partitions = 0, crashes = 0;
+  for (int i = 0; i < plan.num_rounds(); ++i) {
+    const ChaosPlan::Round& r = plan.round(i);
+    for (int node : r.group) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, opts.num_nodes);
+    }
+    switch (r.kind) {
+      case ChaosPlan::Round::Kind::kSymmetricPartition:
+      case ChaosPlan::Round::Kind::kAsymmetricPartition:
+        ++partitions;
+        EXPECT_GE(r.group.size(), 1u);
+        // Strict minority: a write quorum survives on the other side.
+        EXPECT_LE(r.group.size(),
+                  static_cast<size_t>((opts.num_nodes - 1) / 2));
+        break;
+      case ChaosPlan::Round::Kind::kCrash:
+        ++crashes;
+        EXPECT_EQ(r.group.size(), 1u);
+        break;
+      case ChaosPlan::Round::Kind::kNoiseOnly:
+        EXPECT_TRUE(r.group.empty());
+        break;
+    }
+  }
+  // 64 weighted draws: every structural kind should have come up.
+  EXPECT_GT(partitions, 0);
+  EXPECT_GT(crashes, 0);
+}
+
+TEST(ChaosPlanTest, InstallAndRestoreDriveTheNetwork) {
+  ChaosPlan::Options opts;
+  opts.num_nodes = 4;
+  opts.rounds = 48;
+  opts.seed = 7;
+  ChaosPlan plan(opts);
+  SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
+  for (int i = 0; i < plan.num_rounds(); ++i) {
+    const ChaosPlan::Round& r = plan.round(i);
+    plan.Install(i, &net);
+    if (!r.group.empty()) {
+      int inside = *r.group.begin();
+      int outside = -1;
+      for (int n = 0; n < opts.num_nodes; ++n) {
+        if (r.group.count(n) == 0) outside = n;
+      }
+      ASSERT_GE(outside, 0);
+      // Whatever the structural fault, inside→outside traffic is cut.
+      EXPECT_FALSE(net.Reachable(inside, outside)) << "round " << i;
+      if (r.kind == ChaosPlan::Round::Kind::kAsymmetricPartition) {
+        EXPECT_TRUE(net.Reachable(outside, inside)) << "round " << i;
+      }
+    }
+    plan.Restore(i, &net);
+    for (int a = 0; a < opts.num_nodes; ++a) {
+      for (int b = 0; b < opts.num_nodes; ++b) {
+        EXPECT_TRUE(net.Reachable(a, b));
+      }
+    }
+  }
+}
+
+TEST(DistributedEngineChaosTest, MinorityClientWritesFailWithoutEffect) {
+  DistributedEngine engine(AccountSchema(), ChaosNet(4, 8, 3));
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.InsertFrom(0, MakeRow(i, i)).ok());
+  }
+
+  // Cut node 0 away. A client stranded there can reach no tablet quorum:
+  // every write must fail cleanly — kUnavailable and no state change.
+  engine.network()->Partition({0}, {1, 2, 3});
+  for (int64_t i = 100; i < 120; ++i) {
+    Status st = engine.InsertFrom(0, MakeRow(i, i));
+    EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  }
+  EXPECT_GT(engine.quorum_failures() + engine.rpc_retries(), 0u);
+
+  // Majority-side clients keep writing: tablets homed on node 0 fail over
+  // to a surviving replica.
+  size_t majority_ok = 0;
+  for (int64_t i = 200; i < 260; ++i) {
+    if (engine.InsertFrom(1 + (i % 3), MakeRow(i, i)).ok()) ++majority_ok;
+  }
+  EXPECT_EQ(majority_ok, 60u);
+  EXPECT_GT(engine.leader_failovers(), 0u);
+
+  engine.network()->Heal();
+  engine.CatchUpReplicas();
+  EXPECT_TRUE(engine.CheckReplicasConsistent());
+  EXPECT_EQ(engine.TotalRows(), 160u);  // 100 pre-fault + 60 failed-over
+
+  // The healed minority node is a full citizen again.
+  EXPECT_TRUE(engine.InsertFrom(0, MakeRow(500, 500)).ok());
+  EXPECT_TRUE(engine.CheckReplicasConsistent());
+}
+
+TEST(DistributedEngineChaosTest, FailoverLookupReadsFromSurvivingReplica) {
+  DistributedEngine engine(AccountSchema(), ChaosNet(4, 8, 3));
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.InsertFrom(0, MakeRow(i, i * 10)).ok());
+  }
+
+  // Crash the home leader of key 7's tablet; reads from the surviving
+  // side must fail over to a replica.
+  Schema schema = AccountSchema();
+  int p = engine.PartitionOf(EncodeKey(schema, MakeRow(7, 0)));
+  int leader = engine.LeaderNode(p);
+  engine.network()->SetNodeDown(leader);
+
+  int client = (leader + 1) % 4;
+  auto r = engine.FailoverLookup(client, MakeRow(7, 0));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)[1].AsInt64(), 70);
+  EXPECT_GT(engine.read_failovers() + engine.leader_failovers(), 0u);
+
+  // Missing keys are kNotFound (reached a replica), not kUnavailable.
+  auto missing = engine.FailoverLookup(client, MakeRow(9999, 0));
+  EXPECT_TRUE(missing.status().IsNotFound()) << missing.status().ToString();
+
+  engine.network()->SetNodeUp(leader);
+  engine.CatchUpReplicas();
+  EXPECT_TRUE(engine.CheckReplicasConsistent());
+}
+
+// Satellite: same seed ⇒ identical fault schedule *and* identical
+// workload outcome, end to end through the engine.
+TEST(DistributedEngineChaosTest, SameSeedSameOutcome) {
+  auto run = [](uint64_t seed) {
+    DistributedEngine engine(AccountSchema(), ChaosNet(4, 4, 3));
+    ChaosPlan::Options copts;
+    copts.num_nodes = 4;
+    copts.rounds = 6;
+    copts.seed = seed;
+    copts.max_jitter_us = 0;  // keep the test fast
+    ChaosPlan plan(copts);
+    std::vector<char> outcomes;
+    int64_t next_id = 0;
+    for (int i = 0; i < plan.num_rounds(); ++i) {
+      plan.Install(i, engine.network());
+      for (int k = 0; k < 30; ++k) {
+        int64_t id = next_id++;
+        Status st = engine.InsertFrom(static_cast<int>(id % 4),
+                                      MakeRow(id, id));
+        outcomes.push_back(st.ok() ? 1 : 0);
+      }
+      plan.Restore(i, engine.network());
+      engine.CatchUpReplicas();
+    }
+    EXPECT_TRUE(engine.CheckReplicasConsistent());
+    return std::make_pair(outcomes, engine.TotalRows());
+  };
+  auto a = run(42);
+  auto b = run(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace oltap

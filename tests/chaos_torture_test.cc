@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/chaos.h"
+#include "dist/network.h"
+#include "dist/partition.h"
+#include "sched/workload_manager.h"
+
+namespace oltap {
+namespace {
+
+// Chaos torture: a ChaosPlan drives seeded rounds of partition / crash /
+// link-noise faults against the replicated distributed engine while a
+// WorkloadManager runs mixed OLTP+OLAP load over it. The single invariant
+// under test is the write contract: a write that returned OK is durable —
+// after the fault heals, the row is readable with exactly the committed
+// value on a consistent replica set; a write that failed had no effect.
+// "Zero lost committed transactions", checked against a shadow model.
+//
+// OLTAP_CHAOS_ROUNDS overrides the round count (sanitizer CI runs a
+// reduced schedule; the nightly cron runs the full 24+).
+
+constexpr int kNodes = 4;
+constexpr int kWritersPerRound = 4;
+constexpr int kWritesPerWriter = 40;
+
+int RoundsFromEnv() {
+  const char* env = std::getenv("OLTAP_CHAOS_ROUNDS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 24;
+}
+
+Schema AccountSchema() {
+  return SchemaBuilder()
+      .AddInt64("id", false)
+      .AddInt64("balance")
+      .SetKey({"id"})
+      .Build();
+}
+
+Row MakeRow(int64_t id, int64_t balance) {
+  return Row{Value::Int64(id), Value::Int64(balance)};
+}
+
+DistributedEngine::Options EngineOptions() {
+  DistributedEngine::Options opts;
+  opts.num_nodes = kNodes;
+  opts.num_partitions = 8;
+  opts.replication_factor = 3;
+  opts.net.base_latency_us = 0;
+  opts.net.per_kb_us = 0;
+  opts.rpc_retry.max_attempts = 3;
+  opts.rpc_retry.initial_backoff_us = 1;
+  opts.rpc_retry.max_backoff_us = 8;
+  opts.rpc_retry.deadline_us = 50'000;
+  opts.breaker.failure_threshold = 4;
+  opts.breaker.open_cooldown_us = 0;  // recover instantly after heal
+  opts.max_read_staleness = 1'000'000'000;
+  return opts;
+}
+
+WorkloadManager::Options SchedOptions() {
+  WorkloadManager::Options opts;
+  opts.num_workers = 6;
+  opts.policy = SchedulingPolicy::kOltpPriority;
+  opts.olap_admission_limit = 4;
+  opts.olap_degrade_threshold = 2;
+  opts.degraded_batch_rows = 256;
+  opts.memory_budget_bytes = 64 << 20;
+  return opts;
+}
+
+TEST(ChaosTortureTest, NoCommittedWriteIsEverLost) {
+  const int rounds = RoundsFromEnv();
+
+  DistributedEngine engine(AccountSchema(), EngineOptions());
+  WorkloadManager wm(SchedOptions());
+
+  ChaosPlan::Options chaos;
+  chaos.num_nodes = kNodes;
+  chaos.rounds = rounds;
+  chaos.seed = 42;
+  chaos.max_jitter_us = 50;  // enough to reorder, cheap enough to run often
+  ChaosPlan plan(chaos);
+  SCOPED_TRACE("schedule: " + plan.Describe());
+
+  // Shadow model of everything the engine acknowledged. Writers own
+  // disjoint key ranges, so per-key history is totally ordered and the
+  // expected value of a key is simply its last OK write.
+  std::mutex shadow_mu;
+  std::map<int64_t, int64_t> shadow;
+
+  std::atomic<uint64_t> ok_writes{0};
+  std::atomic<uint64_t> failed_writes{0};
+  std::atomic<uint64_t> olap_ok{0};
+  std::atomic<uint64_t> olap_shed{0};
+
+  for (int r = 0; r < plan.num_rounds(); ++r) {
+    SCOPED_TRACE("round " + std::to_string(r) + " (" +
+                 ChaosPlan::KindToString(plan.round(r).kind) + ")");
+    plan.Install(r, engine.network());
+
+    std::vector<WorkloadManager::Submission> subs;
+    // OLTP writers: insert fresh keys, then update a slice of them.
+    // Clients are spread over all nodes — including faulted ones, whose
+    // writes must fail *cleanly* (no effect), never silently succeed.
+    for (int w = 0; w < kWritersPerRound; ++w) {
+      WorkloadManager::QuerySpec spec;
+      subs.push_back(wm.SubmitBudgeted(
+          QueryClass::kOltp, spec,
+          [&, r, w](const CancellationToken&,
+                    const WorkloadManager::QueryGrant&) {
+            std::map<int64_t, int64_t> committed;
+            for (int k = 0; k < kWritesPerWriter; ++k) {
+              int64_t id = static_cast<int64_t>(r) * 1'000'000 +
+                           w * 10'000 + k;
+              int client = (w + k) % kNodes;
+              Status st = engine.InsertFrom(client, MakeRow(id, id));
+              if (st.ok()) {
+                committed[id] = id;
+                ok_writes.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                failed_writes.fetch_add(1, std::memory_order_relaxed);
+              }
+              // Update every 4th key we know committed.
+              if (k % 4 == 0 && !committed.empty()) {
+                int64_t target = committed.begin()->first;
+                Status up = engine.UpdateFrom(client,
+                                              MakeRow(target, target + 7));
+                if (up.ok()) {
+                  committed[target] = target + 7;
+                  ok_writes.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                  failed_writes.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+            }
+            std::lock_guard<std::mutex> lock(shadow_mu);
+            for (const auto& [id, balance] : committed) {
+              shadow[id] = balance;
+            }
+            return Status::OK();
+          }));
+    }
+    // OLAP flood: scatter-gather scans; more than the admission limit so
+    // shedding and degradation both trigger under pressure.
+    for (int q = 0; q < 8; ++q) {
+      WorkloadManager::QuerySpec spec;
+      spec.est_memory_bytes = 1 << 20;
+      subs.push_back(wm.SubmitBudgeted(
+          QueryClass::kOlap, spec,
+          [&](const CancellationToken&,
+              const WorkloadManager::QueryGrant& grant) {
+            // A degraded grant caps the scan batch; the scan itself must
+            // stay correct either way (SumWhere over leaders).
+            (void)grant;
+            double sum = engine.SumWhere(1, CompareOp::kGe, 0, 1);
+            EXPECT_GE(sum, 0.0);
+            return Status::OK();
+          }));
+    }
+    size_t round_shed = 0;
+    for (auto& s : subs) {
+      Status st = s.done.get();
+      if (st.ok()) {
+        olap_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ASSERT_TRUE(st.IsResourceExhausted()) << st.ToString();
+        ++round_shed;
+      }
+    }
+    olap_shed.fetch_add(round_shed, std::memory_order_relaxed);
+
+    // Heal, converge, and verify the full shadow: every acknowledged
+    // write of every round so far must still be present and exact.
+    plan.Restore(r, engine.network());
+    engine.CatchUpReplicas();
+    ASSERT_TRUE(engine.CheckReplicasConsistent()) << "after round " << r;
+    {
+      std::lock_guard<std::mutex> lock(shadow_mu);
+      ASSERT_EQ(engine.TotalRows(), shadow.size()) << "after round " << r;
+      for (const auto& [id, balance] : shadow) {
+        auto got = engine.FailoverLookup(0, MakeRow(id, 0));
+        ASSERT_TRUE(got.ok())
+            << "lost committed key " << id << ": " << got.status().ToString();
+        ASSERT_EQ((*got)[1].AsInt64(), balance) << "key " << id;
+      }
+    }
+  }
+  wm.Drain();
+
+  // The schedule must have actually hurt: faulted rounds make some writes
+  // fail, and the OLAP flood must have tripped admission control.
+  EXPECT_GT(ok_writes.load(), 0u);
+  EXPECT_GT(failed_writes.load(), 0u) << "chaos plan never bit";
+  EXPECT_GT(olap_shed.load() + wm.degraded_admissions(), 0u);
+  EXPECT_GT(engine.leader_failovers() + engine.quorum_failures(), 0u);
+}
+
+}  // namespace
+}  // namespace oltap

@@ -9,6 +9,7 @@
 #include "dist/coordinator.h"
 #include "dist/network.h"
 #include "dist/partition.h"
+#include "failpoint_fixture.h"
 
 namespace oltap {
 namespace {
@@ -145,7 +146,10 @@ TEST(DistributedEngineTest, ConcurrentClientsScaleWithoutCorruption) {
   EXPECT_DOUBLE_EQ(total, kThreads * kPerThread);
 }
 
-TEST(TwoPhaseCommitTest, AllYesCommits) {
+// 2PC tests arm failpoints; the fixture asserts none leak.
+class TwoPhaseCommitTest : public FailpointTest {};
+
+TEST_F(TwoPhaseCommitTest, AllYesCommits) {
   SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
   TwoPhaseCoordinator coord(&net, 0);
   std::atomic<int> prepared{0}, committed{0};
@@ -164,7 +168,7 @@ TEST(TwoPhaseCommitTest, AllYesCommits) {
   EXPECT_EQ(coord.commits(), 1u);
 }
 
-TEST(TwoPhaseCommitTest, OneNoAbortsAll) {
+TEST_F(TwoPhaseCommitTest, OneNoAbortsAll) {
   SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
   TwoPhaseCoordinator coord(&net, 0);
   std::atomic<int> rolled_back{0};
@@ -189,7 +193,7 @@ TwoPhaseCoordinator::Options FastRetry(int max_attempts) {
   return opts;
 }
 
-TEST(TwoPhaseCommitTest, LostPrepareIsRetriedThenCommits) {
+TEST_F(TwoPhaseCommitTest, LostPrepareIsRetriedThenCommits) {
   SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
   TwoPhaseCoordinator coord(&net, 0, FastRetry(4));
   FailpointConfig cfg;
@@ -214,7 +218,7 @@ TEST(TwoPhaseCommitTest, LostPrepareIsRetriedThenCommits) {
   EXPECT_EQ(coord.commits(), 1u);
 }
 
-TEST(TwoPhaseCommitTest, SilentParticipantAbortsOnIndecision) {
+TEST_F(TwoPhaseCommitTest, SilentParticipantAbortsOnIndecision) {
   SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
   TwoPhaseCoordinator coord(&net, 0, FastRetry(3));
   FailpointConfig cfg;
@@ -238,7 +242,7 @@ TEST(TwoPhaseCommitTest, SilentParticipantAbortsOnIndecision) {
   EXPECT_EQ(coord.prepare_retries(), 9u);  // 3 participants x 3 attempts
 }
 
-TEST(TwoPhaseCommitTest, LostAckRedeliversDecision) {
+TEST_F(TwoPhaseCommitTest, LostAckRedeliversDecision) {
   SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
   TwoPhaseCoordinator coord(&net, 0, FastRetry(3));
   FailpointConfig cfg;
@@ -262,7 +266,7 @@ TEST(TwoPhaseCommitTest, LostAckRedeliversDecision) {
   EXPECT_EQ(coord.unacked_finishes(), 0u);
 }
 
-TEST(TwoPhaseCommitTest, UnackedDecisionDoesNotChangeOutcome) {
+TEST_F(TwoPhaseCommitTest, UnackedDecisionDoesNotChangeOutcome) {
   SimulatedNetwork net(SimulatedNetwork::Options{0, 0});
   TwoPhaseCoordinator coord(&net, 0, FastRetry(2));
   FailpointConfig cfg;
@@ -281,7 +285,7 @@ TEST(TwoPhaseCommitTest, UnackedDecisionDoesNotChangeOutcome) {
   EXPECT_EQ(coord.unacked_finishes(), 1u);
 }
 
-TEST(TwoPhaseCommitTest, CrossPartitionTransferAtomicity) {
+TEST_F(TwoPhaseCommitTest, CrossPartitionTransferAtomicity) {
   // Transfer between two accounts on different partitions under 2PC: the
   // total must be conserved whether the transaction commits or aborts.
   DistributedEngine engine(AccountSchema(), FastNet(4, 8, 1));

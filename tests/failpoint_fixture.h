@@ -1,0 +1,37 @@
+#ifndef OLTAP_TESTS_FAILPOINT_FIXTURE_H_
+#define OLTAP_TESTS_FAILPOINT_FIXTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "gtest/gtest.h"
+
+namespace oltap {
+
+// Failpoint hygiene for fault-injection tests. The registry is process-
+// global, so one test that exits with a failpoint still armed silently
+// injects faults into every later test in the binary. This fixture
+// guarantees a clean registry on entry and *asserts* (not just cleans)
+// that the test disarmed everything it enabled.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Get().DisableAll(); }
+
+  void TearDown() override {
+    std::vector<std::string> active = FailpointRegistry::Get().ActiveList();
+    if (!active.empty()) {
+      std::string joined;
+      for (const std::string& name : active) {
+        if (!joined.empty()) joined += ", ";
+        joined += name;
+      }
+      ADD_FAILURE() << "test left failpoints armed: " << joined;
+      FailpointRegistry::Get().DisableAll();
+    }
+  }
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_TESTS_FAILPOINT_FIXTURE_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "failpoint_fixture.h"
 #include "common/rng.h"
 #include "storage/catalog.h"
 #include "txn/checkpoint.h"
@@ -71,7 +72,9 @@ void ExpectShadowEquality(const Shadow& recovered, const Shadow& shadow) {
   }
 }
 
-TEST(RecoveryTortureTest, RandomizedCrashRecoverRounds) {
+class RecoveryTortureTest : public FailpointTest {};
+
+TEST_F(RecoveryTortureTest, RandomizedCrashRecoverRounds) {
   constexpr int kRounds = 24;
   int torn_wal_rounds = 0;
   int failed_checkpoint_writes = 0;
@@ -242,7 +245,6 @@ TEST(RecoveryTortureTest, RandomizedCrashRecoverRounds) {
   EXPECT_GT(torn_checkpoint_images, 0);
   EXPECT_GT(fallback_recoveries, 0);
   (void)failed_checkpoint_writes;
-  FailpointRegistry::Get().DisableAll();
 }
 
 }  // namespace

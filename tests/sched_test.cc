@@ -144,10 +144,12 @@ TEST(WorkloadManagerTest, AdmissionControlRejectsOlapFlood) {
   }
   size_t rejected = 0;
   for (auto& f : futures) {
-    if (f.get().IsUnavailable()) ++rejected;
+    if (f.get().IsResourceExhausted()) ++rejected;
   }
   EXPECT_GT(rejected, 0u);
   EXPECT_EQ(wm.rejected_olap(), rejected);
+  EXPECT_EQ(wm.shed(), rejected);
+  EXPECT_EQ(wm.admitted() + rejected, 30u);
   // OLTP is never rejected.
   auto f = wm.Submit(QueryClass::kOltp, [] {});
   EXPECT_TRUE(f.get().ok());
@@ -314,6 +316,112 @@ TEST(WorkloadManagerTest, StatsPercentilesOrdered) {
   EXPECT_LE(s.p95_us, s.p99_us);
   EXPECT_LE(s.p99_us, s.max_us);
   EXPECT_GT(s.mean_us, 0.0);
+}
+
+
+// A worker-blocking gate: holds every worker busy until released, so
+// admission decisions are driven purely by queue depth.
+struct Gate {
+  std::promise<void> release;
+  std::shared_future<void> released{release.get_future().share()};
+  void Open() { release.set_value(); }
+};
+
+TEST(WorkloadManagerTest, OltpQueueBoundIsABackstop) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  opts.oltp_admission_limit = 2;
+  WorkloadManager wm(opts);
+  Gate gate;
+  auto blocker = wm.Submit(QueryClass::kOltp,
+                           [f = gate.released] { f.wait(); });
+  // Worker busy: queue up to the bound, then shed.
+  std::vector<std::future<Status>> queued;
+  while (true) {
+    auto f = wm.Submit(QueryClass::kOltp, [] {});
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      Status st = f.get();
+      ASSERT_TRUE(st.IsResourceExhausted()) << st.ToString();
+      break;
+    }
+    queued.push_back(std::move(f));
+    ASSERT_LE(queued.size(), 64u) << "admission bound never enforced";
+  }
+  EXPECT_EQ(wm.shed(), 1u);
+  EXPECT_EQ(wm.rejected_olap(), 0u);  // OLTP sheds are not OLAP rejections
+  gate.Open();
+  for (auto& f : queued) EXPECT_TRUE(f.get().ok());
+  EXPECT_TRUE(blocker.get().ok());
+}
+
+TEST(WorkloadManagerTest, MemoryBudgetShedsOlapButNeverOltp) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  opts.memory_budget_bytes = 1000;
+  WorkloadManager wm(opts);
+  Gate gate;
+  auto blocker = wm.Submit(QueryClass::kOltp,
+                           [f = gate.released] { f.wait(); });
+
+  WorkloadManager::QuerySpec big;
+  big.est_memory_bytes = 600;
+  auto noop = [](const CancellationToken&,
+                 const WorkloadManager::QueryGrant&) { return Status::OK(); };
+
+  auto first = wm.SubmitBudgeted(QueryClass::kOlap, big, noop);
+  EXPECT_EQ(wm.memory_in_use(), 600u);
+  // Second OLAP query would overshoot the budget → shed.
+  auto second = wm.SubmitBudgeted(QueryClass::kOlap, big, noop);
+  Status st = second.done.get();
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+  // OLTP is exempt from the memory budget — it is the protected class.
+  auto oltp = wm.SubmitBudgeted(QueryClass::kOltp, big, noop);
+
+  gate.Open();
+  EXPECT_TRUE(first.done.get().ok());
+  EXPECT_TRUE(oltp.done.get().ok());
+  EXPECT_TRUE(blocker.get().ok());
+  wm.Drain();
+  EXPECT_EQ(wm.memory_in_use(), 0u);  // released on completion
+  EXPECT_EQ(wm.shed(), 1u);
+}
+
+TEST(WorkloadManagerTest, OlapDegradesUnderQueuePressure) {
+  WorkloadManager::Options opts;
+  opts.num_workers = 1;
+  opts.olap_degrade_threshold = 2;
+  opts.degraded_batch_rows = 128;
+  WorkloadManager wm(opts);
+  Gate gate;
+  auto blocker = wm.Submit(QueryClass::kOltp,
+                           [f = gate.released] { f.wait(); });
+
+  std::atomic<int> degraded_runs{0};
+  std::atomic<int> full_runs{0};
+  auto work = [&](const CancellationToken&,
+                  const WorkloadManager::QueryGrant& grant) {
+    if (grant.degraded) {
+      EXPECT_EQ(grant.batch_budget_rows, 128u);
+      degraded_runs.fetch_add(1);
+    } else {
+      EXPECT_EQ(grant.batch_budget_rows, 0u);
+      full_runs.fetch_add(1);
+    }
+    return Status::OK();
+  };
+  std::vector<WorkloadManager::Submission> subs;
+  for (int i = 0; i < 4; ++i) {
+    subs.push_back(wm.SubmitBudgeted(QueryClass::kOlap,
+                                     WorkloadManager::QuerySpec{}, work));
+  }
+  gate.Open();
+  for (auto& s : subs) EXPECT_TRUE(s.done.get().ok());
+  EXPECT_TRUE(blocker.get().ok());
+  // Queue depths at admission were 0,1,2,3 → the last two degraded.
+  EXPECT_EQ(full_runs.load(), 2);
+  EXPECT_EQ(degraded_runs.load(), 2);
+  EXPECT_EQ(wm.degraded_admissions(), 2u);
+  EXPECT_EQ(wm.shed(), 0u);
 }
 
 }  // namespace
