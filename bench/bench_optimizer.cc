@@ -1,0 +1,201 @@
+// E16 — Cost-based optimization (System R [36] lineage: statistics,
+// join ordering, access-path selection).
+//
+// Two A/B comparisons:
+//   1. Join order: a star query written in the worst FROM order (fact
+//      first), executed with the optimizer off (FROM-order joins, the
+//      pre-optimizer planner) vs. on (DPsize order over ANALYZE stats).
+//      Expected: the optimizer builds hash tables on the filtered
+//      dimensions instead of the fact table and wins by the ratio of
+//      build-side sizes.
+//   2. Access path: a selective aggregate over a merged dual-format
+//      table with the scan forced to the row mirror, forced to the
+//      column mirror, and left to the cost model. Expected: the model
+//      picks whichever forced side measured faster.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("optimizer");
+
+#include <memory>
+#include <string>
+
+#include "exec/operators.h"
+#include "sql/session.h"
+
+namespace oltap {
+namespace {
+
+// Star schema: a fact table joining two small, selective dimensions.
+constexpr int kFactRows = 100000;
+constexpr int kDimARows = 100;
+constexpr int kDimBRows = 1000;
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    auto ok = [](const Result<QueryResult>& r) {
+      if (!r.ok()) std::abort();
+    };
+    ok(d->Execute("CREATE TABLE fact (id BIGINT NOT NULL, a_id BIGINT, "
+                  "b_id BIGINT, amount DOUBLE, PRIMARY KEY (id)) "
+                  "FORMAT COLUMN"));
+    ok(d->Execute("CREATE TABLE dim_a (a_id BIGINT NOT NULL, region TEXT, "
+                  "PRIMARY KEY (a_id)) FORMAT ROW"));
+    ok(d->Execute("CREATE TABLE dim_b (b_id BIGINT NOT NULL, grp BIGINT, "
+                  "PRIMARY KEY (b_id)) FORMAT ROW"));
+    ok(d->Execute("CREATE TABLE dual_t (id BIGINT NOT NULL, k BIGINT, "
+                  "v DOUBLE, PRIMARY KEY (id)) FORMAT DUAL"));
+
+    std::string sql;
+    for (int i = 0; i < kFactRows; ++i) {
+      sql += (sql.empty() ? "INSERT INTO fact VALUES " : ", ");
+      sql += "(" + std::to_string(i) + ", " + std::to_string(i % kDimARows) +
+             ", " + std::to_string(i % kDimBRows) + ", " +
+             std::to_string((i % 97) * 1.5) + ")";
+      if (i % 500 == 499) {
+        ok(d->Execute(sql));
+        sql.clear();
+      }
+    }
+    if (!sql.empty()) ok(d->Execute(sql));
+    sql.clear();
+    for (int i = 0; i < kDimARows; ++i) {
+      sql += (sql.empty() ? "INSERT INTO dim_a VALUES " : ", ");
+      sql += "(" + std::to_string(i) + ", 'r" + std::to_string(i % 4) + "')";
+    }
+    ok(d->Execute(sql));
+    sql.clear();
+    for (int i = 0; i < kDimBRows; ++i) {
+      sql += (sql.empty() ? "INSERT INTO dim_b VALUES " : ", ");
+      sql += "(" + std::to_string(i) + ", " + std::to_string(i % 10) + ")";
+      if (i % 500 == 499) {
+        ok(d->Execute(sql));
+        sql.clear();
+      }
+    }
+    if (!sql.empty()) ok(d->Execute(sql));
+    sql.clear();
+    for (int i = 0; i < 50000; ++i) {
+      sql += (sql.empty() ? "INSERT INTO dual_t VALUES " : ", ");
+      sql += "(" + std::to_string(i) + ", " + std::to_string(i % 1000) +
+             ", 1.0)";
+      if (i % 500 == 499) {
+        ok(d->Execute(sql));
+        sql.clear();
+      }
+    }
+    if (!sql.empty()) ok(d->Execute(sql));
+    d->MergeAll();
+    ok(d->Execute("ANALYZE"));
+    return d;
+  }();
+  return db;
+}
+
+// The star query, deliberately written fact-first so FROM order is the
+// worst plan (builds a 100k-row hash table, then another full-width one).
+const char* kStarQuery =
+    "SELECT dim_b.grp, COUNT(*), SUM(fact.amount) "
+    "FROM fact JOIN dim_a ON fact.a_id = dim_a.a_id "
+    "JOIN dim_b ON fact.b_id = dim_b.b_id "
+    "WHERE dim_a.region = 'r0' AND dim_b.grp = 3 "
+    "GROUP BY dim_b.grp";
+
+void BM_StarJoin(benchmark::State& state) {
+  Database* db = SharedDb();
+  const bool optimize = state.range(0) != 0;
+  db->set_optimizer_enabled(optimize);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = db->Execute(kStarQuery);
+    if (!r.ok()) std::abort();
+    rows = r->rows.size();
+  }
+  db->set_optimizer_enabled(true);
+  benchmark::DoNotOptimize(rows);
+  state.SetItemsProcessed(state.iterations() * kFactRows);
+  state.SetLabel(optimize ? "optimizer=on" : "optimizer=off");
+  bench::Reporter::Get()->Metric(
+      optimize ? "star_join_on_items_s" : "star_join_off_items_s",
+      state.iterations() * static_cast<double>(kFactRows));
+}
+BENCHMARK(BM_StarJoin)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Access-path A/B: the same selective scan forced down each mirror of the
+// dual table, plus the path the cost model actually picks.
+void BM_AccessPath(benchmark::State& state) {
+  Database* db = SharedDb();
+  Table* t = db->catalog()->GetTable("dual_t");
+  if (t == nullptr) std::abort();
+  Timestamp ts = db->txn_manager()->oracle()->CurrentReadTs();
+  ExprPtr pred = Expr::Compare(CompareOp::kEq,
+                               Expr::Column(1, ValueType::kInt64),
+                               Expr::Constant(Value::Int64(7)));
+  auto path = static_cast<ScanOp::Path>(state.range(0));
+  size_t n = 0;
+  for (auto _ : state) {
+    ScanOp scan(t, ts, pred, {}, path);
+    n = CollectRows(&scan).size();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+  state.SetLabel(path == ScanOp::Path::kRow      ? "path=row"
+                 : path == ScanOp::Path::kColumn ? "path=column"
+                                                 : "path=auto");
+}
+BENCHMARK(BM_AccessPath)
+    ->Arg(static_cast<int>(ScanOp::Path::kRow))
+    ->Arg(static_cast<int>(ScanOp::Path::kColumn))
+    ->Arg(static_cast<int>(ScanOp::Path::kAuto))
+    ->Unit(benchmark::kMicrosecond);
+
+// Feedback loop: repeated execution of a statement planned from default
+// (no-stats) estimates. The first run misestimates, crosses the q-error
+// threshold, and re-plans from measured cardinalities; steady state is
+// the corrected plan.
+void BM_FeedbackReplan(benchmark::State& state) {
+  // A private database: no ANALYZE, so planning starts from defaults.
+  static Database* db = [] {
+    auto* d = new Database();
+    auto ok = [](const Result<QueryResult>& r) {
+      if (!r.ok()) std::abort();
+    };
+    ok(d->Execute("CREATE TABLE f2 (id BIGINT NOT NULL, k BIGINT, "
+                  "PRIMARY KEY (id)) FORMAT COLUMN"));
+    ok(d->Execute("CREATE TABLE d2 (k BIGINT NOT NULL, t TEXT, "
+                  "PRIMARY KEY (k)) FORMAT ROW"));
+    std::string sql;
+    for (int i = 0; i < 20000; ++i) {
+      sql += (sql.empty() ? "INSERT INTO f2 VALUES " : ", ");
+      sql += "(" + std::to_string(i) + ", " + std::to_string(i % 50) + ")";
+      if (i % 500 == 499) {
+        ok(d->Execute(sql));
+        sql.clear();
+      }
+    }
+    if (!sql.empty()) ok(d->Execute(sql));
+    sql.clear();
+    for (int i = 0; i < 50; ++i) {
+      sql += (sql.empty() ? "INSERT INTO d2 VALUES " : ", ");
+      sql += "(" + std::to_string(i) + ", 'x')";
+    }
+    ok(d->Execute(sql));
+    return d;
+  }();
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto r = db->Execute(
+        "SELECT f2.id FROM f2 JOIN d2 ON f2.k = d2.k WHERE d2.t = 'x'");
+    if (!r.ok()) std::abort();
+    rows = r->rows.size();
+  }
+  benchmark::DoNotOptimize(rows);
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_FeedbackReplan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oltap

@@ -1,6 +1,7 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
@@ -53,6 +54,19 @@ ExprPtr RemapExprColumns(const ExprPtr& e, const std::vector<int>& remap) {
 void ExplainInto(const PhysicalOp* op, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   out->append(op->Describe());
+  // Optimizer annotations only when the planner produced estimates, so
+  // non-optimized plans render exactly as before.
+  if (op->est_rows() >= 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " est_rows=%lld",
+                  static_cast<long long>(std::llround(op->est_rows())));
+    out->append(buf);
+    if (op->est_cost() >= 0) {
+      std::snprintf(buf, sizeof(buf), " cost=%lld",
+                    static_cast<long long>(std::llround(op->est_cost())));
+      out->append(buf);
+    }
+  }
   out->push_back('\n');
   for (const PhysicalOp* child : op->Children()) {
     ExplainInto(child, depth + 1, out);
@@ -102,6 +116,7 @@ void ProfileInto(const PhysicalOp* op, obs::QueryProfile::Node* node) {
   node->rows = st.rows;
   node->batches = st.batches;
   node->time_ns = st.total_ns();
+  node->est_rows = op->est_rows();
   for (const PhysicalOp* child : op->Children()) {
     node->children.emplace_back();
     ProfileInto(child, &node->children.back());
@@ -138,6 +153,8 @@ std::string ScanOp::Describe() const {
   } else if (predicate_ != nullptr) {
     out += ", pred=" + predicate_->ToString();
   }
+  if (path_ == Path::kRow) out += ", path=row";
+  if (path_ == Path::kColumn) out += ", path=column";
   out += ")";
   return out;
 }
@@ -145,11 +162,12 @@ std::vector<const PhysicalOp*> ScanOp::Children() const { return {}; }
 
 
 ScanOp::ScanOp(const Table* table, Timestamp read_ts, ExprPtr predicate,
-               std::vector<int> projection)
+               std::vector<int> projection, Path path)
     : table_(table),
       read_ts_(read_ts),
       predicate_(std::move(predicate)),
-      projection_(std::move(projection)) {
+      projection_(std::move(projection)),
+      path_(path) {
   const Schema& schema = table_->schema();
   if (projection_.empty()) {
     projection_.resize(schema.num_columns());
@@ -172,10 +190,17 @@ void ScanOp::Open() {
   delta_done_ = false;
   row_scan_done_ = false;
 
-  columnar_ = table_->format() != TableFormat::kRow;
+  // Resolve the physical side: column whenever one exists (historical
+  // behavior), unless a forced path overrides it and the table actually
+  // has that mirror.
+  columnar_ = table_->column_table() != nullptr;
+  if (path_ == Path::kRow && table_->row_table() != nullptr) {
+    columnar_ = false;
+  }
   if (!columnar_) {
-    // Row engine: materialize passing rows once (OLTP-sized tables).
-    table_->ScanVisible(read_ts_, [&](const Row& row) {
+    // Row engine (or forced row mirror of a dual table): materialize
+    // passing rows once (OLTP-sized tables).
+    table_->row_table()->ScanVisible(read_ts_, [&](const Row& row) {
       ++rows_scanned_;
       if (predicate_ != nullptr) {
         Value v = predicate_->EvalRow(row);

@@ -42,8 +42,20 @@ class PhysicalOp {
   bool NextBatchTimed(Batch* out);
   const obs::OpStats& op_stats() const { return stats_; }
 
+  // Optimizer annotations. Negative (the default) means "no estimate":
+  // EXPLAIN omits the annotation entirely, which keeps non-optimized
+  // plans rendering byte-for-byte as they always have.
+  void set_estimates(double est_rows, double est_cost) {
+    est_rows_ = est_rows;
+    est_cost_ = est_cost;
+  }
+  double est_rows() const { return est_rows_; }
+  double est_cost() const { return est_cost_; }
+
  private:
   obs::OpStats stats_;
+  double est_rows_ = -1;
+  double est_cost_ = -1;
 };
 
 // Renders the operator tree, one indented line per node (EXPLAIN).
@@ -66,8 +78,14 @@ using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
 // selects and orders the output columns (empty = all columns).
 class ScanOp final : public PhysicalOp {
  public:
+  // Which mirror of a dual-format table to read. kAuto is the historical
+  // behavior (column side whenever the format has one); the optimizer
+  // resolves dual tables to an explicit side, and benches force the
+  // wrong one to measure the access-path gap.
+  enum class Path : uint8_t { kAuto, kRow, kColumn };
+
   ScanOp(const Table* table, Timestamp read_ts, ExprPtr predicate,
-         std::vector<int> projection = {});
+         std::vector<int> projection = {}, Path path = Path::kAuto);
 
   void Open() override;
   bool NextBatch(Batch* out) override;
@@ -78,6 +96,8 @@ class ScanOp final : public PhysicalOp {
   // Scan statistics for tests/benches.
   size_t rows_scanned() const { return rows_scanned_; }
   size_t zones_pruned() const { return zones_pruned_; }
+  const Table* table() const { return table_; }
+  Path path() const { return path_; }
 
  private:
   void PrepareMainSelection();
@@ -88,6 +108,7 @@ class ScanOp final : public PhysicalOp {
   Timestamp read_ts_;
   ExprPtr predicate_;
   std::vector<int> projection_;
+  Path path_ = Path::kAuto;
   std::vector<ValueType> out_types_;
 
   // Pushdown split (columnar path).

@@ -91,7 +91,10 @@ void RegisterCoreMetrics(MetricsRegistry* r) {
         "raft.messages", "dist.breaker.trips", "dist.breaker.rejected",
         "dist.leader_failovers", "dist.read_failovers",
         "dist.write_quorum_failures", "sched.admitted", "sched.shed",
-        "sched.degraded"}) {
+        "sched.degraded", "opt.plans", "opt.plans_optimized",
+        "opt.analyze_runs", "opt.order_cache_hits",
+        "opt.plan_invalidations", "opt.feedback_replans", "opt.path_row",
+        "opt.path_column"}) {
     r->GetCounter(name);
   }
   for (const char* name :
@@ -101,7 +104,7 @@ void RegisterCoreMetrics(MetricsRegistry* r) {
   }
   for (const char* name :
        {"wal.append_ns", "wal.fsync_ns", "txn.commit_ns",
-        "wm.latency_us.oltp", "wm.latency_us.olap"}) {
+        "wm.latency_us.oltp", "wm.latency_us.olap", "opt.qerror_x100"}) {
     r->GetHistogram(name);
   }
 }

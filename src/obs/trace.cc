@@ -10,6 +10,10 @@ void RenderInto(const QueryProfile::Node& node, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   out->append(node.name);
   char buf[96];
+  if (node.est_rows >= 0) {
+    std::snprintf(buf, sizeof(buf), " est_rows=%.0f", node.est_rows);
+    out->append(buf);
+  }
   std::snprintf(buf, sizeof(buf),
                 " rows=%llu batches=%llu time=%.3fms",
                 static_cast<unsigned long long>(node.rows),

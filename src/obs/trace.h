@@ -80,6 +80,8 @@ struct QueryProfile {
     uint64_t rows = 0;
     uint64_t batches = 0;
     uint64_t time_ns = 0;  // inclusive
+    // Planner row estimate for est-vs-actual reporting; < 0 = none.
+    double est_rows = -1;
     std::vector<Node> children;
   };
   Node root;

@@ -1,0 +1,131 @@
+#include "opt/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace oltap {
+namespace opt {
+namespace {
+
+double Clamp01(double s) { return std::clamp(s, 0.0, 1.0); }
+
+}  // namespace
+
+const ColumnStats* CardinalityEstimator::StatsFor(int column) const {
+  if (stats_ == nullptr || column < 0 ||
+      static_cast<size_t>(column) >= stats_->columns.size()) {
+    return nullptr;
+  }
+  return &stats_->columns[static_cast<size_t>(column)];
+}
+
+double CardinalityEstimator::ColumnPredicateSelectivity(
+    const Expr::ColumnPredicate& cp) const {
+  const ColumnStats* cs = StatsFor(cp.column);
+  if (cs == nullptr || cs->row_count == 0) {
+    switch (cp.op) {
+      case CompareOp::kEq:
+        return defaults::kEqSelectivity;
+      case CompareOp::kNe:
+        return 1.0 - defaults::kEqSelectivity;
+      default:
+        return defaults::kRangeSelectivity;
+    }
+  }
+  const double nonnull = 1.0 - cs->NullFraction();
+  if (nonnull <= 0) return 0.0;  // all-NULL column matches nothing
+
+  // Equality / inequality through NDV (uniform across distinct values).
+  auto eq_sel = [&]() -> double {
+    if (cs->ndv == 0) return 0.0;
+    if (cs->has_range && !cp.constant.is_null() &&
+        cp.constant.type() != ValueType::kString) {
+      double c = cp.constant.AsDouble();
+      if (c < cs->min || c > cs->max) return 0.0;
+    }
+    return nonnull / static_cast<double>(cs->ndv);
+  };
+
+  switch (cp.op) {
+    case CompareOp::kEq:
+      return Clamp01(eq_sel());
+    case CompareOp::kNe:
+      return Clamp01(nonnull - eq_sel());
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      if (cp.constant.is_null()) return 0.0;
+      if (cp.constant.type() == ValueType::kString || !cs->has_range) {
+        return Clamp01(nonnull * defaults::kRangeSelectivity);
+      }
+      double c = cp.constant.AsDouble();
+      bool inclusive = cp.op == CompareOp::kLe || cp.op == CompareOp::kGe;
+      double below = cs->FractionBelow(c, inclusive);
+      double frac =
+          (cp.op == CompareOp::kLt || cp.op == CompareOp::kLe) ? below
+                                                               : 1.0 - below;
+      return Clamp01(nonnull * frac);
+    }
+  }
+  return defaults::kGenericSelectivity;
+}
+
+double CardinalityEstimator::Selectivity(const ExprPtr& pred) const {
+  if (pred == nullptr) return 1.0;
+  switch (pred->kind()) {
+    case Expr::Kind::kAnd:
+      return Clamp01(Selectivity(pred->children()[0]) *
+                     Selectivity(pred->children()[1]));
+    case Expr::Kind::kOr: {
+      double a = Selectivity(pred->children()[0]);
+      double b = Selectivity(pred->children()[1]);
+      return Clamp01(a + b - a * b);
+    }
+    case Expr::Kind::kNot:
+      return Clamp01(1.0 - Selectivity(pred->children()[0]));
+    case Expr::Kind::kIsNull: {
+      const ExprPtr& child = pred->children()[0];
+      if (child->kind() == Expr::Kind::kColumn) {
+        const ColumnStats* cs = StatsFor(child->column_index());
+        if (cs != nullptr && cs->row_count > 0) return cs->NullFraction();
+      }
+      return defaults::kIsNullSelectivity;
+    }
+    case Expr::Kind::kCompare: {
+      Expr::ColumnPredicate cp;
+      if (pred->AsColumnPredicate(&cp)) {
+        return ColumnPredicateSelectivity(cp);
+      }
+      // col = col within one table, arithmetic comparisons, ...
+      return pred->compare_op() == CompareOp::kEq
+                 ? defaults::kEqSelectivity
+                 : defaults::kGenericSelectivity;
+    }
+    case Expr::Kind::kConst: {
+      // Constant predicate: true keeps everything, false/NULL nothing.
+      const Value& v = pred->constant();
+      return (!v.is_null() && v.AsBool()) ? 1.0 : 0.0;
+    }
+    default:
+      return defaults::kGenericSelectivity;
+  }
+}
+
+double EquiJoinSelectivity(const TableStats* lstats, int lcol, double lrows,
+                           const TableStats* rstats, int rcol, double rrows) {
+  auto ndv_of = [](const TableStats* s, int col, double rows) -> double {
+    if (s != nullptr && col >= 0 &&
+        static_cast<size_t>(col) < s->columns.size() &&
+        s->columns[static_cast<size_t>(col)].ndv > 0) {
+      return static_cast<double>(s->columns[static_cast<size_t>(col)].ndv);
+    }
+    return std::max(rows, 1.0);  // documented fallback: rows stand in
+  };
+  double ndv = std::max(ndv_of(lstats, lcol, lrows),
+                        ndv_of(rstats, rcol, rrows));
+  return ndv <= 1.0 ? 1.0 : 1.0 / ndv;
+}
+
+}  // namespace opt
+}  // namespace oltap

@@ -1,0 +1,68 @@
+#ifndef OLTAP_OPT_CARDINALITY_H_
+#define OLTAP_OPT_CARDINALITY_H_
+
+#include "exec/expr.h"
+#include "opt/stats.h"
+
+namespace oltap {
+namespace opt {
+
+// Every magic selectivity constant the optimizer falls back on when
+// statistics are missing lives HERE and nowhere else (the stale-stats
+// safety contract: a never-analyzed table plans with these, documented,
+// defaults instead of dividing by zero).
+namespace defaults {
+// column = constant with no NDV information (System R's 1/10).
+inline constexpr double kEqSelectivity = 0.1;
+// column < constant with no range information (System R's 1/3).
+inline constexpr double kRangeSelectivity = 1.0 / 3.0;
+// column IS NULL with no null-count information.
+inline constexpr double kIsNullSelectivity = 0.05;
+// Any predicate shape the estimator does not understand.
+inline constexpr double kGenericSelectivity = 0.25;
+// Rows assumed for a table with no statistics AND no physical row count
+// (never happens for catalog tables, but keeps arithmetic finite).
+inline constexpr double kDefaultRowCount = 1000.0;
+}  // namespace defaults
+
+// Selectivity / cardinality estimation over one table's predicate tree
+// (expressions bound to table-local column indices). `stats` may be null
+// (never analyzed): everything degrades to the defaults above. `base_rows`
+// is the table's current physical row count estimate, always supplied by
+// the caller so empty-but-analyzed and grown-since-analyzed tables stay
+// sane.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const TableStats* stats, double base_rows)
+      : stats_(stats), base_rows_(base_rows < 0 ? 0 : base_rows) {}
+
+  double base_rows() const { return base_rows_; }
+
+  // Selectivity of a (possibly compound) predicate, in [0, 1].
+  double Selectivity(const ExprPtr& pred) const;
+
+  // Estimated rows surviving `pred` (null = no predicate).
+  double EstimateRows(const ExprPtr& pred) const {
+    return pred == nullptr ? base_rows_ : base_rows_ * Selectivity(pred);
+  }
+
+ private:
+  double ColumnPredicateSelectivity(const Expr::ColumnPredicate& cp) const;
+  const ColumnStats* StatsFor(int column) const;
+
+  const TableStats* stats_;
+  double base_rows_;
+};
+
+// Selectivity of the equi-join l.lcol = r.rcol: 1 / max(NDV_l, NDV_r),
+// the textbook containment assumption. Missing stats fall back to the
+// side's row count standing in for its NDV (exact for key columns, an
+// overestimate of NDV — and therefore a conservative underestimate of the
+// join output — otherwise).
+double EquiJoinSelectivity(const TableStats* lstats, int lcol, double lrows,
+                           const TableStats* rstats, int rcol, double rrows);
+
+}  // namespace opt
+}  // namespace oltap
+
+#endif  // OLTAP_OPT_CARDINALITY_H_

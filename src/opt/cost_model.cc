@@ -1,0 +1,113 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+
+namespace oltap {
+namespace opt {
+
+const char* AccessPathToString(AccessPath p) {
+  switch (p) {
+    case AccessPath::kAuto:
+      return "auto";
+    case AccessPath::kRow:
+      return "row";
+    case AccessPath::kColumn:
+      return "column";
+  }
+  return "?";
+}
+
+double EstimateZoneSurvival(
+    const Table& table, Timestamp read_ts,
+    const std::vector<Expr::ColumnPredicate>& pushed) {
+  if (pushed.empty()) return 1.0;
+  std::optional<ColumnTable::Snapshot> snap =
+      table.GetColumnSnapshot(read_ts);
+  if (!snap.has_value() || snap->main == nullptr ||
+      snap->main->num_rows() == 0) {
+    return 1.0;
+  }
+  const MainFragment& main = *snap->main;
+  double survival = 1.0;
+  for (const Expr::ColumnPredicate& cp : pushed) {
+    if (cp.column < 0 ||
+        static_cast<size_t>(cp.column) >= main.num_columns()) {
+      continue;
+    }
+    const ColumnSegment& seg = main.column(static_cast<size_t>(cp.column));
+    // ScanCompareZoned only prunes encodings with a code-space rewrite;
+    // raw int64 and double segments scan in full regardless of the map.
+    if (seg.encoding() == ColumnSegment::Encoding::kRaw) continue;
+    if (seg.type() == ValueType::kString) continue;  // code-domain bounds
+    if (cp.constant.is_null() || cp.constant.type() == ValueType::kString) {
+      continue;
+    }
+    const ZoneMap& zm = seg.zone_map();
+    if (zm.num_zones() == 0) continue;
+    size_t matching = 0;
+    double c = cp.constant.AsDouble();
+    for (size_t z = 0; z < zm.num_zones(); ++z) {
+      if (zm.ZoneMayMatch(z, cp.op, c)) ++matching;
+    }
+    survival = std::min(survival, static_cast<double>(matching) /
+                                      static_cast<double>(zm.num_zones()));
+  }
+  return survival;
+}
+
+CostModel::ScanDecision CostModel::CostScan(
+    const Table& table, Timestamp read_ts,
+    const std::vector<Expr::ColumnPredicate>& pushed,
+    double est_out_rows) const {
+  est_out_rows = std::max(est_out_rows, 0.0);
+
+  const bool has_row = table.row_table() != nullptr;
+  const bool has_col = table.column_table() != nullptr;
+
+  double row_rows = 0;
+  if (has_row) {
+    row_rows = static_cast<double>(table.row_table()->num_keys());
+  }
+  double main_rows = 0, delta_rows = 0;
+  if (has_col) {
+    const ColumnTable* ct = table.column_table();
+    main_rows = static_cast<double>(ct->main_size());
+    delta_rows = static_cast<double>(ct->delta_size());
+  }
+
+  ScanDecision row_side;
+  row_side.path = AccessPath::kRow;
+  row_side.out_rows = est_out_rows;
+  row_side.cost = row_rows * kRowScanPerRow;
+
+  ScanDecision col_side;
+  col_side.path = AccessPath::kColumn;
+  col_side.out_rows = est_out_rows;
+  col_side.zone_survival = has_col
+                               ? EstimateZoneSurvival(table, read_ts, pushed)
+                               : 1.0;
+  col_side.cost = main_rows * kColumnScanPerRow * col_side.zone_survival +
+                  delta_rows * kRowScanPerRow +
+                  est_out_rows * kGatherPerRow;
+
+  if (has_col && has_row) return col_side.cost <= row_side.cost ? col_side
+                                                                : row_side;
+  if (has_col) return col_side;
+  return row_side;
+}
+
+CostModel::JoinCost CostModel::CostHashJoin(double build_rows,
+                                            double probe_rows,
+                                            double out_rows) const {
+  JoinCost jc;
+  build_rows = std::max(build_rows, 0.0);
+  probe_rows = std::max(probe_rows, 0.0);
+  out_rows = std::max(out_rows, 0.0);
+  jc.cost = build_rows * kHashBuildPerRow + probe_rows * kHashProbePerRow +
+            out_rows * kJoinOutputPerRow;
+  jc.build_bytes = build_rows * kBuildBytesPerRow;
+  return jc;
+}
+
+}  // namespace opt
+}  // namespace oltap

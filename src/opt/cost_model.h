@@ -1,0 +1,76 @@
+#ifndef OLTAP_OPT_COST_MODEL_H_
+#define OLTAP_OPT_COST_MODEL_H_
+
+#include <vector>
+
+#include "exec/expr.h"
+#include "storage/table.h"
+
+namespace oltap {
+namespace opt {
+
+// Which physical side a scan should read. kAuto preserves the engine's
+// historical behavior (column side whenever one exists); the optimizer
+// resolves dual-format tables to an explicit side, and benches force the
+// wrong side to measure the gap (E16).
+enum class AccessPath : uint8_t { kAuto, kRow, kColumn };
+
+const char* AccessPathToString(AccessPath p);
+
+// Unitless cost model. One unit ~= the work of visiting one row through
+// the row-wise scan path; the other constants are calibrated against the
+// measured ratios of E1 (row vs column scan throughput) and E2 (packed
+// kernels), not absolute nanoseconds — only comparisons between plans
+// matter.
+struct CostModel {
+  // Row-wise tuple visit + interpreted predicate (row store, delta rows).
+  static constexpr double kRowScanPerRow = 1.0;
+  // Packed/SWAR columnar kernel per main row (E1/E2: order-of-magnitude
+  // cheaper than row-wise).
+  static constexpr double kColumnScanPerRow = 0.08;
+  // Tuple reconstruction (gather) per selected output row of a column scan.
+  static constexpr double kGatherPerRow = 0.5;
+  // Hash-join build per build row and probe per probe row.
+  static constexpr double kHashBuildPerRow = 2.0;
+  static constexpr double kHashProbePerRow = 1.2;
+  // Per emitted join output row.
+  static constexpr double kJoinOutputPerRow = 0.3;
+  // Hash-join memory footprint per materialized build row (bytes-ish,
+  // only used for reporting / sanity in EXPLAIN, not plan choice yet).
+  static constexpr double kBuildBytesPerRow = 64.0;
+
+  struct ScanDecision {
+    AccessPath path = AccessPath::kAuto;  // resolved side (kAuto = forced)
+    double cost = 0;
+    double out_rows = 0;
+    // Estimated fraction of main-fragment zones a zone-mapped scan must
+    // actually touch (1.0 = no pruning expected).
+    double zone_survival = 1.0;
+  };
+
+  // Costs scanning `table` at `read_ts` with the (table-local) predicate
+  // whose pushable conjuncts are `pushed`, expecting `est_out_rows`
+  // output rows. Picks the cheaper mirror for dual-format tables.
+  ScanDecision CostScan(const Table& table, Timestamp read_ts,
+                        const std::vector<Expr::ColumnPredicate>& pushed,
+                        double est_out_rows) const;
+
+  struct JoinCost {
+    double cost = 0;          // build + probe + output
+    double build_bytes = 0;   // estimated build-side footprint
+  };
+  JoinCost CostHashJoin(double build_rows, double probe_rows,
+                        double out_rows) const;
+};
+
+// Estimated fraction of zone-mapped main zones that survive the pushed
+// predicates (min across conjuncts; 1.0 when nothing prunes). Exposed for
+// tests and EXPLAIN diagnostics.
+double EstimateZoneSurvival(
+    const Table& table, Timestamp read_ts,
+    const std::vector<Expr::ColumnPredicate>& pushed);
+
+}  // namespace opt
+}  // namespace oltap
+
+#endif  // OLTAP_OPT_COST_MODEL_H_

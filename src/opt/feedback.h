@@ -1,0 +1,67 @@
+#ifndef OLTAP_OPT_FEEDBACK_H_
+#define OLTAP_OPT_FEEDBACK_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace oltap {
+namespace opt {
+
+// A remembered plan is re-planned once its worst per-operator q-error
+// (max(est/actual, actual/est)) exceeds this factor.
+inline constexpr double kQErrorReplanThreshold = 4.0;
+
+// One executed operator's estimate-vs-reality sample, harvested from the
+// finished plan tree by the session layer.
+struct OpSample {
+  double est_rows = -1;     // planner estimate; < 0 = operator had none
+  double actual_rows = 0;   // rows the operator actually emitted
+  // FROM-relation index when this operator is that relation's scan,
+  // -1 for joins and other operators. Scan actuals are what re-planning
+  // feeds back as corrected base cardinalities.
+  int scan_from_index = -1;
+};
+
+// Estimation-feedback memo, keyed by a canonical statement fingerprint.
+// The planner records the join order it chose; after execution the
+// session reports per-operator samples. When the worst q-error crosses
+// kQErrorReplanThreshold the memoized order is invalidated and the
+// *measured* scan cardinalities are stored, so the next planning of the
+// same statement re-runs join ordering with observed numbers instead of
+// estimates (counters: opt.plan_invalidations, opt.feedback_replans;
+// histogram: opt.qerror_x100).
+class PlanFeedback {
+ public:
+  struct Entry {
+    std::vector<int> order;            // memoized join order (FROM indices)
+    std::vector<double> scan_actual_rows;  // by FROM index; -1 = unknown
+    bool has_actuals = false;
+    uint64_t uses = 0;
+  };
+
+  std::optional<Entry> Lookup(const std::string& fingerprint);
+
+  // Called by the planner after choosing `order` for this statement.
+  void RememberOrder(const std::string& fingerprint, std::vector<int> order);
+
+  // Called after execution. Records every sampled q-error into the obs
+  // registry, invalidates the memoized order when the worst q-error
+  // exceeds the threshold (stashing scan actuals for the re-plan), and
+  // returns that worst q-error (1.0 when nothing was estimated).
+  double Observe(const std::string& fingerprint,
+                 const std::vector<OpSample>& samples);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace opt
+}  // namespace oltap
+
+#endif  // OLTAP_OPT_FEEDBACK_H_

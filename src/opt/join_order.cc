@@ -1,0 +1,154 @@
+#include "opt/join_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace oltap {
+namespace opt {
+namespace {
+
+// Selectivity product of all edges connecting `r` to the subset `mask`;
+// also reports whether any edge connects them.
+double EdgeSelectivity(const JoinGraph& g, int r, uint32_t mask,
+                       bool* connected) {
+  double sel = 1.0;
+  *connected = false;
+  for (const JoinGraph::Edge& e : g.edges) {
+    int other = -1;
+    if (e.a == r) other = e.b;
+    if (e.b == r) other = e.a;
+    if (other < 0) continue;
+    if ((mask >> other) & 1u) {
+      sel *= e.selectivity;
+      *connected = true;
+    }
+  }
+  return sel;
+}
+
+// Cost tie within relative epsilon → deterministic lexicographic pick.
+bool Better(double cost, const std::vector<int>& order, double best_cost,
+            const std::vector<int>& best_order) {
+  const double eps = 1e-9 * std::max({1.0, cost, best_cost});
+  if (cost < best_cost - eps) return true;
+  if (cost > best_cost + eps) return false;
+  return order < best_order;
+}
+
+JoinOrderResult OrderGreedy(const JoinGraph& g, const CostModel& cm) {
+  const int n = static_cast<int>(g.rel_rows.size());
+  JoinOrderResult res;
+  std::vector<bool> placed(n, false);
+
+  // Seed with the smallest relation (ties → smallest index).
+  int first = 0;
+  for (int i = 1; i < n; ++i) {
+    if (g.rel_rows[i] < g.rel_rows[first]) first = i;
+  }
+  placed[first] = true;
+  res.order.push_back(first);
+  res.interm_rows.push_back(g.rel_rows[first]);
+  uint32_t mask = 1u << first;
+
+  double rows = g.rel_rows[first];
+  for (int step = 1; step < n; ++step) {
+    int pick = -1;
+    double pick_rows = std::numeric_limits<double>::infinity();
+    bool pick_connected = false;
+    for (int r = 0; r < n; ++r) {
+      if (placed[r]) continue;
+      bool connected;
+      double sel = EdgeSelectivity(g, r, mask, &connected);
+      double out = rows * g.rel_rows[r] * sel;
+      // Prefer connected extensions; cross products only when forced.
+      if (pick >= 0 && pick_connected && !connected) continue;
+      bool upgrade = connected && !pick_connected;
+      if (pick < 0 || upgrade || out < pick_rows) {
+        pick = r;
+        pick_rows = out;
+        pick_connected = connected;
+      }
+    }
+    res.total_cost += cm.CostHashJoin(rows, g.rel_rows[pick], pick_rows).cost;
+    rows = pick_rows;
+    placed[pick] = true;
+    mask |= 1u << pick;
+    res.order.push_back(pick);
+    res.interm_rows.push_back(rows);
+  }
+  return res;
+}
+
+}  // namespace
+
+JoinOrderResult OrderJoins(const JoinGraph& graph, const CostModel& cm) {
+  const int n = static_cast<int>(graph.rel_rows.size());
+  JoinOrderResult res;
+  if (n == 0) return res;
+  if (n == 1) {
+    res.order = {0};
+    res.interm_rows = {graph.rel_rows[0]};
+    res.used_dp = true;
+    return res;
+  }
+  if (n > kDpMaxRelations) return OrderGreedy(graph, cm);
+
+  // DPsize over subsets, left-deep: best[S] is the cheapest order whose
+  // relations are exactly S, extended one relation at a time.
+  const uint32_t full = (1u << n) - 1;
+  struct State {
+    double cost = std::numeric_limits<double>::infinity();
+    double rows = 0;
+    std::vector<int> order;
+    std::vector<double> interm;
+  };
+  std::vector<State> best(full + 1);
+  for (int r = 0; r < n; ++r) {
+    State& s = best[1u << r];
+    s.cost = 0;
+    s.rows = graph.rel_rows[r];
+    s.order = {r};
+    s.interm = {s.rows};
+  }
+
+  for (uint32_t S = 1; S <= full; ++S) {
+    if ((S & (S - 1)) == 0) continue;  // singletons seeded above
+    State& cur = best[S];
+    // Pass 1: connected extensions only; pass 2 (cross products) runs only
+    // if the subset has no connected way to form.
+    for (int pass = 0; pass < 2 && cur.order.empty(); ++pass) {
+      for (int r = 0; r < n; ++r) {
+        if (((S >> r) & 1u) == 0) continue;
+        uint32_t prev = S & ~(1u << r);
+        const State& p = best[prev];
+        if (p.order.empty()) continue;
+        bool connected;
+        double sel = EdgeSelectivity(graph, r, prev, &connected);
+        if (pass == 0 && !connected) continue;
+        double rows = p.rows * graph.rel_rows[r] * sel;
+        double cost =
+            p.cost + cm.CostHashJoin(p.rows, graph.rel_rows[r], rows).cost;
+        std::vector<int> order = p.order;
+        order.push_back(r);
+        if (cur.order.empty() || Better(cost, order, cur.cost, cur.order)) {
+          cur.cost = cost;
+          cur.rows = rows;
+          cur.order = std::move(order);
+          cur.interm = p.interm;
+          cur.interm.push_back(rows);
+        }
+      }
+    }
+  }
+
+  const State& win = best[full];
+  res.order = win.order;
+  res.interm_rows = win.interm;
+  res.total_cost = win.cost;
+  res.used_dp = true;
+  return res;
+}
+
+}  // namespace opt
+}  // namespace oltap

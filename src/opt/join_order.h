@@ -1,0 +1,46 @@
+#ifndef OLTAP_OPT_JOIN_ORDER_H_
+#define OLTAP_OPT_JOIN_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/cost_model.h"
+
+namespace oltap {
+namespace opt {
+
+// Join enumeration input: one entry per FROM relation with its estimated
+// cardinality *after* local predicates, plus the equi-join edges between
+// relations (selectivities from EquiJoinSelectivity).
+struct JoinGraph {
+  struct Edge {
+    int a = 0;
+    int b = 0;
+    double selectivity = 1.0;
+  };
+  std::vector<double> rel_rows;
+  std::vector<Edge> edges;
+};
+
+struct JoinOrderResult {
+  // Relation indices in join order: order[0] is the initial build side,
+  // each subsequent relation is probed against the accumulated result.
+  std::vector<int> order;
+  // Estimated rows after each prefix: interm_rows[k] = |order[0..k]| join.
+  std::vector<double> interm_rows;
+  double total_cost = 0;  // sum of hash-join costs (scans are order-free)
+  bool used_dp = false;   // DPsize (vs. greedy fallback)
+};
+
+// Left-deep join-order search: exhaustive DPsize over subsets for up to
+// kDpMaxRelations relations, greedy smallest-intermediate-first above.
+// Deterministic: cost ties break toward the lexicographically smallest
+// order vector, so equal-cost plans (and re-runs) always pick the same
+// order — FROM order wins a fully symmetric tie.
+inline constexpr int kDpMaxRelations = 8;
+JoinOrderResult OrderJoins(const JoinGraph& graph, const CostModel& cm);
+
+}  // namespace opt
+}  // namespace oltap
+
+#endif  // OLTAP_OPT_JOIN_ORDER_H_

@@ -1,0 +1,139 @@
+#include "opt/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace oltap {
+namespace opt {
+namespace {
+
+// Reservoir capacity for histogram construction and bucket count of the
+// equi-depth histograms. Sampling is algorithm R with a fixed seed so
+// ANALYZE is reproducible run to run.
+constexpr size_t kSampleCap = 65536;
+constexpr size_t kHistogramBuckets = 32;
+constexpr uint64_t kReservoirSeed = 0x5eedf00d;
+
+}  // namespace
+
+void DistinctSketch::Add(uint64_t hash) {
+  if (smallest_.size() < kK) {
+    smallest_.insert(hash);
+    return;
+  }
+  auto last = std::prev(smallest_.end());
+  if (hash >= *last) return;
+  if (smallest_.insert(hash).second) smallest_.erase(std::prev(smallest_.end()));
+}
+
+uint64_t DistinctSketch::Estimate() const {
+  if (smallest_.size() < kK) return smallest_.size();
+  // k-th smallest hash normalized to (0, 1]; +1 guards a zero hash.
+  double kth = (static_cast<double>(*std::prev(smallest_.end())) + 1.0) /
+               std::ldexp(1.0, 64);
+  double est = static_cast<double>(kK - 1) / kth;
+  return static_cast<uint64_t>(std::llround(est));
+}
+
+double ColumnStats::FractionBelow(double c, bool inclusive) const {
+  if (!has_range || row_count == null_count) return 0.0;
+  if (c < min) return 0.0;
+  if (c > max) return 1.0;
+  if (max == min) {
+    // Single-value column: everything sits at `min`.
+    return (c > min || (inclusive && c == min)) ? 1.0 : 0.0;
+  }
+  if (!bounds.empty()) {
+    // Equi-depth: each bucket holds 1/B of the mass. A heavy-hitter value
+    // repeats as the upper bound of several consecutive buckets, so count
+    // every bucket fully below (or at, when inclusive) c, then interpolate
+    // inside the one containing c. Bucket i spans (lower_i, bounds[i]]
+    // where lower_i = bounds[i-1] (or min for the first bucket).
+    const double per_bucket = 1.0 / static_cast<double>(bounds.size());
+    double lower = min;
+    size_t i = 0;
+    while (i < bounds.size() &&
+           (inclusive ? bounds[i] <= c : bounds[i] < c)) {
+      lower = bounds[i];
+      ++i;
+    }
+    if (i == bounds.size()) return 1.0;
+    double width = bounds[i] - lower;
+    double within =
+        width <= 0 ? 0.0 : std::clamp((c - lower) / width, 0.0, 1.0);
+    return std::clamp((static_cast<double>(i) + within) * per_bucket, 0.0,
+                      1.0);
+  }
+  // No histogram: assume uniform over [min, max].
+  return std::clamp((c - min) / (max - min), 0.0, 1.0);
+}
+
+TableStats AnalyzeTable(const Table& table, Timestamp read_ts) {
+  const Schema& schema = table.schema();
+  const size_t ncols = schema.num_columns();
+
+  TableStats ts;
+  ts.table = table.name();
+  ts.analyze_ts = read_ts;
+  // Snapshot the counter *before* scanning so writes racing the scan count
+  // as staleness, never as silently-covered rows.
+  ts.mod_count_at_analyze = table.mod_count();
+  ts.columns.resize(ncols);
+
+  std::vector<DistinctSketch> sketches(ncols);
+  std::vector<std::vector<double>> samples(ncols);
+  std::vector<uint64_t> numeric_seen(ncols, 0);
+  std::mt19937_64 rng(kReservoirSeed);
+
+  table.ScanVisible(read_ts, [&](const Row& row) {
+    ++ts.row_count;
+    for (size_t c = 0; c < ncols; ++c) {
+      ColumnStats& cs = ts.columns[c];
+      ++cs.row_count;
+      const Value& v = row[c];
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      sketches[c].Add(v.Hash());
+      if (v.type() == ValueType::kString) continue;
+      double d = v.AsDouble();
+      if (!cs.has_range) {
+        cs.has_range = true;
+        cs.min = cs.max = d;
+      } else {
+        cs.min = std::min(cs.min, d);
+        cs.max = std::max(cs.max, d);
+      }
+      // Reservoir sample (algorithm R) feeding the equi-depth histogram.
+      uint64_t seen = ++numeric_seen[c];
+      std::vector<double>& sample = samples[c];
+      if (sample.size() < kSampleCap) {
+        sample.push_back(d);
+      } else {
+        uint64_t j = rng() % seen;
+        if (j < kSampleCap) sample[j] = d;
+      }
+    }
+  });
+
+  for (size_t c = 0; c < ncols; ++c) {
+    ColumnStats& cs = ts.columns[c];
+    cs.ndv = sketches[c].Estimate();
+    std::vector<double>& sample = samples[c];
+    // Too few values to bucket: min/max interpolation is as good.
+    if (sample.size() < kHistogramBuckets * 2) continue;
+    std::sort(sample.begin(), sample.end());
+    cs.bounds.reserve(kHistogramBuckets);
+    for (size_t b = 1; b <= kHistogramBuckets; ++b) {
+      size_t idx = b * sample.size() / kHistogramBuckets;
+      cs.bounds.push_back(sample[std::min(idx, sample.size()) - 1]);
+    }
+    cs.bounds.back() = cs.max;
+  }
+  return ts;
+}
+
+}  // namespace opt
+}  // namespace oltap

@@ -1,0 +1,87 @@
+#ifndef OLTAP_OPT_STATS_H_
+#define OLTAP_OPT_STATS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace oltap {
+namespace opt {
+
+// KMV (k-minimum-values) distinct sketch: keeps the k smallest 64-bit
+// hashes seen. With fewer than k distinct hashes the count is exact;
+// beyond that the k-th smallest hash h_k estimates NDV as
+// (k-1) / (h_k / 2^64) — the classic bottom-k estimator every surveyed
+// optimizer's ANALYZE uses in some form. Deterministic: no sampling, the
+// estimate depends only on the value set.
+class DistinctSketch {
+ public:
+  static constexpr size_t kK = 1024;
+
+  void Add(uint64_t hash);
+  // Estimated number of distinct values (exact below kK).
+  uint64_t Estimate() const;
+
+ private:
+  std::set<uint64_t> smallest_;  // at most kK entries, largest evicted
+};
+
+// Per-column statistics collected by ANALYZE. Numeric columns (int64,
+// double) carry a min/max range and an equi-depth histogram over a
+// deterministic reservoir sample; string columns carry NDV and null counts
+// only (equality estimates still work through NDV, range estimates fall
+// back to the documented defaults in cardinality.h).
+struct ColumnStats {
+  uint64_t row_count = 0;   // rows seen (including nulls)
+  uint64_t null_count = 0;
+  uint64_t ndv = 0;         // distinct non-null values (estimated)
+
+  // Numeric domain; false for string columns and all-NULL columns.
+  bool has_range = false;
+  double min = 0;
+  double max = 0;
+
+  // Equi-depth histogram: `bounds[i]` is the upper edge of bucket i; each
+  // bucket holds ~1/bounds.size() of the non-null values. Empty when the
+  // column had too few values to be worth bucketing.
+  std::vector<double> bounds;
+
+  double NullFraction() const {
+    return row_count == 0
+               ? 0.0
+               : static_cast<double>(null_count) /
+                     static_cast<double>(row_count);
+  }
+
+  // Fraction of non-null values strictly below (or below-or-equal, when
+  // `inclusive`) `c`, via the histogram when present, linear interpolation
+  // over [min, max] otherwise. Returns a value in [0, 1].
+  double FractionBelow(double c, bool inclusive) const;
+};
+
+// Table-level statistics snapshot, attached to the catalog by ANALYZE and
+// consumed by the cardinality estimator and cost model.
+struct TableStats {
+  std::string table;
+  uint64_t row_count = 0;
+  Timestamp analyze_ts = 0;
+  // Table::mod_count() at collection time; the difference against the
+  // live counter is the staleness SHOW STATS surfaces.
+  uint64_t mod_count_at_analyze = 0;
+  std::vector<ColumnStats> columns;
+};
+
+// Scans the rows visible at `read_ts` and builds full statistics. One pass,
+// deterministic (fixed-seed reservoir for histograms), safe on empty
+// tables (all counts zero, no histogram).
+TableStats AnalyzeTable(const Table& table, Timestamp read_ts);
+
+}  // namespace opt
+}  // namespace oltap
+
+#endif  // OLTAP_OPT_STATS_H_

@@ -94,6 +94,18 @@ struct CreateTableStmt {
   TableFormat format = TableFormat::kColumn;
 };
 
+// ANALYZE [<table>]: collect optimizer statistics (all tables when no
+// table is named).
+struct AnalyzeStmt {
+  std::string table;  // empty = every table in the catalog
+};
+
+// SET <name> = <value>: session/database knobs (currently `optimizer`).
+struct SetStmt {
+  std::string name;   // lowercased
+  std::string value;  // lowercased
+};
+
 struct Statement {
   enum class Kind : uint8_t {
     kSelect,
@@ -102,6 +114,8 @@ struct Statement {
     kDelete,
     kCreateTable,
     kShowStats,  // SHOW STATS: engine metrics snapshot, no table access
+    kAnalyze,    // ANALYZE: collect optimizer statistics
+    kSet,        // SET <knob> = <value>
   };
   Kind kind = Kind::kSelect;
   bool explain = false;  // EXPLAIN SELECT ...: plan only, no execution
@@ -111,6 +125,8 @@ struct Statement {
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<CreateTableStmt> create;
+  std::unique_ptr<AnalyzeStmt> analyze_stmt;
+  std::unique_ptr<SetStmt> set;
 };
 
 }  // namespace sql

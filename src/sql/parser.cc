@@ -53,6 +53,51 @@ class Parser {
       }
       return stmt;
     }
+    if (Peek().IsKeyword("ANALYZE")) {
+      // Top-level ANALYZE [<table>] (distinct from the EXPLAIN ANALYZE
+      // prefix handled above): collect optimizer statistics.
+      Advance();
+      stmt.kind = Statement::Kind::kAnalyze;
+      stmt.analyze_stmt = std::make_unique<AnalyzeStmt>();
+      if (Peek().kind == Token::Kind::kIdent) {
+        stmt.analyze_stmt->table = Advance().text;
+      }
+      if (Peek().IsSymbol(";")) Advance();
+      if (Peek().kind != Token::Kind::kEnd) {
+        return Err("unexpected trailing input");
+      }
+      return stmt;
+    }
+    if (Peek().IsKeyword("SET")) {
+      Advance();
+      stmt.kind = Statement::Kind::kSet;
+      stmt.set = std::make_unique<SetStmt>();
+      OLTAP_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+      OLTAP_RETURN_NOT_OK(ExpectSymbol("="));
+      std::string value;
+      if (Peek().kind == Token::Kind::kIdent) {
+        value = Advance().text;
+      } else if (Peek().kind == Token::Kind::kInt) {
+        value = std::to_string(Advance().int_val);
+      } else if (Peek().kind == Token::Kind::kString) {
+        value = Advance().text;
+      } else {
+        return Err("expected a value after SET " + name + " =");
+      }
+      auto lower = [](std::string s) {
+        for (char& c : s) {
+          c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        }
+        return s;
+      };
+      stmt.set->name = lower(std::move(name));
+      stmt.set->value = lower(std::move(value));
+      if (Peek().IsSymbol(";")) Advance();
+      if (Peek().kind != Token::Kind::kEnd) {
+        return Err("unexpected trailing input");
+      }
+      return stmt;
+    }
     if (Peek().IsKeyword("SELECT")) {
       stmt.kind = Statement::Kind::kSelect;
       auto sel = ParseSelect();

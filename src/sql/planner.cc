@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <functional>
+#include <numeric>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "opt/cardinality.h"
+#include "opt/cost_model.h"
+#include "opt/join_order.h"
+#include "opt/stats.h"
 
 namespace oltap {
 namespace sql {
@@ -154,6 +160,50 @@ ExprPtr ShiftColumns(const ExprPtr& e, int offset) {
   }
 }
 
+// Rewrites column references through an arbitrary index map (combined
+// scope index → plan output position after join reordering).
+ExprPtr RemapGlobal(const ExprPtr& e, const std::vector<int>& map) {
+  if (e->kind() == Expr::Kind::kColumn) {
+    return Expr::Column(map[static_cast<size_t>(e->column_index())],
+                        e->result_type());
+  }
+  switch (e->kind()) {
+    case Expr::Kind::kConst:
+      return e;
+    case Expr::Kind::kCompare:
+      return Expr::Compare(e->compare_op(), RemapGlobal(e->children()[0], map),
+                           RemapGlobal(e->children()[1], map));
+    case Expr::Kind::kAnd:
+      return Expr::And(RemapGlobal(e->children()[0], map),
+                       RemapGlobal(e->children()[1], map));
+    case Expr::Kind::kOr:
+      return Expr::Or(RemapGlobal(e->children()[0], map),
+                      RemapGlobal(e->children()[1], map));
+    case Expr::Kind::kNot:
+      return Expr::Not(RemapGlobal(e->children()[0], map));
+    case Expr::Kind::kIsNull:
+      return Expr::IsNull(RemapGlobal(e->children()[0], map));
+    default:
+      return Expr::Arith(e->kind(), RemapGlobal(e->children()[0], map),
+                         RemapGlobal(e->children()[1], map));
+  }
+}
+
+// The pushable (column <op> const) conjuncts of a table-local predicate,
+// mirroring the split ScanOp::Open performs — the cost model prices the
+// zone-map pruning these would get.
+std::vector<Expr::ColumnPredicate> PushablePreds(const ExprPtr& pred) {
+  std::vector<Expr::ColumnPredicate> out;
+  if (pred == nullptr) return out;
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(pred, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    Expr::ColumnPredicate cp;
+    if (c->AsColumnPredicate(&cp)) out.push_back(cp);
+  }
+  return out;
+}
+
 struct FromTable {
   const Table* table;
   std::string alias;
@@ -162,6 +212,47 @@ struct FromTable {
 };
 
 }  // namespace
+
+std::string StatementFingerprint(const SelectStmt& stmt) {
+  std::string fp = "SELECT ";
+  if (stmt.distinct) fp += "DISTINCT ";
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    if (i > 0) fp += ", ";
+    fp += stmt.items[i].expr->ToString();
+    if (!stmt.items[i].alias.empty()) fp += " AS " + stmt.items[i].alias;
+  }
+  fp += " FROM ";
+  for (size_t i = 0; i < stmt.tables.size(); ++i) {
+    if (i > 0) fp += ", ";
+    fp += stmt.tables[i].name;
+    if (!stmt.tables[i].alias.empty() &&
+        stmt.tables[i].alias != stmt.tables[i].name) {
+      fp += " " + stmt.tables[i].alias;
+    }
+    if (stmt.tables[i].join_on != nullptr) {
+      fp += " ON " + stmt.tables[i].join_on->ToString();
+    }
+  }
+  if (stmt.where != nullptr) fp += " WHERE " + stmt.where->ToString();
+  if (!stmt.group_by.empty()) {
+    fp += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) fp += ", ";
+      fp += stmt.group_by[i]->ToString();
+    }
+  }
+  if (stmt.having != nullptr) fp += " HAVING " + stmt.having->ToString();
+  if (!stmt.order_by.empty()) {
+    fp += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) fp += ", ";
+      fp += stmt.order_by[i].expr->ToString();
+      if (stmt.order_by[i].descending) fp += " DESC";
+    }
+  }
+  if (stmt.limit >= 0) fp += " LIMIT " + std::to_string(stmt.limit);
+  return fp;
+}
 
 bool ContainsAggregate(const ParseExpr& e) {
   if (e.kind == ParseExpr::Kind::kCall && IsAggregateName(e.name)) {
@@ -183,7 +274,8 @@ Result<ExprPtr> BindOverSchema(const ParseExpr& e, const Schema& schema,
 }
 
 Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
-                                const Catalog& catalog, Timestamp read_ts) {
+                                const Catalog& catalog, Timestamp read_ts,
+                                const PlannerOptions& options) {
   // ---- Resolve FROM tables and build the combined scope. ----
   BindScope scope;
   std::vector<FromTable> from;
@@ -244,64 +336,331 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
     }
   }
 
-  // ---- Scans and left-deep joins in FROM order. ----
-  PhysicalOpPtr plan = std::make_unique<ScanOp>(
-      from[0].table, read_ts, table_preds[0]);
-  for (size_t i = 1; i < stmt.tables.size(); ++i) {
-    if (stmt.tables[i].join_on == nullptr) {
-      return Status::InvalidArgument("missing ON clause");
-    }
-    OLTAP_ASSIGN_OR_RETURN(ExprPtr on, Bind(*stmt.tables[i].join_on, scope));
-    std::vector<ExprPtr> on_terms;
-    Expr::SplitConjuncts(on, &on_terms);
-    std::vector<int> build_keys, probe_keys;
-    std::vector<ExprPtr> post_join;
-    const int offset = from[i].offset;
-    const int width = from[i].width;
-    for (const ExprPtr& term : on_terms) {
-      // Look for equality between an accumulated column and a new-table
-      // column.
-      bool handled = false;
-      if (term->kind() == Expr::Kind::kCompare &&
-          term->compare_op() == CompareOp::kEq) {
-        const ExprPtr& l = term->children()[0];
-        const ExprPtr& r = term->children()[1];
-        if (l->kind() == Expr::Kind::kColumn &&
-            r->kind() == Expr::Kind::kColumn) {
-          int lc = l->column_index(), rc = r->column_index();
-          bool l_new = lc >= offset && lc < offset + width;
-          bool r_new = rc >= offset && rc < offset + width;
-          if (l_new != r_new) {
-            int build = l_new ? rc : lc;
-            int probe = (l_new ? lc : rc) - offset;
-            if (build < offset) {
-              build_keys.push_back(build);
-              probe_keys.push_back(probe);
-              handled = true;
+  auto* metrics = obs::MetricsRegistry::Default();
+  metrics->GetCounter("opt.plans")->Add(1);
+
+  PlannedQuery out;
+  out.optimized = options.use_optimizer;
+  out.scans.assign(from.size(), nullptr);
+
+  PhysicalOpPtr plan;
+  // Combined-scope column index → plan output position. Empty means
+  // identity (the FROM-order planner below concatenates tables in scope
+  // order, so no rewrite is needed).
+  std::vector<int> global_to_plan;
+
+  if (!options.use_optimizer) {
+    // ---- Scans and left-deep joins in FROM order (optimizer off). ----
+    // This block is the planner exactly as it was before the optimizer
+    // existed; SET optimizer = off must reproduce its plans — and their
+    // EXPLAIN text — byte for byte.
+    plan = std::make_unique<ScanOp>(from[0].table, read_ts, table_preds[0]);
+    for (size_t i = 1; i < stmt.tables.size(); ++i) {
+      if (stmt.tables[i].join_on == nullptr) {
+        return Status::InvalidArgument("missing ON clause");
+      }
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr on,
+                             Bind(*stmt.tables[i].join_on, scope));
+      std::vector<ExprPtr> on_terms;
+      Expr::SplitConjuncts(on, &on_terms);
+      std::vector<int> build_keys, probe_keys;
+      std::vector<ExprPtr> post_join;
+      const int offset = from[i].offset;
+      const int width = from[i].width;
+      for (const ExprPtr& term : on_terms) {
+        // Look for equality between an accumulated column and a new-table
+        // column.
+        bool handled = false;
+        if (term->kind() == Expr::Kind::kCompare &&
+            term->compare_op() == CompareOp::kEq) {
+          const ExprPtr& l = term->children()[0];
+          const ExprPtr& r = term->children()[1];
+          if (l->kind() == Expr::Kind::kColumn &&
+              r->kind() == Expr::Kind::kColumn) {
+            int lc = l->column_index(), rc = r->column_index();
+            bool l_new = lc >= offset && lc < offset + width;
+            bool r_new = rc >= offset && rc < offset + width;
+            if (l_new != r_new) {
+              int build = l_new ? rc : lc;
+              int probe = (l_new ? lc : rc) - offset;
+              if (build < offset) {
+                build_keys.push_back(build);
+                probe_keys.push_back(probe);
+                handled = true;
+              }
             }
           }
         }
+        if (!handled) post_join.push_back(term);
       }
-      if (!handled) post_join.push_back(term);
+      if (build_keys.empty()) {
+        return Status::InvalidArgument(
+            "JOIN requires at least one equality between the joined tables");
+      }
+      PhysicalOpPtr scan = std::make_unique<ScanOp>(
+          from[i].table, read_ts, table_preds[i]);
+      plan = std::make_unique<HashJoinOp>(std::move(plan), std::move(scan),
+                                          std::move(build_keys),
+                                          std::move(probe_keys));
+      if (!post_join.empty()) {
+        plan = std::make_unique<FilterOp>(std::move(plan),
+                                          Expr::CombineConjuncts(post_join));
+      }
     }
-    if (build_keys.empty()) {
-      return Status::InvalidArgument(
-          "JOIN requires at least one equality between the joined tables");
-    }
-    PhysicalOpPtr scan = std::make_unique<ScanOp>(
-        from[i].table, read_ts, table_preds[i]);
-    plan = std::make_unique<HashJoinOp>(std::move(plan), std::move(scan),
-                                        std::move(build_keys),
-                                        std::move(probe_keys));
-    if (!post_join.empty()) {
+    if (!residual.empty()) {
       plan = std::make_unique<FilterOp>(std::move(plan),
-                                        Expr::CombineConjuncts(post_join));
+                                        Expr::CombineConjuncts(residual));
+    }
+  } else {
+    // ---- Cost-based path: pooled join graph, DPsize ordering, costed
+    // scans with access-path selection, estimate annotations. ----
+    metrics->GetCounter("opt.plans_optimized")->Add(1);
+    out.fingerprint = StatementFingerprint(stmt);
+
+    auto owner_of = [&](int col) {
+      int t = -1;
+      for (size_t i = 0; i < from.size(); ++i) {
+        if (col >= from[i].offset && col < from[i].offset + from[i].width) {
+          t = static_cast<int>(i);
+        }
+      }
+      return t;
+    };
+
+    // Per-relation statistics and post-local-predicate cardinalities.
+    // Measured actuals from the feedback memo override estimates.
+    std::vector<std::shared_ptr<const opt::TableStats>> stats(from.size());
+    std::vector<double> rel_rows(from.size());
+    std::optional<opt::PlanFeedback::Entry> fb;
+    if (options.feedback != nullptr) {
+      fb = options.feedback->Lookup(out.fingerprint);
+    }
+    bool used_actuals = false;
+    for (size_t i = 0; i < from.size(); ++i) {
+      stats[i] = catalog.GetTableStats(from[i].table->name());
+      double base = static_cast<double>(from[i].table->ApproxRowCount());
+      opt::CardinalityEstimator est(stats[i].get(), base);
+      rel_rows[i] = est.EstimateRows(table_preds[i]);
+      if (fb.has_value() && i < fb->scan_actual_rows.size() &&
+          fb->scan_actual_rows[i] >= 0) {
+        rel_rows[i] = fb->scan_actual_rows[i];
+        used_actuals = true;
+      }
+    }
+
+    // Pool the ON-clause terms once against the combined scope, keeping
+    // the FROM-order planner's validation (each join needs an equality
+    // with an earlier table) so rejected statements stay rejected.
+    struct EqEdge {
+      int ta, tb;  // FROM indices
+      int ga, gb;  // combined-scope columns
+      double sel;  // equi-join selectivity
+      bool applied = false;
+    };
+    std::vector<EqEdge> edges;
+    std::vector<ExprPtr> late_filters;  // non-key ON terms + residual
+    auto add_edge = [&](int tl, int tr, int lc, int rc) {
+      double sel = opt::EquiJoinSelectivity(
+          stats[tl].get(), lc - from[tl].offset,
+          static_cast<double>(from[tl].table->ApproxRowCount()),
+          stats[tr].get(), rc - from[tr].offset,
+          static_cast<double>(from[tr].table->ApproxRowCount()));
+      edges.push_back({tl, tr, lc, rc, sel});
+    };
+    for (size_t i = 1; i < stmt.tables.size(); ++i) {
+      if (stmt.tables[i].join_on == nullptr) {
+        return Status::InvalidArgument("missing ON clause");
+      }
+      OLTAP_ASSIGN_OR_RETURN(ExprPtr on,
+                             Bind(*stmt.tables[i].join_on, scope));
+      std::vector<ExprPtr> on_terms;
+      Expr::SplitConjuncts(on, &on_terms);
+      const int offset = from[i].offset;
+      const int width = from[i].width;
+      bool any_eq = false;
+      for (const ExprPtr& term : on_terms) {
+        bool is_edge = false;
+        if (term->kind() == Expr::Kind::kCompare &&
+            term->compare_op() == CompareOp::kEq) {
+          const ExprPtr& l = term->children()[0];
+          const ExprPtr& r = term->children()[1];
+          if (l->kind() == Expr::Kind::kColumn &&
+              r->kind() == Expr::Kind::kColumn) {
+            int lc = l->column_index(), rc = r->column_index();
+            int tl = owner_of(lc), tr = owner_of(rc);
+            if (tl != tr && tl >= 0 && tr >= 0) {
+              add_edge(tl, tr, lc, rc);
+              is_edge = true;
+              bool l_new = lc >= offset && lc < offset + width;
+              bool r_new = rc >= offset && rc < offset + width;
+              if (l_new != r_new && (l_new ? rc : lc) < offset) {
+                any_eq = true;
+              }
+            }
+          }
+        }
+        if (!is_edge) late_filters.push_back(term);
+      }
+      if (!any_eq) {
+        return Status::InvalidArgument(
+            "JOIN requires at least one equality between the joined tables");
+      }
+    }
+    // Cross-table equalities from WHERE become join keys/edges as well.
+    for (const ExprPtr& c : residual) {
+      bool is_edge = false;
+      if (c->kind() == Expr::Kind::kCompare &&
+          c->compare_op() == CompareOp::kEq) {
+        const ExprPtr& l = c->children()[0];
+        const ExprPtr& r = c->children()[1];
+        if (l->kind() == Expr::Kind::kColumn &&
+            r->kind() == Expr::Kind::kColumn) {
+          int lc = l->column_index(), rc = r->column_index();
+          int tl = owner_of(lc), tr = owner_of(rc);
+          if (tl != tr && tl >= 0 && tr >= 0) {
+            add_edge(tl, tr, lc, rc);
+            is_edge = true;
+          }
+        }
+      }
+      if (!is_edge) late_filters.push_back(c);
+    }
+
+    const opt::CostModel cm;
+
+    // Join order: the memoized order when one is still valid, cost-based
+    // search otherwise (DPsize up to 8 relations, greedy above).
+    std::vector<int> order(from.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (from.size() > 1) {
+      if (fb.has_value() && fb->order.size() == from.size()) {
+        order = fb->order;
+        metrics->GetCounter("opt.order_cache_hits")->Add(1);
+      } else {
+        opt::JoinGraph graph;
+        graph.rel_rows = rel_rows;
+        for (const EqEdge& e : edges) {
+          graph.edges.push_back({e.ta, e.tb, e.sel});
+        }
+        order = opt::OrderJoins(graph, cm).order;
+        if (used_actuals) {
+          metrics->GetCounter("opt.feedback_replans")->Add(1);
+        }
+        if (options.feedback != nullptr) {
+          options.feedback->RememberOrder(out.fingerprint, order);
+        }
+      }
+    }
+    out.join_order = order;
+
+    // Estimated rows after each join prefix along the chosen order.
+    std::vector<double> interm(order.size());
+    {
+      std::vector<bool> seen(from.size(), false);
+      double rows = rel_rows[order[0]];
+      interm[0] = rows;
+      seen[order[0]] = true;
+      for (size_t p = 1; p < order.size(); ++p) {
+        int r = order[p];
+        double sel = 1.0;
+        for (const EqEdge& e : edges) {
+          if ((e.ta == r && seen[e.tb]) || (e.tb == r && seen[e.ta])) {
+            sel *= e.sel;
+          }
+        }
+        rows = rows * rel_rows[r] * sel;
+        interm[p] = rows;
+        seen[r] = true;
+      }
+    }
+
+    // Costed scan with access-path selection (explicit side only for
+    // dual-format tables; other formats have exactly one).
+    auto make_scan = [&](int t) -> std::unique_ptr<ScanOp> {
+      opt::CostModel::ScanDecision d =
+          cm.CostScan(*from[t].table, read_ts, PushablePreds(table_preds[t]),
+                      rel_rows[t]);
+      ScanOp::Path path = ScanOp::Path::kAuto;
+      if (from[t].table->format() == TableFormat::kDual) {
+        path = d.path == opt::AccessPath::kRow ? ScanOp::Path::kRow
+                                               : ScanOp::Path::kColumn;
+        metrics
+            ->GetCounter(path == ScanOp::Path::kRow ? "opt.path_row"
+                                                    : "opt.path_column")
+            ->Add(1);
+      }
+      auto scan = std::make_unique<ScanOp>(from[t].table, read_ts,
+                                           table_preds[t],
+                                           std::vector<int>{}, path);
+      scan->set_estimates(rel_rows[t], d.cost);
+      out.scans[static_cast<size_t>(t)] = scan.get();
+      return scan;
+    };
+
+    global_to_plan.assign(scope.cols.size(), -1);
+    std::vector<bool> placed(from.size(), false);
+    plan = make_scan(order[0]);
+    double cum_cost = plan->est_cost();
+    for (int j = 0; j < from[order[0]].width; ++j) {
+      global_to_plan[static_cast<size_t>(from[order[0]].offset + j)] = j;
+    }
+    int plan_width = from[order[0]].width;
+    placed[order[0]] = true;
+    for (size_t p = 1; p < order.size(); ++p) {
+      int r = order[p];
+      // Every pooled equality with exactly one side on the new relation
+      // and the other already placed becomes a hash key here.
+      std::vector<int> build_keys, probe_keys;
+      for (EqEdge& e : edges) {
+        if (e.applied) continue;
+        int rg = -1, og = -1;
+        if (e.ta == r && placed[e.tb]) {
+          rg = e.ga;
+          og = e.gb;
+        } else if (e.tb == r && placed[e.ta]) {
+          rg = e.gb;
+          og = e.ga;
+        }
+        if (rg < 0) continue;
+        build_keys.push_back(global_to_plan[static_cast<size_t>(og)]);
+        probe_keys.push_back(rg - from[r].offset);
+        e.applied = true;
+      }
+      auto scan = make_scan(r);
+      cum_cost += scan->est_cost() +
+                  cm.CostHashJoin(interm[p - 1], rel_rows[r], interm[p]).cost;
+      auto join = std::make_unique<HashJoinOp>(
+          std::move(plan), std::move(scan), std::move(build_keys),
+          std::move(probe_keys));
+      join->set_estimates(interm[p], cum_cost);
+      plan = std::move(join);
+      for (int j = 0; j < from[r].width; ++j) {
+        global_to_plan[static_cast<size_t>(from[r].offset + j)] =
+            plan_width + j;
+      }
+      plan_width += from[r].width;
+      placed[r] = true;
+    }
+
+    // Non-key ON terms and the remaining residual run above the joins,
+    // rewritten into plan positions.
+    if (!late_filters.empty()) {
+      std::vector<ExprPtr> remapped;
+      remapped.reserve(late_filters.size());
+      for (const ExprPtr& c : late_filters) {
+        remapped.push_back(RemapGlobal(c, global_to_plan));
+      }
+      plan = std::make_unique<FilterOp>(std::move(plan),
+                                        Expr::CombineConjuncts(remapped));
     }
   }
-  if (!residual.empty()) {
-    plan = std::make_unique<FilterOp>(std::move(plan),
-                                      Expr::CombineConjuncts(residual));
-  }
+
+  // After join reordering the plan's output columns are in join order,
+  // not scope order; every later scope-bound expression goes through this
+  // rewrite (identity when global_to_plan is empty).
+  auto remap_out = [&](ExprPtr e) -> ExprPtr {
+    return global_to_plan.empty() ? e : RemapGlobal(e, global_to_plan);
+  };
 
   // ---- SELECT list: expand *, detect aggregation. ----
   std::vector<const SelectItem*> items;
@@ -337,7 +696,7 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
     std::vector<ExprPtr> projections;
     for (const SelectItem* item : items) {
       OLTAP_ASSIGN_OR_RETURN(ExprPtr e, Bind(*item->expr, scope));
-      projections.push_back(std::move(e));
+      projections.push_back(remap_out(std::move(e)));
       names.push_back(item->alias.empty() ? item->expr->ToString()
                                           : item->alias);
     }
@@ -349,7 +708,7 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
     std::vector<std::string> group_texts;
     for (const ParseExprPtr& g : stmt.group_by) {
       OLTAP_ASSIGN_OR_RETURN(ExprPtr e, Bind(*g, scope));
-      group_exprs.push_back(std::move(e));
+      group_exprs.push_back(remap_out(std::move(e)));
       group_texts.push_back(g->ToString());
     }
     // Each select item is either a group expression or a single aggregate.
@@ -371,6 +730,7 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
           } else if (pe.args.size() == 1) {
             spec.fn = AggSpec::Fn::kCount;
             OLTAP_ASSIGN_OR_RETURN(spec.arg, Bind(*pe.args[0], scope));
+            spec.arg = remap_out(std::move(spec.arg));
           } else {
             return Status::InvalidArgument("COUNT takes one argument");
           }
@@ -388,6 +748,7 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
             spec.fn = AggSpec::Fn::kAvg;
           }
           OLTAP_ASSIGN_OR_RETURN(spec.arg, Bind(*pe.args[0], scope));
+          spec.arg = remap_out(std::move(spec.arg));
         }
         refs.push_back({false, aggs.size()});
         aggs.push_back(std::move(spec));
@@ -433,6 +794,7 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
               spec.fn = AggSpec::Fn::kAvg;
             }
             OLTAP_ASSIGN_OR_RETURN(spec.arg, Bind(*pe.args[0], scope));
+            spec.arg = remap_out(std::move(spec.arg));
           }
           ValueType out_type = spec.OutputType();
           aggs.push_back(std::move(spec));
@@ -582,7 +944,6 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
                                      static_cast<size_t>(stmt.limit));
   }
 
-  PlannedQuery out;
   out.root = std::move(plan);
   out.output_names = std::move(names);
   return out;

@@ -7,23 +7,47 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "exec/operators.h"
+#include "opt/feedback.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
 
 namespace oltap {
 namespace sql {
 
+// Planner knobs. With the optimizer on (the default), joins are reordered
+// by the cost-based DPsize search over catalog statistics, scans and joins
+// carry cardinality/cost estimates, and dual-format scans get an explicit
+// access path. With it off, plans are built exactly as before this layer
+// existed: left-deep joins in FROM order, no estimates, byte-identical
+// EXPLAIN output.
+struct PlannerOptions {
+  bool use_optimizer = true;
+  // Estimation-feedback memo (may be null): supplies remembered join
+  // orders and measured scan cardinalities, receives the chosen order.
+  opt::PlanFeedback* feedback = nullptr;
+};
+
 // A bound, executable SELECT plan.
 struct PlannedQuery {
   PhysicalOpPtr root;
   std::vector<std::string> output_names;
+
+  // Optimizer metadata (defaults when planned with use_optimizer=false).
+  bool optimized = false;
+  std::string fingerprint;           // canonical statement text
+  std::vector<int> join_order;       // FROM indices in join order
+  // The scan operator of each FROM relation (indexed by FROM position),
+  // owned by `root`; used to harvest actual-vs-estimated cardinalities.
+  std::vector<const ScanOp*> scans;
 };
 
 // Plans a SELECT statement: binds names, pushes single-table predicate
-// conjuncts into scans, builds left-deep hash joins in FROM order, lowers
-// GROUP BY / aggregates, ORDER BY, and LIMIT. Reads run at `read_ts`.
+// conjuncts into scans, orders joins (cost-based when the optimizer is on,
+// FROM order otherwise), lowers GROUP BY / aggregates, ORDER BY, and
+// LIMIT. Reads run at `read_ts`.
 Result<PlannedQuery> PlanSelect(const SelectStmt& stmt, const Catalog& catalog,
-                                Timestamp read_ts);
+                                Timestamp read_ts,
+                                const PlannerOptions& options = {});
 
 // Binds an expression against a single table's schema (UPDATE/DELETE
 // predicates and SET expressions). Aggregates are rejected.
@@ -32,6 +56,9 @@ Result<ExprPtr> BindOverSchema(const ParseExpr& e, const Schema& schema,
 
 // True if the parse tree contains an aggregate function call.
 bool ContainsAggregate(const ParseExpr& e);
+
+// Canonical statement text used as the feedback/plan-memo key.
+std::string StatementFingerprint(const SelectStmt& stmt);
 
 }  // namespace sql
 }  // namespace oltap

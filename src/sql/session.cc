@@ -1,11 +1,13 @@
 #include "sql/session.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/clock.h"
 #include "common/logging.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
+#include "opt/stats.h"
 #include "sql/parser.h"
 #include "storage/column_store.h"
 
@@ -105,19 +107,27 @@ Result<QueryResult> Database::RunStatement(Transaction* txn,
       return RunCreate(*s.create);
     case sql::Statement::Kind::kShowStats:
       return RunShowStats();
+    case sql::Statement::Kind::kAnalyze:
+      return RunAnalyze(txn, *s.analyze_stmt);
+    case sql::Statement::Kind::kSet:
+      return RunSet(*s.set);
   }
   return Status::Internal("unhandled statement");
 }
 
 namespace {
 
-// One result row per profile node: operator (indented by depth), rows,
-// batches, inclusive time in milliseconds.
+// One result row per profile node: operator (indented by depth), planner
+// estimate (NULL when the plan carried none), rows, batches, inclusive
+// time in milliseconds.
 void FlattenProfile(const obs::QueryProfile::Node& node, int depth,
                     std::vector<Row>* out) {
   std::string label(static_cast<size_t>(depth) * 2, ' ');
   label += node.name;
-  out->push_back(Row{Value::String(std::move(label)),
+  // llround matches the %.0f formatting EXPLAIN uses for the same number.
+  Value est = node.est_rows < 0 ? Value::Null()
+                                : Value::Int64(std::llround(node.est_rows));
+  out->push_back(Row{Value::String(std::move(label)), std::move(est),
                      Value::Int64(static_cast<int64_t>(node.rows)),
                      Value::Int64(static_cast<int64_t>(node.batches)),
                      Value::Double(static_cast<double>(node.time_ns) * 1e-6)});
@@ -126,20 +136,50 @@ void FlattenProfile(const obs::QueryProfile::Node& node, int depth,
   }
 }
 
+// Harvests estimate-vs-actual samples from an executed plan for the
+// feedback loop. `scans` maps each FROM relation to its scan operator.
+void CollectOpSamples(const PhysicalOp* op,
+                      const std::vector<const ScanOp*>& scans,
+                      std::vector<opt::OpSample>* out) {
+  if (op->est_rows() >= 0) {
+    opt::OpSample s;
+    s.est_rows = op->est_rows();
+    s.actual_rows = static_cast<double>(op->op_stats().rows);
+    for (size_t i = 0; i < scans.size(); ++i) {
+      if (scans[i] == op) s.scan_from_index = static_cast<int>(i);
+    }
+    out->push_back(s);
+  }
+  for (const PhysicalOp* child : op->Children()) {
+    CollectOpSamples(child, scans, out);
+  }
+}
+
 }  // namespace
 
 Result<QueryResult> Database::RunSelect(Transaction* txn,
                                         const sql::SelectStmt& s,
                                         bool explain, bool analyze) {
-  OLTAP_ASSIGN_OR_RETURN(sql::PlannedQuery plan,
-                         sql::PlanSelect(s, catalog_, txn->begin_ts()));
+  sql::PlannerOptions popts;
+  popts.use_optimizer = optimizer_enabled();
+  popts.feedback = &feedback_;
+  OLTAP_ASSIGN_OR_RETURN(
+      sql::PlannedQuery plan,
+      sql::PlanSelect(s, catalog_, txn->begin_ts(), popts));
+  auto observe = [&]() {
+    if (!plan.optimized || plan.fingerprint.empty()) return;
+    std::vector<opt::OpSample> samples;
+    CollectOpSamples(plan.root.get(), plan.scans, &samples);
+    feedback_.Observe(plan.fingerprint, samples);
+  };
   QueryResult result;
   if (explain && analyze) {
     // Execute for real, then report the per-operator profile instead of
     // the query output.
     ExecutePlan(plan.root.get());
+    observe();
     obs::QueryProfile profile = BuildQueryProfile(plan.root.get());
-    result.columns = {"operator", "rows", "batches", "time_ms"};
+    result.columns = {"operator", "est_rows", "rows", "batches", "time_ms"};
     FlattenProfile(profile.root, 0, &result.rows);
     result.affected = result.rows.size();
     return result;
@@ -161,7 +201,60 @@ Result<QueryResult> Database::RunSelect(Transaction* txn,
   }
   result.columns = std::move(plan.output_names);
   result.rows = ExecutePlan(plan.root.get());
+  observe();
   result.affected = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> Database::RunAnalyze(Transaction* txn,
+                                         const sql::AnalyzeStmt& s) {
+  std::vector<Table*> targets;
+  if (!s.table.empty()) {
+    Table* table = catalog_.GetTable(s.table);
+    if (table == nullptr) {
+      return Status::NotFound("unknown table: " + s.table);
+    }
+    targets.push_back(table);
+  } else {
+    targets = catalog_.AllTables();
+    std::sort(targets.begin(), targets.end(),
+              [](const Table* a, const Table* b) {
+                return a->name() < b->name();
+              });
+  }
+  QueryResult result;
+  result.columns = {"table", "rows"};
+  auto* counter =
+      obs::MetricsRegistry::Default()->GetCounter("opt.analyze_runs");
+  for (Table* table : targets) {
+    opt::TableStats stats = opt::AnalyzeTable(*table, txn->begin_ts());
+    int64_t rows = static_cast<int64_t>(stats.row_count);
+    catalog_.SetTableStats(
+        table->name(),
+        std::make_shared<const opt::TableStats>(std::move(stats)));
+    counter->Add(1);
+    result.rows.push_back(Row{Value::String(table->name()),
+                              Value::Int64(rows)});
+  }
+  result.affected = result.rows.size();
+  return result;
+}
+
+Result<QueryResult> Database::RunSet(const sql::SetStmt& s) {
+  if (s.name != "optimizer") {
+    return Status::InvalidArgument("unknown setting: " + s.name);
+  }
+  bool on;
+  if (s.value == "on" || s.value == "true" || s.value == "1") {
+    on = true;
+  } else if (s.value == "off" || s.value == "false" || s.value == "0") {
+    on = false;
+  } else {
+    return Status::InvalidArgument("SET optimizer expects on or off, got: " +
+                                   s.value);
+  }
+  set_optimizer_enabled(on);
+  QueryResult result;
   return result;
 }
 
@@ -202,6 +295,25 @@ Result<QueryResult> Database::RunShowStats() {
     add(".p95", Value::Int64(static_cast<int64_t>(h.p95)));
     add(".p99", Value::Int64(static_cast<int64_t>(h.p99)));
     add(".max", Value::Int64(static_cast<int64_t>(h.max)));
+  }
+
+  // Per-table optimizer-statistics freshness: analyzed row count and the
+  // number of committed modifications since ANALYZE (the staleness
+  // signal). Only tables that have been analyzed appear.
+  std::vector<std::string> table_names = catalog_.TableNames();
+  std::sort(table_names.begin(), table_names.end());
+  for (const std::string& name : table_names) {
+    std::shared_ptr<const opt::TableStats> stats =
+        catalog_.GetTableStats(name);
+    if (stats == nullptr) continue;
+    Table* table = catalog_.GetTable(name);
+    uint64_t mods = table->mod_count() - stats->mod_count_at_analyze;
+    result.rows.push_back(
+        Row{Value::String("stats." + name + ".rows"),
+            Value::Int64(static_cast<int64_t>(stats->row_count))});
+    result.rows.push_back(
+        Row{Value::String("stats." + name + ".mods_since_analyze"),
+            Value::Int64(static_cast<int64_t>(mods))});
   }
   result.affected = result.rows.size();
   return result;

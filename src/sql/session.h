@@ -1,11 +1,13 @@
 #ifndef OLTAP_SQL_SESSION_H_
 #define OLTAP_SQL_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "opt/feedback.h"
 #include "sql/planner.h"
 #include "storage/catalog.h"
 #include "txn/transaction_manager.h"
@@ -51,14 +53,29 @@ class Database {
   // oldest active snapshot. Returns total rows across new mains.
   size_t MergeAll();
 
+  // Cost-based optimizer toggle (SQL: SET optimizer = on|off). Defaults
+  // on; off restores the historical FROM-order planner byte for byte.
+  bool optimizer_enabled() const {
+    return optimizer_enabled_.load(std::memory_order_relaxed);
+  }
+  void set_optimizer_enabled(bool on) {
+    optimizer_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  opt::PlanFeedback* plan_feedback() { return &feedback_; }
+
  private:
   Result<QueryResult> RunStatement(Transaction* txn, const sql::Statement& s);
   Result<QueryResult> RunSelect(Transaction* txn, const sql::SelectStmt& s,
                                 bool explain, bool analyze);
   // SHOW STATS: one row per metric from the global registry (histograms
   // expand to .count/.mean/.p50/.p95/.p99/.max rows), with storage
-  // freshness gauges refreshed from this database's catalog first.
+  // freshness gauges refreshed from this database's catalog first, plus
+  // per-table optimizer-statistics freshness (stats.<table>.*).
   Result<QueryResult> RunShowStats();
+  // ANALYZE [<table>]: collect optimizer statistics into the catalog.
+  Result<QueryResult> RunAnalyze(Transaction* txn, const sql::AnalyzeStmt& s);
+  Result<QueryResult> RunSet(const sql::SetStmt& s);
   Result<QueryResult> RunInsert(Transaction* txn, const sql::InsertStmt& s);
   Result<QueryResult> RunUpdate(Transaction* txn, const sql::UpdateStmt& s);
   Result<QueryResult> RunDelete(Transaction* txn, const sql::DeleteStmt& s);
@@ -66,6 +83,8 @@ class Database {
 
   Catalog catalog_;
   TransactionManager txn_;
+  std::atomic<bool> optimizer_enabled_{true};
+  opt::PlanFeedback feedback_;
 };
 
 }  // namespace oltap

@@ -13,6 +13,10 @@
 
 namespace oltap {
 
+namespace opt {
+struct TableStats;  // opt/stats.h — the catalog only stores the handle
+}  // namespace opt
+
 // Name → table registry shared by the transaction manager, planner, and
 // workload drivers. Table objects are stable for the catalog's lifetime
 // (DROP is intentionally unsupported: none of the surveyed experiments
@@ -54,9 +58,27 @@ class Catalog {
     return out;
   }
 
+  // Optimizer statistics attached by ANALYZE. Snapshots are immutable;
+  // readers hold them by shared_ptr so a concurrent re-ANALYZE never
+  // invalidates an in-flight plan.
+  void SetTableStats(const std::string& name,
+                     std::shared_ptr<const opt::TableStats> stats) {
+    std::unique_lock lock(mu_);
+    stats_[name] = std::move(stats);
+  }
+
+  std::shared_ptr<const opt::TableStats> GetTableStats(
+      const std::string& name) const {
+    std::shared_lock lock(mu_);
+    auto it = stats_.find(name);
+    return it == stats_.end() ? nullptr : it->second;
+  }
+
  private:
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::shared_ptr<const opt::TableStats>>
+      stats_;
 };
 
 }  // namespace oltap

@@ -34,40 +34,55 @@ Table::Table(std::string name, Schema schema, TableFormat format)
 }
 
 Status Table::InsertCommitted(const Row& row, Timestamp ts) {
+  Status s = Status::Internal("bad format");
   switch (format_) {
     case TableFormat::kRow:
-      return row_->InsertCommitted(row, ts);
+      s = row_->InsertCommitted(row, ts);
+      break;
     case TableFormat::kColumn:
-      return column_->InsertCommitted(row, ts);
+      s = column_->InsertCommitted(row, ts);
+      break;
     case TableFormat::kDual:
-      return dual_->InsertCommitted(row, ts);
+      s = dual_->InsertCommitted(row, ts);
+      break;
   }
-  return Status::Internal("bad format");
+  if (s.ok()) mod_count_.fetch_add(1, std::memory_order_relaxed);
+  return s;
 }
 
 Status Table::DeleteCommitted(std::string_view key, Timestamp ts) {
+  Status s = Status::Internal("bad format");
   switch (format_) {
     case TableFormat::kRow:
-      return row_->DeleteCommitted(key, ts);
+      s = row_->DeleteCommitted(key, ts);
+      break;
     case TableFormat::kColumn:
-      return column_->DeleteCommitted(key, ts);
+      s = column_->DeleteCommitted(key, ts);
+      break;
     case TableFormat::kDual:
-      return dual_->DeleteCommitted(key, ts);
+      s = dual_->DeleteCommitted(key, ts);
+      break;
   }
-  return Status::Internal("bad format");
+  if (s.ok()) mod_count_.fetch_add(1, std::memory_order_relaxed);
+  return s;
 }
 
 Status Table::UpdateCommitted(std::string_view key, const Row& new_row,
                               Timestamp ts) {
+  Status s = Status::Internal("bad format");
   switch (format_) {
     case TableFormat::kRow:
-      return row_->UpdateCommitted(key, new_row, ts);
+      s = row_->UpdateCommitted(key, new_row, ts);
+      break;
     case TableFormat::kColumn:
-      return column_->UpdateCommitted(key, new_row, ts);
+      s = column_->UpdateCommitted(key, new_row, ts);
+      break;
     case TableFormat::kDual:
-      return dual_->UpdateCommitted(key, new_row, ts);
+      s = dual_->UpdateCommitted(key, new_row, ts);
+      break;
   }
-  return Status::Internal("bad format");
+  if (s.ok()) mod_count_.fetch_add(1, std::memory_order_relaxed);
+  return s;
 }
 
 bool Table::Lookup(std::string_view key, Timestamp read_ts, Row* out) const {
@@ -180,7 +195,17 @@ Status Table::BulkLoadToMain(const std::vector<Row>& rows, Timestamp ts) {
       OLTAP_RETURN_NOT_OK(dual_->row_side()->InsertCommitted(r, ts));
     }
   }
-  return ct->BulkLoadToMain(rows, ts);
+  Status s = ct->BulkLoadToMain(rows, ts);
+  if (s.ok()) mod_count_.fetch_add(rows.size(), std::memory_order_relaxed);
+  return s;
+}
+
+size_t Table::ApproxRowCount() const {
+  const RowTable* rt = row_table();
+  if (rt != nullptr) return rt->num_keys();
+  const ColumnTable* ct = column_table();
+  if (ct != nullptr) return ct->main_size() + ct->delta_size();
+  return 0;
 }
 
 RowTable* Table::row_table() {

@@ -1,6 +1,7 @@
 #ifndef OLTAP_STORAGE_TABLE_H_
 #define OLTAP_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -72,6 +73,18 @@ class Table {
   // enough for planning heuristics and tests.
   size_t CountVisible(Timestamp read_ts) const;
 
+  // O(1) physical row-count estimate for the planner: row-mirror key count
+  // when one exists, main+delta size otherwise (counts not-yet-GCed
+  // deletes, which is acceptable for costing).
+  size_t ApproxRowCount() const;
+
+  // Committed modifications (inserts + updates + deletes) since creation.
+  // ANALYZE snapshots this counter; the delta against the live value is
+  // the staleness signal SHOW STATS reports per table.
+  uint64_t mod_count() const {
+    return mod_count_.load(std::memory_order_relaxed);
+  }
+
   // Fast bulk ingest into an empty kColumn table's main fragment.
   Status BulkLoadToMain(const std::vector<Row>& rows, Timestamp ts);
 
@@ -90,6 +103,8 @@ class Table {
   std::unique_ptr<RowTable> row_;       // kRow
   std::unique_ptr<ColumnTable> column_; // kColumn
   std::unique_ptr<DualTable> dual_;     // kDual
+
+  std::atomic<uint64_t> mod_count_{0};
 };
 
 }  // namespace oltap

@@ -137,23 +137,24 @@ TEST_F(CHBenchTest, ExplainAnalyzeOnAnalyticQuery) {
   // Q1 scans order_line and aggregates — a profile with real row counts.
   auto r = db_.Execute("EXPLAIN ANALYZE " + queries[0].sql);
   ASSERT_TRUE(r.ok()) << queries[0].name << ": " << r.status().ToString();
-  ASSERT_EQ(r->columns.size(), 4u);
+  ASSERT_EQ(r->columns.size(), 5u);
   EXPECT_EQ(r->columns[0], "operator");
-  EXPECT_EQ(r->columns[1], "rows");
-  EXPECT_EQ(r->columns[2], "batches");
-  EXPECT_EQ(r->columns[3], "time_ms");
+  EXPECT_EQ(r->columns[1], "est_rows");
+  EXPECT_EQ(r->columns[2], "rows");
+  EXPECT_EQ(r->columns[3], "batches");
+  EXPECT_EQ(r->columns[4], "time_ms");
   ASSERT_GE(r->rows.size(), 2u);  // at least aggregate over scan
   int64_t max_rows = 0;
   double max_time_ms = 0.0;
   for (const Row& row : r->rows) {
     EXPECT_FALSE(row[0].AsString().empty());
-    max_rows = std::max(max_rows, row[1].AsInt64());
-    EXPECT_GE(row[2].AsInt64(), 0);  // batches
+    max_rows = std::max(max_rows, row[2].AsInt64());
+    EXPECT_GE(row[3].AsInt64(), 0);  // batches
   }
   EXPECT_GT(max_rows, 0);  // the loaded order lines flowed through the scan
 #ifndef OLTAP_OBS_DISABLED
   for (const Row& row : r->rows) {
-    max_time_ms = std::max(max_time_ms, row[3].AsDouble());
+    max_time_ms = std::max(max_time_ms, row[4].AsDouble());
   }
   EXPECT_GT(max_time_ms, 0.0);
 #endif

@@ -442,20 +442,21 @@ TEST_F(SqlEndToEndTest, ExplainAnalyzeReportsOperatorStats) {
       "EXPLAIN ANALYZE SELECT dept, COUNT(*), AVG(salary) FROM emp "
       "WHERE salary > 75 GROUP BY dept ORDER BY dept");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->columns, (std::vector<std::string>{"operator", "rows",
-                                                  "batches", "time_ms"}));
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"operator", "est_rows",
+                                                  "rows", "batches",
+                                                  "time_ms"}));
   ASSERT_GE(r->rows.size(), 2u);  // at least sort/agg over a scan
   // The root operator emitted the query's 3 group rows; the scan produced
   // the 4 rows passing the filter.
   bool saw_nonzero_rows = false;
   bool saw_scan = false;
   for (const Row& row : r->rows) {
-    ASSERT_EQ(row.size(), 4u);
-    if (row[1].AsInt64() > 0) saw_nonzero_rows = true;
+    ASSERT_EQ(row.size(), 5u);
+    if (row[2].AsInt64() > 0) saw_nonzero_rows = true;
     if (row[0].AsString().find("Scan(emp") != std::string::npos) {
       saw_scan = true;
-      EXPECT_EQ(row[1].AsInt64(), 4);  // rows out of the filtered scan
-      EXPECT_GE(row[2].AsInt64(), 1);  // at least one batch
+      EXPECT_EQ(row[2].AsInt64(), 4);  // rows out of the filtered scan
+      EXPECT_GE(row[3].AsInt64(), 1);  // at least one batch
     }
   }
   EXPECT_TRUE(saw_nonzero_rows);
@@ -464,7 +465,7 @@ TEST_F(SqlEndToEndTest, ExplainAnalyzeReportsOperatorStats) {
   // Some operator must have measured non-zero wall time.
   bool saw_nonzero_time = false;
   for (const Row& row : r->rows) {
-    if (row[3].AsDouble() > 0) saw_nonzero_time = true;
+    if (row[4].AsDouble() > 0) saw_nonzero_time = true;
   }
   EXPECT_TRUE(saw_nonzero_time);
 #endif
