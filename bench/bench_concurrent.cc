@@ -1,0 +1,145 @@
+// E17 — Concurrent end-to-end driver: N closed-loop TPC-C clients + M CH
+// analytic clients through one WorkloadManager, merge daemon live.
+//
+// Reports: (a) worker scaling — aggregate committed txn/s and per-class
+// p50/p99/p999 as OLTP client count grows with a fixed analytic load;
+// (b) scheduling-policy sweep at the full client count — how FIFO vs.
+// OLTP-priority vs. reserved workers trade OLTP tail latency against
+// analytic throughput; plus delta freshness lag and abort rate for every
+// configuration.
+//
+// Clients are closed-loop with TPC-C-style think time (env-tunable): each
+// client keys in, waits for its transaction, thinks, repeats. Throughput
+// therefore scales with client count through request overlap even on a
+// single-core host (see EXPERIMENTS.md E17 for the methodology note).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("concurrent");
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "workload/chbench.h"
+#include "workload/driver.h"
+
+namespace oltap {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : def;
+}
+
+CHConfig BenchConfig() {
+  CHConfig config;
+  config.warehouses = 8;  // one home warehouse per client at full scale
+  config.districts_per_warehouse = 10;
+  config.customers_per_district = 100;
+  config.items = 1000;
+  config.initial_orders_per_district = 30;
+  return config;
+}
+
+struct World {
+  Database db;
+  std::unique_ptr<CHBenchmark> bench;
+
+  World() {
+    bench = std::make_unique<CHBenchmark>(&db, BenchConfig());
+    if (!bench->CreateTables().ok()) std::abort();
+    if (!bench->Load().ok()) std::abort();
+  }
+};
+
+DriverOptions BaseOptions() {
+  DriverOptions opts;
+  opts.duration_ms = EnvInt("OLTAP_CONC_DURATION_MS", 1000);
+  opts.think_time_us = EnvInt("OLTAP_CONC_THINK_US", 2000);
+  opts.bind_home_warehouse = true;
+  opts.merge_delta_threshold = 2048;
+  opts.merge_interval_ms = 10;
+
+  static const bool config_reported = [&opts] {
+    auto* rep = bench::Reporter::Get();
+    rep->Config("duration_ms", static_cast<double>(opts.duration_ms));
+    rep->Config("think_time_us", static_cast<double>(opts.think_time_us));
+    rep->Config("warehouses", 8);
+    rep->Config("olap_workers", 2);
+    return true;
+  }();
+  (void)config_reported;
+  return opts;
+}
+
+void ReportRun(const std::string& suffix, const DriverReport& r,
+               benchmark::State& state) {
+  auto* rep = bench::Reporter::Get();
+  rep->Metric("oltp_txn_s" + suffix, r.oltp_txn_per_s);
+  rep->Metric("olap_q_s" + suffix, r.olap_queries_per_s);
+  rep->Metric("oltp_p50_us" + suffix, r.oltp_latency.p50_us);
+  rep->Metric("oltp_p99_us" + suffix, r.oltp_latency.p99_us);
+  rep->Metric("oltp_p999_us" + suffix, r.oltp_latency.p999_us);
+  rep->Metric("olap_p50_us" + suffix, r.olap_latency.p50_us);
+  rep->Metric("olap_p99_us" + suffix, r.olap_latency.p99_us);
+  rep->Metric("olap_p999_us" + suffix, r.olap_latency.p999_us);
+  rep->Metric("abort_rate" + suffix, r.abort_rate);
+  rep->Metric("freshness_lag_us" + suffix,
+              static_cast<double>(r.freshness_lag_us));
+  rep->Metric("merges" + suffix, static_cast<double>(r.merges));
+
+  state.counters["oltp_txn_s"] = r.oltp_txn_per_s;
+  state.counters["olap_q_s"] = r.olap_queries_per_s;
+  state.counters["oltp_p99_us"] = static_cast<double>(r.oltp_latency.p99_us);
+  state.counters["oltp_p999_us"] = static_cast<double>(r.oltp_latency.p999_us);
+  state.counters["abort_rate"] = r.abort_rate;
+}
+
+// (a) OLTP client scaling with 2 analytic clients riding along.
+void BM_ConcurrentWorkerScaling(benchmark::State& state) {
+  size_t oltp = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    World world;
+    DriverOptions opts = BaseOptions();
+    opts.oltp_workers = oltp;
+    opts.olap_workers = 2;
+    opts.policy = SchedulingPolicy::kOltpPriority;
+    ConcurrentDriver driver(world.bench.get(), opts);
+    DriverReport r = driver.Run();
+    ReportRun(".w" + std::to_string(oltp), r, state);
+  }
+}
+BENCHMARK(BM_ConcurrentWorkerScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// (b) Scheduling policies at full load (8 OLTP + 2 OLAP clients).
+void BM_ConcurrentPolicySweep(benchmark::State& state) {
+  auto policy = static_cast<SchedulingPolicy>(state.range(0));
+  for (auto _ : state) {
+    World world;
+    DriverOptions opts = BaseOptions();
+    opts.oltp_workers = 8;
+    opts.olap_workers = 2;
+    opts.policy = policy;
+    ConcurrentDriver driver(world.bench.get(), opts);
+    DriverReport r = driver.Run();
+    ReportRun(std::string(".") + SchedulingPolicyToString(policy), r, state);
+  }
+}
+BENCHMARK(BM_ConcurrentPolicySweep)
+    ->Arg(0)  // fifo
+    ->Arg(1)  // oltp_priority
+    ->Arg(2)  // reserved_workers
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oltap

@@ -45,6 +45,7 @@ std::string HistogramJson(const HistogramSnapshot& h) {
   out += ",\"p50\":" + std::to_string(h.p50);
   out += ",\"p95\":" + std::to_string(h.p95);
   out += ",\"p99\":" + std::to_string(h.p99);
+  out += ",\"p999\":" + std::to_string(h.p999);
   out += ",\"max\":" + std::to_string(h.max);
   out += "}";
   return out;
@@ -64,7 +65,8 @@ std::string RenderText(const MetricsSnapshot& snap) {
     out += "histogram " + name + " count=" + std::to_string(h.count) +
            " mean=" + FormatDouble(h.mean) + " p50=" + std::to_string(h.p50) +
            " p95=" + std::to_string(h.p95) + " p99=" + std::to_string(h.p99) +
-           " max=" + std::to_string(h.max) + "\n";
+           " p999=" + std::to_string(h.p999) + " max=" + std::to_string(h.max) +
+           "\n";
   }
   return out;
 }

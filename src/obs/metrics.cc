@@ -63,6 +63,7 @@ HistogramSnapshot Histogram::Snapshot() const {
   s.p50 = percentile(0.50);
   s.p95 = percentile(0.95);
   s.p99 = percentile(0.99);
+  s.p999 = percentile(0.999);
   return s;
 }
 

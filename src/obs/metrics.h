@@ -104,6 +104,7 @@ struct HistogramSnapshot {
   uint64_t p50 = 0;
   uint64_t p95 = 0;
   uint64_t p99 = 0;
+  uint64_t p999 = 0;
   uint64_t max = 0;
 };
 

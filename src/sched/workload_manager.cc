@@ -294,15 +294,18 @@ void WorkloadManager::Record(QueryClass qc, int64_t latency_us) {
       obs::MetricsRegistry::Default()->GetHistogram("wm.latency_us.olap");
   (qc == QueryClass::kOltp ? oltp_lat : olap_lat)
       ->Record(latency_us > 0 ? static_cast<uint64_t>(latency_us) : 0);
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  latencies_[static_cast<int>(qc)].push_back(latency_us);
+  LatencyShard& shard =
+      latency_shards_[obs::ThreadShardIndex() % kLatencyShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.samples[static_cast<int>(qc)].push_back(latency_us);
 }
 
 LatencySummary WorkloadManager::StatsFor(QueryClass qc) const {
   std::vector<int64_t> lat;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    lat = latencies_[static_cast<int>(qc)];
+  for (LatencyShard& shard : latency_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const std::vector<int64_t>& s = shard.samples[static_cast<int>(qc)];
+    lat.insert(lat.end(), s.begin(), s.end());
   }
   LatencySummary s;
   s.count = lat.size();
@@ -318,6 +321,7 @@ LatencySummary WorkloadManager::StatsFor(QueryClass qc) const {
   s.p50_us = pct(0.50);
   s.p95_us = pct(0.95);
   s.p99_us = pct(0.99);
+  s.p999_us = pct(0.999);
   s.max_us = lat.back();
   return s;
 }

@@ -294,6 +294,7 @@ Result<QueryResult> Database::RunShowStats() {
     add(".p50", Value::Int64(static_cast<int64_t>(h.p50)));
     add(".p95", Value::Int64(static_cast<int64_t>(h.p95)));
     add(".p99", Value::Int64(static_cast<int64_t>(h.p99)));
+    add(".p999", Value::Int64(static_cast<int64_t>(h.p999)));
     add(".max", Value::Int64(static_cast<int64_t>(h.max)));
   }
 
@@ -459,7 +460,7 @@ Result<Wal::ReplayStats> Database::RecoverFromWal(
     const std::string& wal_data) {
   OLTAP_ASSIGN_OR_RETURN(Wal::ReplayStats stats,
                          Wal::Replay(wal_data, &catalog_));
-  txn_.oracle()->AdvanceTo(stats.max_commit_ts);
+  txn_.AdvanceTo(stats.max_commit_ts);
   return stats;
 }
 

@@ -69,7 +69,7 @@ class Database {
   Result<QueryResult> RunSelect(Transaction* txn, const sql::SelectStmt& s,
                                 bool explain, bool analyze);
   // SHOW STATS: one row per metric from the global registry (histograms
-  // expand to .count/.mean/.p50/.p95/.p99/.max rows), with storage
+  // expand to .count/.mean/.p50/.p95/.p99/.p999/.max rows), with storage
   // freshness gauges refreshed from this database's catalog first, plus
   // per-table optimizer-statistics freshness (stats.<table>.*).
   Result<QueryResult> RunShowStats();

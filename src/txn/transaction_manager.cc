@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -143,31 +144,58 @@ TransactionManager::TransactionManager(Catalog* catalog, Wal* wal)
     : catalog_(catalog), wal_(wal) {}
 
 Timestamp TransactionManager::VisibleWatermark() const {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
-  if (inflight_commits_.empty()) return oracle_.CurrentReadTs();
-  return *inflight_commits_.begin() - 1;
+  // Every allocated commit timestamp is eventually finished (applied or
+  // retired), so the contiguous applied prefix converges to the oracle
+  // when the system goes idle — no "no in-flight commits" special case.
+  return visible_.load(std::memory_order_acquire);
 }
 
 Timestamp TransactionManager::AllocateCommitTs() {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
   Timestamp ts = oracle_.AllocateCommitTs();
-  inflight_commits_.insert(ts);
+  // Never let allocation lap the ring: slot ts % W must be consumed (i.e.
+  // the watermark must have passed ts - W) before we may reuse it. All
+  // older timestamps are finished by independent threads, so this spin
+  // cannot deadlock; with in-flight commits bounded by the thread count it
+  // never triggers in practice.
+  while (ts >= visible_.load(std::memory_order_acquire) + kCommitWindow) {
+    std::this_thread::yield();
+  }
   return ts;
 }
 
 void TransactionManager::FinishCommitTs(Timestamp ts) {
-  std::lock_guard<std::mutex> lock(inflight_mu_);
-  inflight_commits_.erase(ts);
+  applied_slots_[ts % kCommitWindow].store(ts, std::memory_order_release);
+  // Advance the watermark over the contiguous applied prefix. Racing
+  // finishers may each advance a piece; the loop re-reads after every CAS
+  // so no applied slot is left behind.
+  Timestamp v = visible_.load(std::memory_order_acquire);
+  while (applied_slots_[(v + 1) % kCommitWindow].load(
+             std::memory_order_acquire) == v + 1) {
+    if (visible_.compare_exchange_weak(v, v + 1,
+                                       std::memory_order_acq_rel)) {
+      v = v + 1;
+    }
+  }
+}
+
+void TransactionManager::AdvanceTo(Timestamp ts) {
+  oracle_.AdvanceTo(ts);
+  Timestamp v = visible_.load(std::memory_order_acquire);
+  while (v < ts &&
+         !visible_.compare_exchange_weak(v, ts, std::memory_order_acq_rel)) {
+  }
 }
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   Timestamp begin_ts = VisibleWatermark();
   uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  size_t shard = obs::ThreadShardIndex() % kSnapshotShards;
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
-    active_snapshots_[begin_ts]++;
+    std::lock_guard<std::mutex> lock(snapshot_shards_[shard].mu);
+    snapshot_shards_[shard].active[begin_ts]++;
   }
-  return std::unique_ptr<Transaction>(new Transaction(this, id, begin_ts));
+  return std::unique_ptr<Transaction>(
+      new Transaction(this, id, begin_ts, shard));
 }
 
 size_t TransactionManager::StripeFor(const Table* table,
@@ -184,10 +212,11 @@ Status TransactionManager::Commit(Transaction* txn) {
   obs::ScopedTimer commit_timer(commit_ns);
   auto finish = [&](bool committed) {
     txn->finished_ = true;
-    std::lock_guard<std::mutex> lock(active_mu_);
-    auto it = active_snapshots_.find(txn->begin_ts_);
-    OLTAP_DCHECK(it != active_snapshots_.end());
-    if (--it->second == 0) active_snapshots_.erase(it);
+    SnapshotShard& shard = snapshot_shards_[txn->snapshot_shard_];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.active.find(txn->begin_ts_);
+    OLTAP_DCHECK(it != shard.active.end());
+    if (--it->second == 0) shard.active.erase(it);
     (committed ? commits_ : aborts_).fetch_add(1, std::memory_order_relaxed);
     static obs::Counter* commit_count =
         obs::MetricsRegistry::Default()->GetCounter("txn.commits");
@@ -292,6 +321,15 @@ Status TransactionManager::Commit(Transaction* txn) {
 
   unlock_all();
   finish(true);
+  // Read-your-writes across transactions: don't acknowledge until the
+  // watermark covers this commit, so the committer's next Begin is
+  // guaranteed to see it (and an acked commit is never invisible to a
+  // later snapshot — the concurrent driver's commit audit relies on
+  // this). The wait is bounded: only earlier commits that are already
+  // past validation can be ahead of us, and no locks are held here.
+  while (visible_.load(std::memory_order_acquire) < commit_ts) {
+    std::this_thread::yield();
+  }
   return Status::OK();
 }
 
@@ -300,10 +338,13 @@ void TransactionManager::Abort(Transaction* txn) {
   txn->finished_ = true;
   txn->ops_.clear();
   txn->latest_.clear();
-  std::lock_guard<std::mutex> lock(active_mu_);
-  auto it = active_snapshots_.find(txn->begin_ts_);
-  if (it != active_snapshots_.end() && --it->second == 0) {
-    active_snapshots_.erase(it);
+  SnapshotShard& shard = snapshot_shards_[txn->snapshot_shard_];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.active.find(txn->begin_ts_);
+    if (it != shard.active.end() && --it->second == 0) {
+      shard.active.erase(it);
+    }
   }
   aborts_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* abort_count =
@@ -314,10 +355,16 @@ void TransactionManager::Abort(Transaction* txn) {
 Timestamp TransactionManager::OldestActiveSnapshot() const {
   // Future transactions can begin no earlier than the visible watermark,
   // so the GC horizon is the older of the watermark and any live snapshot.
+  // Reading the watermark first makes the shard sweep safe against racing
+  // Begins: any transaction that registers after this point has
+  // begin_ts >= horizon, so a too-low (conservative) result is the only
+  // race outcome.
   Timestamp horizon = VisibleWatermark();
-  std::lock_guard<std::mutex> lock(active_mu_);
-  if (!active_snapshots_.empty()) {
-    horizon = std::min(horizon, active_snapshots_.begin()->first);
+  for (const SnapshotShard& shard : snapshot_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.active.empty()) {
+      horizon = std::min(horizon, shard.active.begin()->first);
+    }
   }
   return horizon;
 }

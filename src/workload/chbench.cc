@@ -90,9 +90,16 @@ CHBenchmark::CHBenchmark(Database* db, const CHConfig& config)
   }
 }
 
-Table* CHBenchmark::T(const char* name) const {
-  Table* t = db_->catalog()->GetTable(name);
-  OLTAP_CHECK(t != nullptr) << "missing table " << name;
+Table* CHBenchmark::T(TableId id) const {
+  Table* t = tables_[id].load(std::memory_order_acquire);
+  if (t != nullptr) return t;
+  static const char* kTableNames[kNumTables] = {
+      "warehouse", "district",  "customer", "history", "neworder",
+      "orders",    "orderline", "item",     "stock"};
+  t = db_->catalog()->GetTable(kTableNames[id]);
+  OLTAP_CHECK(t != nullptr) << "missing table " << kTableNames[id];
+  // Benign race: concurrent resolvers store the same stable pointer.
+  tables_[id].store(t, std::memory_order_release);
   return t;
 }
 
@@ -231,7 +238,7 @@ Status CHBenchmark::Load() {
                          Value::Double(1.0 + rng.NextDouble() * 99.0),
                          Value::String(rng.AlphaString(26, 50))});
     }
-    OLTAP_RETURN_NOT_OK(T("item")->BulkLoadToMain(rows, 0));
+    OLTAP_RETURN_NOT_OK(T(kItem)->BulkLoadToMain(rows, 0));
   }
   // Warehouses + stock.
   {
@@ -251,8 +258,8 @@ Status CHBenchmark::Load() {
                             Value::Int64(0)});
       }
     }
-    OLTAP_RETURN_NOT_OK(T("warehouse")->BulkLoadToMain(wrows, 0));
-    OLTAP_RETURN_NOT_OK(T("stock")->BulkLoadToMain(srows, 0));
+    OLTAP_RETURN_NOT_OK(T(kWarehouse)->BulkLoadToMain(wrows, 0));
+    OLTAP_RETURN_NOT_OK(T(kStock)->BulkLoadToMain(srows, 0));
   }
   // Districts, customers, orders (+lines, new-orders), history.
   std::vector<Row> drows, crows, hrows, orows, olrows, norows;
@@ -308,25 +315,25 @@ Status CHBenchmark::Load() {
       }
     }
   }
-  OLTAP_RETURN_NOT_OK(T("district")->BulkLoadToMain(drows, 0));
-  OLTAP_RETURN_NOT_OK(T("customer")->BulkLoadToMain(crows, 0));
-  OLTAP_RETURN_NOT_OK(T("history")->BulkLoadToMain(hrows, 0));
-  OLTAP_RETURN_NOT_OK(T("orders")->BulkLoadToMain(orows, 0));
-  OLTAP_RETURN_NOT_OK(T("orderline")->BulkLoadToMain(olrows, 0));
-  OLTAP_RETURN_NOT_OK(T("neworder")->BulkLoadToMain(norows, 0));
+  OLTAP_RETURN_NOT_OK(T(kDistrict)->BulkLoadToMain(drows, 0));
+  OLTAP_RETURN_NOT_OK(T(kCustomer)->BulkLoadToMain(crows, 0));
+  OLTAP_RETURN_NOT_OK(T(kHistory)->BulkLoadToMain(hrows, 0));
+  OLTAP_RETURN_NOT_OK(T(kOrders)->BulkLoadToMain(orows, 0));
+  OLTAP_RETURN_NOT_OK(T(kOrderLine)->BulkLoadToMain(olrows, 0));
+  OLTAP_RETURN_NOT_OK(T(kNewOrderTable)->BulkLoadToMain(norows, 0));
   return Status::OK();
 }
 
-Status CHBenchmark::NewOrder(Rng* rng) {
-  Table* district = T("district");
-  Table* customer = T("customer");
-  Table* orders = T("orders");
-  Table* neworder = T("neworder");
-  Table* orderline = T("orderline");
-  Table* item = T("item");
-  Table* stock = T("stock");
+Status CHBenchmark::NewOrder(Rng* rng, int64_t home_w, NewOrderAck* ack) {
+  Table* district = T(kDistrict);
+  Table* customer = T(kCustomer);
+  Table* orders = T(kOrders);
+  Table* neworder = T(kNewOrderTable);
+  Table* orderline = T(kOrderLine);
+  Table* item = T(kItem);
+  Table* stock = T(kStock);
 
-  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t w = home_w != 0 ? home_w : rng->UniformRange(1, config_.warehouses);
   int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
   int64_t c = rng->UniformRange(1, config_.customers_per_district);
 
@@ -360,7 +367,7 @@ Status CHBenchmark::NewOrder(Rng* rng) {
   for (int64_t l = 1; l <= ol_cnt; ++l) {
     int64_t i_id = rng->UniformRange(1, config_.items);
     int64_t supply_w = w;
-    if (config_.warehouses > 1 && rng->Bernoulli(0.01)) {
+    if (config_.warehouses > 1 && rng->Bernoulli(config_.remote_item_prob)) {
       do {
         supply_w = rng->UniformRange(1, config_.warehouses);
       } while (supply_w == w);
@@ -398,21 +405,27 @@ Status CHBenchmark::NewOrder(Rng* rng) {
             Value::Null(ValueType::kInt64), Value::Int64(qty),
             Value::Double(amount)}));
   }
-  return db_->txn_manager()->Commit(txn.get());
+  Status st = db_->txn_manager()->Commit(txn.get());
+  if (st.ok() && ack != nullptr) {
+    ack->w = w;
+    ack->d = d;
+    ack->o_id = o_id;
+  }
+  return st;
 }
 
-Status CHBenchmark::Payment(Rng* rng) {
-  Table* warehouse = T("warehouse");
-  Table* district = T("district");
-  Table* customer = T("customer");
-  Table* history = T("history");
+Status CHBenchmark::Payment(Rng* rng, int64_t home_w) {
+  Table* warehouse = T(kWarehouse);
+  Table* district = T(kDistrict);
+  Table* customer = T(kCustomer);
+  Table* history = T(kHistory);
 
-  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t w = home_w != 0 ? home_w : rng->UniformRange(1, config_.warehouses);
   int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
   int64_t c = rng->UniformRange(1, config_.customers_per_district);
-  // 15%: customer pays through a remote warehouse/district.
+  // Default 15%: customer pays through a remote warehouse/district.
   int64_t c_w = w, c_d = d;
-  if (config_.warehouses > 1 && rng->Bernoulli(0.15)) {
+  if (config_.warehouses > 1 && rng->Bernoulli(config_.remote_payment_prob)) {
     do {
       c_w = rng->UniformRange(1, config_.warehouses);
     } while (c_w == w);
@@ -458,13 +471,13 @@ Status CHBenchmark::Payment(Rng* rng) {
   return db_->txn_manager()->Commit(txn.get());
 }
 
-Status CHBenchmark::OrderStatus(Rng* rng) {
-  Table* district = T("district");
-  Table* customer = T("customer");
-  Table* orders = T("orders");
-  Table* orderline = T("orderline");
+Status CHBenchmark::OrderStatus(Rng* rng, int64_t home_w) {
+  Table* district = T(kDistrict);
+  Table* customer = T(kCustomer);
+  Table* orders = T(kOrders);
+  Table* orderline = T(kOrderLine);
 
-  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t w = home_w != 0 ? home_w : rng->UniformRange(1, config_.warehouses);
   int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
   int64_t c = rng->UniformRange(1, config_.customers_per_district);
 
@@ -504,13 +517,13 @@ Status CHBenchmark::OrderStatus(Rng* rng) {
   return db_->txn_manager()->Commit(txn.get());
 }
 
-Status CHBenchmark::Delivery(Rng* rng) {
-  Table* neworder = T("neworder");
-  Table* orders = T("orders");
-  Table* orderline = T("orderline");
-  Table* customer = T("customer");
+Status CHBenchmark::Delivery(Rng* rng, int64_t home_w) {
+  Table* neworder = T(kNewOrderTable);
+  Table* orders = T(kOrders);
+  Table* orderline = T(kOrderLine);
+  Table* customer = T(kCustomer);
 
-  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t w = home_w != 0 ? home_w : rng->UniformRange(1, config_.warehouses);
   int64_t carrier = rng->UniformRange(1, 10);
 
   auto txn = db_->txn_manager()->Begin();
@@ -572,12 +585,12 @@ Status CHBenchmark::Delivery(Rng* rng) {
   return st;
 }
 
-Status CHBenchmark::StockLevel(Rng* rng) {
-  Table* district = T("district");
-  Table* orderline = T("orderline");
-  Table* stock = T("stock");
+Status CHBenchmark::StockLevel(Rng* rng, int64_t home_w) {
+  Table* district = T(kDistrict);
+  Table* orderline = T(kOrderLine);
+  Table* stock = T(kStock);
 
-  int64_t w = rng->UniformRange(1, config_.warehouses);
+  int64_t w = home_w != 0 ? home_w : rng->UniformRange(1, config_.warehouses);
   int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
   int64_t threshold = rng->UniformRange(10, 20);
 
@@ -620,24 +633,25 @@ Status CHBenchmark::StockLevel(Rng* rng) {
   return db_->txn_manager()->Commit(txn.get());
 }
 
-Status CHBenchmark::RunMixed(Rng* rng, CHTxnStats* stats, int max_retries) {
+Status CHBenchmark::RunMixed(Rng* rng, CHTxnStats* stats, int max_retries,
+                             int64_t home_w) {
   uint64_t pick = rng->Uniform(100);
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
     Status st;
     if (pick < 45) {
-      st = NewOrder(rng);
+      st = NewOrder(rng, home_w);
       if (st.ok()) ++stats->new_order;
     } else if (pick < 88) {
-      st = Payment(rng);
+      st = Payment(rng, home_w);
       if (st.ok()) ++stats->payment;
     } else if (pick < 92) {
-      st = OrderStatus(rng);
+      st = OrderStatus(rng, home_w);
       if (st.ok()) ++stats->order_status;
     } else if (pick < 96) {
-      st = Delivery(rng);
+      st = Delivery(rng, home_w);
       if (st.ok()) ++stats->delivery;
     } else {
-      st = StockLevel(rng);
+      st = StockLevel(rng, home_w);
       if (st.ok()) ++stats->stock_level;
     }
     if (st.ok()) return st;

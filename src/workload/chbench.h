@@ -28,11 +28,20 @@ struct CHConfig {
   int initial_orders_per_district = 50;
   // Fraction of initially loaded orders still awaiting delivery.
   double undelivered_fraction = 0.3;
+  // Spec: 1% of NewOrder lines are supplied by a remote warehouse and 15%
+  // of Payments go through a remote customer. Configurable so the
+  // concurrent driver's determinism mode can pin every write to the
+  // worker's home warehouse (0.0 = fully partitionable workload).
+  double remote_item_prob = 0.01;
+  double remote_payment_prob = 0.15;
   TableFormat format = TableFormat::kDual;
   uint64_t seed = 42;
 };
 
-// Per-transaction-type counters for a mixed run.
+// Per-transaction-type counters for a mixed run. NOT thread-safe: each
+// worker thread accumulates into its own instance and the driver merges
+// them with Accumulate() after the workers join (sharing one instance
+// across threads is a data race and undercounts).
 struct CHTxnStats {
   uint64_t new_order = 0;
   uint64_t payment = 0;
@@ -44,8 +53,32 @@ struct CHTxnStats {
   uint64_t total() const {
     return new_order + payment + order_status + delivery + stock_level;
   }
+
+  void Accumulate(const CHTxnStats& o) {
+    new_order += o.new_order;
+    payment += o.payment;
+    order_status += o.order_status;
+    delivery += o.delivery;
+    stock_level += o.stock_level;
+    aborts += o.aborts;
+  }
 };
 
+// Acknowledgement of a committed NewOrder: the primary key of the order
+// the transaction created. The concurrent driver's commit audit records
+// these and checks every acknowledged order against a post-run scan.
+struct NewOrderAck {
+  int64_t w = 0;
+  int64_t d = 0;
+  int64_t o_id = 0;
+};
+
+// Thread-safety: after Load() completes, the five transactions and
+// RunQuery may be called from any number of threads concurrently, each
+// thread with its own Rng and CHTxnStats. Table handles are resolved once
+// and cached (the per-call catalog lookups showed up as shared-lock
+// contention under the concurrent driver); the delivery cursors are
+// per-district atomics.
 class CHBenchmark {
  public:
   CHBenchmark(Database* db, const CHConfig& config);
@@ -58,22 +91,29 @@ class CHBenchmark {
   Status Load();
 
   // ---- The five TPC-C transactions (native transaction API). Each
-  // returns kAborted on a serialization conflict; RunMixed retries. ----
+  // returns kAborted on a serialization conflict; RunMixed retries.
+  // `home_w` != 0 pins the transaction's warehouse (TPC-C terminals have a
+  // home warehouse; the driver's determinism mode relies on it), 0 draws
+  // it uniformly. ----
 
-  // Deviation from spec: no 1% intentional rollback; remote items 1%.
-  Status NewOrder(Rng* rng);
-  // Deviation: customer always selected by id (no last-name path).
-  Status Payment(Rng* rng);
+  // Deviation from spec: no 1% intentional rollback; remote items per
+  // config (default 1%). `ack` (optional) receives the created order's key
+  // on success.
+  Status NewOrder(Rng* rng, int64_t home_w = 0, NewOrderAck* ack = nullptr);
+  // Deviation: customer always selected by id (no last-name path); remote
+  // customer per config (default 15%).
+  Status Payment(Rng* rng, int64_t home_w = 0);
   // Deviation: order selected uniformly from the customer's district's
   // recent orders rather than "customer's most recent order".
-  Status OrderStatus(Rng* rng);
-  Status Delivery(Rng* rng);
-  Status StockLevel(Rng* rng);
+  Status OrderStatus(Rng* rng, int64_t home_w = 0);
+  Status Delivery(Rng* rng, int64_t home_w = 0);
+  Status StockLevel(Rng* rng, int64_t home_w = 0);
 
   // Runs one transaction drawn from the TPC-C mix
   // (45/43/4/4/4 = NewOrder/Payment/OrderStatus/Delivery/StockLevel),
   // retrying serialization aborts up to `max_retries`.
-  Status RunMixed(Rng* rng, CHTxnStats* stats, int max_retries = 5);
+  Status RunMixed(Rng* rng, CHTxnStats* stats, int max_retries = 5,
+                  int64_t home_w = 0);
 
   // ---- Analytic query set: 13 queries adapted from CH-benCHmark to the
   // engine's SQL subset (EXPERIMENTS.md documents the mapping). ----
@@ -89,11 +129,27 @@ class CHBenchmark {
   const CHConfig& config() const { return config_; }
 
  private:
-  // Encoded-key helpers for the native transactions.
-  Table* T(const char* name) const;
+  // Stable table handles, resolved lazily from the catalog and cached
+  // (Table pointers never move for the catalog's lifetime). Keeps the
+  // transactions off the catalog's shared lock.
+  enum TableId {
+    kWarehouse,
+    kDistrict,
+    kCustomer,
+    kHistory,
+    kNewOrderTable,
+    kOrders,
+    kOrderLine,
+    kItem,
+    kStock,
+    kNumTables,
+  };
+
+  Table* T(TableId id) const;
 
   Database* db_;
   CHConfig config_;
+  mutable std::atomic<Table*> tables_[kNumTables] = {};
   // First undelivered order id per (warehouse, district); driver-side
   // delivery cursor (spec: "oldest undelivered NEW-ORDER").
   std::vector<std::unique_ptr<std::atomic<int64_t>>> delivery_cursor_;

@@ -1,0 +1,245 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "sched/merge_daemon.h"
+#include "storage/column_store.h"
+
+namespace oltap {
+
+const char* TxnKindToString(TxnKind k) {
+  switch (k) {
+    case TxnKind::kNewOrder:
+      return "new_order";
+    case TxnKind::kPayment:
+      return "payment";
+    case TxnKind::kOrderStatus:
+      return "order_status";
+    case TxnKind::kDelivery:
+      return "delivery";
+    case TxnKind::kStockLevel:
+      return "stock_level";
+  }
+  return "unknown";
+}
+
+ConcurrentDriver::ConcurrentDriver(CHBenchmark* bench,
+                                   const DriverOptions& options)
+    : bench_(bench), options_(options) {}
+
+uint64_t ConcurrentDriver::OpSeed(uint64_t driver_seed, size_t worker,
+                                  size_t index) {
+  return Mix64(driver_seed ^ Mix64((static_cast<uint64_t>(worker) << 32) |
+                                   static_cast<uint64_t>(index)));
+}
+
+TxnKind ConcurrentDriver::KindFor(uint64_t op_seed) {
+  // First draw of the op's private Rng, mapped through the TPC-C mix
+  // (45/43/4/4/4). ExecuteOp consumes the same draw before the argument
+  // draws, so stream construction and execution stay in lockstep.
+  Rng rng(op_seed);
+  uint64_t pick = rng.Uniform(100);
+  if (pick < 45) return TxnKind::kNewOrder;
+  if (pick < 88) return TxnKind::kPayment;
+  if (pick < 92) return TxnKind::kOrderStatus;
+  if (pick < 96) return TxnKind::kDelivery;
+  return TxnKind::kStockLevel;
+}
+
+std::vector<TxnOp> ConcurrentDriver::MakeStream(uint64_t driver_seed,
+                                                size_t worker, size_t ops) {
+  std::vector<TxnOp> stream;
+  stream.reserve(ops);
+  for (size_t i = 0; i < ops; ++i) {
+    uint64_t s = OpSeed(driver_seed, worker, i);
+    stream.push_back(TxnOp{KindFor(s), s});
+  }
+  return stream;
+}
+
+void ConcurrentDriver::ExecuteOp(const TxnOp& op, int64_t home_w,
+                                 WorkerResult* result) {
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    // Fresh Rng per attempt: a retried op replays the *same* arguments
+    // instead of continuing the stream (determinism under aborts).
+    Rng rng(op.seed);
+    (void)rng.Uniform(100);  // the kind draw; already resolved into op.kind
+    Status st;
+    NewOrderAck ack;
+    switch (op.kind) {
+      case TxnKind::kNewOrder:
+        st = bench_->NewOrder(&rng, home_w, &ack);
+        if (st.ok()) {
+          ++result->stats.new_order;
+          if (options_.audit_commits) result->acks.push_back(ack);
+        }
+        break;
+      case TxnKind::kPayment:
+        st = bench_->Payment(&rng, home_w);
+        if (st.ok()) ++result->stats.payment;
+        break;
+      case TxnKind::kOrderStatus:
+        st = bench_->OrderStatus(&rng, home_w);
+        if (st.ok()) ++result->stats.order_status;
+        break;
+      case TxnKind::kDelivery:
+        st = bench_->Delivery(&rng, home_w);
+        if (st.ok()) ++result->stats.delivery;
+        break;
+      case TxnKind::kStockLevel:
+        st = bench_->StockLevel(&rng, home_w);
+        if (st.ok()) ++result->stats.stock_level;
+        break;
+    }
+    if (st.ok()) return;
+    if (st.code() == StatusCode::kAborted) {
+      ++result->stats.aborts;
+      continue;
+    }
+    ++result->failed;
+    return;
+  }
+}
+
+DriverReport ConcurrentDriver::Run() {
+  const size_t wm_workers =
+      options_.wm_workers != 0 ? options_.wm_workers
+                               : options_.oltp_workers + options_.olap_workers;
+  WorkloadManager::Options wm_opts;
+  wm_opts.num_workers = wm_workers;
+  wm_opts.policy = options_.policy;
+  wm_opts.reserved_oltp_workers =
+      std::min(options_.oltp_workers, wm_workers > 1 ? wm_workers - 1 : 1);
+  WorkloadManager wm(wm_opts);
+
+  std::unique_ptr<MergeDaemon> merger;
+  if (options_.run_merge_daemon) {
+    MergeDaemon::Options mopts;
+    mopts.delta_row_threshold = options_.merge_delta_threshold;
+    mopts.interval_ms = options_.merge_interval_ms;
+    mopts.autostart = true;
+    merger = std::make_unique<MergeDaemon>(bench_->db()->catalog(),
+                                           bench_->db()->txn_manager(), mopts);
+  }
+
+  const int64_t duration_us = options_.duration_ms * 1000;
+  const int64_t num_warehouses = bench_->config().warehouses;
+
+  DriverReport report;
+  report.workers.resize(options_.oltp_workers);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> olap_completed{0};
+  std::atomic<uint64_t> olap_failed{0};
+
+  Stopwatch sw;
+
+  // Closed-loop OLTP clients: one in-flight transaction each, submitted
+  // through admission control, then think time.
+  std::vector<std::thread> oltp_threads;
+  oltp_threads.reserve(options_.oltp_workers);
+  for (size_t worker = 0; worker < options_.oltp_workers; ++worker) {
+    oltp_threads.emplace_back([&, worker] {
+      WorkerResult* result = &report.workers[worker];
+      int64_t home_w = 0;
+      if (options_.bind_home_warehouse) {
+        home_w = static_cast<int64_t>(worker % num_warehouses) + 1;
+      }
+      for (size_t index = 0;; ++index) {
+        if (duration_us > 0) {
+          if (sw.ElapsedMicros() >= duration_us) break;
+        } else if (index >= options_.ops_per_worker) {
+          break;
+        }
+        uint64_t s = OpSeed(options_.seed, worker, index);
+        TxnOp op{KindFor(s), s};
+        bool executed = false;
+        std::future<Status> done =
+            wm.Submit(QueryClass::kOltp, [&, op] {
+              executed = true;
+              ExecuteOp(op, home_w, result);
+            });
+        Status st = done.get();
+        ++result->ops_issued;
+        if (!st.ok() && !executed) ++result->failed;
+        if (options_.think_time_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(options_.think_time_us));
+        }
+      }
+    });
+  }
+
+  // OLAP clients: cycle the CH query set (staggered starting points so two
+  // clients do not run the same query in lockstep). At least one query per
+  // client even in very short fixed-ops runs.
+  const size_t num_queries = CHBenchmark::Queries().size();
+  std::vector<std::thread> olap_threads;
+  olap_threads.reserve(options_.olap_workers);
+  for (size_t worker = 0; worker < options_.olap_workers; ++worker) {
+    olap_threads.emplace_back([&, worker] {
+      size_t qi = (worker * 7) % num_queries;
+      do {
+        size_t q = qi;
+        bool ok = false;
+        std::future<Status> done = wm.Submit(QueryClass::kOlap, [&, q] {
+          auto res = bench_->RunQuery(q);
+          ok = res.ok();
+        });
+        Status st = done.get();
+        if (st.ok() && ok) {
+          olap_completed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          olap_failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        qi = (qi + 1) % num_queries;
+        if (duration_us > 0 && sw.ElapsedMicros() >= duration_us) break;
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  for (auto& t : oltp_threads) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : olap_threads) t.join();
+  wm.Drain();
+
+  report.duration_s = sw.ElapsedSeconds();
+
+  if (merger != nullptr) {
+    merger->Stop();
+    report.merges = merger->merges_performed();
+  }
+
+  for (const WorkerResult& w : report.workers) {
+    report.txns.Accumulate(w.stats);
+  }
+  report.olap_completed = olap_completed.load(std::memory_order_relaxed);
+  report.olap_failed = olap_failed.load(std::memory_order_relaxed);
+  if (report.duration_s > 0) {
+    report.oltp_txn_per_s = report.txns.total() / report.duration_s;
+    report.olap_queries_per_s = report.olap_completed / report.duration_s;
+  }
+  uint64_t attempts = report.txns.total() + report.txns.aborts;
+  report.abort_rate =
+      attempts > 0 ? static_cast<double>(report.txns.aborts) / attempts : 0;
+  report.oltp_latency = wm.StatsFor(QueryClass::kOltp);
+  report.olap_latency = wm.StatsFor(QueryClass::kOlap);
+
+  // Freshness lag at run end: oldest unmerged delta across the TPC-C
+  // tables (same quantity merge_daemon / SHOW STATS publish).
+  int64_t now_us = SystemClock::Get()->NowMicros();
+  for (Table* table : bench_->db()->catalog()->AllTables()) {
+    if (!table->Mergeable()) continue;
+    ColumnTable* ct = table->column_table();
+    if (ct == nullptr) continue;
+    report.freshness_lag_us =
+        std::max(report.freshness_lag_us, ct->DeltaAgeMicros(now_us));
+  }
+  return report;
+}
+
+}  // namespace oltap

@@ -34,7 +34,7 @@ TEST(CheckpointTest, RoundTripRestoresVisibleState) {
   auto stats = RestoreCheckpoint(*checkpoint, restored.catalog());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->ops_applied, 180u);
-  restored.txn_manager()->oracle()->AdvanceTo(stats->max_commit_ts);
+  restored.txn_manager()->AdvanceTo(stats->max_commit_ts);
 
   auto original = db.Execute("SELECT COUNT(*), SUM(v) FROM t");
   auto recovered = restored.Execute("SELECT COUNT(*), SUM(v) FROM t");
@@ -78,7 +78,7 @@ TEST(CheckpointTest, CheckpointPlusWalTailRecovery) {
   auto stats = RecoverFromCheckpointAndLog(checkpoint, wal.buffer(),
                                            recovered.catalog());
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  recovered.txn_manager()->oracle()->AdvanceTo(stats->max_commit_ts);
+  recovered.txn_manager()->AdvanceTo(stats->max_commit_ts);
 
   auto r = recovered.Execute("SELECT id, tag, v FROM t ORDER BY id");
   ASSERT_TRUE(r.ok());

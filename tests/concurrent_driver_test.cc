@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "storage/row.h"
+#include "workload/chbench.h"
+#include "workload/driver.h"
+
+namespace oltap {
+namespace {
+
+constexpr Timestamp kFarFuture = 1'000'000'000;
+
+const char* kTables[] = {"warehouse", "district",  "customer",
+                         "history",   "neworder",  "orders",
+                         "orderline", "item",      "stock"};
+
+// Order-independent rendering of every committed row of every TPC-C
+// table. Two databases with identical committed state produce identical
+// fingerprints regardless of commit interleaving (and the keyless history
+// table needs no declared key for this).
+std::map<std::string, std::vector<std::string>> Fingerprint(Database* db) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const char* name : kTables) {
+    const Table* table = db->catalog()->GetTable(name);
+    std::vector<std::string>& rows = out[name];
+    table->ScanVisible(kFarFuture, [&](const Row& row) {
+      rows.push_back(RowToString(row));
+    });
+    std::sort(rows.begin(), rows.end());
+  }
+  return out;
+}
+
+int64_t CountVisibleRows(Database* db, const std::string& table) {
+  int64_t n = 0;
+  db->catalog()->GetTable(table)->ScanVisible(kFarFuture,
+                                              [&](const Row&) { ++n; });
+  return n;
+}
+
+CHConfig TinyConfig() {
+  CHConfig config;
+  config.warehouses = 2;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 10;
+  config.items = 50;
+  config.initial_orders_per_district = 5;
+  return config;
+}
+
+TEST(ConcurrentDriverTest, DeterministicStreams) {
+  auto a = ConcurrentDriver::MakeStream(7, 3, 500);
+  auto b = ConcurrentDriver::MakeStream(7, 3, 500);
+  ASSERT_EQ(a.size(), 500u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].seed, b[i].seed) << i;
+  }
+
+  // Different worker or driver seed: a different stream.
+  auto c = ConcurrentDriver::MakeStream(7, 4, 500);
+  auto d = ConcurrentDriver::MakeStream(8, 3, 500);
+  size_t same_c = 0, same_d = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    same_c += a[i].seed == c[i].seed;
+    same_d += a[i].seed == d[i].seed;
+  }
+  EXPECT_EQ(same_c, 0u);
+  EXPECT_EQ(same_d, 0u);
+
+  // The mix roughly follows TPC-C 45/43/4/4/4.
+  size_t counts[5] = {};
+  for (const TxnOp& op : a) ++counts[static_cast<size_t>(op.kind)];
+  EXPECT_GT(counts[0], 150u);  // new_order ~225
+  EXPECT_GT(counts[1], 150u);  // payment ~215
+  EXPECT_GT(counts[2] + counts[3] + counts[4], 20u);  // ~60 combined
+}
+
+// Same seed + thread count => identical committed state, independent of
+// scheduling. Requires the conflict-free configuration: every worker
+// pinned to its own warehouse and remote probabilities zeroed, so no op
+// ever aborts and retries (a retry would re-draw arguments).
+TEST(ConcurrentDriverTest, DeterministicCommittedState) {
+  auto run = [] {
+    auto db = std::make_unique<Database>();
+    CHConfig config = TinyConfig();
+    config.warehouses = 4;
+    config.remote_item_prob = 0.0;
+    config.remote_payment_prob = 0.0;
+    CHBenchmark bench(db.get(), config);
+    EXPECT_TRUE(bench.CreateTables().ok());
+    EXPECT_TRUE(bench.Load().ok());
+
+    DriverOptions opts;
+    opts.oltp_workers = 4;  // == warehouses: one worker per warehouse
+    opts.olap_workers = 1;
+    opts.ops_per_worker = 30;
+    opts.seed = 11;
+    opts.bind_home_warehouse = true;
+    opts.merge_delta_threshold = 64;
+    opts.merge_interval_ms = 1;
+    ConcurrentDriver driver(&bench, opts);
+    DriverReport report = driver.Run();
+
+    EXPECT_EQ(report.txns.total(), 4u * 30u);
+    EXPECT_EQ(report.txns.aborts, 0u) << "disjoint write sets cannot abort";
+    for (const WorkerResult& w : report.workers) EXPECT_EQ(w.failed, 0u);
+    return Fingerprint(db.get());
+  };
+
+  auto first = run();
+  auto second = run();
+  for (const char* name : kTables) {
+    ASSERT_EQ(first[name].size(), second[name].size()) << name;
+    EXPECT_EQ(first[name], second[name]) << name;
+  }
+  // The workload actually wrote something.
+  EXPECT_GT(first["orders"].size(), 4u * 2u * 5u);
+}
+
+// Every acknowledged NewOrder commit is visible after the run, and
+// aborted attempts left nothing behind — under a deliberately contended
+// configuration (shared warehouses, remote payments/items on).
+TEST(ConcurrentDriverTest, ZeroLostCommits) {
+  Database db;
+  CHBenchmark bench(&db, TinyConfig());
+  ASSERT_TRUE(bench.CreateTables().ok());
+  ASSERT_TRUE(bench.Load().ok());
+
+  int64_t orders_before = CountVisibleRows(&db, "orders");
+  int64_t history_before = CountVisibleRows(&db, "history");
+
+  DriverOptions opts;
+  opts.oltp_workers = 4;  // 2 warehouses: workers contend
+  opts.olap_workers = 1;
+  opts.ops_per_worker = 40;
+  opts.seed = 23;
+  opts.audit_commits = true;
+  opts.merge_delta_threshold = 64;
+  opts.merge_interval_ms = 1;
+  ConcurrentDriver driver(&bench, opts);
+  DriverReport report = driver.Run();
+
+  // Every acked order key is unique and visible post-run.
+  const Table* orders = db.catalog()->GetTable("orders");
+  std::set<std::tuple<int64_t, int64_t, int64_t>> acked;
+  uint64_t committed_new_orders = 0;
+  for (const WorkerResult& w : report.workers) {
+    committed_new_orders += w.stats.new_order;
+    for (const NewOrderAck& ack : w.acks) {
+      EXPECT_TRUE(acked.emplace(ack.w, ack.d, ack.o_id).second)
+          << "duplicate ack " << ack.w << "/" << ack.d << "/" << ack.o_id;
+      Row key{Value::Int64(ack.w), Value::Int64(ack.d), Value::Int64(ack.o_id)};
+      Row out;
+      EXPECT_TRUE(
+          orders->Lookup(EncodeKey(orders->schema(), key), kFarFuture, &out))
+          << "acked order not found: " << ack.w << "/" << ack.d << "/"
+          << ack.o_id;
+    }
+  }
+  EXPECT_EQ(acked.size(), committed_new_orders);
+
+  // Exactly the acked orders were added — aborts contributed nothing.
+  EXPECT_EQ(CountVisibleRows(&db, "orders"),
+            orders_before + static_cast<int64_t>(acked.size()));
+  // Same for Payment's history appends.
+  EXPECT_EQ(CountVisibleRows(&db, "history"),
+            history_before + static_cast<int64_t>(report.txns.payment));
+}
+
+TEST(ConcurrentDriverTest, MixedWorkloadReportsPerClassLatency) {
+  Database db;
+  CHBenchmark bench(&db, TinyConfig());
+  ASSERT_TRUE(bench.CreateTables().ok());
+  ASSERT_TRUE(bench.Load().ok());
+
+  DriverOptions opts;
+  opts.oltp_workers = 2;
+  opts.olap_workers = 2;
+  opts.ops_per_worker = 20;
+  opts.seed = 5;
+  opts.merge_delta_threshold = 64;
+  opts.merge_interval_ms = 1;
+  ConcurrentDriver driver(&bench, opts);
+  DriverReport report = driver.Run();
+
+  EXPECT_GT(report.duration_s, 0.0);
+  EXPECT_EQ(report.txns.total(), 2u * 20u);
+  EXPECT_GT(report.oltp_txn_per_s, 0.0);
+  EXPECT_GE(report.olap_completed, 2u);  // each OLAP client ran >= 1 query
+  EXPECT_EQ(report.olap_failed, 0u);
+
+  EXPECT_EQ(report.oltp_latency.count, 2u * 20u);
+  EXPECT_GE(report.olap_latency.count, report.olap_completed);
+  EXPECT_GE(report.oltp_latency.p999_us, report.oltp_latency.p99_us);
+  EXPECT_GE(report.oltp_latency.p99_us, report.oltp_latency.p50_us);
+  EXPECT_GE(report.oltp_latency.max_us, report.oltp_latency.p999_us);
+  EXPECT_GE(report.freshness_lag_us, 0);
+  EXPECT_LT(report.abort_rate, 1.0);
+}
+
+TEST(ConcurrentDriverTest, TimedModeRunsToDeadline) {
+  Database db;
+  CHBenchmark bench(&db, TinyConfig());
+  ASSERT_TRUE(bench.CreateTables().ok());
+  ASSERT_TRUE(bench.Load().ok());
+
+  DriverOptions opts;
+  opts.oltp_workers = 2;
+  opts.olap_workers = 1;
+  opts.duration_ms = 50;
+  opts.seed = 3;
+  opts.think_time_us = 100;
+  ConcurrentDriver driver(&bench, opts);
+  DriverReport report = driver.Run();
+
+  EXPECT_GE(report.duration_s, 0.05);
+  EXPECT_GT(report.txns.total(), 0u);
+}
+
+}  // namespace
+}  // namespace oltap

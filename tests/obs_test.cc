@@ -69,6 +69,8 @@ TEST(ObsHistogramTest, PercentilesFromLogBuckets) {
   EXPECT_LE(snap.p95, 1000u);  // clamped to recorded max
   EXPECT_GE(snap.p99, snap.p95);
   EXPECT_LE(snap.p99, snap.max);
+  EXPECT_GE(snap.p999, snap.p99);
+  EXPECT_LE(snap.p999, snap.max);
 }
 
 TEST(ObsHistogramTest, ZeroAndEmpty) {
@@ -77,6 +79,7 @@ TEST(ObsHistogramTest, ZeroAndEmpty) {
   obs::HistogramSnapshot empty = hist.Snapshot();
   EXPECT_EQ(empty.count, 0u);
   EXPECT_EQ(empty.p99, 0u);
+  EXPECT_EQ(empty.p999, 0u);
   hist.Record(0);
   obs::HistogramSnapshot snap = hist.Snapshot();
   EXPECT_EQ(snap.count, 1u);

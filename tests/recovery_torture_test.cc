@@ -229,7 +229,7 @@ TEST_F(RecoveryTortureTest, RandomizedCrashRecoverRounds) {
     // The recovered engine must accept new commits.
     Wal wal2;
     TransactionManager tm2(recovered.get(), &wal2);
-    tm2.oracle()->AdvanceTo(stats.max_commit_ts);
+    tm2.AdvanceTo(stats.max_commit_ts);
     Table* rt = recovered->GetTable("t");
     auto txn = tm2.Begin();
     int64_t fresh_id = 10'000'000 + round;

@@ -314,7 +314,8 @@ TEST(WorkloadManagerTest, StatsPercentilesOrdered) {
   EXPECT_EQ(s.count, 200u);
   EXPECT_LE(s.p50_us, s.p95_us);
   EXPECT_LE(s.p95_us, s.p99_us);
-  EXPECT_LE(s.p99_us, s.max_us);
+  EXPECT_LE(s.p99_us, s.p999_us);
+  EXPECT_LE(s.p999_us, s.max_us);
   EXPECT_GT(s.mean_us, 0.0);
 }
 
