@@ -87,6 +87,7 @@ void ReportRun(const std::string& suffix, const DriverReport& r,
   rep->Metric("olap_p99_us" + suffix, r.olap_latency.p99_us);
   rep->Metric("olap_p999_us" + suffix, r.olap_latency.p999_us);
   rep->Metric("abort_rate" + suffix, r.abort_rate);
+  rep->Metric("oltp_failed" + suffix, static_cast<double>(r.oltp_failed));
   rep->Metric("freshness_lag_us" + suffix,
               static_cast<double>(r.freshness_lag_us));
   rep->Metric("merges" + suffix, static_cast<double>(r.merges));

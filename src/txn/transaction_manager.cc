@@ -1,6 +1,7 @@
 #include "txn/transaction_manager.h"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <thread>
 
@@ -158,6 +159,7 @@ Timestamp TransactionManager::AllocateCommitTs() {
   // cannot deadlock; with in-flight commits bounded by the thread count it
   // never triggers in practice.
   while (ts >= visible_.load(std::memory_order_acquire) + kCommitWindow) {
+    AdvanceVisible();  // help rather than wait passively
     std::this_thread::yield();
   }
   return ts;
@@ -165,6 +167,17 @@ Timestamp TransactionManager::AllocateCommitTs() {
 
 void TransactionManager::FinishCommitTs(Timestamp ts) {
   applied_slots_[ts % kCommitWindow].store(ts, std::memory_order_release);
+  // StoreLoad barrier: the slot store above and the visible_ load inside
+  // AdvanceVisible are different atomics, so without a full fence the load
+  // may be served ahead of the store draining the store buffer (x86 allows
+  // exactly this). Two finishers of adjacent timestamps could then each
+  // miss the other's slot store and both exit without advancing, leaving
+  // the watermark stuck below an applied commit.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  AdvanceVisible();
+}
+
+void TransactionManager::AdvanceVisible() {
   // Advance the watermark over the contiguous applied prefix. Racing
   // finishers may each advance a piece; the loop re-reads after every CAS
   // so no applied slot is left behind.
@@ -187,11 +200,19 @@ void TransactionManager::AdvanceTo(Timestamp ts) {
 }
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
-  Timestamp begin_ts = VisibleWatermark();
   uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   size_t shard = obs::ThreadShardIndex() % kSnapshotShards;
+  Timestamp begin_ts;
   {
     std::lock_guard<std::mutex> lock(snapshot_shards_[shard].mu);
+    // The watermark read must happen *inside* the shard lock: a GC sweep
+    // (OldestActiveSnapshot) reads the watermark before locking the
+    // shards, so a registration it misses can only have locked this shard
+    // after the sweep released it — and therefore reads a watermark at
+    // least as new as the sweep's, keeping begin_ts >= the sweep's
+    // horizon. Reading before locking would open a window in which a
+    // concurrent merge could prune versions this snapshot needs.
+    begin_ts = visible_.load(std::memory_order_acquire);
     snapshot_shards_[shard].active[begin_ts]++;
   }
   return std::unique_ptr<Transaction>(
@@ -326,8 +347,12 @@ Status TransactionManager::Commit(Transaction* txn) {
   // guaranteed to see it (and an acked commit is never invisible to a
   // later snapshot — the concurrent driver's commit audit relies on
   // this). The wait is bounded: only earlier commits that are already
-  // past validation can be ahead of us, and no locks are held here.
+  // past validation can be ahead of us, and no locks are held here. The
+  // spin helps (re-runs the advance loop) rather than loading visible_
+  // passively, so it cannot hang even if a concurrent finisher's advance
+  // missed a slot.
   while (visible_.load(std::memory_order_acquire) < commit_ts) {
+    AdvanceVisible();
     std::this_thread::yield();
   }
   return Status::OK();
@@ -353,12 +378,15 @@ void TransactionManager::Abort(Transaction* txn) {
 }
 
 Timestamp TransactionManager::OldestActiveSnapshot() const {
-  // Future transactions can begin no earlier than the visible watermark,
-  // so the GC horizon is the older of the watermark and any live snapshot.
-  // Reading the watermark first makes the shard sweep safe against racing
-  // Begins: any transaction that registers after this point has
-  // begin_ts >= horizon, so a too-low (conservative) result is the only
-  // race outcome.
+  // The GC horizon is the older of the watermark and any live snapshot.
+  // Safety against racing Begins relies on lock ordering, not timing:
+  // Begin reads the watermark *inside* its shard lock, and this sweep
+  // reads the watermark *before* locking any shard. So a registration the
+  // sweep misses must have acquired its shard lock after the sweep
+  // released it, hence read a watermark >= the value read here — either
+  // the sweep sees the registration (horizon <= its begin_ts) or the
+  // registration's begin_ts >= this horizon. A too-low (conservative)
+  // result is the only race outcome.
   Timestamp horizon = VisibleWatermark();
   for (const SnapshotShard& shard : snapshot_shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -205,6 +205,10 @@ class TransactionManager {
   // Marks `ts` fully applied, advancing the watermark over the contiguous
   // applied prefix.
   void FinishCommitTs(Timestamp ts);
+  // CAS-advances visible_ over the contiguous applied prefix. Safe to call
+  // from any thread; spin loops waiting on the watermark call it to help
+  // instead of waiting passively.
+  void AdvanceVisible();
 
   Catalog* catalog_;
   Wal* wal_;

@@ -104,6 +104,10 @@ void ConcurrentDriver::ExecuteOp(const TxnOp& op, int64_t home_w,
     ++result->failed;
     return;
   }
+  // Every attempt aborted: count the op as failed so it still shows up in
+  // the ledger (total committed + failed == ops issued) instead of
+  // vanishing from every counter except aborts.
+  ++result->failed;
 }
 
 DriverReport ConcurrentDriver::Run() {
@@ -216,6 +220,7 @@ DriverReport ConcurrentDriver::Run() {
 
   for (const WorkerResult& w : report.workers) {
     report.txns.Accumulate(w.stats);
+    report.oltp_failed += w.failed;
   }
   report.olap_completed = olap_completed.load(std::memory_order_relaxed);
   report.olap_failed = olap_failed.load(std::memory_order_relaxed);

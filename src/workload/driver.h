@@ -87,7 +87,10 @@ struct DriverOptions {
 struct WorkerResult {
   CHTxnStats stats;          // committed txns + aborted attempts
   uint64_t ops_issued = 0;   // ops submitted (committed or exhausted)
-  uint64_t failed = 0;       // non-abort failures (admission, internal)
+  // Ops that never committed: non-abort failures (admission, internal)
+  // plus ops whose every retry aborted. Invariant per worker:
+  // committed + failed == ops_issued.
+  uint64_t failed = 0;
   std::vector<NewOrderAck> acks;  // audit_commits only
 };
 
@@ -96,6 +99,9 @@ struct DriverReport {
   double oltp_txn_per_s = 0;       // committed txns / duration
   double olap_queries_per_s = 0;
   CHTxnStats txns;                 // merged across workers
+  // Ops that never committed (non-abort failures + retry-exhausted ops),
+  // merged across workers: txns.total() + oltp_failed == ops issued.
+  uint64_t oltp_failed = 0;
   uint64_t olap_completed = 0;
   uint64_t olap_failed = 0;
   // aborted attempts / (aborted attempts + commits)

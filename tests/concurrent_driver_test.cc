@@ -192,7 +192,10 @@ TEST(ConcurrentDriverTest, MixedWorkloadReportsPerClassLatency) {
   DriverReport report = driver.Run();
 
   EXPECT_GT(report.duration_s, 0.0);
-  EXPECT_EQ(report.txns.total(), 2u * 20u);
+  // Contended config: an op whose every retry aborts is counted in
+  // oltp_failed, not txns, so assert the full ledger instead of exact
+  // commit counts.
+  EXPECT_EQ(report.txns.total() + report.oltp_failed, 2u * 20u);
   EXPECT_GT(report.oltp_txn_per_s, 0.0);
   EXPECT_GE(report.olap_completed, 2u);  // each OLAP client ran >= 1 query
   EXPECT_EQ(report.olap_failed, 0u);
