@@ -60,7 +60,11 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> done{0};
+  // `done` is counted under `done_mu` (not an atomic): the waiter below
+  // must not be able to observe the final count — and destroy this stack
+  // frame — until the finishing worker has released the mutex and is done
+  // touching the captured state.
+  size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t chunk = (n + num_chunks - 1) / num_chunks;
@@ -69,16 +73,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     size_t end = std::min(n, begin + chunk);
     Submit([&, begin, end] {
       for (size_t i = begin; i < end; ++i) fn(i);
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == num_chunks) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] {
-    return done.load(std::memory_order_acquire) == num_chunks;
-  });
+  done_cv.wait(lock, [&] { return done == num_chunks; });
 }
 
 void ThreadPool::WaitIdle() {

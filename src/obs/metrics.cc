@@ -82,6 +82,7 @@ namespace {
 void RegisterCoreMetrics(MetricsRegistry* r) {
   for (const char* name :
        {"txn.commits", "txn.aborts", "wal.records", "wal.bytes",
+        "wal.batches", "wal.fsyncs",
         "mvcc.versions_installed", "mvcc.conflicts", "exec.queries",
         "exec.rows_out", "sharedscan.attached", "sharedscan.chunks",
         "merge.runs", "merge.tables_merged", "merge.rows_merged",
@@ -100,11 +101,12 @@ void RegisterCoreMetrics(MetricsRegistry* r) {
   }
   for (const char* name :
        {"wm.queue_depth.oltp", "wm.queue_depth.olap", "storage.delta_rows",
-        "storage.freshness_lag_us", "dist.breaker_open"}) {
+        "storage.freshness_lag_us", "dist.breaker_open", "wal.sealed"}) {
     r->GetGauge(name);
   }
   for (const char* name :
-       {"wal.append_ns", "wal.fsync_ns", "txn.commit_ns",
+       {"wal.append_ns", "wal.fsync_ns", "wal.batch_size",
+        "wal.group_wait_us", "txn.commit_ns",
         "wm.latency_us.oltp", "wm.latency_us.olap", "opt.qerror_x100"}) {
     r->GetHistogram(name);
   }

@@ -273,6 +273,11 @@ Result<QueryResult> Database::RunShowStats() {
   }
   registry->GetGauge("storage.delta_rows")->Set(unmerged_rows);
   registry->GetGauge("storage.freshness_lag_us")->Set(max_lag_us);
+  // Refresh wal.sealed from this database's own log (the gauge is also
+  // set at seal time, but that write may have come from another Wal).
+  if (Wal* w = wal()) {
+    registry->GetGauge("wal.sealed")->Set(w->sealed() ? 1 : 0);
+  }
 
   obs::MetricsSnapshot snap = registry->Snapshot();
   QueryResult result;
@@ -456,10 +461,13 @@ Result<QueryResult> Database::RunCreate(const sql::CreateTableStmt& s) {
   return result;
 }
 
-Result<Wal::ReplayStats> Database::RecoverFromWal(
-    const std::string& wal_data) {
-  OLTAP_ASSIGN_OR_RETURN(Wal::ReplayStats stats,
-                         Wal::Replay(wal_data, &catalog_));
+Result<Wal::ReplayStats> Database::RecoverFromWal(const std::string& wal_data,
+                                                  ThreadPool* pool) {
+  Wal::ReplayOptions options;
+  options.idempotent = true;
+  OLTAP_ASSIGN_OR_RETURN(
+      Wal::ReplayStats stats,
+      Wal::ReplayParallel(wal_data, &catalog_, pool, options));
   txn_.AdvanceTo(stats.max_commit_ts);
   return stats;
 }

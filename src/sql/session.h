@@ -40,14 +40,22 @@ class Database {
 
   Catalog* catalog() { return &catalog_; }
   TransactionManager* txn_manager() { return &txn_; }
+  // The WAL this database logs commits to (nullptr when running without
+  // durability). Callers that only probe health should use wal()->sealed()
+  // / wal()->size(), not buffer().
+  Wal* wal() const { return txn_.wal(); }
 
   Result<QueryResult> Execute(const std::string& sql);
   Result<QueryResult> ExecuteIn(Transaction* txn, const std::string& sql);
 
   // Replays a serialized WAL into this database (tables must already
   // exist) and fast-forwards the timestamp oracle so new snapshots see the
-  // recovered state.
-  Result<Wal::ReplayStats> RecoverFromWal(const std::string& wal_data);
+  // recovered state. Replay is idempotent for keyed tables, so recovery
+  // that crashed partway can simply run again over the same database.
+  // With a non-null `pool`, replay runs partitioned by table on the pool
+  // (same state, bounded by the largest table instead of the sum).
+  Result<Wal::ReplayStats> RecoverFromWal(const std::string& wal_data,
+                                          ThreadPool* pool = nullptr);
 
   // Merges every mergeable table's delta into its main, respecting the
   // oldest active snapshot. Returns total rows across new mains.

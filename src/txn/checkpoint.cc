@@ -59,18 +59,19 @@ Result<Wal::ReplayStats> RestoreCheckpoint(const std::string& data,
 
 Result<Wal::ReplayStats> RecoverFromCheckpointAndLog(
     const std::string& checkpoint, const std::string& wal_data,
-    Catalog* catalog) {
+    Catalog* catalog, ThreadPool* pool) {
   // A torn checkpoint is rejected before anything is applied, so the
   // caller can retry an older image against the same catalog.
   if (!Wal::IsWellFormed(checkpoint)) {
     return Status::Corruption("checkpoint is torn");
   }
   OLTAP_ASSIGN_OR_RETURN(Wal::ReplayStats snap_stats,
-                         Wal::Replay(checkpoint, catalog));
+                         Wal::ReplayParallel(checkpoint, catalog, pool));
+  Wal::ReplayOptions tail_options;
+  tail_options.skip_through_ts = snap_stats.max_commit_ts;
   OLTAP_ASSIGN_OR_RETURN(
       Wal::ReplayStats tail_stats,
-      Wal::Replay(wal_data, catalog,
-                  /*skip_through_ts=*/snap_stats.max_commit_ts));
+      Wal::ReplayParallel(wal_data, catalog, pool, tail_options));
   tail_stats.txns_applied += snap_stats.txns_applied;
   tail_stats.ops_applied += snap_stats.ops_applied;
   tail_stats.max_commit_ts =

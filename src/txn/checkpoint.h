@@ -40,9 +40,13 @@ Result<Wal::ReplayStats> RestoreCheckpoint(const std::string& data,
 // other failure (a corrupt op body, an unknown table, a failed apply) can
 // surface mid-replay with `catalog` partially populated: discard the
 // catalog before retrying, or rows would be applied twice.
+// With a non-null `pool`, both the checkpoint restore and the tail replay
+// run partitioned by table on the pool (Wal::ReplayParallel) — same
+// resulting state, recovery time bounded by the largest table instead of
+// the sum.
 Result<Wal::ReplayStats> RecoverFromCheckpointAndLog(
     const std::string& checkpoint, const std::string& wal_data,
-    Catalog* catalog);
+    Catalog* catalog, ThreadPool* pool = nullptr);
 
 }  // namespace oltap
 

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "txn/log_writer.h"
 #include "txn/wal.h"
 
 namespace oltap {
@@ -308,7 +309,22 @@ Status TransactionManager::Commit(Transaction* txn) {
       w.row = op.row;
       wal_ops.push_back(std::move(w));
     }
-    Status wal_st = wal_->LogCommit(txn->id_, commit_ts, wal_ops);
+    // Durability point. With a log writer installed this is group commit:
+    // serialize here (on the committing thread), enqueue, and block until
+    // the batch containing this record is fsynced — the stripe locks stay
+    // held, which is safe because only commits with overlapping write
+    // sets share a stripe, and those must serialize anyway. In-flight
+    // commits are bounded by the thread count, far below kCommitWindow,
+    // so blocking here cannot wedge timestamp allocation.
+    Status wal_st;
+    if (LogWriter* writer = log_writer_.load(std::memory_order_acquire)) {
+      wal_st = writer
+                   ->SubmitCommit(
+                       Wal::SerializeCommitBody(txn->id_, commit_ts, wal_ops))
+                   .get();
+    } else {
+      wal_st = wal_->LogCommit(txn->id_, commit_ts, wal_ops);
+    }
     if (!wal_st.ok()) {
       // The commit record never became durable, so the transaction must
       // not apply: retire the timestamp unused (a harmless gap in the

@@ -18,6 +18,7 @@
 
 namespace oltap {
 
+class LogWriter;
 class TransactionManager;
 class Wal;
 
@@ -165,6 +166,21 @@ class TransactionManager {
 
   TimestampOracle* oracle() { return &oracle_; }
   Catalog* catalog() { return catalog_; }
+  Wal* wal() const { return wal_; }
+
+  // Routes commit durability through a group-commit log writer: when set,
+  // Commit serializes its record and blocks on the writer's future instead
+  // of calling Wal::LogCommit itself (one fsync per batch instead of per
+  // commit). Pass nullptr to restore the direct path. The caller owns the
+  // writer and must keep it alive (and Stop() it) around any window where
+  // commits may run; swapping mid-commit is safe — each commit reads the
+  // pointer once.
+  void SetLogWriter(LogWriter* writer) {
+    log_writer_.store(writer, std::memory_order_release);
+  }
+  LogWriter* log_writer() const {
+    return log_writer_.load(std::memory_order_acquire);
+  }
 
   // Recovery fast-forward: advances the oracle *and* the visible watermark
   // past `ts` (replayed commits were applied directly to storage, so they
@@ -212,6 +228,7 @@ class TransactionManager {
 
   Catalog* catalog_;
   Wal* wal_;
+  std::atomic<LogWriter*> log_writer_{nullptr};
   TimestampOracle oracle_;
   std::atomic<uint64_t> next_txn_id_{1};
 

@@ -1,6 +1,12 @@
 #include "txn/wal.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <functional>
+#include <map>
+#include <thread>
+#include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -9,11 +15,23 @@
 #include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace oltap {
 namespace {
+
+// High bit of a frame's length word marks a group-commit batch frame; the
+// low 31 bits are the payload length (bodies are far below 2 GiB).
+constexpr uint32_t kBatchFlag = 0x80000000u;
+
+// Batch frames salt their checksum so the frame *kind* is checksum-
+// protected too: a bit flip on the flag would otherwise reinterpret a
+// record frame as a batch (or vice versa) with a still-valid payload
+// checksum, turning corruption into a parse error instead of a clean
+// torn-tail stop (the WAL fuzz tests pin this down).
+constexpr uint64_t kBatchChecksumSalt = 0x9e3779b97f4a7c15ull;
 
 // --- little-endian primitive (de)serialization into a std::string ---
 
@@ -139,24 +157,115 @@ Value ReadValue(Reader* r) {
   }
 }
 
-std::string SerializeRecord(uint64_t txn_id, Timestamp commit_ts,
-                            const std::vector<WalOp>& ops) {
-  std::string body;
-  PutU64(&body, txn_id);
-  PutU64(&body, commit_ts);
-  PutU16(&body, static_cast<uint16_t>(ops.size()));
-  for (const WalOp& op : ops) {
-    PutU8(&body, op.kind);
-    PutBytes(&body, op.table);
-    PutBytes(&body, op.key);
-    PutU16(&body, static_cast<uint16_t>(op.row.size()));
-    for (const Value& v : op.row) PutValue(&body, v);
-  }
+std::string FrameRecord(const std::string& body) {
   std::string record;
   PutU32(&record, static_cast<uint32_t>(body.size()));
   PutU64(&record, HashBytes(body.data(), body.size()));
   record += body;
   return record;
+}
+
+// One decoded commit, before its ops are applied.
+struct DecodedTxn {
+  uint64_t txn_id = 0;
+  Timestamp commit_ts = 0;
+  std::vector<WalOp> ops;
+};
+
+// Parses a record body (txn_id, commit_ts, ops). Returns kCorruption on a
+// malformed body — the checksum already passed, so this is real damage,
+// not a torn tail.
+Status ParseBody(const char* data, size_t len, DecodedTxn* out) {
+  Reader r{data, data + len};
+  out->txn_id = r.U64();
+  out->commit_ts = r.U64();
+  uint16_t nops = r.U16();
+  out->ops.clear();
+  out->ops.reserve(nops);
+  for (uint16_t i = 0; i < nops && r.ok; ++i) {
+    WalOp op;
+    op.kind = static_cast<WalOp::Kind>(r.U8());
+    op.table = r.Bytes();
+    op.key = r.Bytes();
+    uint16_t ncols = r.U16();
+    op.row.reserve(ncols);
+    for (uint16_t c = 0; c < ncols && r.ok; ++c) {
+      op.row.push_back(ReadValue(&r));
+    }
+    if (!r.ok) return Status::Corruption("malformed WAL op");
+    out->ops.push_back(std::move(op));
+  }
+  if (!r.ok) return Status::Corruption("malformed WAL record body");
+  return Status::OK();
+}
+
+// Applies one op. With `idempotent`, a keyed op the table has already seen
+// (a write to that key at >= commit_ts) is skipped — `applied` reports
+// whether the op mutated the table.
+Status ApplyOp(Table* table, const WalOp& op, Timestamp commit_ts,
+               bool idempotent, bool* applied) {
+  *applied = false;
+  if (idempotent && !op.key.empty() &&
+      table->LastWriteTs(op.key) >= commit_ts) {
+    return Status::OK();
+  }
+  Status st;
+  switch (op.kind) {
+    case WalOp::kInsert:
+      st = table->InsertCommitted(op.row, commit_ts);
+      break;
+    case WalOp::kUpdate:
+      st = table->UpdateCommitted(op.key, op.row, commit_ts);
+      break;
+    case WalOp::kDelete:
+      st = table->DeleteCommitted(op.key, commit_ts);
+      break;
+  }
+  if (!st.ok()) {
+    return Status::Corruption("WAL replay apply failed: " + st.ToString());
+  }
+  *applied = true;
+  return st;
+}
+
+// Walks the frames of `data`, calling `body_fn(ptr, len)` for every commit
+// body in every frame with a valid checksum (a batch frame yields one call
+// per sub-record). Stops at the first torn/corrupt frame, setting
+// *truncated. body_fn may return an error to abort the walk.
+Status ForEachBody(const std::string& data, bool* truncated,
+                   const std::function<Status(const char*, size_t)>& body_fn) {
+  *truncated = false;
+  Reader outer{data.data(), data.data() + data.size()};
+  while (outer.p < outer.end) {
+    uint32_t raw = outer.U32();
+    uint64_t checksum = outer.U64();
+    const bool is_batch = (raw & kBatchFlag) != 0;
+    const uint32_t len = raw & ~kBatchFlag;
+    if (is_batch) checksum ^= kBatchChecksumSalt;
+    if (!outer.ok || !outer.Need(len) ||
+        HashBytes(outer.p, len) != checksum) {
+      *truncated = true;
+      return Status::OK();
+    }
+    const char* payload = outer.p;
+    outer.p += len;
+    if (!is_batch) {
+      OLTAP_RETURN_NOT_OK(body_fn(payload, len));
+      continue;
+    }
+    Reader br{payload, payload + len};
+    while (br.p < br.end) {
+      uint32_t blen = br.U32();
+      if (!br.ok || !br.Need(blen)) {
+        // The batch checksum passed but the sub-record structure does
+        // not parse: real corruption, not a tear.
+        return Status::Corruption("malformed WAL batch frame");
+      }
+      OLTAP_RETURN_NOT_OK(body_fn(br.p, blen));
+      br.p += blen;
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -176,12 +285,104 @@ Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path,
   return wal;
 }
 
+std::string Wal::SerializeCommitBody(uint64_t txn_id, Timestamp commit_ts,
+                                     const std::vector<WalOp>& ops) {
+  std::string body;
+  PutU64(&body, txn_id);
+  PutU64(&body, commit_ts);
+  PutU16(&body, static_cast<uint16_t>(ops.size()));
+  for (const WalOp& op : ops) {
+    PutU8(&body, op.kind);
+    PutBytes(&body, op.table);
+    PutBytes(&body, op.key);
+    PutU16(&body, static_cast<uint16_t>(op.row.size()));
+    for (const Value& v : op.row) PutValue(&body, v);
+  }
+  return body;
+}
+
+void Wal::SealLocked() {
+  sealed_ = true;
+  static obs::Gauge* sealed_gauge =
+      obs::MetricsRegistry::Default()->GetGauge("wal.sealed");
+  sealed_gauge->Set(1);
+}
+
+Status Wal::AppendFrameLocked(const std::string& frame, size_t records) {
+  const size_t good_size = buf_.size();
+  long file_start = -1;
+  if (file_ != nullptr) {
+    // Where this frame begins ("ab" mode appends at end-of-file), so a
+    // failed append can be trimmed back off the file.
+    std::fseek(file_, 0, SEEK_END);
+    file_start = std::ftell(file_);
+  }
+  // Undoes a failed append: buf_ and the file shrink back to the last
+  // complete frame, keeping the log appendable. If the file cannot be
+  // restored it is torn at an unknown point, so the Wal seals instead.
+  auto fail = [&](Status st) {
+    buf_.resize(good_size);
+    if (file_ != nullptr) {
+      std::clearerr(file_);
+      bool restored = false;
+#if defined(__unix__) || defined(__APPLE__)
+      restored = file_start >= 0 && std::fflush(file_) == 0 &&
+                 ::ftruncate(fileno(file_), file_start) == 0;
+#endif
+      if (!restored) SealLocked();
+    }
+    return st;
+  };
+
+  buf_ += frame;
+  if (file_ != nullptr) {
+    size_t written = std::fwrite(frame.data(), 1, frame.size(), file_);
+    if (written != frame.size()) {
+      return fail(Status::Unavailable("short WAL write: " +
+                                      std::to_string(written) + " of " +
+                                      std::to_string(frame.size()) +
+                                      " bytes"));
+    }
+    if (std::fflush(file_) != 0) {
+      return fail(Status::Unavailable("WAL flush failed"));
+    }
+    if (options_.fsync_on_commit) {
+      static obs::Histogram* fsync_ns =
+          obs::MetricsRegistry::Default()->GetHistogram("wal.fsync_ns");
+      obs::ScopedTimer fsync_timer(fsync_ns);
+      // Device-stall fault: the fsync eventually succeeds but takes a
+      // long time (commit-latency fault, not a durability fault).
+      if (!OLTAP_FAILPOINT_STATUS("wal.fsync.stall").ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      Status synced = OLTAP_FAILPOINT_STATUS("wal.fsync.error");
+      if (!synced.ok()) return fail(synced);
+#if defined(__unix__) || defined(__APPLE__)
+      if (::fsync(fileno(file_)) != 0) {
+        return fail(Status::Unavailable("WAL fsync failed"));
+      }
+#endif
+      static obs::Counter* fsyncs =
+          obs::MetricsRegistry::Default()->GetCounter("wal.fsyncs");
+      fsyncs->Add(1);
+    }
+  }
+  num_records_ += records;
+  static obs::Counter* record_count =
+      obs::MetricsRegistry::Default()->GetCounter("wal.records");
+  static obs::Counter* bytes =
+      obs::MetricsRegistry::Default()->GetCounter("wal.bytes");
+  record_count->Add(records);
+  bytes->Add(frame.size());
+  return Status::OK();
+}
+
 Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
                       const std::vector<WalOp>& ops) {
   static obs::Histogram* append_ns =
       obs::MetricsRegistry::Default()->GetHistogram("wal.append_ns");
   obs::ScopedTimer append_timer(append_ns);
-  std::string record = SerializeRecord(txn_id, commit_ts, ops);
+  std::string record = FrameRecord(SerializeCommitBody(txn_id, commit_ts, ops));
   std::lock_guard<std::mutex> lock(mu_);
   if (sealed_) {
     return Status::Unavailable("WAL sealed after a failed append");
@@ -200,70 +401,65 @@ Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
       std::fwrite(prefix.data(), 1, prefix.size(), file_);
       std::fflush(file_);
     }
-    sealed_ = true;
+    SealLocked();
     return torn;
   }
   // Clean append failure: nothing reaches the log.
   OLTAP_FAILPOINT("wal.append.error");
 
-  const size_t good_size = buf_.size();
-  long file_start = -1;
-  if (file_ != nullptr) {
-    // Where this record begins ("ab" mode appends at end-of-file), so a
-    // failed append can be trimmed back off the file.
-    std::fseek(file_, 0, SEEK_END);
-    file_start = std::ftell(file_);
-  }
-  // Undoes a failed append: buf_ and the file shrink back to the last
-  // complete record, keeping the log appendable. If the file cannot be
-  // restored it is torn at an unknown point, so the Wal seals instead.
-  auto fail = [&](Status st) {
-    buf_.resize(good_size);
-    if (file_ != nullptr) {
-      std::clearerr(file_);
-      bool restored = false;
-#if defined(__unix__) || defined(__APPLE__)
-      restored = file_start >= 0 && std::fflush(file_) == 0 &&
-                 ::ftruncate(fileno(file_), file_start) == 0;
-#endif
-      if (!restored) sealed_ = true;
-    }
-    return st;
-  };
+  return AppendFrameLocked(record, 1);
+}
 
-  buf_ += record;
-  if (file_ != nullptr) {
-    size_t written = std::fwrite(record.data(), 1, record.size(), file_);
-    if (written != record.size()) {
-      return fail(Status::Unavailable("short WAL write: " +
-                                      std::to_string(written) + " of " +
-                                      std::to_string(record.size()) +
-                                      " bytes"));
-    }
-    if (std::fflush(file_) != 0) {
-      return fail(Status::Unavailable("WAL flush failed"));
-    }
-    if (options_.fsync_on_commit) {
-      static obs::Histogram* fsync_ns =
-          obs::MetricsRegistry::Default()->GetHistogram("wal.fsync_ns");
-      obs::ScopedTimer fsync_timer(fsync_ns);
-      Status synced = OLTAP_FAILPOINT_STATUS("wal.fsync.error");
-      if (!synced.ok()) return fail(synced);
-#if defined(__unix__) || defined(__APPLE__)
-      if (::fsync(fileno(file_)) != 0) {
-        return fail(Status::Unavailable("WAL fsync failed"));
-      }
-#endif
-    }
+Status Wal::LogCommitBatch(const std::vector<std::string>& bodies) {
+  if (bodies.empty()) return Status::OK();
+  static obs::Histogram* append_ns =
+      obs::MetricsRegistry::Default()->GetHistogram("wal.append_ns");
+  obs::ScopedTimer append_timer(append_ns);
+
+  std::string payload;
+  size_t total = 0;
+  for (const std::string& body : bodies) total += body.size() + 4;
+  payload.reserve(total);
+  for (const std::string& body : bodies) PutBytes(&payload, body);
+  std::string frame;
+  frame.reserve(payload.size() + 12);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()) | kBatchFlag);
+  PutU64(&frame,
+         HashBytes(payload.data(), payload.size()) ^ kBatchChecksumSalt);
+  frame += payload;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sealed_) {
+    return Status::Unavailable("WAL sealed after a failed append");
   }
-  ++num_records_;
-  static obs::Counter* records =
-      obs::MetricsRegistry::Default()->GetCounter("wal.records");
-  static obs::Counter* bytes =
-      obs::MetricsRegistry::Default()->GetCounter("wal.bytes");
-  records->Add(1);
-  bytes->Add(record.size());
-  return Status::OK();
+
+  // Batch-boundary tear: the process died with only a prefix of the batch
+  // frame on disk. Because ONE checksum covers the whole batch, replay
+  // rejects the entire frame — no commit in the batch survives, matching
+  // the all-failed futures the group committer hands out. The partial
+  // bytes stay and the log seals, exactly like a torn single append.
+  Status torn = OLTAP_FAILPOINT_STATUS("wal.batch.torn");
+  if (!torn.ok()) {
+    std::string prefix = frame.substr(0, frame.size() / 2);
+    buf_ += prefix;
+    if (file_ != nullptr) {
+      std::fwrite(prefix.data(), 1, prefix.size(), file_);
+      std::fflush(file_);
+    }
+    SealLocked();
+    return torn;
+  }
+
+  Status st = AppendFrameLocked(frame, bodies.size());
+  if (st.ok()) {
+    static obs::Counter* batches =
+        obs::MetricsRegistry::Default()->GetCounter("wal.batches");
+    static obs::Histogram* batch_size =
+        obs::MetricsRegistry::Default()->GetHistogram("wal.batch_size");
+    batches->Add(1);
+    batch_size->Record(bodies.size());
+  }
+  return st;
 }
 
 bool Wal::sealed() const {
@@ -274,8 +470,10 @@ bool Wal::sealed() const {
 bool Wal::IsWellFormed(const std::string& data) {
   Reader outer{data.data(), data.data() + data.size()};
   while (outer.p < outer.end) {
-    uint32_t len = outer.U32();
+    uint32_t raw = outer.U32();
     uint64_t checksum = outer.U64();
+    uint32_t len = raw & ~kBatchFlag;
+    if ((raw & kBatchFlag) != 0) checksum ^= kBatchChecksumSalt;
     if (!outer.ok || !outer.Need(len)) return false;
     if (HashBytes(outer.p, len) != checksum) return false;
     outer.p += len;
@@ -288,6 +486,11 @@ std::string Wal::buffer() const {
   return buf_;
 }
 
+size_t Wal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buf_.size();
+}
+
 size_t Wal::num_records() const {
   std::lock_guard<std::mutex> lock(mu_);
   return num_records_;
@@ -296,61 +499,106 @@ size_t Wal::num_records() const {
 Result<Wal::ReplayStats> Wal::Replay(const std::string& data,
                                      Catalog* catalog,
                                      Timestamp skip_through_ts) {
+  ReplayOptions options;
+  options.skip_through_ts = skip_through_ts;
+  return Replay(data, catalog, options);
+}
+
+Result<Wal::ReplayStats> Wal::Replay(const std::string& data, Catalog* catalog,
+                                     const ReplayOptions& options) {
   ReplayStats stats;
-  Reader outer{data.data(), data.data() + data.size()};
-  while (outer.p < outer.end) {
-    uint32_t len = outer.U32();
-    uint64_t checksum = outer.U64();
-    if (!outer.ok || !outer.Need(len)) {
-      stats.truncated_tail = true;
-      break;
-    }
-    if (HashBytes(outer.p, len) != checksum) {
-      stats.truncated_tail = true;
-      break;
-    }
-    Reader r{outer.p, outer.p + len};
-    outer.p += len;
+  DecodedTxn txn;
+  Status walk = ForEachBody(
+      data, &stats.truncated_tail, [&](const char* p, size_t len) -> Status {
+        OLTAP_RETURN_NOT_OK(ParseBody(p, len, &txn));
+        if (txn.commit_ts <= options.skip_through_ts) return Status::OK();
+        for (const WalOp& op : txn.ops) {
+          Table* table = catalog->GetTable(op.table);
+          if (table == nullptr) {
+            return Status::NotFound("WAL references unknown table: " +
+                                    op.table);
+          }
+          bool applied = false;
+          OLTAP_RETURN_NOT_OK(
+              ApplyOp(table, op, txn.commit_ts, options.idempotent, &applied));
+          if (applied) ++stats.ops_applied;
+        }
+        stats.max_commit_ts = std::max(stats.max_commit_ts, txn.commit_ts);
+        ++stats.txns_applied;
+        return Status::OK();
+      });
+  if (!walk.ok()) return walk;
+  return stats;
+}
 
-    r.U64();  // txn_id (informational)
-    Timestamp commit_ts = r.U64();
-    if (commit_ts <= skip_through_ts) continue;  // before the checkpoint
-    uint16_t nops = r.U16();
-    for (uint16_t i = 0; i < nops && r.ok; ++i) {
-      WalOp op;
-      op.kind = static_cast<WalOp::Kind>(r.U8());
-      op.table = r.Bytes();
-      op.key = r.Bytes();
-      uint16_t ncols = r.U16();
-      op.row.reserve(ncols);
-      for (uint16_t c = 0; c < ncols && r.ok; ++c) {
-        op.row.push_back(ReadValue(&r));
-      }
-      if (!r.ok) return Status::Corruption("malformed WAL op");
+Result<Wal::ReplayStats> Wal::ReplayParallel(const std::string& data,
+                                             Catalog* catalog,
+                                             ThreadPool* pool) {
+  return ReplayParallel(data, catalog, pool, ReplayOptions());
+}
 
-      Table* table = catalog->GetTable(op.table);
-      if (table == nullptr) {
-        return Status::NotFound("WAL references unknown table: " + op.table);
-      }
-      Status st;
-      switch (op.kind) {
-        case WalOp::kInsert:
-          st = table->InsertCommitted(op.row, commit_ts);
-          break;
-        case WalOp::kUpdate:
-          st = table->UpdateCommitted(op.key, op.row, commit_ts);
-          break;
-        case WalOp::kDelete:
-          st = table->DeleteCommitted(op.key, commit_ts);
-          break;
-      }
+Result<Wal::ReplayStats> Wal::ReplayParallel(const std::string& data,
+                                             Catalog* catalog,
+                                             ThreadPool* pool,
+                                             const ReplayOptions& options) {
+  if (pool == nullptr) return Replay(data, catalog, options);
+
+  // Decode pass: partition every op by table, preserving log order within
+  // each table. Ops on different tables commute, so per-table in-order
+  // apply reproduces serial replay exactly.
+  struct TablePartition {
+    Table* table = nullptr;
+    std::vector<std::pair<Timestamp, WalOp>> ops;
+  };
+  std::map<std::string, TablePartition> partitions;
+
+  ReplayStats stats;
+  DecodedTxn txn;
+  Status walk = ForEachBody(
+      data, &stats.truncated_tail, [&](const char* p, size_t len) -> Status {
+        OLTAP_RETURN_NOT_OK(ParseBody(p, len, &txn));
+        if (txn.commit_ts <= options.skip_through_ts) return Status::OK();
+        for (WalOp& op : txn.ops) {
+          TablePartition& part = partitions[op.table];
+          if (part.table == nullptr) {
+            part.table = catalog->GetTable(op.table);
+            if (part.table == nullptr) {
+              return Status::NotFound("WAL references unknown table: " +
+                                      op.table);
+            }
+          }
+          part.ops.emplace_back(txn.commit_ts, std::move(op));
+        }
+        stats.max_commit_ts = std::max(stats.max_commit_ts, txn.commit_ts);
+        ++stats.txns_applied;
+        return Status::OK();
+      });
+  if (!walk.ok()) return walk;
+
+  // Apply pass: one task per table on the pool (deterministic per-table
+  // order = log order). Errors are collected per table; the first one
+  // (in table-name order, for determinism) is returned.
+  std::vector<TablePartition*> work;
+  work.reserve(partitions.size());
+  for (auto& [name, part] : partitions) work.push_back(&part);
+  std::vector<Status> results(work.size());
+  std::vector<uint64_t> applied_counts(work.size(), 0);
+  pool->ParallelFor(work.size(), [&](size_t i) {
+    TablePartition* part = work[i];
+    for (const auto& [commit_ts, op] : part->ops) {
+      bool applied = false;
+      Status st =
+          ApplyOp(part->table, op, commit_ts, options.idempotent, &applied);
       if (!st.ok()) {
-        return Status::Corruption("WAL replay apply failed: " + st.ToString());
+        results[i] = st;
+        return;
       }
-      ++stats.ops_applied;
+      if (applied) ++applied_counts[i];
     }
-    stats.max_commit_ts = std::max(stats.max_commit_ts, commit_ts);
-    ++stats.txns_applied;
+  });
+  for (size_t i = 0; i < work.size(); ++i) {
+    if (!results[i].ok()) return results[i];
+    stats.ops_applied += applied_counts[i];
   }
   return stats;
 }

@@ -15,6 +15,8 @@
 
 namespace oltap {
 
+class ThreadPool;
+
 // One logged DML operation within a committed transaction.
 struct WalOp {
   enum Kind : uint8_t { kInsert = 0, kUpdate = 1, kDelete = 2 };
@@ -30,16 +32,28 @@ struct WalOp {
 // engines make). Records carry a checksum; replay stops at the first torn
 // or corrupt record.
 //
+// Two frame kinds share the log:
+//  - a *record* frame holds one commit (len + checksum + body), written by
+//    LogCommit — one flush/fsync per commit;
+//  - a *batch* frame (high bit of the length word set) holds many commit
+//    bodies under ONE checksum covering the whole batch, written by
+//    LogCommitBatch — this is the group-commit unit (txn/log_writer.h).
+//    The single checksum is what gives torn-batch all-or-nothing
+//    semantics: a tear anywhere in the batch fails the checksum, so
+//    replay applies none of the batch's commits and no prefix of a torn
+//    batch can resurrect. (With per-record framing a mid-batch tear would
+//    leave a well-formed prefix of commits that were never acknowledged.)
+//
 // The log always accumulates into an in-memory buffer; when opened with a
-// path it also appends to that file, and LogCommit flushes before
-// returning (group commit is the scheduler layer's concern, not modeled).
+// path it also appends to that file, and LogCommit/LogCommitBatch flush
+// (and optionally fsync) before returning.
 class Wal {
  public:
   struct Options {
     // fsync the file at the commit durability point. fflush alone hands
     // the record to the OS (survives process death, not OS crash);
     // fsync makes the commit durable across power loss at the cost of a
-    // device write per commit.
+    // device write per commit (or per batch, under group commit).
     bool fsync_on_commit = false;
   };
 
@@ -72,12 +86,35 @@ class Wal {
   Status LogCommit(uint64_t txn_id, Timestamp commit_ts,
                    const std::vector<WalOp>& ops);
 
+  // Serializes one commit into a record *body* (no frame header) for
+  // LogCommitBatch. Pure function, no lock — the group-commit path
+  // serializes on the committing threads and batches on the log writer.
+  static std::string SerializeCommitBody(uint64_t txn_id, Timestamp commit_ts,
+                                         const std::vector<WalOp>& ops);
+
+  // Appends `bodies` (each from SerializeCommitBody) as ONE batch frame —
+  // one checksum over the whole batch, one flush, one fsync. All-or-
+  // nothing: on any failure (short write, flush/fsync error, injected
+  // "wal.batch.torn" / "wal.fsync.error") the entire batch is undone or
+  // the log seals, and every commit in the batch must be failed by the
+  // caller; no prefix of the batch is ever durable on its own.
+  // "wal.fsync.stall" injects a delay before the fsync (commit-latency
+  // fault, not a durability fault).
+  Status LogCommitBatch(const std::vector<std::string>& bodies);
+
   // True once a failed append has left the log torn (see LogCommit).
+  // Mirrored into the obs gauge "wal.sealed" at seal time so operators
+  // see a dead log before the next commit fails.
   bool sealed() const;
 
   // Serialized bytes logged so far (memory copy; tests and Replay use it).
   std::string buffer() const;
 
+  // Byte length of the serialized log — use instead of buffer() when only
+  // the length is needed (buffer() copies the whole log under the mutex).
+  size_t size() const;
+
+  // Commits logged (a batch frame counts each body it carries).
   size_t num_records() const;
 
   struct ReplayStats {
@@ -87,24 +124,60 @@ class Wal {
     bool truncated_tail = false;  // hit a torn/corrupt record and stopped
   };
 
+  struct ReplayOptions {
+    // Records with commit_ts <= skip_through_ts are skipped (checkpoint
+    // recovery replays only the tail).
+    Timestamp skip_through_ts = 0;
+    // Idempotent re-run: a keyed op whose table already saw a write to
+    // that key at >= the op's commit timestamp is skipped instead of
+    // re-applied, so recovery interrupted mid-replay can simply run
+    // again over the same catalog (the idempotence the crash-during-
+    // recovery tests pin down). Keyless appends carry no identity and
+    // are NOT deduplicated — re-running recovery over tables with
+    // keyless appends still requires a fresh catalog.
+    bool idempotent = false;
+  };
+
   // Replays serialized log `data` into `catalog` (tables must already
-  // exist with matching schemas). Idempotent against already-applied state
-  // is NOT assumed: replay into a fresh catalog. Records with
-  // commit_ts <= `skip_through_ts` are skipped (checkpoint recovery
-  // replays only the tail).
+  // exist with matching schemas). Unless options.idempotent is set,
+  // replay into a fresh catalog.
   static Result<ReplayStats> Replay(const std::string& data, Catalog* catalog,
                                     Timestamp skip_through_ts = 0);
+  static Result<ReplayStats> Replay(const std::string& data, Catalog* catalog,
+                                    const ReplayOptions& options);
+
+  // Parallel partitioned replay: one decode pass partitions the log's ops
+  // by table (preserving log order within each table), then the tables
+  // are applied concurrently on `pool`. Ops on different tables commute
+  // (keys are table-scoped), so the result is byte-identical to serial
+  // Replay; the caller fast-forwards the transaction manager once with
+  // AdvanceTo(stats.max_commit_ts) at the end. Unlike serial Replay,
+  // nothing is applied if the log references an unknown table (the
+  // decode pass fails first).
+  static Result<ReplayStats> ReplayParallel(const std::string& data,
+                                            Catalog* catalog, ThreadPool* pool,
+                                            const ReplayOptions& options);
+  static Result<ReplayStats> ReplayParallel(const std::string& data,
+                                            Catalog* catalog, ThreadPool* pool);
 
   // Convenience: reads the file and replays it.
   static Result<ReplayStats> ReplayFile(const std::string& path,
                                         Catalog* catalog);
 
-  // True when every record frame in `data` parses with a valid checksum
-  // (no torn tail). Scans frames without applying them — use to validate
-  // an image before mutating a catalog with Replay.
+  // True when every frame in `data` parses with a valid checksum (no torn
+  // tail). Scans frames without applying them — use to validate an image
+  // before mutating a catalog with Replay.
   static bool IsWellFormed(const std::string& data);
 
  private:
+  // Appends `frame` to buf_ and the file (if any), with flush + optional
+  // fsync; on failure rolls back to the pre-append length or seals.
+  // Caller holds mu_. `records` is how many commits the frame carries.
+  Status AppendFrameLocked(const std::string& frame, size_t records);
+  // Marks the log torn and publishes the "wal.sealed" gauge. Caller
+  // holds mu_.
+  void SealLocked();
+
   Options options_;
   mutable std::mutex mu_;
   std::string buf_;

@@ -9,6 +9,8 @@
 #include "common/hash.h"
 #include "sched/merge_daemon.h"
 #include "storage/column_store.h"
+#include "txn/log_writer.h"
+#include "txn/wal.h"
 
 namespace oltap {
 
@@ -140,6 +142,33 @@ DriverReport ConcurrentDriver::Run() {
   std::atomic<uint64_t> olap_completed{0};
   std::atomic<uint64_t> olap_failed{0};
 
+  // Group commit for the duration of the run: the driver owns the writer,
+  // the transaction manager routes commit durability through it.
+  Wal* wal = bench_->db()->wal();
+  std::unique_ptr<LogWriter> log_writer;
+  if (options_.group_commit && wal != nullptr) {
+    LogWriter::Options lw_opts;
+    lw_opts.max_batch = options_.group_max_batch;
+    lw_opts.persist_interval_us = options_.group_persist_interval_us;
+    log_writer = std::make_unique<LogWriter>(wal, lw_opts);
+    bench_->db()->txn_manager()->SetLogWriter(log_writer.get());
+  }
+
+  // A sealed WAL dooms every future commit; clients that observe it stop
+  // issuing ops and the run reports a clear abort instead of grinding
+  // every remaining op through its retry budget.
+  std::atomic<bool> run_aborted{false};
+  auto abort_run_if_sealed = [&] {
+    if (!options_.abort_on_sealed_wal || wal == nullptr) return false;
+    if (!wal->sealed()) return false;
+    if (!run_aborted.exchange(true, std::memory_order_acq_rel)) {
+      report.abort_reason =
+          "WAL sealed mid-run (torn append): later commits cannot become "
+          "durable";
+    }
+    return true;
+  };
+
   Stopwatch sw;
 
   // Closed-loop OLTP clients: one in-flight transaction each, submitted
@@ -154,6 +183,7 @@ DriverReport ConcurrentDriver::Run() {
         home_w = static_cast<int64_t>(worker % num_warehouses) + 1;
       }
       for (size_t index = 0;; ++index) {
+        if (run_aborted.load(std::memory_order_acquire)) break;
         if (duration_us > 0) {
           if (sw.ElapsedMicros() >= duration_us) break;
         } else if (index >= options_.ops_per_worker) {
@@ -170,6 +200,7 @@ DriverReport ConcurrentDriver::Run() {
         Status st = done.get();
         ++result->ops_issued;
         if (!st.ok() && !executed) ++result->failed;
+        if (abort_run_if_sealed()) break;
         if (options_.think_time_us > 0) {
           std::this_thread::sleep_for(
               std::chrono::microseconds(options_.think_time_us));
@@ -202,7 +233,8 @@ DriverReport ConcurrentDriver::Run() {
         }
         qi = (qi + 1) % num_queries;
         if (duration_us > 0 && sw.ElapsedMicros() >= duration_us) break;
-      } while (!stop.load(std::memory_order_acquire));
+      } while (!stop.load(std::memory_order_acquire) &&
+               !run_aborted.load(std::memory_order_acquire));
     });
   }
 
@@ -217,6 +249,17 @@ DriverReport ConcurrentDriver::Run() {
     merger->Stop();
     report.merges = merger->merges_performed();
   }
+
+  // Shutdown ordering for group commit: clients joined, admission queues
+  // drained, merge daemon stopped — nothing can submit a commit anymore —
+  // so the writer's final batch drains (or deterministically fails, if
+  // the log sealed) before it is detached and destroyed.
+  if (log_writer != nullptr) {
+    log_writer->Stop();
+    bench_->db()->txn_manager()->SetLogWriter(nullptr);
+    log_writer.reset();
+  }
+  report.aborted = run_aborted.load(std::memory_order_acquire);
 
   for (const WorkerResult& w : report.workers) {
     report.txns.Accumulate(w.stats);

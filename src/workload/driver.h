@@ -2,6 +2,7 @@
 #define OLTAP_WORKLOAD_DRIVER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -81,6 +82,21 @@ struct DriverOptions {
   // Record a NewOrderAck for every acknowledged NewOrder commit (the
   // zero-lost-commits audit consumes these).
   bool audit_commits = false;
+
+  // Group commit: install a dedicated log writer on the database's
+  // transaction manager for the duration of the run (no-op when the
+  // database has no WAL). Commits then ack after their batch's single
+  // fsync instead of one fsync each. The driver owns the writer and
+  // stops it after clients, admission queues, and the merge daemon have
+  // drained, so no commit is in flight when the writer goes away.
+  bool group_commit = false;
+  size_t group_max_batch = 64;
+  int64_t group_persist_interval_us = 100;
+
+  // When the WAL seals mid-run (torn append — every later commit is
+  // doomed), abort the whole run with a clear report instead of letting
+  // every remaining op fail its way through the retry budget.
+  bool abort_on_sealed_wal = true;
 };
 
 // Per-OLTP-worker outcome.
@@ -113,6 +129,11 @@ struct DriverReport {
   // an analytic query on main-only data would observe).
   int64_t freshness_lag_us = 0;
   uint64_t merges = 0;
+  // Set when the run stopped early (sealed WAL): clients quit issuing ops
+  // as soon as they observed the condition. Counters above still hold the
+  // work completed before the abort.
+  bool aborted = false;
+  std::string abort_reason;
   std::vector<WorkerResult> workers;
 };
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/session.h"
@@ -493,7 +494,9 @@ TEST_F(SqlEndToEndTest, ShowStatsExposesEngineMetrics) {
   // tests, so only presence and monotonicity are asserted.)
   for (const char* name :
        {"txn.commits", "txn.aborts", "mvcc.versions_installed",
-        "wal.records", "merge.runs", "2pc.commits", "net.messages",
+        "wal.records", "wal.batches", "wal.fsyncs", "wal.sealed",
+        "wal.batch_size.count", "wal.group_wait_us.count", "merge.runs",
+        "2pc.commits", "net.messages",
         "raft.messages", "storage.freshness_lag_us", "storage.delta_rows",
         "wm.queue_depth.oltp", "wal.fsync_ns.p99", "wal.append_ns.count",
         "wm.latency_us.oltp.p99", "wm.latency_us.olap.p99",
@@ -506,6 +509,37 @@ TEST_F(SqlEndToEndTest, ShowStatsExposesEngineMetrics) {
   EXPECT_GT(by_name["storage.delta_rows"].AsInt64(), 0);
   EXPECT_GT(by_name["storage.freshness_lag_us"].AsInt64(), 0);
 #endif
+}
+
+// A torn append seals the database's log; SHOW STATS surfaces it as
+// wal.sealed = 1 (refreshed from this database's own Wal), so an operator
+// sees the dead log before the next commit fails.
+TEST(SqlShowStatsTest, SealedWalSurfacesInShowStats) {
+  Wal wal;
+  Database db(&wal);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (id BIGINT NOT NULL, v VARCHAR(8), "
+                         "PRIMARY KEY (id))")
+                  .ok());
+
+  auto stat_value = [&](const char* name) {
+    auto r = db.Execute("SHOW STATS");
+    EXPECT_TRUE(r.ok());
+    for (const Row& row : r->rows) {
+      if (row[0].AsString() == name) return row[1].AsInt64();
+    }
+    ADD_FAILURE() << "metric missing: " << name;
+    return int64_t{-1};
+  };
+  EXPECT_EQ(stat_value("wal.sealed"), 0);
+
+  {
+    FailpointConfig cfg;
+    cfg.status = Status::Unavailable("injected torn append");
+    ScopedFailpoint armed("wal.append.torn", cfg);
+    EXPECT_FALSE(db.Execute("INSERT INTO t VALUES (1, 'x')").ok());
+  }
+  ASSERT_TRUE(wal.sealed());
+  EXPECT_EQ(stat_value("wal.sealed"), 1);
 }
 
 }  // namespace

@@ -54,7 +54,7 @@ std::string BuildLog(std::vector<size_t>* boundaries) {
     op.row = MakeRow(i);
     EXPECT_TRUE(wal.LogCommit(/*txn_id=*/i + 1, /*commit_ts=*/i + 1, {op})
                     .ok());
-    boundaries->push_back(wal.buffer().size());
+    boundaries->push_back(wal.size());
   }
   return wal.buffer();
 }

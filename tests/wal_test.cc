@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/failpoint.h"
+#include "common/thread_pool.h"
 #include "storage/catalog.h"
 #include "txn/transaction_manager.h"
 #include "txn/wal.h"
@@ -327,6 +331,190 @@ TEST(WalTest, ReplayUnknownTableFails) {
   auto stats = Wal::Replay(wal.buffer(), &empty);
   EXPECT_FALSE(stats.ok());
   EXPECT_TRUE(stats.status().IsNotFound());
+}
+
+// Order-independent rendering of every committed row of every table: two
+// catalogs with identical committed state render identically.
+std::map<std::string, std::vector<std::string>> Fingerprint(
+    const Catalog& catalog, const std::vector<std::string>& tables) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const std::string& name : tables) {
+    std::vector<std::string>& rows = out[name];
+    catalog.GetTable(name)->ScanVisible(1'000'000, [&](const Row& row) {
+      rows.push_back(RowToString(row));
+    });
+    std::sort(rows.begin(), rows.end());
+  }
+  return out;
+}
+
+// A multi-table log with inserts, updates, and deletes interleaved across
+// tables — the shape parallel replay partitions.
+void BuildMultiTableLog(Wal* wal, Catalog* catalog,
+                        const std::vector<std::string>& tables) {
+  for (const std::string& name : tables) {
+    ASSERT_TRUE(
+        catalog->CreateTable(name, TestSchema(), TableFormat::kColumn).ok());
+  }
+  TransactionManager tm(catalog, wal);
+  for (int i = 0; i < 40; ++i) {
+    Table* table = catalog->GetTable(tables[i % tables.size()]);
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(i, "ins", i * 1.0)).ok());
+    ASSERT_TRUE(tm.Commit(t.get()).ok());
+    if (i % 3 == 0) {
+      auto u = tm.Begin();
+      ASSERT_TRUE(u->Update(table, MakeRow(i, "upd", i * 2.0)).ok());
+      ASSERT_TRUE(tm.Commit(u.get()).ok());
+    }
+    if (i % 7 == 0) {
+      auto d = tm.Begin();
+      ASSERT_TRUE(d->Delete(table, MakeRow(i, "", 0)).ok());
+      ASSERT_TRUE(tm.Commit(d.get()).ok());
+    }
+  }
+}
+
+TEST(WalTest, ParallelReplayMatchesSerialByteForByte) {
+  const std::vector<std::string> tables = {"a", "b", "c", "d"};
+  Wal wal;
+  Catalog source;
+  BuildMultiTableLog(&wal, &source, tables);
+  const std::string log = wal.buffer();
+
+  Catalog serial;
+  for (const auto& n : tables) {
+    ASSERT_TRUE(serial.CreateTable(n, TestSchema(), TableFormat::kColumn).ok());
+  }
+  auto sstats = Wal::Replay(log, &serial);
+  ASSERT_TRUE(sstats.ok()) << sstats.status().ToString();
+
+  Catalog parallel;
+  for (const auto& n : tables) {
+    ASSERT_TRUE(
+        parallel.CreateTable(n, TestSchema(), TableFormat::kColumn).ok());
+  }
+  ThreadPool pool(4);
+  auto pstats = Wal::ReplayParallel(log, &parallel, &pool);
+  ASSERT_TRUE(pstats.ok()) << pstats.status().ToString();
+
+  EXPECT_EQ(pstats->txns_applied, sstats->txns_applied);
+  EXPECT_EQ(pstats->ops_applied, sstats->ops_applied);
+  EXPECT_EQ(pstats->max_commit_ts, sstats->max_commit_ts);
+  EXPECT_EQ(Fingerprint(parallel, tables), Fingerprint(serial, tables));
+  EXPECT_EQ(Fingerprint(parallel, tables), Fingerprint(source, tables));
+}
+
+// Crash during recovery: replaying the same log AGAIN over the already-
+// recovered catalog must change nothing (serial and parallel), because
+// idempotent replay skips keyed ops the table has already seen.
+TEST(WalTest, RecoveryIsIdempotentSerialAndParallel) {
+  const std::vector<std::string> tables = {"a", "b", "c"};
+  Wal wal;
+  Catalog source;
+  BuildMultiTableLog(&wal, &source, tables);
+  const std::string log = wal.buffer();
+
+  Wal::ReplayOptions idem;
+  idem.idempotent = true;
+
+  // Serial: first pass applies everything, second pass applies nothing.
+  Catalog serial;
+  for (const auto& n : tables) {
+    ASSERT_TRUE(serial.CreateTable(n, TestSchema(), TableFormat::kColumn).ok());
+  }
+  auto first = Wal::Replay(log, &serial, idem);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_GT(first->ops_applied, 0u);
+  auto fp_once = Fingerprint(serial, tables);
+  auto second = Wal::Replay(log, &serial, idem);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->ops_applied, 0u) << "second pass must be a no-op";
+  EXPECT_EQ(Fingerprint(serial, tables), fp_once);
+  EXPECT_EQ(fp_once, Fingerprint(source, tables));
+
+  // Parallel: same contract on the partitioned path.
+  Catalog parallel;
+  for (const auto& n : tables) {
+    ASSERT_TRUE(
+        parallel.CreateTable(n, TestSchema(), TableFormat::kColumn).ok());
+  }
+  ThreadPool pool(3);
+  auto pfirst = Wal::ReplayParallel(log, &parallel, &pool, idem);
+  ASSERT_TRUE(pfirst.ok()) << pfirst.status().ToString();
+  auto psecond = Wal::ReplayParallel(log, &parallel, &pool, idem);
+  ASSERT_TRUE(psecond.ok()) << psecond.status().ToString();
+  EXPECT_EQ(psecond->ops_applied, 0u);
+  EXPECT_EQ(Fingerprint(parallel, tables), fp_once);
+
+  // A partial first pass then a full re-run also converges: replay half
+  // the log, then the whole log, twice.
+  Catalog partial;
+  for (const auto& n : tables) {
+    ASSERT_TRUE(
+        partial.CreateTable(n, TestSchema(), TableFormat::kColumn).ok());
+  }
+  auto half = Wal::Replay(log.substr(0, log.size() / 2), &partial, idem);
+  ASSERT_TRUE(half.ok());
+  auto full = Wal::Replay(log, &partial, idem);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(Fingerprint(partial, tables), fp_once);
+}
+
+TEST(WalTest, ParallelReplayUnknownTableAppliesNothing) {
+  Wal wal;
+  ASSERT_TRUE(
+      wal.LogCommit(1, 10, {WalOp{WalOp::kInsert, "t", "", MakeRow(1, "x", 0)}})
+          .ok());
+  ASSERT_TRUE(
+      wal.LogCommit(2, 11, {WalOp{WalOp::kInsert, "nope", "", Row{}}}).ok());
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  ThreadPool pool(2);
+  auto stats = Wal::ReplayParallel(wal.buffer(), &catalog, &pool);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsNotFound());
+  // The decode pass rejects before the apply pass runs.
+  EXPECT_EQ(catalog.GetTable("t")->CountVisible(1'000'000), 0u);
+}
+
+TEST(WalTest, BatchFramesInterleaveWithRecordFrames) {
+  Wal wal;
+  ASSERT_TRUE(
+      wal.LogCommit(1, 1, {WalOp{WalOp::kInsert, "t", "", MakeRow(1, "a", 0)}})
+          .ok());
+  std::vector<std::string> bodies;
+  for (int i = 2; i <= 4; ++i) {
+    bodies.push_back(Wal::SerializeCommitBody(
+        i, i, {WalOp{WalOp::kInsert, "t", "", MakeRow(i, "b", 0)}}));
+  }
+  ASSERT_TRUE(wal.LogCommitBatch(bodies).ok());
+  ASSERT_TRUE(
+      wal.LogCommit(5, 5, {WalOp{WalOp::kInsert, "t", "", MakeRow(5, "c", 0)}})
+          .ok());
+  EXPECT_EQ(wal.num_records(), 5u);
+  EXPECT_TRUE(Wal::IsWellFormed(wal.buffer()));
+
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  auto stats = Wal::Replay(wal.buffer(), &catalog);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->txns_applied, 5u);
+  EXPECT_EQ(stats->max_commit_ts, 5u);
+  EXPECT_EQ(catalog.GetTable("t")->CountVisible(1'000'000), 5u);
+}
+
+TEST(WalTest, SizeTracksBufferWithoutCopying) {
+  Wal wal;
+  EXPECT_EQ(wal.size(), 0u);
+  ASSERT_TRUE(
+      wal.LogCommit(1, 1, {WalOp{WalOp::kInsert, "t", "", MakeRow(1, "a", 0)}})
+          .ok());
+  EXPECT_EQ(wal.size(), wal.buffer().size());
+  ASSERT_TRUE(
+      wal.LogCommit(2, 2, {WalOp{WalOp::kInsert, "t", "", MakeRow(2, "b", 0)}})
+          .ok());
+  EXPECT_EQ(wal.size(), wal.buffer().size());
 }
 
 TEST(WalTest, AbortedTransactionsNeverLogged) {
