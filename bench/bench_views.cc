@@ -1,0 +1,194 @@
+// E19 — Incremental materialized views under concurrent TPC-C.
+//
+// Reports: (a) analytic latency for a CH-style per-warehouse aggregate
+// with view routing off vs. on while closed-loop TPC-C clients mutate the
+// fact table (the views-off run scans orderline; the views-on run reads
+// the incrementally maintained backing table); (b) the OLTP cost of
+// maintenance — committed txn/s with no view, a DEFERRED view folded in
+// on the merge-daemon cadence, and a SYNC view maintained on the commit
+// path.
+//
+// The analytic client is closed-loop on the main thread: issue, measure,
+// repeat, until the driver finishes its timed run.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("views");
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "workload/chbench.h"
+#include "workload/driver.h"
+
+namespace oltap {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : def;
+}
+
+CHConfig BenchConfig() {
+  CHConfig config;
+  config.warehouses = 4;
+  config.districts_per_warehouse = 10;
+  config.customers_per_district = 100;
+  config.items = 1000;
+  config.initial_orders_per_district = 30;
+  return config;
+}
+
+constexpr const char* kAnalyticQuery =
+    "SELECT ol_w_id, COUNT(*) AS n, SUM(ol_quantity) AS qty "
+    "FROM orderline GROUP BY ol_w_id";
+
+constexpr const char* kViewDdl =
+    "CREATE MATERIALIZED VIEW ol_by_wh DEFERRED AS "
+    "SELECT ol_w_id, COUNT(*) AS n, SUM(ol_quantity) AS qty "
+    "FROM orderline GROUP BY ol_w_id";
+
+struct World {
+  Database db;
+  std::unique_ptr<CHBenchmark> bench;
+
+  World() {
+    bench = std::make_unique<CHBenchmark>(&db, BenchConfig());
+    if (!bench->CreateTables().ok()) std::abort();
+    if (!bench->Load().ok()) std::abort();
+  }
+};
+
+DriverOptions BaseOptions() {
+  DriverOptions opts;
+  opts.duration_ms = EnvInt("OLTAP_VIEWS_DURATION_MS", 1000);
+  opts.think_time_us = EnvInt("OLTAP_VIEWS_THINK_US", 2000);
+  opts.oltp_workers = 4;
+  opts.olap_workers = 0;  // the analytic client is the measuring thread
+  opts.bind_home_warehouse = true;
+  opts.merge_delta_threshold = 2048;
+  opts.merge_interval_ms = 10;
+
+  static const bool config_reported = [&opts] {
+    auto* rep = bench::Reporter::Get();
+    rep->Config("duration_ms", static_cast<double>(opts.duration_ms));
+    rep->Config("think_time_us", static_cast<double>(opts.think_time_us));
+    rep->Config("warehouses", 4);
+    rep->Config("oltp_workers", 4);
+    return true;
+  }();
+  (void)config_reported;
+  return opts;
+}
+
+struct LatencySummary {
+  double p50_us = 0, p95_us = 0;
+  size_t queries = 0;
+};
+
+LatencySummary Summarize(std::vector<int64_t>* lat) {
+  LatencySummary s;
+  s.queries = lat->size();
+  if (lat->empty()) return s;
+  std::sort(lat->begin(), lat->end());
+  s.p50_us = static_cast<double>((*lat)[lat->size() / 2]);
+  s.p95_us = static_cast<double>((*lat)[lat->size() * 95 / 100]);
+  return s;
+}
+
+// (a) Analytic latency, routing off (arg 0) vs. on (arg 1), under load.
+void BM_ViewAnalyticLatency(benchmark::State& state) {
+  const bool routed = state.range(0) != 0;
+  const std::string suffix = routed ? ".views_on" : ".views_off";
+  for (auto _ : state) {
+    World world;
+    if (!world.db.Execute(kViewDdl).ok()) std::abort();
+    world.db.set_view_routing_enabled(routed);
+
+    DriverOptions opts = BaseOptions();
+    ConcurrentDriver driver(world.bench.get(), opts);
+    DriverReport report;
+    std::thread oltp([&] { report = driver.Run(); });
+
+    std::vector<int64_t> lat_us;
+    // Let the driver spin up before the first measurement.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const int64_t deadline =
+        SystemClock::Get()->NowMicros() + opts.duration_ms * 1000;
+    while (SystemClock::Get()->NowMicros() < deadline) {
+      int64_t t0 = SystemClock::Get()->NowMicros();
+      auto r = world.db.Execute(kAnalyticQuery);
+      int64_t t1 = SystemClock::Get()->NowMicros();
+      if (r.ok()) lat_us.push_back(t1 - t0);
+    }
+    oltp.join();
+
+    LatencySummary s = Summarize(&lat_us);
+    auto* rep = bench::Reporter::Get();
+    rep->Metric("analytic_p50_us" + suffix, s.p50_us);
+    rep->Metric("analytic_p95_us" + suffix, s.p95_us);
+    rep->Metric("analytic_q" + suffix, static_cast<double>(s.queries));
+    rep->Metric("oltp_txn_s" + suffix, report.oltp_txn_per_s);
+    rep->Metric("freshness_lag_us" + suffix,
+                static_cast<double>(report.freshness_lag_us));
+    state.counters["analytic_p50_us"] = s.p50_us;
+    state.counters["analytic_p95_us"] = s.p95_us;
+    state.counters["oltp_txn_s"] = report.oltp_txn_per_s;
+  }
+}
+BENCHMARK(BM_ViewAnalyticLatency)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// (b) Maintenance overhead on the OLTP path: no view / DEFERRED / SYNC.
+void BM_ViewMaintenanceOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const std::string suffix =
+      mode == 0 ? ".no_view" : (mode == 1 ? ".deferred" : ".sync");
+  for (auto _ : state) {
+    World world;
+    if (mode == 1) {
+      if (!world.db.Execute(kViewDdl).ok()) std::abort();
+    } else if (mode == 2) {
+      if (!world.db
+               .Execute(
+                   "CREATE MATERIALIZED VIEW ol_by_wh SYNC AS "
+                   "SELECT ol_w_id, COUNT(*) AS n, SUM(ol_quantity) AS qty "
+                   "FROM orderline GROUP BY ol_w_id")
+               .ok()) {
+        std::abort();
+      }
+    }
+    DriverOptions opts = BaseOptions();
+    ConcurrentDriver driver(world.bench.get(), opts);
+    DriverReport r = driver.Run();
+
+    auto* rep = bench::Reporter::Get();
+    rep->Metric("oltp_txn_s" + suffix, r.oltp_txn_per_s);
+    rep->Metric("oltp_p99_us" + suffix,
+                static_cast<double>(r.oltp_latency.p99_us));
+    rep->Metric("abort_rate" + suffix, r.abort_rate);
+    state.counters["oltp_txn_s"] = r.oltp_txn_per_s;
+    state.counters["oltp_p99_us"] =
+        static_cast<double>(r.oltp_latency.p99_us);
+  }
+}
+BENCHMARK(BM_ViewMaintenanceOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace oltap

@@ -96,7 +96,9 @@ void RegisterCoreMetrics(MetricsRegistry* r) {
         "sched.degraded", "opt.plans", "opt.plans_optimized",
         "opt.analyze_runs", "opt.order_cache_hits",
         "opt.plan_invalidations", "opt.feedback_replans", "opt.path_row",
-        "opt.path_column"}) {
+        "opt.path_column", "view.maintain_runs", "view.changes_applied",
+        "view.rebuilds", "view.group_recomputes", "view.routed",
+        "view.route_considered"}) {
     r->GetCounter(name);
   }
   for (const char* name :
@@ -107,7 +109,8 @@ void RegisterCoreMetrics(MetricsRegistry* r) {
   for (const char* name :
        {"wal.append_ns", "wal.fsync_ns", "wal.batch_size",
         "wal.group_wait_us", "txn.commit_ns",
-        "wm.latency_us.oltp", "wm.latency_us.olap", "opt.qerror_x100"}) {
+        "wm.latency_us.oltp", "wm.latency_us.olap", "opt.qerror_x100",
+        "view.maintain_ns", "view.freshness_lag_us"}) {
     r->GetHistogram(name);
   }
 }

@@ -5,6 +5,8 @@
 
 #include "common/clock.h"
 #include "obs/metrics.h"
+#include "storage/freshness.h"
+#include "view/view.h"
 
 namespace oltap {
 
@@ -17,6 +19,15 @@ MergeDaemon::MergeDaemon(Catalog* catalog, TransactionManager* tm,
 }
 
 MergeDaemon::~MergeDaemon() { Stop(); }
+
+void MergeDaemon::Start() {
+  if (thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
 
 void MergeDaemon::Stop() {
   {
@@ -41,22 +52,21 @@ size_t MergeDaemon::RunOnce() {
       registry->GetGauge("storage.freshness_lag_us");
   runs->Add(1);
 
+  // Maintain DEFERRED materialized views first: view maintenance reads
+  // base pre-states at the view cursors, and applying pending changes now
+  // advances those cursors so the merge below can GC more aggressively.
+  if (views_ != nullptr) views_->MaintainAll();
+
   size_t merged = 0;
-  int64_t now_us = SystemClock::Get()->NowMicros();
-  int64_t max_lag_us = 0;
-  int64_t unmerged_rows = 0;
   Timestamp merge_ts = tm_->oracle()->CurrentReadTs();
   Timestamp horizon = tm_->OldestActiveSnapshot();
+  if (views_ != nullptr) horizon = std::min(horizon, views_->GcHorizon());
   for (Table* table : catalog_->AllTables()) {
     if (!table->Mergeable()) continue;
     ColumnTable* ct = table->column_table();
     if (ct == nullptr) continue;
     size_t delta_rows_before = ct->delta_size();
-    if (delta_rows_before < options_.delta_row_threshold) {
-      unmerged_rows += static_cast<int64_t>(delta_rows_before);
-      max_lag_us = std::max(max_lag_us, ct->DeltaAgeMicros(now_us));
-      continue;
-    }
+    if (delta_rows_before < options_.delta_row_threshold) continue;
     size_t bytes_before = ct->MemoryBytes();
     table->MergeDelta(merge_ts, horizon);
     ++merged;
@@ -64,11 +74,11 @@ size_t MergeDaemon::RunOnce() {
     tables_merged->Add(1);
     rows_merged->Add(delta_rows_before);
     bytes_merged->Add(bytes_before);
-    unmerged_rows += static_cast<int64_t>(ct->delta_size());
-    max_lag_us = std::max(max_lag_us, ct->DeltaAgeMicros(now_us));
   }
-  delta_rows->Set(unmerged_rows);
-  freshness->Set(max_lag_us);
+  int64_t now_us = SystemClock::Get()->NowMicros();
+  FreshnessSummary fresh = ProbeFreshness(*catalog_, now_us);
+  delta_rows->Set(fresh.delta_rows);
+  freshness->Set(fresh.max_lag_us);
   return merged;
 }
 

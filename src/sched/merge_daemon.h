@@ -12,6 +12,10 @@
 
 namespace oltap {
 
+namespace view {
+class ViewManager;
+}  // namespace view
+
 // Background delta-merge scheduler: the automated version of the merge
 // every surveyed delta/main engine runs (HANA's mergedog, BLU ingest
 // consolidation, MemSQL background merger). Wakes periodically, merges any
@@ -37,8 +41,18 @@ class MergeDaemon {
   MergeDaemon(const MergeDaemon&) = delete;
   MergeDaemon& operator=(const MergeDaemon&) = delete;
 
+  // Starts the background thread when constructed with autostart=false
+  // (e.g. to attach a view manager first). No-op if already running.
+  void Start();
+
   // Stops the background thread (also called by the destructor).
   void Stop();
+
+  // Attaches a view manager: each tick then also maintains DEFERRED
+  // materialized views and bounds the merge GC horizon by the view
+  // cursors. Call before any tick runs (i.e. construct with
+  // autostart=false or set immediately after construction).
+  void set_view_manager(view::ViewManager* views) { views_ = views; }
 
   // Runs one merge pass synchronously (what the thread does every tick);
   // returns the number of tables merged. Usable without Start for tests
@@ -54,6 +68,7 @@ class MergeDaemon {
 
   Catalog* catalog_;
   TransactionManager* tm_;
+  view::ViewManager* views_ = nullptr;
   Options options_;
 
   std::mutex mu_;

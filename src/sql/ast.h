@@ -94,6 +94,21 @@ struct CreateTableStmt {
   TableFormat format = TableFormat::kColumn;
 };
 
+// CREATE MATERIALIZED VIEW <name> [SYNC | DEFERRED [STALENESS <us>]]
+// AS SELECT ... — join or GROUP BY/aggregate view over base tables,
+// maintained incrementally from their change logs (src/view/).
+struct CreateViewStmt {
+  std::string name;
+  bool sync = true;               // SYNC (default): maintained at commit
+  int64_t max_staleness_us = -1;  // DEFERRED STALENESS bound; -1 = none
+  std::unique_ptr<SelectStmt> select;
+};
+
+// REFRESH MATERIALIZED VIEW <name>: full rebuild from the base tables.
+struct RefreshViewStmt {
+  std::string name;
+};
+
 // ANALYZE [<table>]: collect optimizer statistics (all tables when no
 // table is named).
 struct AnalyzeStmt {
@@ -113,6 +128,8 @@ struct Statement {
     kUpdate,
     kDelete,
     kCreateTable,
+    kCreateView,   // CREATE MATERIALIZED VIEW ... AS SELECT ...
+    kRefreshView,  // REFRESH MATERIALIZED VIEW <name>
     kShowStats,  // SHOW STATS: engine metrics snapshot, no table access
     kAnalyze,    // ANALYZE: collect optimizer statistics
     kSet,        // SET <knob> = <value>
@@ -125,6 +142,8 @@ struct Statement {
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<CreateTableStmt> create;
+  std::unique_ptr<CreateViewStmt> create_view;
+  std::unique_ptr<RefreshViewStmt> refresh_view;
   std::unique_ptr<AnalyzeStmt> analyze_stmt;
   std::unique_ptr<SetStmt> set;
 };

@@ -118,11 +118,26 @@ class Parser {
       auto del = ParseDelete();
       if (!del.ok()) return del.status();
       stmt.del = std::move(del).value();
+    } else if (Peek().IsKeyword("CREATE") &&
+               Peek(1).IsKeyword("MATERIALIZED")) {
+      stmt.kind = Statement::Kind::kCreateView;
+      auto crt = ParseCreateView();
+      if (!crt.ok()) return crt.status();
+      stmt.create_view = std::move(crt).value();
     } else if (Peek().IsKeyword("CREATE")) {
       stmt.kind = Statement::Kind::kCreateTable;
       auto crt = ParseCreate();
       if (!crt.ok()) return crt.status();
       stmt.create = std::move(crt).value();
+    } else if (Peek().IsKeyword("REFRESH")) {
+      stmt.kind = Statement::Kind::kRefreshView;
+      Advance();
+      OLTAP_RETURN_NOT_OK(ExpectKeyword("MATERIALIZED"));
+      OLTAP_RETURN_NOT_OK(ExpectKeyword("VIEW"));
+      stmt.refresh_view = std::make_unique<RefreshViewStmt>();
+      auto name = ExpectIdent();
+      if (!name.ok()) return name.status();
+      stmt.refresh_view->name = std::move(name).value();
     } else {
       return Err("expected a statement keyword");
     }
@@ -688,6 +703,37 @@ class Parser {
         return Err("unknown format: " + f);
       }
     }
+    return stmt;
+  }
+
+  // CREATE MATERIALIZED VIEW <name> [SYNC | DEFERRED [STALENESS <us>]]
+  // AS SELECT ...
+  Result<std::unique_ptr<CreateViewStmt>> ParseCreateView() {
+    OLTAP_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+    OLTAP_RETURN_NOT_OK(ExpectKeyword("MATERIALIZED"));
+    OLTAP_RETURN_NOT_OK(ExpectKeyword("VIEW"));
+    auto stmt = std::make_unique<CreateViewStmt>();
+    auto name = ExpectIdent();
+    if (!name.ok()) return name.status();
+    stmt->name = std::move(name).value();
+    if (AcceptKeyword("SYNC")) {
+      stmt->sync = true;
+    } else if (AcceptKeyword("DEFERRED")) {
+      stmt->sync = false;
+      if (AcceptKeyword("STALENESS")) {
+        if (Peek().kind != Token::Kind::kInt) {
+          return Err("STALENESS expects microseconds");
+        }
+        stmt->max_staleness_us = Advance().int_val;
+      }
+    }
+    OLTAP_RETURN_NOT_OK(ExpectKeyword("AS"));
+    if (!Peek().IsKeyword("SELECT")) {
+      return Err("materialized view definition must be a SELECT");
+    }
+    auto sel = ParseSelect();
+    if (!sel.ok()) return sel.status();
+    stmt->select = std::move(sel).value();
     return stmt;
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -10,6 +11,7 @@
 #include "opt/stats.h"
 #include "sql/parser.h"
 #include "storage/column_store.h"
+#include "storage/freshness.h"
 
 namespace oltap {
 namespace {
@@ -66,12 +68,26 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out;
 }
 
-Database::Database(Wal* wal) : txn_(&catalog_, wal) {}
+Database::Database(Wal* wal) : txn_(&catalog_, wal) {
+  // Synchronous view maintenance rides the commit-ack hook: it fires once
+  // a client commit is durable and visible, on the committing thread.
+  txn_.SetCommitHook([this](const std::vector<Table*>& tables, Timestamp ts) {
+    views_.OnCommit(tables, ts);
+  });
+}
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
   OLTAP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   if (stmt.kind == sql::Statement::Kind::kCreateTable) {
     return RunCreate(*stmt.create);
+  }
+  if (stmt.kind == sql::Statement::Kind::kCreateView) {
+    OLTAP_RETURN_NOT_OK(views_.Create(*stmt.create_view));
+    return QueryResult{};
+  }
+  if (stmt.kind == sql::Statement::Kind::kRefreshView) {
+    OLTAP_RETURN_NOT_OK(views_.Refresh(stmt.refresh_view->name));
+    return QueryResult{};
   }
   std::unique_ptr<Transaction> txn = txn_.Begin();
   auto result = RunStatement(txn.get(), stmt);
@@ -86,7 +102,9 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
 Result<QueryResult> Database::ExecuteIn(Transaction* txn,
                                         const std::string& sql) {
   OLTAP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
-  if (stmt.kind == sql::Statement::Kind::kCreateTable) {
+  if (stmt.kind == sql::Statement::Kind::kCreateTable ||
+      stmt.kind == sql::Statement::Kind::kCreateView ||
+      stmt.kind == sql::Statement::Kind::kRefreshView) {
     return Status::FailedPrecondition("DDL is not transactional");
   }
   return RunStatement(txn, stmt);
@@ -105,6 +123,9 @@ Result<QueryResult> Database::RunStatement(Transaction* txn,
       return RunDelete(txn, *s.del);
     case sql::Statement::Kind::kCreateTable:
       return RunCreate(*s.create);
+    case sql::Statement::Kind::kCreateView:
+    case sql::Statement::Kind::kRefreshView:
+      return Status::FailedPrecondition("view DDL is not transactional");
     case sql::Statement::Kind::kShowStats:
       return RunShowStats();
     case sql::Statement::Kind::kAnalyze:
@@ -155,6 +176,17 @@ void CollectOpSamples(const PhysicalOp* op,
   }
 }
 
+// Plan cost for base-vs-view comparison: the most expensive node (est_cost
+// is cumulative per subtree, so the root of the costed region dominates).
+// -1 when the plan carries no estimates.
+double MaxPlanCost(const PhysicalOp* op) {
+  double cost = op->est_cost();
+  for (const PhysicalOp* child : op->Children()) {
+    cost = std::max(cost, MaxPlanCost(child));
+  }
+  return cost;
+}
+
 }  // namespace
 
 Result<QueryResult> Database::RunSelect(Transaction* txn,
@@ -166,6 +198,29 @@ Result<QueryResult> Database::RunSelect(Transaction* txn,
   OLTAP_ASSIGN_OR_RETURN(
       sql::PlannedQuery plan,
       sql::PlanSelect(s, catalog_, txn->begin_ts(), popts));
+
+  // Cost-based view routing: if a materialized view subsumes this query
+  // (within the session staleness bound), plan the rewritten query too and
+  // take whichever plan is cheaper.
+  std::string routed_view;
+  if (view_routing_enabled() && optimizer_enabled()) {
+    if (auto route = views_.TryRoute(s, max_staleness_us())) {
+      auto vplan =
+          sql::PlanSelect(route->rewritten, catalog_, txn->begin_ts(), popts);
+      if (vplan.ok()) {
+        double base_cost = MaxPlanCost(plan.root.get());
+        double view_cost = MaxPlanCost(vplan->root.get());
+        // Missing estimates (optimizer fallback paths) default to the
+        // view: its plan reads precomputed results.
+        if (base_cost < 0 || view_cost < 0 || view_cost <= base_cost) {
+          plan = std::move(vplan).value();
+          routed_view = route->view;
+          obs::MetricsRegistry::Default()->GetCounter("view.routed")->Add(1);
+        }
+      }
+    }
+  }
+
   auto observe = [&]() {
     if (!plan.optimized || plan.fingerprint.empty()) return;
     std::vector<opt::OpSample> samples;
@@ -186,6 +241,10 @@ Result<QueryResult> Database::RunSelect(Transaction* txn,
   }
   if (explain) {
     result.columns = {"plan"};
+    if (!routed_view.empty()) {
+      result.rows.push_back(Row{Value::String(
+          "routed via materialized view " + routed_view)});
+    }
     std::string text = ExplainPlan(plan.root.get());
     // One output row per plan line.
     size_t start = 0;
@@ -241,21 +300,45 @@ Result<QueryResult> Database::RunAnalyze(Transaction* txn,
 }
 
 Result<QueryResult> Database::RunSet(const sql::SetStmt& s) {
-  if (s.name != "optimizer") {
-    return Status::InvalidArgument("unknown setting: " + s.name);
-  }
-  bool on;
-  if (s.value == "on" || s.value == "true" || s.value == "1") {
-    on = true;
-  } else if (s.value == "off" || s.value == "false" || s.value == "0") {
-    on = false;
-  } else {
-    return Status::InvalidArgument("SET optimizer expects on or off, got: " +
-                                   s.value);
-  }
-  set_optimizer_enabled(on);
+  auto parse_bool = [&](bool* out) -> Status {
+    if (s.value == "on" || s.value == "true" || s.value == "1") {
+      *out = true;
+    } else if (s.value == "off" || s.value == "false" || s.value == "0") {
+      *out = false;
+    } else {
+      return Status::InvalidArgument("SET " + s.name +
+                                     " expects on or off, got: " + s.value);
+    }
+    return Status::OK();
+  };
   QueryResult result;
-  return result;
+  if (s.name == "optimizer") {
+    bool on;
+    OLTAP_RETURN_NOT_OK(parse_bool(&on));
+    set_optimizer_enabled(on);
+    return result;
+  }
+  if (s.name == "view_routing") {
+    bool on;
+    OLTAP_RETURN_NOT_OK(parse_bool(&on));
+    set_view_routing_enabled(on);
+    return result;
+  }
+  if (s.name == "max_staleness") {
+    if (s.value == "off" || s.value == "-1") {
+      set_max_staleness_us(-1);
+      return result;
+    }
+    char* end = nullptr;
+    long long us = std::strtoll(s.value.c_str(), &end, 10);
+    if (end == s.value.c_str() || *end != '\0' || us < 0) {
+      return Status::InvalidArgument(
+          "SET max_staleness expects microseconds or off, got: " + s.value);
+    }
+    set_max_staleness_us(us);
+    return result;
+  }
+  return Status::InvalidArgument("unknown setting: " + s.name);
 }
 
 Result<QueryResult> Database::RunShowStats() {
@@ -263,16 +346,9 @@ Result<QueryResult> Database::RunShowStats() {
   // Refresh the storage gauges from this catalog so SHOW STATS reports
   // live freshness even without a merge daemon running.
   int64_t now_us = SystemClock::Get()->NowMicros();
-  int64_t max_lag_us = 0;
-  int64_t unmerged_rows = 0;
-  for (Table* table : catalog_.AllTables()) {
-    ColumnTable* ct = table->column_table();
-    if (ct == nullptr) continue;
-    unmerged_rows += static_cast<int64_t>(ct->delta_size());
-    max_lag_us = std::max(max_lag_us, ct->DeltaAgeMicros(now_us));
-  }
-  registry->GetGauge("storage.delta_rows")->Set(unmerged_rows);
-  registry->GetGauge("storage.freshness_lag_us")->Set(max_lag_us);
+  FreshnessSummary fresh = ProbeFreshness(catalog_, now_us);
+  registry->GetGauge("storage.delta_rows")->Set(fresh.delta_rows);
+  registry->GetGauge("storage.freshness_lag_us")->Set(fresh.max_lag_us);
   // Refresh wal.sealed from this database's own log (the gauge is also
   // set at seal time, but that write may have come from another Wal).
   if (Wal* w = wal()) {
@@ -303,30 +379,41 @@ Result<QueryResult> Database::RunShowStats() {
     add(".max", Value::Int64(static_cast<int64_t>(h.max)));
   }
 
-  // Per-table optimizer-statistics freshness: analyzed row count and the
-  // number of committed modifications since ANALYZE (the staleness
-  // signal). Only tables that have been analyzed appear.
+  // Per-table optimizer-statistics freshness. `.rows` reports the analyzed
+  // row count, so it only appears once a table has been analyzed;
+  // `.mods_since_analyze` is live for every table (the full mod count when
+  // never analyzed) — it is the staleness signal, and a table that was
+  // never analyzed is maximally stale.
   std::vector<std::string> table_names = catalog_.TableNames();
   std::sort(table_names.begin(), table_names.end());
   for (const std::string& name : table_names) {
     std::shared_ptr<const opt::TableStats> stats =
         catalog_.GetTableStats(name);
-    if (stats == nullptr) continue;
     Table* table = catalog_.GetTable(name);
-    uint64_t mods = table->mod_count() - stats->mod_count_at_analyze;
-    result.rows.push_back(
-        Row{Value::String("stats." + name + ".rows"),
-            Value::Int64(static_cast<int64_t>(stats->row_count))});
+    if (stats != nullptr) {
+      result.rows.push_back(
+          Row{Value::String("stats." + name + ".rows"),
+              Value::Int64(static_cast<int64_t>(stats->row_count))});
+    }
+    uint64_t mods = table->mod_count() -
+                    (stats != nullptr ? stats->mod_count_at_analyze : 0);
     result.rows.push_back(
         Row{Value::String("stats." + name + ".mods_since_analyze"),
             Value::Int64(static_cast<int64_t>(mods))});
   }
+
+  // Per-view freshness: row count, pending base changes, staleness.
+  views_.AppendStatsRows(&result.rows);
   result.affected = result.rows.size();
   return result;
 }
 
 Result<QueryResult> Database::RunInsert(Transaction* txn,
                                         const sql::InsertStmt& s) {
+  if (views_.IsView(s.table)) {
+    return Status::InvalidArgument("cannot INSERT into materialized view " +
+                                   s.table);
+  }
   Table* table = catalog_.GetTable(s.table);
   if (table == nullptr) return Status::NotFound("unknown table: " + s.table);
   const Schema& schema = table->schema();
@@ -358,6 +445,10 @@ Result<QueryResult> Database::RunInsert(Transaction* txn,
 
 Result<QueryResult> Database::RunUpdate(Transaction* txn,
                                         const sql::UpdateStmt& s) {
+  if (views_.IsView(s.table)) {
+    return Status::InvalidArgument("cannot UPDATE materialized view " +
+                                   s.table);
+  }
   Table* table = catalog_.GetTable(s.table);
   if (table == nullptr) return Status::NotFound("unknown table: " + s.table);
   const Schema& schema = table->schema();
@@ -411,6 +502,10 @@ Result<QueryResult> Database::RunUpdate(Transaction* txn,
 
 Result<QueryResult> Database::RunDelete(Transaction* txn,
                                         const sql::DeleteStmt& s) {
+  if (views_.IsView(s.table)) {
+    return Status::InvalidArgument("cannot DELETE from materialized view " +
+                                   s.table);
+  }
   Table* table = catalog_.GetTable(s.table);
   if (table == nullptr) return Status::NotFound("unknown table: " + s.table);
   const Schema& schema = table->schema();
@@ -469,13 +564,20 @@ Result<Wal::ReplayStats> Database::RecoverFromWal(const std::string& wal_data,
       Wal::ReplayStats stats,
       Wal::ReplayParallel(wal_data, &catalog_, pool, options));
   txn_.AdvanceTo(stats.max_commit_ts);
+  // WAL replay bypasses the transaction path, so the in-memory change logs
+  // and view cursors do not reflect the recovered rows. Every materialized
+  // view is stale-on-recover: rebuild from the recovered bases.
+  OLTAP_RETURN_NOT_OK(views_.RebuildAllAfterRecovery());
   return stats;
 }
 
 size_t Database::MergeAll() {
   size_t total = 0;
   Timestamp merge_ts = txn_.oracle()->CurrentReadTs();
-  Timestamp horizon = txn_.OldestActiveSnapshot();
+  // Delta-join maintenance reads base pre-states at each view's cursor;
+  // merges must not garbage-collect versions those snapshots still need.
+  Timestamp horizon =
+      std::min(txn_.OldestActiveSnapshot(), views_.GcHorizon());
   for (Table* table : catalog_.AllTables()) {
     if (table->Mergeable()) {
       total += table->MergeDelta(merge_ts, horizon);

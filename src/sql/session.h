@@ -12,6 +12,7 @@
 #include "storage/catalog.h"
 #include "txn/transaction_manager.h"
 #include "txn/wal.h"
+#include "view/view.h"
 
 namespace oltap {
 
@@ -72,6 +73,27 @@ class Database {
 
   opt::PlanFeedback* plan_feedback() { return &feedback_; }
 
+  // Materialized views: registry, incremental maintainer, and router.
+  view::ViewManager* view_manager() { return &views_; }
+
+  // Routing of queries onto materialized views (SQL: SET view_routing =
+  // on|off). Only consulted when the optimizer is on.
+  bool view_routing_enabled() const {
+    return view_routing_.load(std::memory_order_relaxed);
+  }
+  void set_view_routing_enabled(bool on) {
+    view_routing_.store(on, std::memory_order_relaxed);
+  }
+
+  // Session staleness bound in microseconds for routing onto DEFERRED
+  // views (SQL: SET max_staleness = <us> | off). -1 = unbounded.
+  int64_t max_staleness_us() const {
+    return max_staleness_us_.load(std::memory_order_relaxed);
+  }
+  void set_max_staleness_us(int64_t us) {
+    max_staleness_us_.store(us, std::memory_order_relaxed);
+  }
+
  private:
   Result<QueryResult> RunStatement(Transaction* txn, const sql::Statement& s);
   Result<QueryResult> RunSelect(Transaction* txn, const sql::SelectStmt& s,
@@ -92,7 +114,10 @@ class Database {
   Catalog catalog_;
   TransactionManager txn_;
   std::atomic<bool> optimizer_enabled_{true};
+  std::atomic<bool> view_routing_{true};
+  std::atomic<int64_t> max_staleness_us_{-1};
   opt::PlanFeedback feedback_;
+  view::ViewManager views_{&catalog_, &txn_};
 };
 
 }  // namespace oltap

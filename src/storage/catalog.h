@@ -36,6 +36,15 @@ class Catalog {
     return Status::OK();
   }
 
+  // Narrow escape hatch for failed CREATE MATERIALIZED VIEW cleanup ONLY:
+  // removes a table that was just created and never handed out. General
+  // DROP stays unsupported (Table pointers are assumed stable).
+  void DropTable(const std::string& name) {
+    std::unique_lock lock(mu_);
+    tables_.erase(name);
+    stats_.erase(name);
+  }
+
   Table* GetTable(const std::string& name) const {
     std::shared_lock lock(mu_);
     auto it = tables_.find(name);

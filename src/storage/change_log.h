@@ -1,0 +1,99 @@
+#ifndef OLTAP_STORAGE_CHANGE_LOG_H_
+#define OLTAP_STORAGE_CHANGE_LOG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/row.h"
+
+namespace oltap {
+
+// Logical change log a Table appends to once a subscriber (the view
+// maintainer) activates it. Every committed write becomes one or two
+// entries: insert -> kInsert(new row); delete -> kDelete(pre-image);
+// update -> kDelete(pre-image) then kInsert(new row), both stamped with
+// the same commit timestamp. Consumers pull half-open timestamp windows
+// (since, through] and trim what every subscriber has applied.
+//
+// Entries are appended during the commit apply phase, i.e. strictly
+// before the commit becomes visible. Once the visible watermark reaches
+// W, every change with ts <= W is therefore present — a consumer that
+// collects through its own snapshot timestamp sees a complete prefix.
+class ChangeLog {
+ public:
+  enum class Kind : uint8_t { kInsert, kDelete };
+
+  struct Change {
+    Kind kind;
+    Row row;        // new row for kInsert, pre-image for kDelete
+    Timestamp ts;   // commit timestamp
+    int64_t wall_us; // wall-clock at append, for staleness gauges
+  };
+
+  void Append(Change c) {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.push_back(std::move(c));
+  }
+
+  // Appends all changes with since < ts <= through, in append order.
+  void Collect(Timestamp since, Timestamp through,
+               std::vector<Change>* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Change& c : log_) {
+      if (c.ts > since && c.ts <= through) out->push_back(c);
+    }
+  }
+
+  // Drops every entry with ts <= through (all subscribers applied them).
+  // Entries are appended in apply order, which tracks but does not equal
+  // timestamp order across independent commits, so this filters rather
+  // than popping a prefix.
+  void TrimThrough(Timestamp through) {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.erase(std::remove_if(
+                   log_.begin(), log_.end(),
+                   [through](const Change& c) { return c.ts <= through; }),
+               log_.end());
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_.size();
+  }
+
+  // Entries a subscriber with cursor `since` has not applied yet.
+  size_t PendingSince(Timestamp since) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const Change& c : log_) {
+      if (c.ts > since) ++n;
+    }
+    return n;
+  }
+
+  // Age in microseconds of the oldest entry past `since`; 0 when none.
+  int64_t OldestPendingMicrosSince(Timestamp since, int64_t now_us) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t oldest = 0;
+    for (const Change& c : log_) {
+      if (c.ts > since && (oldest == 0 || c.wall_us < oldest)) {
+        oldest = c.wall_us;
+      }
+    }
+    if (oldest == 0) return 0;
+    int64_t age = now_us - oldest;
+    return age > 0 ? age : 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Change> log_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_CHANGE_LOG_H_

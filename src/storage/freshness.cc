@@ -1,0 +1,21 @@
+#include "storage/freshness.h"
+
+#include <algorithm>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace oltap {
+
+FreshnessSummary ProbeFreshness(const Catalog& catalog, int64_t now_us) {
+  FreshnessSummary out;
+  for (Table* table : catalog.AllTables()) {
+    ColumnTable* ct = table->column_table();
+    if (ct == nullptr) continue;
+    out.delta_rows += static_cast<int64_t>(ct->delta_size());
+    out.max_lag_us = std::max(out.max_lag_us, ct->DeltaAgeMicros(now_us));
+  }
+  return out;
+}
+
+}  // namespace oltap

@@ -1,0 +1,24 @@
+#ifndef OLTAP_STORAGE_FRESHNESS_H_
+#define OLTAP_STORAGE_FRESHNESS_H_
+
+#include <cstdint>
+
+namespace oltap {
+
+class Catalog;
+
+// One catalog-wide freshness probe shared by SHOW STATS, the merge
+// daemon, the concurrent driver's end-of-run report, and the view
+// subsystem's staleness gauges — the quantity is "how stale would an
+// analytic query on main-only data be", i.e. the age of the oldest
+// unmerged delta append.
+struct FreshnessSummary {
+  int64_t max_lag_us = 0;   // oldest delta append age across tables
+  int64_t delta_rows = 0;   // unmerged delta rows across tables
+};
+
+FreshnessSummary ProbeFreshness(const Catalog& catalog, int64_t now_us);
+
+}  // namespace oltap
+
+#endif  // OLTAP_STORAGE_FRESHNESS_H_

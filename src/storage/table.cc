@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace oltap {
@@ -46,11 +47,23 @@ Status Table::InsertCommitted(const Row& row, Timestamp ts) {
       s = dual_->InsertCommitted(row, ts);
       break;
   }
-  if (s.ok()) mod_count_.fetch_add(1, std::memory_order_relaxed);
+  if (s.ok()) {
+    mod_count_.fetch_add(1, std::memory_order_relaxed);
+    if (ChangeLog* log = change_log()) {
+      log->Append({ChangeLog::Kind::kInsert, row, ts,
+                   SystemClock::Get()->NowMicros()});
+    }
+  }
   return s;
 }
 
 Status Table::DeleteCommitted(std::string_view key, Timestamp ts) {
+  // Pre-image for the change log, captured before the engine applies the
+  // delete (the delta-aggregate paths need the deleted row's values).
+  Row pre;
+  bool have_pre = false;
+  ChangeLog* log = change_log();
+  if (log != nullptr) have_pre = Lookup(key, ts, &pre);
   Status s = Status::Internal("bad format");
   switch (format_) {
     case TableFormat::kRow:
@@ -63,12 +76,22 @@ Status Table::DeleteCommitted(std::string_view key, Timestamp ts) {
       s = dual_->DeleteCommitted(key, ts);
       break;
   }
-  if (s.ok()) mod_count_.fetch_add(1, std::memory_order_relaxed);
+  if (s.ok()) {
+    mod_count_.fetch_add(1, std::memory_order_relaxed);
+    if (log != nullptr && have_pre) {
+      log->Append({ChangeLog::Kind::kDelete, std::move(pre), ts,
+                   SystemClock::Get()->NowMicros()});
+    }
+  }
   return s;
 }
 
 Status Table::UpdateCommitted(std::string_view key, const Row& new_row,
                               Timestamp ts) {
+  Row pre;
+  bool have_pre = false;
+  ChangeLog* log = change_log();
+  if (log != nullptr) have_pre = Lookup(key, ts, &pre);
   Status s = Status::Internal("bad format");
   switch (format_) {
     case TableFormat::kRow:
@@ -81,7 +104,18 @@ Status Table::UpdateCommitted(std::string_view key, const Row& new_row,
       s = dual_->UpdateCommitted(key, new_row, ts);
       break;
   }
-  if (s.ok()) mod_count_.fetch_add(1, std::memory_order_relaxed);
+  if (s.ok()) {
+    mod_count_.fetch_add(1, std::memory_order_relaxed);
+    if (log != nullptr) {
+      // Update = delete(pre-image) + insert(new), same commit ts; the
+      // delete is appended first so replay order matches apply order.
+      int64_t now = SystemClock::Get()->NowMicros();
+      if (have_pre) {
+        log->Append({ChangeLog::Kind::kDelete, std::move(pre), ts, now});
+      }
+      log->Append({ChangeLog::Kind::kInsert, new_row, ts, now});
+    }
+  }
   return s;
 }
 
@@ -206,6 +240,18 @@ size_t Table::ApproxRowCount() const {
   const ColumnTable* ct = column_table();
   if (ct != nullptr) return ct->main_size() + ct->delta_size();
   return 0;
+}
+
+ChangeLog* Table::EnsureChangeLog() {
+  ChangeLog* log = change_log_ptr_.load(std::memory_order_acquire);
+  if (log != nullptr) return log;
+  std::lock_guard<std::mutex> lock(change_log_init_mu_);
+  if (change_log_holder_ == nullptr) {
+    change_log_holder_ = std::make_unique<ChangeLog>();
+    change_log_ptr_.store(change_log_holder_.get(),
+                          std::memory_order_release);
+  }
+  return change_log_holder_.get();
 }
 
 RowTable* Table::row_table() {

@@ -4,12 +4,14 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "storage/change_log.h"
 #include "storage/column_store.h"
 #include "storage/dual_table.h"
 #include "storage/row.h"
@@ -86,7 +88,19 @@ class Table {
   }
 
   // Fast bulk ingest into an empty kColumn table's main fragment.
+  // Bypasses the change log: views over a bulk-loaded table must be
+  // REFRESHed (the view subsystem does this on creation anyway).
   Status BulkLoadToMain(const std::vector<Row>& rows, Timestamp ts);
+
+  // Activates the logical change log (idempotent) and returns it. Called
+  // once per subscribing view; committed writes start appending insert/
+  // delete entries from that point on.
+  ChangeLog* EnsureChangeLog();
+  // Null until EnsureChangeLog — one relaxed atomic load on the write
+  // path when no view subscribes.
+  ChangeLog* change_log() const {
+    return change_log_ptr_.load(std::memory_order_acquire);
+  }
 
   // Engine accessors for specialized paths (may be null depending on
   // format).
@@ -105,6 +119,10 @@ class Table {
   std::unique_ptr<DualTable> dual_;     // kDual
 
   std::atomic<uint64_t> mod_count_{0};
+
+  std::mutex change_log_init_mu_;
+  std::unique_ptr<ChangeLog> change_log_holder_;
+  std::atomic<ChangeLog*> change_log_ptr_{nullptr};
 };
 
 }  // namespace oltap

@@ -371,6 +371,20 @@ Status TransactionManager::Commit(Transaction* txn) {
     AdvanceVisible();
     std::this_thread::yield();
   }
+  // Post-commit hook (synchronous view maintenance): runs at the ack
+  // point — durable, visible, no locks held — so a maintenance
+  // transaction begun inside the hook reads a snapshot covering this
+  // commit. Distinct tables only.
+  if (commit_hook_) {
+    std::vector<Table*> touched;
+    for (const Transaction::WriteOp& op : txn->ops_) {
+      if (std::find(touched.begin(), touched.end(), op.table) ==
+          touched.end()) {
+        touched.push_back(op.table);
+      }
+    }
+    commit_hook_(touched, commit_ts);
+  }
   return Status::OK();
 }
 

@@ -182,6 +182,16 @@ class TransactionManager {
     return log_writer_.load(std::memory_order_acquire);
   }
 
+  // Post-commit hook, invoked after a non-empty commit is durable AND
+  // visible (the ack point), with the distinct tables it wrote and its
+  // commit timestamp. No locks are held; the hook may begin and commit
+  // transactions of its own. The view subsystem uses this for synchronous
+  // incremental maintenance. Install before serving traffic; pass nullptr
+  // to clear.
+  using CommitHook =
+      std::function<void(const std::vector<Table*>&, Timestamp)>;
+  void SetCommitHook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
   // Recovery fast-forward: advances the oracle *and* the visible watermark
   // past `ts` (replayed commits were applied directly to storage, so they
   // are fully visible by construction). Must not race live commits —
@@ -244,6 +254,8 @@ class TransactionManager {
 
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
+
+  CommitHook commit_hook_;
 };
 
 }  // namespace oltap

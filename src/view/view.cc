@@ -1,0 +1,1847 @@
+#include "view/view.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "sql/planner.h"
+
+namespace oltap {
+namespace view {
+
+namespace {
+
+// Set while a maintenance/refresh transaction commits so the commit hook
+// does not recurse into OnCommit (view backing tables are never bases,
+// but the guard also makes accidental cycles structurally impossible).
+thread_local bool t_in_maintenance = false;
+
+struct MaintenanceScope {
+  bool prev;
+  MaintenanceScope() : prev(t_in_maintenance) { t_in_maintenance = true; }
+  ~MaintenanceScope() { t_in_maintenance = prev; }
+};
+
+// ---------------------------------------------------------------------------
+// Parse-tree helpers (clone / construct). The sql AST uses unique_ptr
+// throughout, so routing rewrites and recompute filters build fresh trees.
+// ---------------------------------------------------------------------------
+
+sql::ParseExprPtr CloneExpr(const sql::ParseExpr& e) {
+  auto out = std::make_unique<sql::ParseExpr>();
+  out->kind = e.kind;
+  out->qualifier = e.qualifier;
+  out->name = e.name;
+  out->int_val = e.int_val;
+  out->double_val = e.double_val;
+  out->str_val = e.str_val;
+  out->op = e.op;
+  out->args.reserve(e.args.size());
+  for (const auto& a : e.args) out->args.push_back(CloneExpr(*a));
+  return out;
+}
+
+sql::SelectStmt CloneSelect(const sql::SelectStmt& s) {
+  sql::SelectStmt out;
+  out.distinct = s.distinct;
+  for (const auto& it : s.items) {
+    sql::SelectItem item;
+    item.expr = CloneExpr(*it.expr);
+    item.alias = it.alias;
+    out.items.push_back(std::move(item));
+  }
+  for (const auto& t : s.tables) {
+    sql::TableRef ref;
+    ref.name = t.name;
+    ref.alias = t.alias;
+    if (t.join_on) ref.join_on = CloneExpr(*t.join_on);
+    out.tables.push_back(std::move(ref));
+  }
+  if (s.where) out.where = CloneExpr(*s.where);
+  for (const auto& g : s.group_by) out.group_by.push_back(CloneExpr(*g));
+  if (s.having) out.having = CloneExpr(*s.having);
+  for (const auto& o : s.order_by) {
+    sql::OrderItem oi;
+    oi.expr = CloneExpr(*o.expr);
+    oi.descending = o.descending;
+    out.order_by.push_back(std::move(oi));
+  }
+  out.limit = s.limit;
+  return out;
+}
+
+sql::ParseExprPtr MakeIdent(std::string qualifier, std::string name) {
+  auto e = std::make_unique<sql::ParseExpr>();
+  e->kind = sql::ParseExpr::Kind::kIdent;
+  e->qualifier = std::move(qualifier);
+  e->name = std::move(name);
+  return e;
+}
+
+sql::ParseExprPtr MakeAnd(sql::ParseExprPtr a, sql::ParseExprPtr b) {
+  auto e = std::make_unique<sql::ParseExpr>();
+  e->kind = sql::ParseExpr::Kind::kBinary;
+  e->op = "AND";
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+sql::ParseExprPtr MakeEq(sql::ParseExprPtr a, sql::ParseExprPtr b) {
+  auto e = std::make_unique<sql::ParseExpr>();
+  e->kind = sql::ParseExpr::Kind::kBinary;
+  e->op = "=";
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+sql::ParseExprPtr MakeIsNull(sql::ParseExprPtr arg) {
+  auto e = std::make_unique<sql::ParseExpr>();
+  e->kind = sql::ParseExpr::Kind::kIsNull;
+  e->args.push_back(std::move(arg));
+  return e;
+}
+
+sql::ParseExprPtr LiteralOf(const Value& v) {
+  auto e = std::make_unique<sql::ParseExpr>();
+  if (v.is_null()) {
+    e->kind = sql::ParseExpr::Kind::kNullLit;
+    return e;
+  }
+  switch (v.type()) {
+    case ValueType::kInt64:
+      e->kind = sql::ParseExpr::Kind::kIntLit;
+      e->int_val = v.AsInt64();
+      break;
+    case ValueType::kDouble:
+      e->kind = sql::ParseExpr::Kind::kDoubleLit;
+      e->double_val = v.AsDouble();
+      break;
+    case ValueType::kString:
+      e->kind = sql::ParseExpr::Kind::kStringLit;
+      e->str_val = v.AsString();
+      break;
+  }
+  return e;
+}
+
+// Aggregate call with one argument (or * when arg is null).
+sql::ParseExprPtr MakeAggCall(const std::string& fn, sql::ParseExprPtr arg) {
+  auto e = std::make_unique<sql::ParseExpr>();
+  e->kind = sql::ParseExpr::Kind::kCall;
+  e->name = fn;
+  if (!arg) {
+    auto star = std::make_unique<sql::ParseExpr>();
+    star->kind = sql::ParseExpr::Kind::kStar;
+    arg = std::move(star);
+  }
+  e->args.push_back(std::move(arg));
+  return e;
+}
+
+void FlattenConjuncts(const sql::ParseExpr* e,
+                      std::vector<const sql::ParseExpr*>* out) {
+  if (e->kind == sql::ParseExpr::Kind::kBinary && e->op == "AND") {
+    FlattenConjuncts(e->args[0].get(), out);
+    FlattenConjuncts(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+// ---------------------------------------------------------------------------
+// Name resolution over the FROM list.
+// ---------------------------------------------------------------------------
+
+struct Binding {
+  std::vector<Table*> tables;
+  std::vector<std::string> aliases;
+  std::map<std::string, int> by_alias;
+
+  bool Resolve(const std::string& qualifier, const std::string& name, int* t,
+               int* c) const {
+    if (!qualifier.empty()) {
+      auto it = by_alias.find(qualifier);
+      if (it == by_alias.end()) return false;
+      int col = tables[it->second]->schema().FindColumn(name);
+      if (col < 0) return false;
+      *t = it->second;
+      *c = col;
+      return true;
+    }
+    int found_t = -1, found_c = -1;
+    for (size_t i = 0; i < tables.size(); ++i) {
+      int col = tables[i]->schema().FindColumn(name);
+      if (col < 0) continue;
+      if (found_t >= 0) return false;  // ambiguous
+      found_t = static_cast<int>(i);
+      found_c = col;
+    }
+    if (found_t < 0) return false;
+    *t = found_t;
+    *c = found_c;
+    return true;
+  }
+};
+
+// Alias-independent canonical text: identifiers render as the resolved
+// "<base table name>.<column>", everything else mirrors ParseExpr::ToString.
+// Only self-consistency matters — the same predicate written against any
+// alias spelling canonicalizes to the same string.
+bool CanonText(const sql::ParseExpr& e, const Binding& b, std::string* out) {
+  using K = sql::ParseExpr::Kind;
+  switch (e.kind) {
+    case K::kIdent: {
+      int t, c;
+      if (!b.Resolve(e.qualifier, e.name, &t, &c)) return false;
+      *out += b.tables[t]->name();
+      *out += '.';
+      *out += b.tables[t]->schema().column(c).name;
+      return true;
+    }
+    case K::kIntLit:
+      *out += std::to_string(e.int_val);
+      return true;
+    case K::kDoubleLit:
+      *out += std::to_string(e.double_val);
+      return true;
+    case K::kStringLit:
+      *out += '\'';
+      *out += e.str_val;
+      *out += '\'';
+      return true;
+    case K::kNullLit:
+      *out += "NULL";
+      return true;
+    case K::kStar:
+      *out += '*';
+      return true;
+    case K::kBinary: {
+      *out += '(';
+      if (!CanonText(*e.args[0], b, out)) return false;
+      *out += ' ';
+      *out += e.op;
+      *out += ' ';
+      if (!CanonText(*e.args[1], b, out)) return false;
+      *out += ')';
+      return true;
+    }
+    case K::kUnaryNot:
+      *out += "(NOT ";
+      if (!CanonText(*e.args[0], b, out)) return false;
+      *out += ')';
+      return true;
+    case K::kUnaryMinus:
+      *out += "(-";
+      if (!CanonText(*e.args[0], b, out)) return false;
+      *out += ')';
+      return true;
+    case K::kCall: {
+      *out += e.name;
+      *out += '(';
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) *out += ", ";
+        if (!CanonText(*e.args[i], b, out)) return false;
+      }
+      *out += ')';
+      return true;
+    }
+    case K::kIsNull:
+      if (!CanonText(*e.args[0], b, out)) return false;
+      *out += " IS NULL";
+      return true;
+  }
+  return false;
+}
+
+// Collects the distinct base-table indices an expression references.
+bool ReferencedTables(const sql::ParseExpr& e, const Binding& b,
+                      std::set<int>* out) {
+  if (e.kind == sql::ParseExpr::Kind::kIdent) {
+    int t, c;
+    if (!b.Resolve(e.qualifier, e.name, &t, &c)) return false;
+    out->insert(t);
+    return true;
+  }
+  for (const auto& a : e.args) {
+    if (!ReferencedTables(*a, b, out)) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FROM/WHERE decomposition shared by CREATE validation and routing.
+// ---------------------------------------------------------------------------
+
+struct LocalPred {
+  int table = 0;
+  const sql::ParseExpr* expr = nullptr;  // borrowed from the statement
+  std::string text;                      // canonical
+};
+
+struct Decomposed {
+  Binding binding;
+  std::vector<ViewDef::Edge> edges;
+  std::vector<std::string> edge_texts;  // canonical, one per edge
+  std::vector<LocalPred> locals;
+};
+
+std::string EdgeText(const Binding& b, const ViewDef::Edge& e) {
+  std::string l = b.tables[e.lt]->name() + "." +
+                  b.tables[e.lt]->schema().column(e.lc).name;
+  std::string r = b.tables[e.rt]->name() + "." +
+                  b.tables[e.rt]->schema().column(e.rc).name;
+  if (r < l) std::swap(l, r);
+  return l + "=" + r;
+}
+
+// `is_view` filters out backing tables: a view cannot be defined over (or a
+// routed query matched against) another view.
+Status Decompose(const sql::SelectStmt& stmt, const Catalog& catalog,
+                 const std::function<bool(const std::string&)>& is_view,
+                 Decomposed* out) {
+  if (stmt.tables.empty()) {
+    return Status::InvalidArgument("FROM clause required");
+  }
+  std::set<std::string> names;
+  for (const auto& ref : stmt.tables) {
+    Table* t = catalog.GetTable(ref.name);
+    if (t == nullptr) return Status::NotFound("no such table: " + ref.name);
+    if (is_view && is_view(ref.name)) {
+      return Status::InvalidArgument("views over views unsupported: " +
+                                     ref.name);
+    }
+    if (!names.insert(ref.name).second) {
+      return Status::InvalidArgument("self-joins unsupported: " + ref.name);
+    }
+    std::string alias = ref.alias.empty() ? ref.name : ref.alias;
+    if (out->binding.by_alias.count(alias)) {
+      return Status::InvalidArgument("duplicate table alias: " + alias);
+    }
+    out->binding.by_alias[alias] =
+        static_cast<int>(out->binding.tables.size());
+    out->binding.tables.push_back(t);
+    out->binding.aliases.push_back(alias);
+  }
+
+  std::vector<const sql::ParseExpr*> conjuncts;
+  if (stmt.where) FlattenConjuncts(stmt.where.get(), &conjuncts);
+  for (const auto& ref : stmt.tables) {
+    if (ref.join_on) FlattenConjuncts(ref.join_on.get(), &conjuncts);
+  }
+
+  for (const sql::ParseExpr* c : conjuncts) {
+    using K = sql::ParseExpr::Kind;
+    if (c->kind == K::kBinary && c->op == "=" &&
+        c->args[0]->kind == K::kIdent && c->args[1]->kind == K::kIdent) {
+      int lt, lc, rt, rc;
+      if (!out->binding.Resolve(c->args[0]->qualifier, c->args[0]->name, &lt,
+                                &lc) ||
+          !out->binding.Resolve(c->args[1]->qualifier, c->args[1]->name, &rt,
+                                &rc)) {
+        return Status::InvalidArgument("unresolvable column in: " +
+                                       c->ToString());
+      }
+      if (lt != rt) {
+        ViewDef::Edge e{lt, lc, rt, rc};
+        out->edge_texts.push_back(EdgeText(out->binding, e));
+        out->edges.push_back(e);
+        continue;
+      }
+      // same-table equality falls through to the local-predicate path
+    }
+    std::set<int> refs;
+    if (!ReferencedTables(*c, out->binding, &refs)) {
+      return Status::InvalidArgument("unresolvable column in: " +
+                                     c->ToString());
+    }
+    if (refs.size() > 1) {
+      return Status::InvalidArgument(
+          "cross-table predicate is not an equality join edge: " +
+          c->ToString());
+    }
+    LocalPred lp;
+    lp.table = refs.empty() ? 0 : *refs.begin();
+    lp.expr = c;
+    if (!CanonText(*c, out->binding, &lp.text)) {
+      return Status::InvalidArgument("unresolvable column in: " +
+                                     c->ToString());
+    }
+    out->locals.push_back(std::move(lp));
+  }
+  return Status::OK();
+}
+
+bool GraphConnected(size_t n, const std::vector<ViewDef::Edge>& edges) {
+  if (n <= 1) return true;
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const auto& e : edges) parent[find(e.lt)] = find(e.rt);
+  int root = find(0);
+  for (size_t i = 1; i < n; ++i) {
+    if (find(static_cast<int>(i)) != root) return false;
+  }
+  return true;
+}
+
+// BFS order over the join graph starting at `start` (start excluded).
+std::vector<int> JoinOrderFrom(int start, size_t n,
+                               const std::vector<ViewDef::Edge>& edges) {
+  std::vector<std::vector<int>> adj(n);
+  for (const auto& e : edges) {
+    adj[e.lt].push_back(e.rt);
+    adj[e.rt].push_back(e.lt);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<int> queue{start}, order;
+  seen[start] = true;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int cur = queue[head];
+    if (cur != start) order.push_back(cur);
+    for (int nxt : adj[cur]) {
+      if (!seen[nxt]) {
+        seen[nxt] = true;
+        queue.push_back(nxt);
+      }
+    }
+  }
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// Value / row utilities.
+// ---------------------------------------------------------------------------
+
+bool ValuesEqual(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  return a.Compare(b) == 0;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ValuesEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+// Coerces a build-query output cell into the backing column's type and
+// nullability (hidden state columns are non-null: SUM's NULL-on-empty
+// finalization becomes a stored zero; AVG's int sums widen to double).
+Value CoerceTo(const Value& v, const ColumnDef& col) {
+  if (v.is_null()) {
+    if (col.nullable) return Value::Null(col.type);
+    switch (col.type) {
+      case ValueType::kInt64:
+        return Value::Int64(0);
+      case ValueType::kDouble:
+        return Value::Double(0);
+      case ValueType::kString:
+        return Value::String("");
+    }
+  }
+  if (v.type() == col.type) return v;
+  if (col.type == ValueType::kDouble) return Value::Double(v.AsDouble());
+  if (col.type == ValueType::kInt64 && v.type() == ValueType::kDouble) {
+    return Value::Int64(static_cast<int64_t>(v.AsDouble()));
+  }
+  return v;
+}
+
+Result<Row> CoerceRow(const Row& r, const Schema& schema) {
+  if (r.size() != schema.num_columns()) {
+    return Status::Internal("view build row width mismatch");
+  }
+  Row out;
+  out.reserve(r.size());
+  for (size_t i = 0; i < r.size(); ++i) {
+    out.push_back(CoerceTo(r[i], schema.column(i)));
+  }
+  return out;
+}
+
+bool PassesLocal(const ViewDef& v, int table, const Row& row) {
+  for (const ExprPtr& e : v.local_bound[table]) {
+    if (!e->EvalRow(row).AsBool()) return false;
+  }
+  return true;
+}
+
+Result<std::vector<Row>> RunQueryAt(const sql::SelectStmt& q,
+                                    const Catalog& catalog, Timestamp ts) {
+  auto plan = sql::PlanSelect(q, catalog, ts);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlan(plan->root.get());
+}
+
+struct AggFnInfo {
+  AggSpec::Fn fn;
+  bool ok = false;
+};
+
+AggFnInfo AggFnFromCall(const sql::ParseExpr& e) {
+  AggFnInfo info;
+  if (e.kind != sql::ParseExpr::Kind::kCall || e.args.size() != 1) {
+    return info;
+  }
+  const bool star = e.args[0]->kind == sql::ParseExpr::Kind::kStar;
+  if (e.name == "COUNT") {
+    info.fn = star ? AggSpec::Fn::kCountStar : AggSpec::Fn::kCount;
+    info.ok = true;
+  } else if (!star && e.name == "SUM") {
+    info.fn = AggSpec::Fn::kSum;
+    info.ok = true;
+  } else if (!star && e.name == "MIN") {
+    info.fn = AggSpec::Fn::kMin;
+    info.ok = true;
+  } else if (!star && e.name == "MAX") {
+    info.fn = AggSpec::Fn::kMax;
+    info.ok = true;
+  } else if (!star && e.name == "AVG") {
+    info.fn = AggSpec::Fn::kAvg;
+    info.ok = true;
+  }
+  return info;
+}
+
+// Metric handles (preregistered in obs/metrics.cc; GetX is idempotent).
+obs::Counter* MaintainRuns() {
+  return obs::MetricsRegistry::Default()->GetCounter("view.maintain_runs");
+}
+obs::Counter* ChangesApplied() {
+  return obs::MetricsRegistry::Default()->GetCounter("view.changes_applied");
+}
+obs::Counter* Rebuilds() {
+  return obs::MetricsRegistry::Default()->GetCounter("view.rebuilds");
+}
+obs::Counter* GroupRecomputes() {
+  return obs::MetricsRegistry::Default()->GetCounter(
+      "view.group_recomputes");
+}
+obs::Histogram* MaintainNs() {
+  return obs::MetricsRegistry::Default()->GetHistogram("view.maintain_ns");
+}
+obs::Histogram* FreshnessLagUs() {
+  return obs::MetricsRegistry::Default()->GetHistogram(
+      "view.freshness_lag_us");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CREATE MATERIALIZED VIEW
+// ---------------------------------------------------------------------------
+
+Status ViewManager::Create(const sql::CreateViewStmt& stmt) {
+  if (stmt.select == nullptr) {
+    return Status::InvalidArgument("view definition missing");
+  }
+  const sql::SelectStmt& sel = *stmt.select;
+  if (sel.distinct) {
+    return Status::InvalidArgument("DISTINCT unsupported in views");
+  }
+  if (sel.having) {
+    return Status::InvalidArgument("HAVING unsupported in views");
+  }
+  if (!sel.order_by.empty() || sel.limit >= 0) {
+    return Status::InvalidArgument("ORDER BY/LIMIT unsupported in views");
+  }
+
+  auto def = std::make_unique<ViewDef>();
+  def->name = stmt.name;
+  def->sync = stmt.sync;
+  def->max_staleness_us = stmt.max_staleness_us;
+  def->select = CloneSelect(sel);
+  def->fingerprint = sql::StatementFingerprint(sel);
+
+  Decomposed d;
+  OLTAP_RETURN_NOT_OK(Decompose(
+      sel, *catalog_, [this](const std::string& n) { return IsView(n); },
+      &d));
+  if (!GraphConnected(d.binding.tables.size(), d.edges)) {
+    return Status::InvalidArgument("join graph must be connected");
+  }
+  // Join edges must connect same-typed columns: delta-join key probes
+  // encode values with the partner column's type.
+  for (const auto& e : d.edges) {
+    if (d.binding.tables[e.lt]->schema().column(e.lc).type !=
+        d.binding.tables[e.rt]->schema().column(e.rc).type) {
+      return Status::InvalidArgument("join edge joins mismatched types");
+    }
+  }
+
+  def->bases = d.binding.tables;
+  def->aliases = d.binding.aliases;
+  def->edges = d.edges;
+  const size_t nbases = def->bases.size();
+  def->local_preds.resize(nbases);
+  def->local_bound.resize(nbases);
+  for (const LocalPred& lp : d.locals) {
+    auto bound = sql::BindOverSchema(*lp.expr,
+                                     def->bases[lp.table]->schema(),
+                                     def->aliases[lp.table]);
+    if (!bound.ok()) return bound.status();
+    def->local_preds[lp.table].push_back(CloneExpr(*lp.expr));
+    def->local_bound[lp.table].push_back(std::move(bound).value());
+    def->local_pred_texts.push_back(lp.text);
+  }
+  std::sort(def->local_pred_texts.begin(), def->local_pred_texts.end());
+  for (size_t i = 0; i < nbases; ++i) {
+    def->join_orders.push_back(
+        JoinOrderFrom(static_cast<int>(i), nbases, def->edges));
+  }
+
+  // --- Select-list classification. ---
+  bool any_agg = false;
+  std::set<std::string> out_names;
+  for (const auto& item : sel.items) {
+    const sql::ParseExpr& e = *item.expr;
+    // Unaliased plain columns surface under their bare column name (SQL
+    // output-name semantics), so `SELECT t.a ...` is queryable as
+    // `SELECT a FROM view`; a qualified default like "t.a" would not be.
+    std::string out_name =
+        !item.alias.empty()                      ? item.alias
+        : e.kind == sql::ParseExpr::Kind::kIdent ? e.name
+                                                 : e.ToString();
+    if (out_name.rfind("__", 0) == 0) {
+      return Status::InvalidArgument("view column names may not start __");
+    }
+    if (!out_names.insert(out_name).second) {
+      return Status::InvalidArgument("duplicate view column: " + out_name);
+    }
+    ViewDef::ItemOut out;
+    out.name_out = out_name;
+    if (sql::ContainsAggregate(e)) {
+      AggFnInfo fi = AggFnFromCall(e);
+      if (!fi.ok) {
+        return Status::InvalidArgument(
+            "view aggregates must be bare COUNT/SUM/MIN/MAX/AVG calls: " +
+            e.ToString());
+      }
+      any_agg = true;
+      ViewDef::AggDef ad;
+      ad.fn = fi.fn;
+      if (fi.fn != AggSpec::Fn::kCountStar) {
+        const sql::ParseExpr& arg = *e.args[0];
+        if (arg.kind != sql::ParseExpr::Kind::kIdent ||
+            !d.binding.Resolve(arg.qualifier, arg.name, &ad.table,
+                               &ad.col)) {
+          return Status::InvalidArgument(
+              "view aggregate arguments must be plain columns: " +
+              e.ToString());
+        }
+        ValueType at = def->bases[ad.table]->schema().column(ad.col).type;
+        if ((fi.fn == AggSpec::Fn::kSum || fi.fn == AggSpec::Fn::kAvg) &&
+            at == ValueType::kString) {
+          return Status::InvalidArgument("SUM/AVG over string column");
+        }
+        switch (fi.fn) {
+          case AggSpec::Fn::kCount:
+            ad.out_type = ValueType::kInt64;
+            break;
+          case AggSpec::Fn::kAvg:
+            ad.out_type = ValueType::kDouble;
+            break;
+          default:
+            ad.out_type = at;
+        }
+        ad.sum_is_int =
+            fi.fn == AggSpec::Fn::kSum && at == ValueType::kInt64;
+        // MIN/MAX cannot un-fold a delete; double-typed sums would drift
+        // from a recompute (FP addition is order-sensitive). Both fall
+        // back to recomputing the affected group from the bases.
+        ad.recompute_on_delete =
+            fi.fn == AggSpec::Fn::kMin || fi.fn == AggSpec::Fn::kMax ||
+            ((fi.fn == AggSpec::Fn::kSum || fi.fn == AggSpec::Fn::kAvg) &&
+             at == ValueType::kDouble);
+        std::string canon;
+        if (!CanonText(e, d.binding, &canon)) {
+          return Status::InvalidArgument("unresolvable aggregate: " +
+                                         e.ToString());
+        }
+        ad.text = canon;
+      } else {
+        ad.out_type = ValueType::kInt64;
+        ad.text = "COUNT(*)";
+      }
+      ad.visible_idx = static_cast<int>(def->items.size());
+      out.is_agg = true;
+      out.agg_idx = static_cast<int>(def->aggs.size());
+      def->aggs.push_back(ad);
+    } else {
+      if (e.kind != sql::ParseExpr::Kind::kIdent ||
+          !d.binding.Resolve(e.qualifier, e.name, &out.table, &out.col)) {
+        return Status::InvalidArgument(
+            "view select items must be plain columns or aggregates: " +
+            e.ToString());
+      }
+    }
+    def->items.push_back(std::move(out));
+  }
+
+  def->is_aggregate = any_agg || !sel.group_by.empty();
+  std::vector<ColumnDef> cols;
+  std::vector<std::string> key_names;
+
+  if (def->is_aggregate) {
+    if (sel.group_by.empty()) {
+      return Status::InvalidArgument(
+          "aggregate views need at least one GROUP BY column");
+    }
+    // Mirror the planner's contract: non-aggregate select items and GROUP
+    // BY entries must correspond textually.
+    std::set<std::string> group_texts, item_texts;
+    for (const auto& g : sel.group_by) {
+      if (g->kind != sql::ParseExpr::Kind::kIdent) {
+        return Status::InvalidArgument("GROUP BY must list plain columns");
+      }
+      group_texts.insert(g->ToString());
+    }
+    for (size_t k = 0; k < def->items.size(); ++k) {
+      if (def->items[k].is_agg) continue;
+      item_texts.insert(sel.items[k].expr->ToString());
+    }
+    if (group_texts != item_texts) {
+      return Status::InvalidArgument(
+          "GROUP BY columns and non-aggregate select items must match");
+    }
+    for (size_t k = 0; k < def->items.size(); ++k) {
+      const ViewDef::ItemOut& it = def->items[k];
+      if (it.is_agg) {
+        cols.push_back({it.name_out, def->aggs[it.agg_idx].out_type, true});
+      } else {
+        const ColumnDef& src =
+            def->bases[it.table]->schema().column(it.col);
+        cols.push_back({it.name_out, src.type, src.nullable});
+        key_names.push_back(it.name_out);
+      }
+    }
+    def->rows_idx = static_cast<int>(cols.size());
+    cols.push_back({"__rows", ValueType::kInt64, false});
+    for (size_t j = 0; j < def->aggs.size(); ++j) {
+      ViewDef::AggDef& ad = def->aggs[j];
+      switch (ad.fn) {
+        case AggSpec::Fn::kCountStar:
+          ad.count_idx = def->rows_idx;
+          break;
+        case AggSpec::Fn::kCount:
+          ad.count_idx = ad.visible_idx;
+          break;
+        case AggSpec::Fn::kMin:
+        case AggSpec::Fn::kMax:
+          break;  // no hidden state; deletes recompute
+        case AggSpec::Fn::kSum:
+        case AggSpec::Fn::kAvg: {
+          ad.count_idx = static_cast<int>(cols.size());
+          cols.push_back(
+              {"__c" + std::to_string(j), ValueType::kInt64, false});
+          ad.sum_idx = static_cast<int>(cols.size());
+          cols.push_back({"__s" + std::to_string(j),
+                          ad.sum_is_int ? ValueType::kInt64
+                                        : ValueType::kDouble,
+                          false});
+          break;
+        }
+      }
+    }
+    // Build query = definition + hidden-state aggregates, in backing
+    // schema order.
+    def->build_query = CloneSelect(sel);
+    {
+      sql::SelectItem rows_item;
+      rows_item.expr = MakeAggCall("COUNT", nullptr);
+      rows_item.alias = "__rows";
+      def->build_query.items.push_back(std::move(rows_item));
+    }
+    for (size_t j = 0; j < def->aggs.size(); ++j) {
+      const ViewDef::AggDef& ad = def->aggs[j];
+      if (ad.fn != AggSpec::Fn::kSum && ad.fn != AggSpec::Fn::kAvg) {
+        continue;
+      }
+      const std::string& col_name =
+          def->bases[ad.table]->schema().column(ad.col).name;
+      sql::SelectItem c_item;
+      c_item.expr = MakeAggCall(
+          "COUNT", MakeIdent(def->aliases[ad.table], col_name));
+      c_item.alias = "__c" + std::to_string(j);
+      def->build_query.items.push_back(std::move(c_item));
+      sql::SelectItem s_item;
+      s_item.expr =
+          MakeAggCall("SUM", MakeIdent(def->aliases[ad.table], col_name));
+      s_item.alias = "__s" + std::to_string(j);
+      def->build_query.items.push_back(std::move(s_item));
+    }
+  } else {
+    // Join view: the backing key is the union of every base's primary key,
+    // which the select list must cover (it makes join rows unique).
+    for (size_t i = 0; i < nbases; ++i) {
+      const Schema& s = def->bases[i]->schema();
+      for (int pk : s.key_columns()) {
+        bool covered = false;
+        for (const auto& it : def->items) {
+          if (it.table == static_cast<int>(i) && it.col == pk) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          return Status::InvalidArgument(
+              "join view must select every base primary-key column "
+              "(missing " +
+              def->bases[i]->name() + "." + s.column(pk).name + ")");
+        }
+      }
+    }
+    for (const auto& it : def->items) {
+      const ColumnDef& src = def->bases[it.table]->schema().column(it.col);
+      cols.push_back({it.name_out, src.type, src.nullable});
+      const auto& pks = def->bases[it.table]->schema().key_columns();
+      if (std::find(pks.begin(), pks.end(), it.col) != pks.end()) {
+        key_names.push_back(it.name_out);
+      }
+    }
+    def->build_query = CloneSelect(sel);
+  }
+
+  std::vector<int> key_idx;
+  for (const std::string& kn : key_names) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i].name == kn) {
+        key_idx.push_back(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+  if (key_idx.empty()) {
+    return Status::InvalidArgument("view has no usable primary key");
+  }
+
+  OLTAP_RETURN_NOT_OK(catalog_->CreateTable(
+      def->name, Schema(std::move(cols), std::move(key_idx)),
+      TableFormat::kDual));
+  def->backing = catalog_->GetTable(def->name);
+
+  // Subscribe before the initial build: changes committed while the build
+  // scan runs land in the logs with ts > the build snapshot and are picked
+  // up by the first maintenance round.
+  for (Table* b : def->bases) b->EnsureChangeLog();
+
+  Status built = RefreshLocked(def.get());
+  if (!built.ok()) {
+    catalog_->DropTable(def->name);
+    return built;
+  }
+
+  {
+    std::unique_lock lock(mu_);
+    for (const auto& v : views_) {
+      if (v->name == def->name) {
+        lock.unlock();
+        catalog_->DropTable(def->name);
+        return Status::AlreadyExists("view exists: " + def->name);
+      }
+    }
+    views_.push_back(std::move(def));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Refresh (full rebuild)
+// ---------------------------------------------------------------------------
+
+Status ViewManager::RefreshLocked(ViewDef* v) {
+  MaintenanceScope scope;
+  auto txn = tm_->Begin();
+  const Timestamp snapshot = txn->begin_ts();
+  const Schema& bs = v->backing->schema();
+
+  Status st = [&]() -> Status {
+    std::vector<std::string> keys;
+    txn->Scan(v->backing,
+              [&](const Row& r) { keys.push_back(EncodeKey(bs, r)); });
+    for (std::string& k : keys) {
+      OLTAP_RETURN_NOT_OK(txn->DeleteByKey(v->backing, std::move(k)));
+    }
+    auto rows = RunQueryAt(v->build_query, *catalog_, snapshot);
+    if (!rows.ok()) return rows.status();
+    for (const Row& r : *rows) {
+      auto coerced = CoerceRow(r, bs);
+      if (!coerced.ok()) return coerced.status();
+      OLTAP_RETURN_NOT_OK(
+          txn->Insert(v->backing, std::move(coerced).value()));
+    }
+    return Status::OK();
+  }();
+  if (st.ok()) {
+    st = tm_->Commit(txn.get());
+  } else {
+    tm_->Abort(txn.get());
+  }
+  if (!st.ok()) return st;
+
+  v->applied_ts.store(snapshot, std::memory_order_release);
+  v->last_maintain_wall_us.store(SystemClock::Get()->NowMicros(),
+                                 std::memory_order_release);
+  TrimLogs(*v);
+  Rebuilds()->Add(1);
+  return Status::OK();
+}
+
+Status ViewManager::Refresh(const std::string& name) {
+  ViewDef* v = Find(name);
+  if (v == nullptr) return Status::NotFound("no such view: " + name);
+  std::lock_guard<std::mutex> lock(v->mu);
+  return RefreshLocked(v);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SignedRow {
+  int sign;  // +1 insert, -1 delete
+  Row flat;  // base rows concatenated in FROM order
+};
+
+// Expands the change set of one source base into signed full join rows:
+//   Δ(T1 ⋈ ... ⋈ Tn) = Σ_i T1^new..T_{i-1}^new ⋈ ΔT_i ⋈ T_{i+1}^old..Tn^old
+// Tables before the source read the post-window snapshot (ts_new), tables
+// after it read the pre-window snapshot (ts_old); processing sources in
+// ascending FROM order makes the final positive row of any key the true
+// post-state (used by the join-apply content-update path).
+void ExpandSource(const ViewDef& v, int src,
+                  const std::vector<ChangeLog::Change>& changes,
+                  Timestamp ts_old, Timestamp ts_new,
+                  const std::vector<size_t>& offsets,
+                  std::vector<SignedRow>* out) {
+  struct Partial {
+    int sign;
+    std::vector<Row> rows;  // indexed by base; bound slots filled
+  };
+  std::vector<Partial> partials;
+  partials.reserve(changes.size());
+  const size_t nbases = v.bases.size();
+  for (const ChangeLog::Change& c : changes) {
+    if (!PassesLocal(v, src, c.row)) continue;
+    Partial p;
+    p.sign = c.kind == ChangeLog::Kind::kInsert ? 1 : -1;
+    p.rows.resize(nbases);
+    p.rows[src] = c.row;
+    partials.push_back(std::move(p));
+  }
+
+  for (int j : v.join_orders[src]) {
+    if (partials.empty()) break;
+    const Timestamp ts_j = j < src ? ts_new : ts_old;
+    Table* tj = v.bases[j];
+    const Schema& sj = tj->schema();
+
+    // Edges from j to the already-bound set (join_orders guarantees >= 1;
+    // bound set = {src} ∪ prefix of join_orders[src]).
+    std::vector<int> jcols;
+    std::vector<std::pair<int, int>> others;
+    auto bound = [&](int t) {
+      if (t == src) return true;
+      for (int b : v.join_orders[src]) {
+        if (b == j) return false;
+        if (b == t) return true;
+      }
+      return false;
+    };
+    for (const ViewDef::Edge& e : v.edges) {
+      if (e.lt == j && bound(e.rt)) {
+        jcols.push_back(e.lc);
+        others.emplace_back(e.rt, e.rc);
+      } else if (e.rt == j && bound(e.lt)) {
+        jcols.push_back(e.rc);
+        others.emplace_back(e.lt, e.lc);
+      }
+    }
+
+    // Point-lookup path when the edge columns cover j's primary key.
+    bool point = sj.HasKey();
+    for (int pk : sj.key_columns()) {
+      if (std::find(jcols.begin(), jcols.end(), pk) == jcols.end()) {
+        point = false;
+        break;
+      }
+    }
+
+    std::vector<Partial> next;
+    if (point) {
+      for (Partial& p : partials) {
+        Row key_row(sj.num_columns());
+        bool null_probe = false;
+        for (size_t k = 0; k < jcols.size(); ++k) {
+          const Value& val = p.rows[others[k].first][others[k].second];
+          if (val.is_null()) {
+            null_probe = true;  // SQL equality: NULL joins nothing
+            break;
+          }
+          key_row[jcols[k]] = val;
+        }
+        if (null_probe) continue;
+        Row fetched;
+        if (!tj->Lookup(EncodeKey(sj, key_row), ts_j, &fetched)) continue;
+        bool ok = PassesLocal(v, j, fetched);
+        for (size_t k = 0; ok && k < jcols.size(); ++k) {
+          const Value& a = fetched[jcols[k]];
+          const Value& b = p.rows[others[k].first][others[k].second];
+          ok = !a.is_null() && a.Compare(b) == 0;
+        }
+        if (!ok) continue;
+        Partial np = p;
+        np.rows[j] = std::move(fetched);
+        next.push_back(std::move(np));
+      }
+    } else {
+      std::unordered_multimap<std::string, Row> ht;
+      tj->ScanVisible(ts_j, [&](const Row& r) {
+        if (!PassesLocal(v, j, r)) return;
+        for (int c : jcols) {
+          if (r[c].is_null()) return;
+        }
+        ht.emplace(EncodeKeyColumns(r, jcols), r);
+      });
+      for (Partial& p : partials) {
+        Row probe(sj.num_columns());
+        bool null_probe = false;
+        for (size_t k = 0; k < jcols.size(); ++k) {
+          const Value& val = p.rows[others[k].first][others[k].second];
+          if (val.is_null()) {
+            null_probe = true;
+            break;
+          }
+          probe[jcols[k]] = val;
+        }
+        if (null_probe) continue;
+        auto [lo, hi] = ht.equal_range(EncodeKeyColumns(probe, jcols));
+        for (auto it = lo; it != hi; ++it) {
+          Partial np = p;
+          np.rows[j] = it->second;
+          next.push_back(std::move(np));
+        }
+      }
+    }
+    partials = std::move(next);
+  }
+
+  for (Partial& p : partials) {
+    SignedRow sr;
+    sr.sign = p.sign;
+    sr.flat.resize(offsets.back());
+    for (size_t t = 0; t < nbases; ++t) {
+      for (size_t c = 0; c < p.rows[t].size(); ++c) {
+        sr.flat[offsets[t] + c] = std::move(p.rows[t][c]);
+      }
+    }
+    out->push_back(std::move(sr));
+  }
+}
+
+}  // namespace
+
+Status ViewManager::MaintainLocked(ViewDef* v) {
+  MaintenanceScope scope;
+  const int64_t start_us = SystemClock::Get()->NowMicros();
+  auto txn = tm_->Begin();
+  const Timestamp window_end = txn->begin_ts();
+  const Timestamp window_start = v->applied_ts.load(std::memory_order_acquire);
+  const size_t nbases = v->bases.size();
+
+  std::vector<std::vector<ChangeLog::Change>> changes(nbases);
+  size_t total = 0;
+  int64_t oldest_wall = 0;
+  for (size_t i = 0; i < nbases; ++i) {
+    if (ChangeLog* log = v->bases[i]->change_log()) {
+      log->Collect(window_start, window_end, &changes[i]);
+      total += changes[i].size();
+      for (const auto& c : changes[i]) {
+        if (oldest_wall == 0 || c.wall_us < oldest_wall) {
+          oldest_wall = c.wall_us;
+        }
+      }
+    }
+  }
+  if (total == 0) {
+    // Nothing to fold, but advancing the cursor matters: it is the GC
+    // horizon pre-state reads pin, and it lets the logs trim.
+    tm_->Abort(txn.get());
+    v->applied_ts.store(window_end, std::memory_order_release);
+    TrimLogs(*v);
+    return Status::OK();
+  }
+
+  // Signed full join rows, sources in ascending FROM order.
+  std::vector<size_t> offsets(nbases + 1, 0);
+  for (size_t i = 0; i < nbases; ++i) {
+    offsets[i + 1] = offsets[i] + v->bases[i]->schema().num_columns();
+  }
+  std::vector<SignedRow> delta;
+  for (size_t i = 0; i < nbases; ++i) {
+    if (!changes[i].empty()) {
+      ExpandSource(*v, static_cast<int>(i), changes[i], window_start,
+                   window_end, offsets, &delta);
+    }
+  }
+
+  const Schema& bs = v->backing->schema();
+  Status st = [&]() -> Status {
+    if (!v->is_aggregate) {
+      // --- Join view: accumulate net multiplicity per backing key. ---
+      struct JoinAcc {
+        int net = 0;
+        bool has_pos = false;
+        Row pos;
+      };
+      std::map<std::string, JoinAcc> accs;
+      for (SignedRow& sr : delta) {
+        Row brow(bs.num_columns());
+        for (size_t k = 0; k < v->items.size(); ++k) {
+          const ViewDef::ItemOut& it = v->items[k];
+          brow[k] = sr.flat[offsets[it.table] + it.col];
+        }
+        JoinAcc& a = accs[EncodeKey(bs, brow)];
+        a.net += sr.sign;
+        if (sr.sign > 0) {
+          a.has_pos = true;
+          a.pos = std::move(brow);
+        }
+      }
+      for (auto& [key, a] : accs) {
+        Row old;
+        const bool exists = txn->Get(v->backing, key, &old);
+        if (a.net > 0) {
+          OLTAP_RETURN_NOT_OK(exists
+                                  ? txn->Update(v->backing, std::move(a.pos))
+                                  : txn->Insert(v->backing,
+                                                std::move(a.pos)));
+        } else if (a.net < 0) {
+          if (exists) OLTAP_RETURN_NOT_OK(txn->DeleteByKey(v->backing, key));
+        } else if (a.has_pos && exists && !RowsEqual(old, a.pos)) {
+          // Same key survived the window but its content changed (update
+          // of a non-key column).
+          OLTAP_RETURN_NOT_OK(txn->Update(v->backing, std::move(a.pos)));
+        }
+      }
+      return Status::OK();
+    }
+
+    // --- Aggregate view: accumulate per-group deltas. ---
+    std::vector<size_t> group_items;  // indices into items (== backing col)
+    for (size_t k = 0; k < v->items.size(); ++k) {
+      if (!v->items[k].is_agg) group_items.push_back(k);
+    }
+    struct AggAcc {
+      Row group_vals;
+      int64_t net_rows = 0;
+      bool any_delete = false;
+      struct PerAgg {
+        int64_t cnt = 0;
+        int64_t isum = 0;
+        double dsum = 0;
+        bool best_any = false;
+        Value best;
+      };
+      std::vector<PerAgg> per;
+    };
+    std::map<std::string, AggAcc> groups;
+    for (const SignedRow& sr : delta) {
+      Row gvals;
+      gvals.reserve(group_items.size());
+      for (size_t gi : group_items) {
+        const ViewDef::ItemOut& it = v->items[gi];
+        gvals.push_back(sr.flat[offsets[it.table] + it.col]);
+      }
+      AggAcc& g = groups[HashKeyOf(gvals)];
+      if (g.per.empty()) {
+        g.group_vals = std::move(gvals);
+        g.per.resize(v->aggs.size());
+      }
+      g.net_rows += sr.sign;
+      if (sr.sign < 0) g.any_delete = true;
+      for (size_t j = 0; j < v->aggs.size(); ++j) {
+        const ViewDef::AggDef& ad = v->aggs[j];
+        if (ad.fn == AggSpec::Fn::kCountStar) continue;
+        const Value& arg = sr.flat[offsets[ad.table] + ad.col];
+        if (arg.is_null()) continue;
+        AggAcc::PerAgg& pa = g.per[j];
+        pa.cnt += sr.sign;
+        pa.isum += sr.sign * arg.AsInt64();
+        pa.dsum += sr.sign * arg.AsDouble();
+        if (sr.sign > 0 &&
+            (ad.fn == AggSpec::Fn::kMin || ad.fn == AggSpec::Fn::kMax)) {
+          if (!pa.best_any) {
+            pa.best_any = true;
+            pa.best = arg;
+          } else if (ad.fn == AggSpec::Fn::kMin ? arg.Compare(pa.best) < 0
+                                                : arg.Compare(pa.best) > 0) {
+            pa.best = arg;
+          }
+        }
+      }
+    }
+
+    bool any_fragile = false;
+    for (const auto& ad : v->aggs) any_fragile |= ad.recompute_on_delete;
+
+    for (auto& [hk, g] : groups) {
+      Row probe(bs.num_columns());
+      for (size_t k = 0; k < group_items.size(); ++k) {
+        probe[group_items[k]] = g.group_vals[k];
+      }
+      const std::string key = EncodeKey(bs, probe);
+      Row old;
+      const bool exists = txn->Get(v->backing, key, &old);
+
+      if (g.any_delete && any_fragile) {
+        // Recompute this group from the bases at the window-end snapshot:
+        // the build query filtered to the group's key values goes through
+        // the same planner/aggregation path as a full rebuild, so the
+        // resulting row is cell-identical to what REFRESH would store.
+        sql::SelectStmt q = CloneSelect(v->build_query);
+        for (size_t k = 0; k < group_items.size(); ++k) {
+          const ViewDef::ItemOut& it = v->items[group_items[k]];
+          auto id = MakeIdent(
+              v->aliases[it.table],
+              v->bases[it.table]->schema().column(it.col).name);
+          sql::ParseExprPtr pred =
+              g.group_vals[k].is_null()
+                  ? MakeIsNull(std::move(id))
+                  : MakeEq(std::move(id), LiteralOf(g.group_vals[k]));
+          q.where = q.where ? MakeAnd(std::move(q.where), std::move(pred))
+                            : std::move(pred);
+        }
+        auto rows = RunQueryAt(q, *catalog_, window_end);
+        if (!rows.ok()) return rows.status();
+        GroupRecomputes()->Add(1);
+        if (rows->empty()) {
+          if (exists) {
+            OLTAP_RETURN_NOT_OK(txn->DeleteByKey(v->backing, key));
+          }
+        } else if (rows->size() == 1) {
+          auto coerced = CoerceRow((*rows)[0], bs);
+          if (!coerced.ok()) return coerced.status();
+          OLTAP_RETURN_NOT_OK(
+              exists ? txn->Update(v->backing, std::move(coerced).value())
+                     : txn->Insert(v->backing, std::move(coerced).value()));
+        } else {
+          return Status::Internal("group recompute returned >1 row");
+        }
+        continue;
+      }
+
+      const int64_t old_rows = exists ? old[v->rows_idx].AsInt64() : 0;
+      const int64_t new_rows = old_rows + g.net_rows;
+      if (new_rows <= 0) {
+        if (exists) OLTAP_RETURN_NOT_OK(txn->DeleteByKey(v->backing, key));
+        continue;
+      }
+      Row nrow = exists ? std::move(old) : std::move(probe);
+      nrow[v->rows_idx] = Value::Int64(new_rows);
+      for (size_t j = 0; j < v->aggs.size(); ++j) {
+        const ViewDef::AggDef& ad = v->aggs[j];
+        const AggAcc::PerAgg& pa = g.per[j];
+        switch (ad.fn) {
+          case AggSpec::Fn::kCountStar:
+            nrow[ad.visible_idx] = Value::Int64(new_rows);
+            break;
+          case AggSpec::Fn::kCount: {
+            const int64_t old_c =
+                exists ? nrow[ad.visible_idx].AsInt64() : 0;
+            nrow[ad.visible_idx] = Value::Int64(old_c + pa.cnt);
+            break;
+          }
+          case AggSpec::Fn::kSum: {
+            const int64_t old_c = exists ? nrow[ad.count_idx].AsInt64() : 0;
+            const int64_t new_c = old_c + pa.cnt;
+            nrow[ad.count_idx] = Value::Int64(new_c);
+            if (ad.sum_is_int) {
+              const int64_t new_s =
+                  (exists ? nrow[ad.sum_idx].AsInt64() : 0) + pa.isum;
+              nrow[ad.sum_idx] = Value::Int64(new_s);
+              nrow[ad.visible_idx] = new_c > 0
+                                         ? Value::Int64(new_s)
+                                         : Value::Null(ValueType::kInt64);
+            } else {
+              const double new_s =
+                  (exists ? nrow[ad.sum_idx].AsDouble() : 0) + pa.dsum;
+              nrow[ad.sum_idx] = Value::Double(new_s);
+              nrow[ad.visible_idx] = new_c > 0
+                                         ? Value::Double(new_s)
+                                         : Value::Null(ValueType::kDouble);
+            }
+            break;
+          }
+          case AggSpec::Fn::kAvg: {
+            const int64_t old_c = exists ? nrow[ad.count_idx].AsInt64() : 0;
+            const int64_t new_c = old_c + pa.cnt;
+            const double new_s =
+                (exists ? nrow[ad.sum_idx].AsDouble() : 0) + pa.dsum;
+            nrow[ad.count_idx] = Value::Int64(new_c);
+            nrow[ad.sum_idx] = Value::Double(new_s);
+            nrow[ad.visible_idx] =
+                new_c > 0 ? Value::Double(new_s / static_cast<double>(new_c))
+                          : Value::Null(ValueType::kDouble);
+            break;
+          }
+          case AggSpec::Fn::kMin:
+          case AggSpec::Fn::kMax: {
+            // Insert-only on this path (a delete would have forced the
+            // recompute branch above).
+            Value cur = exists ? nrow[ad.visible_idx]
+                               : Value::Null(ad.out_type);
+            if (pa.best_any) {
+              if (cur.is_null()) {
+                cur = pa.best;
+              } else if (ad.fn == AggSpec::Fn::kMin
+                             ? pa.best.Compare(cur) < 0
+                             : pa.best.Compare(cur) > 0) {
+                cur = pa.best;
+              }
+            }
+            nrow[ad.visible_idx] = cur;
+            break;
+          }
+        }
+      }
+      OLTAP_RETURN_NOT_OK(exists ? txn->Update(v->backing, std::move(nrow))
+                                 : txn->Insert(v->backing, std::move(nrow)));
+    }
+    return Status::OK();
+  }();
+
+  if (st.ok()) {
+    st = tm_->Commit(txn.get());
+  } else {
+    tm_->Abort(txn.get());
+  }
+  if (!st.ok()) return st;  // cursor unchanged: next round replays window
+
+  v->applied_ts.store(window_end, std::memory_order_release);
+  const int64_t now_us = SystemClock::Get()->NowMicros();
+  v->last_maintain_wall_us.store(now_us, std::memory_order_release);
+  TrimLogs(*v);
+  MaintainRuns()->Add(1);
+  ChangesApplied()->Add(total);
+  MaintainNs()->Record(
+      static_cast<uint64_t>((now_us - start_us) * 1000));
+  if (oldest_wall > 0 && now_us > oldest_wall) {
+    FreshnessLagUs()->Record(static_cast<uint64_t>(now_us - oldest_wall));
+  }
+  return Status::OK();
+}
+
+Status ViewManager::Maintain(const std::string& name) {
+  ViewDef* v = Find(name);
+  if (v == nullptr) return Status::NotFound("no such view: " + name);
+  std::lock_guard<std::mutex> lock(v->mu);
+  return MaintainLocked(v);
+}
+
+size_t ViewManager::MaintainAll() {
+  std::vector<ViewDef*> all;
+  {
+    std::shared_lock lock(mu_);
+    all.reserve(views_.size());
+    for (const auto& v : views_) all.push_back(v.get());
+  }
+  size_t applied = 0;
+  for (ViewDef* v : all) {
+    const Timestamp cursor = v->applied_ts.load(std::memory_order_acquire);
+    bool pending = false;
+    for (Table* b : v->bases) {
+      ChangeLog* log = b->change_log();
+      if (log != nullptr && log->PendingSince(cursor) > 0) {
+        pending = true;
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(v->mu);
+    Status st = MaintainLocked(v);
+    if (!st.ok()) {
+      OLTAP_LOG(Warning) << "view maintenance failed for " << v->name << ": "
+                         << st.ToString();
+    } else if (pending) {
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+void ViewManager::OnCommit(const std::vector<Table*>& tables, Timestamp) {
+  if (t_in_maintenance) return;
+  std::vector<ViewDef*> targets;
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& v : views_) {
+      if (!v->sync) continue;
+      for (Table* b : v->bases) {
+        if (std::find(tables.begin(), tables.end(), b) != tables.end()) {
+          targets.push_back(v.get());
+          break;
+        }
+      }
+    }
+  }
+  // Registry lock released before taking any per-view mutex (lock-order
+  // rule: v->mu is always acquired lock-free of mu_).
+  for (ViewDef* v : targets) {
+    std::lock_guard<std::mutex> lock(v->mu);
+    Status st = MaintainLocked(v);
+    if (!st.ok()) {
+      // The client commit is already acknowledged; the cursor did not
+      // advance, so the next maintenance round replays this window.
+      OLTAP_LOG(Warning) << "sync view maintenance failed for " << v->name
+                         << ": " << st.ToString();
+    }
+  }
+}
+
+Status ViewManager::RebuildAllAfterRecovery() {
+  std::vector<ViewDef*> all;
+  {
+    std::shared_lock lock(mu_);
+    for (const auto& v : views_) all.push_back(v.get());
+  }
+  Status first;
+  for (ViewDef* v : all) {
+    std::lock_guard<std::mutex> lock(v->mu);
+    Status st = RefreshLocked(v);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+void ViewManager::TrimLogs(const ViewDef& v) const {
+  std::shared_lock lock(mu_);
+  for (Table* base : v.bases) {
+    ChangeLog* log = base->change_log();
+    if (log == nullptr) continue;
+    Timestamp min_cursor = kMaxTimestamp;
+    for (const auto& other : views_) {
+      if (std::find(other->bases.begin(), other->bases.end(), base) ==
+          other->bases.end()) {
+        continue;
+      }
+      min_cursor = std::min(
+          min_cursor, other->applied_ts.load(std::memory_order_acquire));
+    }
+    // During CREATE the view is not registered yet; its own cursor bounds
+    // the trim.
+    min_cursor =
+        std::min(min_cursor, v.applied_ts.load(std::memory_order_acquire));
+    log->TrimThrough(min_cursor);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+ViewDef* ViewManager::Find(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  for (const auto& v : views_) {
+    if (v->name == name) return v.get();
+  }
+  return nullptr;
+}
+
+bool ViewManager::IsView(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::vector<std::string> ViewManager::ViewNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& v : views_) names.push_back(v->name);
+  return names;
+}
+
+size_t ViewManager::num_views() const {
+  std::shared_lock lock(mu_);
+  return views_.size();
+}
+
+Timestamp ViewManager::GcHorizon() const {
+  std::shared_lock lock(mu_);
+  Timestamp horizon = kMaxTimestamp;
+  for (const auto& v : views_) {
+    horizon =
+        std::min(horizon, v->applied_ts.load(std::memory_order_acquire));
+  }
+  return horizon;
+}
+
+int64_t ViewManager::StalenessMicros(const std::string& name,
+                                     int64_t now_us) const {
+  ViewDef* v = Find(name);
+  if (v == nullptr) return 0;
+  const Timestamp cursor = v->applied_ts.load(std::memory_order_acquire);
+  int64_t lag = 0;
+  for (Table* b : v->bases) {
+    if (ChangeLog* log = b->change_log()) {
+      lag = std::max(lag, log->OldestPendingMicrosSince(cursor, now_us));
+    }
+  }
+  return lag;
+}
+
+void ViewManager::AppendStatsRows(std::vector<Row>* rows) const {
+  const int64_t now_us = SystemClock::Get()->NowMicros();
+  std::shared_lock lock(mu_);
+  for (const auto& v : views_) {
+    const Timestamp cursor = v->applied_ts.load(std::memory_order_acquire);
+    int64_t pending = 0;
+    int64_t lag = 0;
+    for (Table* b : v->bases) {
+      if (ChangeLog* log = b->change_log()) {
+        pending += static_cast<int64_t>(log->PendingSince(cursor));
+        lag = std::max(lag, log->OldestPendingMicrosSince(cursor, now_us));
+      }
+    }
+    rows->push_back(
+        Row{Value::String("view." + v->name + ".rows"),
+            Value::Int64(static_cast<int64_t>(
+                v->backing->ApproxRowCount()))});
+    rows->push_back(Row{Value::String("view." + v->name + ".pending"),
+                        Value::Int64(pending)});
+    rows->push_back(Row{Value::String("view." + v->name + ".staleness_us"),
+                        Value::Int64(lag)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct QueryItem {
+  bool is_agg = false;
+  int t = -1, c = -1;          // non-agg ident
+  AggSpec::Fn fn = AggSpec::Fn::kCountStar;
+  int at = -1, ac = -1;        // agg argument (-1,-1 for COUNT(*))
+};
+
+// Rewrites an expression over the base tables into one over the view's
+// backing table: identifiers become the mapped output column, everything
+// else clones through. Returns null on any unmappable identifier.
+sql::ParseExprPtr RewriteOverView(
+    const sql::ParseExpr& e, const Binding& b,
+    const std::map<std::pair<int, int>, std::string>& col_map) {
+  if (e.kind == sql::ParseExpr::Kind::kIdent) {
+    int t, c;
+    if (!b.Resolve(e.qualifier, e.name, &t, &c)) return nullptr;
+    auto it = col_map.find({t, c});
+    if (it == col_map.end()) return nullptr;
+    return MakeIdent("", it->second);
+  }
+  auto out = std::make_unique<sql::ParseExpr>();
+  out->kind = e.kind;
+  out->qualifier = e.qualifier;
+  out->name = e.name;
+  out->int_val = e.int_val;
+  out->double_val = e.double_val;
+  out->str_val = e.str_val;
+  out->op = e.op;
+  for (const auto& a : e.args) {
+    auto ra = RewriteOverView(*a, b, col_map);
+    if (ra == nullptr) return nullptr;
+    out->args.push_back(std::move(ra));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<ViewManager::Route> ViewManager::TryRoute(
+    const sql::SelectStmt& stmt, int64_t max_staleness_us) const {
+  if (stmt.distinct || stmt.having) return std::nullopt;
+  if (num_views() == 0) return std::nullopt;
+  obs::MetricsRegistry::Default()
+      ->GetCounter("view.route_considered")
+      ->Add(1);
+
+  Decomposed d;
+  if (!Decompose(stmt, *catalog_,
+                 [this](const std::string& n) { return IsView(n); }, &d)
+           .ok()) {
+    return std::nullopt;
+  }
+
+  // Classify the query's select list and GROUP BY.
+  std::vector<QueryItem> qitems;
+  bool q_agg = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    const sql::ParseExpr& e = *item.expr;
+    QueryItem qi;
+    if (sql::ContainsAggregate(e)) {
+      AggFnInfo fi = AggFnFromCall(e);
+      if (!fi.ok) return std::nullopt;
+      qi.is_agg = true;
+      qi.fn = fi.fn;
+      if (fi.fn != AggSpec::Fn::kCountStar) {
+        const sql::ParseExpr& arg = *e.args[0];
+        if (arg.kind != sql::ParseExpr::Kind::kIdent ||
+            !d.binding.Resolve(arg.qualifier, arg.name, &qi.at, &qi.ac)) {
+          return std::nullopt;
+        }
+      }
+      q_agg = true;
+    } else {
+      if (e.kind != sql::ParseExpr::Kind::kIdent ||
+          !d.binding.Resolve(e.qualifier, e.name, &qi.t, &qi.c)) {
+        return std::nullopt;
+      }
+    }
+    qitems.push_back(qi);
+  }
+  std::set<std::pair<int, int>> q_groups;
+  for (const auto& g : stmt.group_by) {
+    int t, c;
+    if (g->kind != sql::ParseExpr::Kind::kIdent ||
+        !d.binding.Resolve(g->qualifier, g->name, &t, &c)) {
+      return std::nullopt;
+    }
+    q_groups.insert({t, c});
+  }
+
+  // ORDER BY must resolve against the (preserved) output names; exprs are
+  // cloned unchanged so the rewritten plan resolves them the same way.
+  std::set<std::string> out_names;
+  for (const auto& item : stmt.items) {
+    out_names.insert(item.alias.empty() ? item.expr->ToString()
+                                        : item.alias);
+  }
+  for (const auto& o : stmt.order_by) {
+    if (!out_names.count(o.expr->ToString())) return std::nullopt;
+  }
+
+  std::set<std::string> q_base_names;
+  for (Table* t : d.binding.tables) q_base_names.insert(t->name());
+  std::vector<std::string> q_edge_texts = d.edge_texts;
+  std::sort(q_edge_texts.begin(), q_edge_texts.end());
+
+  const int64_t now_us = SystemClock::Get()->NowMicros();
+
+  std::shared_lock lock(mu_);
+  for (const auto& vp : views_) {
+    const ViewDef& v = *vp;
+    // 1. Same base set.
+    if (v.bases.size() != d.binding.tables.size()) continue;
+    std::set<std::string> v_base_names;
+    for (Table* t : v.bases) v_base_names.insert(t->name());
+    if (v_base_names != q_base_names) continue;
+    // Map the query's FROM index to the view's FROM index by table name
+    // (base sets are equal and duplicate-free).
+    std::vector<int> q2v(d.binding.tables.size());
+    for (size_t i = 0; i < d.binding.tables.size(); ++i) {
+      int vi = -1;
+      for (size_t k = 0; k < v.bases.size(); ++k) {
+        if (v.bases[k] == d.binding.tables[i]) vi = static_cast<int>(k);
+      }
+      q2v[i] = vi;
+    }
+    // 2. Same join-edge set (canonical texts are FROM-order independent).
+    std::vector<std::string> v_edge_texts;
+    {
+      Binding vb;
+      vb.tables = v.bases;
+      for (const auto& e : v.edges) v_edge_texts.push_back(EdgeText(vb, e));
+    }
+    std::sort(v_edge_texts.begin(), v_edge_texts.end());
+    if (v_edge_texts != q_edge_texts) continue;
+    // 3. The view's local predicates must all appear in the query
+    //    (subsumption); leftovers become residual filters over the view.
+    std::multiset<std::string> q_local_texts;
+    for (const auto& lp : d.locals) q_local_texts.insert(lp.text);
+    bool subsumed = true;
+    for (const auto& vt : v.local_pred_texts) {
+      auto it = q_local_texts.find(vt);
+      if (it == q_local_texts.end()) {
+        subsumed = false;
+        break;
+      }
+      q_local_texts.erase(it);
+    }
+    if (!subsumed) continue;
+    std::vector<const sql::ParseExpr*> extras;
+    {
+      std::multiset<std::string> remaining = q_local_texts;
+      for (const auto& lp : d.locals) {
+        auto it = remaining.find(lp.text);
+        if (it != remaining.end()) {
+          extras.push_back(lp.expr);
+          remaining.erase(it);
+        }
+      }
+    }
+
+    // (t,c) in query FROM indexing -> view output column name.
+    std::map<std::pair<int, int>, std::string> col_map;
+    std::map<std::pair<int, int>, const ViewDef::ItemOut*> group_of;
+    for (const auto& it : v.items) {
+      if (it.is_agg) continue;
+      for (size_t qi = 0; qi < q2v.size(); ++qi) {
+        if (q2v[qi] == it.table) {
+          col_map[{static_cast<int>(qi), it.col}] = it.name_out;
+          group_of[{static_cast<int>(qi), it.col}] = &it;
+        }
+      }
+    }
+
+    sql::SelectStmt rewritten;
+    bool match = true;
+
+    if (!v.is_aggregate) {
+      // Cases A and B: join view; any query (plain or aggregate) whose
+      // referenced columns live in the view's select list rewrites 1:1 —
+      // view rows are exactly the join rows.
+      for (size_t k = 0; k < stmt.items.size(); ++k) {
+        auto re = RewriteOverView(*stmt.items[k].expr, d.binding, col_map);
+        if (re == nullptr) {
+          match = false;
+          break;
+        }
+        sql::SelectItem item;
+        item.expr = std::move(re);
+        item.alias = stmt.items[k].alias.empty()
+                         ? stmt.items[k].expr->ToString()
+                         : stmt.items[k].alias;
+        rewritten.items.push_back(std::move(item));
+      }
+      if (match) {
+        for (const auto& g : stmt.group_by) {
+          auto rg = RewriteOverView(*g, d.binding, col_map);
+          if (rg == nullptr) {
+            match = false;
+            break;
+          }
+          rewritten.group_by.push_back(std::move(rg));
+        }
+      }
+    } else {
+      // Case C: aggregate view; query must aggregate at the same grain.
+      if (!q_agg) continue;
+      std::set<std::pair<int, int>> v_groups;
+      for (const auto& it : v.items) {
+        if (it.is_agg) continue;
+        for (size_t qi = 0; qi < q2v.size(); ++qi) {
+          if (q2v[qi] == it.table) {
+            v_groups.insert({static_cast<int>(qi), it.col});
+          }
+        }
+      }
+      if (v_groups != q_groups) continue;
+      for (size_t k = 0; k < stmt.items.size(); ++k) {
+        const QueryItem& qi = qitems[k];
+        sql::SelectItem item;
+        item.alias = stmt.items[k].alias.empty()
+                         ? stmt.items[k].expr->ToString()
+                         : stmt.items[k].alias;
+        if (qi.is_agg) {
+          const ViewDef::AggDef* found = nullptr;
+          for (const auto& ad : v.aggs) {
+            if (ad.fn != qi.fn) continue;
+            if (ad.fn == AggSpec::Fn::kCountStar) {
+              found = &ad;
+              break;
+            }
+            if (qi.at >= 0 && q2v[qi.at] == ad.table && qi.ac == ad.col) {
+              found = &ad;
+              break;
+            }
+          }
+          if (found == nullptr) {
+            match = false;
+            break;
+          }
+          item.expr = MakeIdent("", v.items[found->visible_idx].name_out);
+        } else {
+          auto re =
+              RewriteOverView(*stmt.items[k].expr, d.binding, col_map);
+          if (re == nullptr) {
+            match = false;
+            break;
+          }
+          item.expr = std::move(re);
+        }
+        rewritten.items.push_back(std::move(item));
+      }
+      // group_by dropped: the backing table already holds one row per
+      // group. Residual filters may only touch group columns (a filter on
+      // a group column commutes with the aggregation).
+    }
+    if (!match) continue;
+
+    sql::ParseExprPtr where;
+    for (const sql::ParseExpr* ex : extras) {
+      auto re = RewriteOverView(*ex, d.binding, col_map);
+      if (re == nullptr) {
+        match = false;
+        break;
+      }
+      where = where ? MakeAnd(std::move(where), std::move(re))
+                    : std::move(re);
+    }
+    if (!match) continue;
+
+    // 4. Staleness gate: tightest of the session knob and the view's own
+    //    bound.
+    int64_t lag = 0;
+    {
+      const Timestamp cursor = v.applied_ts.load(std::memory_order_acquire);
+      for (Table* b : v.bases) {
+        if (ChangeLog* log = b->change_log()) {
+          lag =
+              std::max(lag, log->OldestPendingMicrosSince(cursor, now_us));
+        }
+      }
+    }
+    int64_t bound = -1;
+    if (max_staleness_us >= 0) bound = max_staleness_us;
+    if (v.max_staleness_us >= 0) {
+      bound = bound < 0 ? v.max_staleness_us
+                        : std::min(bound, v.max_staleness_us);
+    }
+    if (bound >= 0 && lag > bound) continue;
+
+    sql::TableRef ref;
+    ref.name = v.name;
+    rewritten.tables.push_back(std::move(ref));
+    rewritten.where = std::move(where);
+    for (const auto& o : stmt.order_by) {
+      sql::OrderItem oi;
+      oi.expr = CloneExpr(*o.expr);
+      oi.descending = o.descending;
+      rewritten.order_by.push_back(std::move(oi));
+    }
+    rewritten.limit = stmt.limit;
+
+    Route route;
+    route.view = v.name;
+    route.staleness_us = lag;
+    route.rewritten = std::move(rewritten);
+    return route;
+  }
+  return std::nullopt;
+}
+
+}  // namespace view
+}  // namespace oltap

@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "sched/merge_daemon.h"
 #include "storage/column_store.h"
+#include "storage/freshness.h"
 #include "txn/log_writer.h"
 #include "txn/wal.h"
 
@@ -128,9 +129,13 @@ DriverReport ConcurrentDriver::Run() {
     MergeDaemon::Options mopts;
     mopts.delta_row_threshold = options_.merge_delta_threshold;
     mopts.interval_ms = options_.merge_interval_ms;
-    mopts.autostart = true;
+    mopts.autostart = false;
     merger = std::make_unique<MergeDaemon>(bench_->db()->catalog(),
                                            bench_->db()->txn_manager(), mopts);
+    // Ticks also maintain DEFERRED materialized views and respect the
+    // view GC horizon.
+    merger->set_view_manager(bench_->db()->view_manager());
+    merger->Start();
   }
 
   const int64_t duration_us = options_.duration_ms * 1000;
@@ -280,13 +285,8 @@ DriverReport ConcurrentDriver::Run() {
   // Freshness lag at run end: oldest unmerged delta across the TPC-C
   // tables (same quantity merge_daemon / SHOW STATS publish).
   int64_t now_us = SystemClock::Get()->NowMicros();
-  for (Table* table : bench_->db()->catalog()->AllTables()) {
-    if (!table->Mergeable()) continue;
-    ColumnTable* ct = table->column_table();
-    if (ct == nullptr) continue;
-    report.freshness_lag_us =
-        std::max(report.freshness_lag_us, ct->DeltaAgeMicros(now_us));
-  }
+  report.freshness_lag_us =
+      ProbeFreshness(*bench_->db()->catalog(), now_us).max_lag_us;
   return report;
 }
 
