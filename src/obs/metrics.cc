@@ -98,19 +98,22 @@ void RegisterCoreMetrics(MetricsRegistry* r) {
         "opt.plan_invalidations", "opt.feedback_replans", "opt.path_row",
         "opt.path_column", "view.maintain_runs", "view.changes_applied",
         "view.rebuilds", "view.group_recomputes", "view.routed",
-        "view.route_considered"}) {
+        "view.route_considered", "ckpt.written", "ckpt.failed",
+        "ckpt.fallbacks", "wal.truncated_bytes"}) {
     r->GetCounter(name);
   }
   for (const char* name :
        {"wm.queue_depth.oltp", "wm.queue_depth.olap", "storage.delta_rows",
-        "storage.freshness_lag_us", "dist.breaker_open", "wal.sealed"}) {
+        "storage.freshness_lag_us", "dist.breaker_open", "wal.sealed",
+        "wal.segments", "wal.retained_bytes", "ckpt.age_us",
+        "ckpt.last_ts"}) {
     r->GetGauge(name);
   }
   for (const char* name :
        {"wal.append_ns", "wal.fsync_ns", "wal.batch_size",
         "wal.group_wait_us", "txn.commit_ns",
         "wm.latency_us.oltp", "wm.latency_us.olap", "opt.qerror_x100",
-        "view.maintain_ns", "view.freshness_lag_us"}) {
+        "view.maintain_ns", "view.freshness_lag_us", "ckpt.duration_us"}) {
     r->GetHistogram(name);
   }
 }

@@ -133,6 +133,7 @@ struct Statement {
     kShowStats,  // SHOW STATS: engine metrics snapshot, no table access
     kAnalyze,    // ANALYZE: collect optimizer statistics
     kSet,        // SET <knob> = <value>
+    kCheckpoint,  // CHECKPOINT: synchronous checkpoint round
   };
   Kind kind = Kind::kSelect;
   bool explain = false;  // EXPLAIN SELECT ...: plan only, no execution

@@ -68,6 +68,16 @@ class Parser {
       }
       return stmt;
     }
+    if (Peek().IsKeyword("CHECKPOINT")) {
+      // CHECKPOINT: run one synchronous checkpoint round now.
+      Advance();
+      stmt.kind = Statement::Kind::kCheckpoint;
+      if (Peek().IsSymbol(";")) Advance();
+      if (Peek().kind != Token::Kind::kEnd) {
+        return Err("unexpected trailing input");
+      }
+      return stmt;
+    }
     if (Peek().IsKeyword("SET")) {
       Advance();
       stmt.kind = Statement::Kind::kSet;

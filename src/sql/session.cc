@@ -89,6 +89,10 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     OLTAP_RETURN_NOT_OK(views_.Refresh(stmt.refresh_view->name));
     return QueryResult{};
   }
+  if (stmt.kind == sql::Statement::Kind::kCheckpoint) {
+    // Non-transactional: the checkpoint pins its own snapshot.
+    return RunCheckpoint();
+  }
   std::unique_ptr<Transaction> txn = txn_.Begin();
   auto result = RunStatement(txn.get(), stmt);
   if (!result.ok()) {
@@ -132,6 +136,8 @@ Result<QueryResult> Database::RunStatement(Transaction* txn,
       return RunAnalyze(txn, *s.analyze_stmt);
     case sql::Statement::Kind::kSet:
       return RunSet(*s.set);
+    case sql::Statement::Kind::kCheckpoint:
+      return Status::FailedPrecondition("CHECKPOINT is not transactional");
   }
   return Status::Internal("unhandled statement");
 }
@@ -338,7 +344,81 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& s) {
     set_max_staleness_us(us);
     return result;
   }
+  if (s.name == "checkpoint_interval_us") {
+    // 0 or off stops the background daemon; > 0 (re)starts it with the
+    // new time trigger.
+    if (s.value == "off" || s.value == "0") {
+      if (CheckpointDaemon* d = checkpointer()) {
+        d->set_interval_us(0);
+        d->Stop();
+      }
+      return result;
+    }
+    char* end = nullptr;
+    long long us = std::strtoll(s.value.c_str(), &end, 10);
+    if (end == s.value.c_str() || *end != '\0' || us <= 0) {
+      return Status::InvalidArgument(
+          "SET checkpoint_interval_us expects microseconds or off, got: " +
+          s.value);
+    }
+    CheckpointDaemon* d = EnsureCheckpointer();
+    d->set_interval_us(us);
+    d->Start();
+    return result;
+  }
+  if (s.name == "wal_segment_bytes") {
+    if (wal() == nullptr) {
+      return Status::FailedPrecondition(
+          "SET wal_segment_bytes requires a WAL-backed database");
+    }
+    char* end = nullptr;
+    long long bytes = std::strtoll(s.value.c_str(), &end, 10);
+    if (end == s.value.c_str() || *end != '\0' || bytes < 0) {
+      return Status::InvalidArgument(
+          "SET wal_segment_bytes expects a byte count, got: " + s.value);
+    }
+    wal()->set_segment_bytes(static_cast<uint64_t>(bytes));
+    return result;
+  }
   return Status::InvalidArgument("unknown setting: " + s.name);
+}
+
+CheckpointDaemon* Database::checkpointer() {
+  std::lock_guard<std::mutex> lock(checkpointer_mu_);
+  return checkpointer_.get();
+}
+
+CheckpointDaemon* Database::EnsureCheckpointer() {
+  std::lock_guard<std::mutex> lock(checkpointer_mu_);
+  if (checkpointer_ == nullptr) {
+    CheckpointDaemon::Options options;
+    options.interval_us = 0;  // triggers armed by SET / the driver
+    checkpointer_ = std::make_unique<CheckpointDaemon>(&catalog_, &txn_,
+                                                       wal(), options);
+    // Views interact with checkpoints in two ways: their change-log
+    // cursors pin WAL truncation (delta-join maintenance re-reads
+    // history), and their definitions travel in the image as DDL while
+    // their backing tables stay out of it (restore re-runs the DDL,
+    // which rebuilds the backings from the restored bases).
+    checkpointer_->set_extra_pin([this] { return views_.GcHorizon(); });
+    checkpointer_->set_view_ddls([this] { return views_.ViewDdls(); });
+    checkpointer_->set_exclude_tables([this] { return views_.ViewNames(); });
+  }
+  return checkpointer_.get();
+}
+
+Result<QueryResult> Database::RunCheckpoint() {
+  CheckpointDaemon* d = EnsureCheckpointer();
+  OLTAP_ASSIGN_OR_RETURN(CheckpointDaemon::CheckpointResult r,
+                         d->CheckpointNow());
+  QueryResult result;
+  result.columns = {"checkpoint_id", "ts", "bytes", "wal_truncated"};
+  result.rows.push_back(Row{Value::Int64(static_cast<int64_t>(r.id)),
+                            Value::Int64(static_cast<int64_t>(r.ts)),
+                            Value::Int64(static_cast<int64_t>(r.bytes)),
+                            Value::Int64(static_cast<int64_t>(r.wal_truncated))});
+  result.affected = 1;
+  return result;
 }
 
 Result<QueryResult> Database::RunShowStats() {
@@ -353,6 +433,16 @@ Result<QueryResult> Database::RunShowStats() {
   // set at seal time, but that write may have come from another Wal).
   if (Wal* w = wal()) {
     registry->GetGauge("wal.sealed")->Set(w->sealed() ? 1 : 0);
+    registry->GetGauge("wal.segments")
+        ->Set(static_cast<int64_t>(w->num_segments()));
+    registry->GetGauge("wal.retained_bytes")
+        ->Set(static_cast<int64_t>(w->size()));
+  }
+  // Checkpoint freshness from this database's own daemon (if created).
+  if (CheckpointDaemon* d = checkpointer()) {
+    registry->GetGauge("ckpt.age_us")->Set(d->AgeMicros(now_us));
+    registry->GetGauge("ckpt.last_ts")
+        ->Set(static_cast<int64_t>(d->last_checkpoint_ts()));
   }
 
   obs::MetricsSnapshot snap = registry->Snapshot();
@@ -569,6 +659,74 @@ Result<Wal::ReplayStats> Database::RecoverFromWal(const std::string& wal_data,
   // view is stale-on-recover: rebuild from the recovered bases.
   OLTAP_RETURN_NOT_OK(views_.RebuildAllAfterRecovery());
   return stats;
+}
+
+Result<Database::RecoveryReport> Database::RecoverFromCheckpointStore(
+    const CheckpointStore& store, const std::string& wal_data,
+    ThreadPool* pool) {
+  RecoveryReport report;
+  Result<CheckpointStore::Image> image =
+      SelectRecoveryImage(store, &report.fallbacks);
+  if (report.fallbacks > 0) {
+    obs::MetricsRegistry::Default()
+        ->GetCounter("ckpt.fallbacks")
+        ->Add(report.fallbacks);
+  }
+  if (!image.ok()) {
+    if (!image.status().IsNotFound()) return image.status();
+    // Nothing usable in the store (all images torn, or the daemon never
+    // completed a round): full WAL replay over pre-created tables.
+    OLTAP_ASSIGN_OR_RETURN(report.stats, RecoverFromWal(wal_data, pool));
+    report.tail_txns = report.stats.txns_applied;
+    return report;
+  }
+
+  CheckpointContents contents;
+  OLTAP_ASSIGN_OR_RETURN(
+      Wal::ReplayStats ckpt_stats,
+      RestoreCheckpoint(image->data, &catalog_, &contents, pool));
+
+  // Validate the carried view DDL up front: the tail replay must skip the
+  // views' backing tables (their WAL records are maintenance output;
+  // re-running the DDL below rebuilds them from the recovered bases).
+  std::vector<sql::Statement> view_stmts;
+  Wal::ReplayOptions options;
+  for (const std::string& ddl : contents.view_ddls) {
+    OLTAP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(ddl));
+    if (stmt.kind != sql::Statement::Kind::kCreateView) {
+      return Status::Corruption("checkpoint view section holds a non-view "
+                                "statement: " + ddl);
+    }
+    options.skip_tables.push_back(stmt.create_view->name);
+    view_stmts.push_back(std::move(stmt));
+  }
+
+  options.idempotent = true;
+  options.skip_through_ts = contents.ts;
+  OLTAP_ASSIGN_OR_RETURN(
+      Wal::ReplayStats tail_stats,
+      Wal::ReplayParallel(wal_data, &catalog_, pool, options));
+
+  report.stats.txns_applied = ckpt_stats.txns_applied + tail_stats.txns_applied;
+  report.stats.ops_applied = ckpt_stats.ops_applied + tail_stats.ops_applied;
+  report.stats.max_commit_ts =
+      std::max(ckpt_stats.max_commit_ts, tail_stats.max_commit_ts);
+  report.stats.truncated_tail = tail_stats.truncated_tail;
+  report.checkpoint_id = image->id;
+  report.checkpoint_ts = contents.ts;
+  report.tail_txns = tail_stats.txns_applied;
+  txn_.AdvanceTo(report.stats.max_commit_ts);
+
+  // Re-run the view DDL carried in the image: each CREATE re-registers the
+  // view, re-creates its backing table, and runs the initial build over
+  // the just-recovered bases — the same stale-on-recover rebuild
+  // RecoverFromWal does, driven from the image instead of live registry
+  // state.
+  for (const sql::Statement& stmt : view_stmts) {
+    if (views_.IsView(stmt.create_view->name)) continue;  // re-entrant run
+    OLTAP_RETURN_NOT_OK(views_.Create(*stmt.create_view));
+  }
+  return report;
 }
 
 size_t Database::MergeAll() {

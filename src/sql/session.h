@@ -10,6 +10,8 @@
 #include "opt/feedback.h"
 #include "sql/planner.h"
 #include "storage/catalog.h"
+#include "txn/checkpoint.h"
+#include "txn/checkpoint_daemon.h"
 #include "txn/transaction_manager.h"
 #include "txn/wal.h"
 #include "view/view.h"
@@ -58,6 +60,33 @@ class Database {
   Result<Wal::ReplayStats> RecoverFromWal(const std::string& wal_data,
                                           ThreadPool* pool = nullptr);
 
+  // The online checkpoint daemon for this database, created on first use
+  // (SQL CHECKPOINT, SET checkpoint_interval_us, or the workload driver)
+  // and wired to this database's catalog, transaction manager, WAL, and
+  // view registry (views pin truncation and ride the image as DDL).
+  // Returned pointer stays valid for the database's lifetime.
+  CheckpointDaemon* EnsureCheckpointer();
+  // nullptr until EnsureCheckpointer was called.
+  CheckpointDaemon* checkpointer();
+
+  struct RecoveryReport {
+    Wal::ReplayStats stats;       // combined checkpoint + tail replay
+    uint64_t checkpoint_id = 0;   // 0 = recovered without a checkpoint
+    Timestamp checkpoint_ts = 0;
+    size_t fallbacks = 0;  // torn images/manifest entries skipped over
+    size_t tail_txns = 0;  // transactions replayed from the WAL tail
+  };
+
+  // Bounded recovery: pick the newest valid image from `store` (falling
+  // back past torn images and a torn manifest), restore it — catalog and
+  // views are rebuilt from the image, so this works on a freshly
+  // constructed Database — then replay only the WAL tail past the
+  // checkpoint. When the store holds no usable image, degrades to full
+  // WAL replay (tables must then already exist, as in RecoverFromWal).
+  Result<RecoveryReport> RecoverFromCheckpointStore(
+      const CheckpointStore& store, const std::string& wal_data,
+      ThreadPool* pool = nullptr);
+
   // Merges every mergeable table's delta into its main, respecting the
   // oldest active snapshot. Returns total rows across new mains.
   size_t MergeAll();
@@ -96,6 +125,8 @@ class Database {
 
  private:
   Result<QueryResult> RunStatement(Transaction* txn, const sql::Statement& s);
+  // CHECKPOINT: one synchronous round on the (lazily created) daemon.
+  Result<QueryResult> RunCheckpoint();
   Result<QueryResult> RunSelect(Transaction* txn, const sql::SelectStmt& s,
                                 bool explain, bool analyze);
   // SHOW STATS: one row per metric from the global registry (histograms
@@ -118,6 +149,10 @@ class Database {
   std::atomic<int64_t> max_staleness_us_{-1};
   opt::PlanFeedback feedback_;
   view::ViewManager views_{&catalog_, &txn_};
+  // Declared after views_/txn_/catalog_: the daemon references all three,
+  // so it must destroy (and join its thread) first.
+  std::mutex checkpointer_mu_;
+  std::unique_ptr<CheckpointDaemon> checkpointer_;
 };
 
 }  // namespace oltap

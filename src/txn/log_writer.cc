@@ -147,6 +147,15 @@ bool LogWriter::running() const {
   return running_;
 }
 
+Timestamp LogWriter::MinPendingCommitTs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timestamp min_ts = kMaxTimestamp;
+  for (const Pending& p : queue_) {
+    min_ts = std::min(min_ts, Wal::PeekBodyCommitTs(p.body));
+  }
+  return min_ts;
+}
+
 LogWriter::Stats LogWriter::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

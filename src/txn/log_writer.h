@@ -76,6 +76,14 @@ class LogWriter {
 
   bool running() const;
 
+  // Oldest commit timestamp among queued-but-not-yet-persisted bodies
+  // (kMaxTimestamp when the queue is empty). The checkpoint daemon folds
+  // this into its WAL-truncation pin: a segment may only drop once no
+  // in-flight batch could still need its position in the log. (In
+  // practice queued commits are always newer than the checkpoint — the
+  // visible watermark trails durability — so this pin is a backstop.)
+  Timestamp MinPendingCommitTs() const;
+
   struct Stats {
     uint64_t batches = 0;
     uint64_t commits = 0;

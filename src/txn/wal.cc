@@ -5,6 +5,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -202,6 +203,87 @@ Status ParseBody(const char* data, size_t len, DecodedTxn* out) {
 // Applies one op. With `idempotent`, a keyed op the table has already seen
 // (a write to that key at >= commit_ts) is skipped — `applied` reports
 // whether the op mutated the table.
+// Collapses a commit's writes to one net op per key. A transaction may
+// write the same key several times (a NewOrder drawing the same item
+// twice updates that stock row twice); the live commit applies them in
+// order, but every op in the record carries the same commit timestamp, so
+// the idempotent skip in ApplyOp would drop everything after the first
+// write to a key and lose the later state. The net effect against the
+// pre-commit state is what replay must apply:
+//   insert, update*      -> insert with the final row
+//   insert .. delete     -> nothing (the row never existed before or after)
+//   update, update*      -> the last update
+//   update .. delete     -> the delete
+//   delete .. insert     -> update with the new row (the key pre-existed)
+// Keyless ops carry no identity and are kept untouched, in order.
+void CollapseDuplicateKeyOps(std::vector<WalOp>* ops) {
+  // Fast path: duplicate keyed writes inside one commit are rare.
+  std::set<std::pair<std::string_view, std::string_view>> seen;
+  bool dup = false;
+  for (const WalOp& op : *ops) {
+    if (op.key.empty()) continue;
+    if (!seen.insert({op.table, op.key}).second) {
+      dup = true;
+      break;
+    }
+  }
+  if (!dup) return;
+
+  struct Net {
+    bool cancelled = false;  // insert..delete: emit nothing
+    WalOp op;
+  };
+  std::map<std::pair<std::string, std::string>, Net> nets;
+  std::vector<std::pair<std::string, std::string>> order;  // first touch
+  std::vector<WalOp> keyless;
+  for (WalOp& op : *ops) {
+    if (op.key.empty()) {
+      keyless.push_back(std::move(op));
+      continue;
+    }
+    auto id = std::make_pair(op.table, op.key);
+    auto it = nets.find(id);
+    if (it == nets.end()) {
+      order.push_back(id);
+      nets[std::move(id)] = Net{false, std::move(op)};
+      continue;
+    }
+    Net& net = it->second;
+    if (net.cancelled) {
+      // insert..delete..insert: the key still never pre-existed.
+      net.cancelled = false;
+      net.op = std::move(op);
+      continue;
+    }
+    switch (net.op.kind) {
+      case WalOp::kInsert:
+        if (op.kind == WalOp::kDelete) {
+          net.cancelled = true;
+        } else {
+          net.op.row = std::move(op.row);  // insert with the final row
+        }
+        break;
+      case WalOp::kUpdate:
+        net.op.kind = op.kind == WalOp::kDelete ? WalOp::kDelete
+                                                : WalOp::kUpdate;
+        net.op.row = std::move(op.row);
+        break;
+      case WalOp::kDelete:
+        // delete..insert: the key pre-existed, so the net is an update.
+        net.op.kind = WalOp::kUpdate;
+        net.op.row = std::move(op.row);
+        break;
+    }
+  }
+
+  ops->clear();
+  for (const auto& id : order) {
+    Net& net = nets[id];
+    if (!net.cancelled) ops->push_back(std::move(net.op));
+  }
+  for (WalOp& op : keyless) ops->push_back(std::move(op));
+}
+
 Status ApplyOp(Table* table, const WalOp& op, Timestamp commit_ts,
                bool idempotent, bool* applied) {
   *applied = false;
@@ -222,7 +304,11 @@ Status ApplyOp(Table* table, const WalOp& op, Timestamp commit_ts,
       break;
   }
   if (!st.ok()) {
-    return Status::Corruption("WAL replay apply failed: " + st.ToString());
+    return Status::Corruption("WAL replay apply failed (table=" +
+                              table->name() + " kind=" +
+                              std::to_string(static_cast<int>(op.kind)) +
+                              " commit_ts=" + std::to_string(commit_ts) +
+                              "): " + st.ToString());
   }
   *applied = true;
   return st;
@@ -282,7 +368,16 @@ Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path,
   }
   auto wal = std::make_unique<Wal>(options);
   wal->file_ = f;
+  wal->path_ = path;
   return wal;
+}
+
+Timestamp Wal::PeekBodyCommitTs(const std::string& body) {
+  // Body layout (SerializeCommitBody): u64 txn_id, u64 commit_ts, ...
+  Reader r{body.data(), body.data() + body.size()};
+  r.U64();  // txn_id
+  Timestamp ts = r.U64();
+  return r.ok ? ts : 0;
 }
 
 std::string Wal::SerializeCommitBody(uint64_t txn_id, Timestamp commit_ts,
@@ -308,7 +403,45 @@ void Wal::SealLocked() {
   sealed_gauge->Set(1);
 }
 
-Status Wal::AppendFrameLocked(const std::string& frame, size_t records) {
+void Wal::RefreshGaugesLocked() {
+  static obs::Gauge* segments =
+      obs::MetricsRegistry::Default()->GetGauge("wal.segments");
+  static obs::Gauge* retained =
+      obs::MetricsRegistry::Default()->GetGauge("wal.retained_bytes");
+  segments->Set(static_cast<int64_t>(sealed_segments_.size() + 1));
+  retained->Set(static_cast<int64_t>(sealed_bytes_ + buf_.size()));
+}
+
+void Wal::MaybeRotateLocked() {
+  if (options_.segment_bytes == 0 || buf_.size() < options_.segment_bytes) {
+    return;
+  }
+  Segment seg;
+  seg.id = active_id_;
+  seg.max_commit_ts = active_max_ts_;
+  seg.data = std::move(buf_);
+  if (file_ != nullptr) {
+    // The sealed segment keeps its file; the active segment continues in
+    // "<base>.<id>". A rotation that cannot open the next file seals the
+    // log — appends could not be made durable.
+    seg.file_path = active_id_ == 0
+                        ? path_
+                        : path_ + "." + std::to_string(active_id_);
+    std::fclose(file_);
+    std::string next = path_ + "." + std::to_string(active_id_ + 1);
+    file_ = std::fopen(next.c_str(), "ab");
+    if (file_ == nullptr) SealLocked();
+  }
+  sealed_bytes_ += seg.data.size();
+  sealed_segments_.push_back(std::move(seg));
+  buf_.clear();
+  ++active_id_;
+  active_max_ts_ = 0;
+  RefreshGaugesLocked();
+}
+
+Status Wal::AppendFrameLocked(const std::string& frame, size_t records,
+                              Timestamp max_ts) {
   const size_t good_size = buf_.size();
   long file_start = -1;
   if (file_ != nullptr) {
@@ -368,12 +501,14 @@ Status Wal::AppendFrameLocked(const std::string& frame, size_t records) {
     }
   }
   num_records_ += records;
+  active_max_ts_ = std::max(active_max_ts_, max_ts);
   static obs::Counter* record_count =
       obs::MetricsRegistry::Default()->GetCounter("wal.records");
   static obs::Counter* bytes =
       obs::MetricsRegistry::Default()->GetCounter("wal.bytes");
   record_count->Add(records);
   bytes->Add(frame.size());
+  MaybeRotateLocked();
   return Status::OK();
 }
 
@@ -407,7 +542,7 @@ Status Wal::LogCommit(uint64_t txn_id, Timestamp commit_ts,
   // Clean append failure: nothing reaches the log.
   OLTAP_FAILPOINT("wal.append.error");
 
-  return AppendFrameLocked(record, 1);
+  return AppendFrameLocked(record, 1, commit_ts);
 }
 
 Status Wal::LogCommitBatch(const std::vector<std::string>& bodies) {
@@ -450,7 +585,11 @@ Status Wal::LogCommitBatch(const std::vector<std::string>& bodies) {
     return torn;
   }
 
-  Status st = AppendFrameLocked(frame, bodies.size());
+  Timestamp max_ts = 0;
+  for (const std::string& body : bodies) {
+    max_ts = std::max(max_ts, PeekBodyCommitTs(body));
+  }
+  Status st = AppendFrameLocked(frame, bodies.size(), max_ts);
   if (st.ok()) {
     static obs::Counter* batches =
         obs::MetricsRegistry::Default()->GetCounter("wal.batches");
@@ -465,6 +604,11 @@ Status Wal::LogCommitBatch(const std::vector<std::string>& bodies) {
 bool Wal::sealed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sealed_;
+}
+
+void Wal::Seal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SealLocked();
 }
 
 bool Wal::IsWellFormed(const std::string& data) {
@@ -483,17 +627,77 @@ bool Wal::IsWellFormed(const std::string& data) {
 
 std::string Wal::buffer() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return buf_;
+  std::string out;
+  out.reserve(sealed_bytes_ + buf_.size());
+  for (const Segment& seg : sealed_segments_) out += seg.data;
+  out += buf_;
+  return out;
 }
 
 size_t Wal::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return buf_.size();
+  return sealed_bytes_ + buf_.size();
 }
 
 size_t Wal::num_records() const {
   std::lock_guard<std::mutex> lock(mu_);
   return num_records_;
+}
+
+std::vector<Wal::SegmentInfo> Wal::Segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentInfo> out;
+  out.reserve(sealed_segments_.size() + 1);
+  for (const Segment& seg : sealed_segments_) {
+    out.push_back({seg.id, seg.max_commit_ts, seg.data.size()});
+  }
+  out.push_back({active_id_, active_max_ts_, buf_.size()});
+  return out;
+}
+
+size_t Wal::num_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sealed_segments_.size() + 1;
+}
+
+uint64_t Wal::truncated_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return truncated_bytes_;
+}
+
+void Wal::set_segment_bytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.segment_bytes = bytes;
+  MaybeRotateLocked();  // an over-size active segment rotates right away
+}
+
+Status Wal::TruncateBelow(Timestamp horizon, uint64_t* dropped_bytes) {
+  if (dropped_bytes != nullptr) *dropped_bytes = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Crash-before-truncation: the call fails with nothing dropped; the
+  // segments stay until the next checkpoint round retries.
+  OLTAP_FAILPOINT("wal.truncate.error");
+  size_t drop = 0;
+  uint64_t bytes = 0;
+  while (drop < sealed_segments_.size() &&
+         sealed_segments_[drop].max_commit_ts <= horizon) {
+    bytes += sealed_segments_[drop].data.size();
+    if (!sealed_segments_[drop].file_path.empty()) {
+      std::remove(sealed_segments_[drop].file_path.c_str());
+    }
+    ++drop;
+  }
+  if (drop == 0) return Status::OK();
+  sealed_segments_.erase(sealed_segments_.begin(),
+                         sealed_segments_.begin() + static_cast<long>(drop));
+  sealed_bytes_ -= bytes;
+  truncated_bytes_ += bytes;
+  if (dropped_bytes != nullptr) *dropped_bytes = bytes;
+  static obs::Counter* truncated =
+      obs::MetricsRegistry::Default()->GetCounter("wal.truncated_bytes");
+  truncated->Add(bytes);
+  RefreshGaugesLocked();
+  return Status::OK();
 }
 
 Result<Wal::ReplayStats> Wal::Replay(const std::string& data,
@@ -506,13 +710,24 @@ Result<Wal::ReplayStats> Wal::Replay(const std::string& data,
 
 Result<Wal::ReplayStats> Wal::Replay(const std::string& data, Catalog* catalog,
                                      const ReplayOptions& options) {
+  const std::set<std::string> skipped(options.skip_tables.begin(),
+                                      options.skip_tables.end());
   ReplayStats stats;
   DecodedTxn txn;
   Status walk = ForEachBody(
       data, &stats.truncated_tail, [&](const char* p, size_t len) -> Status {
         OLTAP_RETURN_NOT_OK(ParseBody(p, len, &txn));
-        if (txn.commit_ts <= options.skip_through_ts) return Status::OK();
+        // skip_through_ts == 0 skips nothing: live commits start at ts 1,
+        // and ts-0 records (a checkpoint image's data section when the
+        // snapshot predates the first commit — bulk-loaded state) must
+        // still apply.
+        if (options.skip_through_ts > 0 &&
+            txn.commit_ts <= options.skip_through_ts) {
+          return Status::OK();
+        }
+        CollapseDuplicateKeyOps(&txn.ops);
         for (const WalOp& op : txn.ops) {
+          if (skipped.count(op.table) != 0) continue;
           Table* table = catalog->GetTable(op.table);
           if (table == nullptr) {
             return Status::NotFound("WAL references unknown table: " +
@@ -552,13 +767,21 @@ Result<Wal::ReplayStats> Wal::ReplayParallel(const std::string& data,
   };
   std::map<std::string, TablePartition> partitions;
 
+  const std::set<std::string> skipped(options.skip_tables.begin(),
+                                      options.skip_tables.end());
   ReplayStats stats;
   DecodedTxn txn;
   Status walk = ForEachBody(
       data, &stats.truncated_tail, [&](const char* p, size_t len) -> Status {
         OLTAP_RETURN_NOT_OK(ParseBody(p, len, &txn));
-        if (txn.commit_ts <= options.skip_through_ts) return Status::OK();
+        // Same ts-0 rule as serial Replay above.
+        if (options.skip_through_ts > 0 &&
+            txn.commit_ts <= options.skip_through_ts) {
+          return Status::OK();
+        }
+        CollapseDuplicateKeyOps(&txn.ops);
         for (WalOp& op : txn.ops) {
+          if (skipped.count(op.table) != 0) continue;
           TablePartition& part = partitions[op.table];
           if (part.table == nullptr) {
             part.table = catalog->GetTable(op.table);

@@ -47,6 +47,14 @@ struct WalOp {
 // The log always accumulates into an in-memory buffer; when opened with a
 // path it also appends to that file, and LogCommit/LogCommitBatch flush
 // (and optionally fsync) before returning.
+//
+// Segmentation: with a non-zero segment size the log rotates into
+// *segments* at frame boundaries — the active segment seals once it
+// reaches the size and a fresh one opens (file-backed logs rotate into
+// "<path>.<id>" suffix files). Segments are the unit of truncation: once
+// a checkpoint covers every commit in a sealed segment, TruncateBelow
+// drops it, bounding both retained log bytes and the recovery replay
+// tail. buffer()/size() always cover the *retained* segments only.
 class Wal {
  public:
   struct Options {
@@ -55,6 +63,19 @@ class Wal {
     // fsync makes the commit durable across power loss at the cost of a
     // device write per commit (or per batch, under group commit).
     bool fsync_on_commit = false;
+    // Rotate the active segment once it reaches this many bytes
+    // (checked after each append, so segments overshoot by at most one
+    // frame). 0 = never rotate: the log is one unbounded segment, the
+    // pre-segmentation behavior.
+    uint64_t segment_bytes = 0;
+  };
+
+  // One retained segment, oldest first; the last entry is the active
+  // (still-appending) segment.
+  struct SegmentInfo {
+    uint64_t id = 0;
+    Timestamp max_commit_ts = 0;  // newest commit in the segment
+    uint64_t bytes = 0;
   };
 
   Wal() = default;
@@ -107,15 +128,51 @@ class Wal {
   // see a dead log before the next commit fails.
   bool sealed() const;
 
-  // Serialized bytes logged so far (memory copy; tests and Replay use it).
+  // Seals the log explicitly: every later append fails with kUnavailable.
+  // Models the device going away — the crash-anywhere torture seals at
+  // the kill instant so no commit can acknowledge after the crash cut.
+  void Seal();
+
+  // Serialized bytes logged so far across the retained segments (memory
+  // copy; tests and Replay use it). Truncated segments are gone — this is
+  // exactly the replay tail recovery will walk.
   std::string buffer() const;
 
-  // Byte length of the serialized log — use instead of buffer() when only
+  // Byte length of the retained log — use instead of buffer() when only
   // the length is needed (buffer() copies the whole log under the mutex).
   size_t size() const;
 
   // Commits logged (a batch frame counts each body it carries).
   size_t num_records() const;
+
+  // --- Segmentation & truncation ---
+
+  // Retained segments, oldest first (the last is the active one).
+  std::vector<SegmentInfo> Segments() const;
+  size_t num_segments() const;
+
+  // Total bytes dropped by TruncateBelow over the log's lifetime.
+  uint64_t truncated_bytes() const;
+
+  // Changes the rotation size for future appends (SQL: SET
+  // wal_segment_bytes). 0 stops further rotation.
+  void set_segment_bytes(uint64_t bytes);
+
+  // Drops the longest prefix of *sealed* segments whose every commit is
+  // at or below `horizon` (the active segment never drops). The caller
+  // must pass a horizon no newer than its latest durable checkpoint's
+  // timestamp — recovery replays the retained tail with skip_through_ts
+  // >= the dropped commits, so nothing is lost. Failpoint
+  // "wal.truncate.error" fails the call before anything is dropped
+  // (crash-before-truncation; retried on the next checkpoint round).
+  // On success *dropped_bytes (optional) reports the bytes removed.
+  Status TruncateBelow(Timestamp horizon, uint64_t* dropped_bytes = nullptr);
+
+  // The commit timestamp a serialized commit body carries (bodies are
+  // what SerializeCommitBody returns and LogCommitBatch consumes). The
+  // group-commit writer uses this to expose its oldest still-unpersisted
+  // commit as a truncation pin.
+  static Timestamp PeekBodyCommitTs(const std::string& body);
 
   struct ReplayStats {
     size_t txns_applied = 0;
@@ -126,7 +183,9 @@ class Wal {
 
   struct ReplayOptions {
     // Records with commit_ts <= skip_through_ts are skipped (checkpoint
-    // recovery replays only the tail).
+    // recovery replays only the tail). 0 skips nothing: live commits
+    // start at ts 1, and ts-0 records — a checkpoint image's data section
+    // when the snapshot predates the first commit — must still apply.
     Timestamp skip_through_ts = 0;
     // Idempotent re-run: a keyed op whose table already saw a write to
     // that key at >= the op's commit timestamp is skipped instead of
@@ -136,6 +195,12 @@ class Wal {
     // are NOT deduplicated — re-running recovery over tables with
     // keyless appends still requires a fresh catalog.
     bool idempotent = false;
+    // Ops on these tables are dropped without touching the catalog (they
+    // need not exist). Checkpoint recovery skips materialized-view
+    // backing tables this way: their WAL records are maintenance output,
+    // and re-running the carried view DDL rebuilds them from the
+    // recovered bases instead.
+    std::vector<std::string> skip_tables;
   };
 
   // Replays serialized log `data` into `catalog` (tables must already
@@ -170,20 +235,41 @@ class Wal {
   static bool IsWellFormed(const std::string& data);
 
  private:
-  // Appends `frame` to buf_ and the file (if any), with flush + optional
-  // fsync; on failure rolls back to the pre-append length or seals.
-  // Caller holds mu_. `records` is how many commits the frame carries.
-  Status AppendFrameLocked(const std::string& frame, size_t records);
+  // One sealed (rotated-out, no longer appending) segment.
+  struct Segment {
+    uint64_t id = 0;
+    Timestamp max_commit_ts = 0;
+    std::string data;
+    std::string file_path;  // empty for memory-only logs
+  };
+
+  // Appends `frame` to the active segment and the file (if any), with
+  // flush + optional fsync; on failure rolls back to the pre-append
+  // length or seals. Caller holds mu_. `records` is how many commits the
+  // frame carries; `max_ts` the newest commit timestamp in the frame.
+  Status AppendFrameLocked(const std::string& frame, size_t records,
+                           Timestamp max_ts);
+  // Rotates the active segment out if it reached segment_bytes. Caller
+  // holds mu_.
+  void MaybeRotateLocked();
+  // Publishes wal.segments / wal.retained_bytes. Caller holds mu_.
+  void RefreshGaugesLocked();
   // Marks the log torn and publishes the "wal.sealed" gauge. Caller
   // holds mu_.
   void SealLocked();
 
   Options options_;
   mutable std::mutex mu_;
-  std::string buf_;
+  std::vector<Segment> sealed_segments_;  // oldest first
+  size_t sealed_bytes_ = 0;               // sum over sealed_segments_
+  std::string buf_;                       // active segment
+  uint64_t active_id_ = 0;
+  Timestamp active_max_ts_ = 0;
+  uint64_t truncated_bytes_ = 0;
   size_t num_records_ = 0;
   bool sealed_ = false;
-  std::FILE* file_ = nullptr;
+  std::FILE* file_ = nullptr;  // active segment's file
+  std::string path_;           // base path of a file-backed log
 };
 
 }  // namespace oltap

@@ -1478,6 +1478,26 @@ size_t ViewManager::num_views() const {
   return views_.size();
 }
 
+std::vector<std::string> ViewManager::ViewDdls() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> ddls;
+  ddls.reserve(views_.size());
+  for (const auto& v : views_) {
+    std::string ddl = "CREATE MATERIALIZED VIEW " + v->name;
+    if (v->sync) {
+      ddl += " SYNC";
+    } else {
+      ddl += " DEFERRED";
+      if (v->max_staleness_us >= 0) {
+        ddl += " STALENESS " + std::to_string(v->max_staleness_us);
+      }
+    }
+    ddl += " AS " + v->fingerprint;
+    ddls.push_back(std::move(ddl));
+  }
+  return ddls;
+}
+
 Timestamp ViewManager::GcHorizon() const {
   std::shared_lock lock(mu_);
   Timestamp horizon = kMaxTimestamp;

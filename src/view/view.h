@@ -143,6 +143,14 @@ class ViewManager {
   std::vector<std::string> ViewNames() const;
   size_t num_views() const;
 
+  // Re-parseable CREATE MATERIALIZED VIEW statements for every registered
+  // view (definition rendered from the canonical fingerprint). The
+  // checkpoint daemon embeds these in each image so recovery from an
+  // empty catalog can re-create the views — re-running the DDL rebuilds
+  // each backing table from the restored bases, which is why backing
+  // tables are excluded from the image itself.
+  std::vector<std::string> ViewDdls() const;
+
   // GC horizon merges must respect: delta-join reads pre-state snapshots
   // at each view's cursor. kMax when no views exist.
   Timestamp GcHorizon() const;

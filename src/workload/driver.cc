@@ -10,6 +10,7 @@
 #include "sched/merge_daemon.h"
 #include "storage/column_store.h"
 #include "storage/freshness.h"
+#include "txn/checkpoint_daemon.h"
 #include "txn/log_writer.h"
 #include "txn/wal.h"
 
@@ -159,6 +160,22 @@ DriverReport ConcurrentDriver::Run() {
     bench_->db()->txn_manager()->SetLogWriter(log_writer.get());
   }
 
+  // Online checkpointing for the run: the database's own daemon (so SQL
+  // CHECKPOINT and SHOW STATS see the same instance), armed with the
+  // driver's triggers. Started after the log writer is installed, so the
+  // unacked-batch truncation pin is live from the first round.
+  CheckpointDaemon* checkpointer = nullptr;
+  if (options_.run_checkpoint_daemon) {
+    if (wal != nullptr && options_.wal_segment_bytes > 0) {
+      wal->set_segment_bytes(options_.wal_segment_bytes);
+    }
+    checkpointer = bench_->db()->EnsureCheckpointer();
+    checkpointer->set_interval_us(options_.checkpoint_interval_us);
+    checkpointer->set_wal_trigger_bytes(options_.checkpoint_wal_trigger_bytes);
+    checkpointer->set_truncate_wal(options_.checkpoint_truncate_wal);
+    checkpointer->Start();
+  }
+
   // A sealed WAL dooms every future commit; clients that observe it stop
   // issuing ops and the run reports a clear abort instead of grinding
   // every remaining op through its retry budget.
@@ -253,6 +270,23 @@ DriverReport ConcurrentDriver::Run() {
   if (merger != nullptr) {
     merger->Stop();
     report.merges = merger->merges_performed();
+  }
+
+  // Checkpointer stops after the merge daemon (its snapshot pin is gone,
+  // so a final merge round is unconstrained) and before the log writer
+  // (truncation only drops segments below the writer's pending pin, but
+  // stopping in this order means the last round sees a quiesced queue).
+  if (checkpointer != nullptr) {
+    checkpointer->Stop();
+    CheckpointDaemon::Stats cs = checkpointer->stats();
+    report.checkpoints = cs.written;
+    report.checkpoint_age_us =
+        checkpointer->AgeMicros(SystemClock::Get()->NowMicros());
+    report.wal_truncated_bytes = cs.truncated_bytes;
+  }
+  if (wal != nullptr) {
+    report.wal_segments = wal->num_segments();
+    report.wal_retained_bytes = wal->size();
   }
 
   // Shutdown ordering for group commit: clients joined, admission queues

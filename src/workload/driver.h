@@ -97,6 +97,20 @@ struct DriverOptions {
   // doomed), abort the whole run with a clear report instead of letting
   // every remaining op fail its way through the retry budget.
   bool abort_on_sealed_wal = true;
+
+  // Online checkpoint daemon during the run: consistent SI checkpoints
+  // concurrent with the workload, with WAL segment truncation behind the
+  // pinned horizon. Uses the database's own daemon (EnsureCheckpointer),
+  // so SQL CHECKPOINT / SHOW STATS observe the same instance.
+  bool run_checkpoint_daemon = false;
+  int64_t checkpoint_interval_us = 50'000;
+  uint64_t checkpoint_wal_trigger_bytes = 0;  // 0 = time trigger only
+  // Truncate covered WAL segments after each checkpoint. Off retains the
+  // full log (equivalence tests recover both ways and compare).
+  bool checkpoint_truncate_wal = true;
+  // Rotate the database's WAL into segments of this size for the run
+  // (0 = leave the WAL's segmentation as configured).
+  uint64_t wal_segment_bytes = 0;
 };
 
 // Per-OLTP-worker outcome.
@@ -129,6 +143,13 @@ struct DriverReport {
   // an analytic query on main-only data would observe).
   int64_t freshness_lag_us = 0;
   uint64_t merges = 0;
+  // Checkpoint/WAL-retention state at run end (run_checkpoint_daemon;
+  // the wal_* fields fill whenever the database has a WAL).
+  uint64_t checkpoints = 0;          // successful rounds during the run
+  int64_t checkpoint_age_us = -1;    // age of the newest checkpoint; -1 = none
+  uint64_t wal_segments = 0;
+  uint64_t wal_retained_bytes = 0;
+  uint64_t wal_truncated_bytes = 0;  // dropped by truncation during the run
   // Set when the run stopped early (sealed WAL): clients quit issuing ops
   // as soon as they observed the condition. Counters above still hold the
   // work completed before the abort.

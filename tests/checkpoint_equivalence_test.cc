@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/row.h"
+#include "txn/checkpoint.h"
+#include "txn/checkpoint_daemon.h"
+#include "workload/chbench.h"
+#include "workload/driver.h"
+
+namespace oltap {
+namespace {
+
+constexpr Timestamp kFarFuture = 1'000'000'000;
+
+const char* kTables[] = {"warehouse", "district",  "customer",
+                         "history",   "neworder",  "orders",
+                         "orderline", "item",      "stock"};
+
+// Order-independent rendering of every committed row of every TPC-C
+// table: identical committed state => identical fingerprint.
+std::map<std::string, std::vector<std::string>> Fingerprint(Database* db) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const char* name : kTables) {
+    const Table* table = db->catalog()->GetTable(name);
+    std::vector<std::string>& rows = out[name];
+    table->ScanVisible(kFarFuture, [&](const Row& row) {
+      rows.push_back(RowToString(row));
+    });
+    std::sort(rows.begin(), rows.end());
+  }
+  return out;
+}
+
+void ExpectSameState(Database* got, Database* want, const std::string& label) {
+  auto a = Fingerprint(got);
+  auto b = Fingerprint(want);
+  for (const char* name : kTables) {
+    ASSERT_EQ(a[name].size(), b[name].size())
+        << label << ": row count diverges in " << name;
+    for (size_t i = 0; i < a[name].size(); ++i) {
+      ASSERT_EQ(a[name][i], b[name][i])
+          << label << ": row " << i << " diverges in " << name;
+    }
+  }
+}
+
+CHConfig TinyConfig() {
+  CHConfig config;
+  config.warehouses = 2;
+  config.districts_per_warehouse = 2;
+  config.customers_per_district = 10;
+  config.items = 50;
+  config.initial_orders_per_district = 5;
+  return config;
+}
+
+// A checkpoint taken in the middle of a concurrent TPC-C run must not
+// change what recovery produces: every retained image + the (untruncated)
+// WAL, and the WAL alone, all land on byte-identical committed state.
+TEST(CheckpointEquivalenceTest, CheckpointedRecoveryMatchesFullReplay) {
+  Wal wal;
+  Database db(&wal);
+  CHBenchmark bench(&db, TinyConfig());
+  ASSERT_TRUE(bench.CreateTables().ok());
+  ASSERT_TRUE(bench.Load().ok());
+
+  DriverOptions opts;
+  opts.oltp_workers = 4;
+  opts.olap_workers = 1;
+  opts.ops_per_worker = 150;
+  opts.seed = 23;
+  opts.merge_delta_threshold = 128;
+  opts.merge_interval_ms = 1;
+  opts.group_commit = true;  // checkpoints ride over the group-commit path
+  opts.run_checkpoint_daemon = true;
+  opts.checkpoint_interval_us = 2'000;
+  // Keep the whole log so the same WAL recovers with and without a
+  // checkpoint — the comparison this test exists for.
+  opts.checkpoint_truncate_wal = false;
+
+  ConcurrentDriver driver(&bench, opts);
+  DriverReport report = driver.Run();
+  ASSERT_FALSE(report.aborted) << report.abort_reason;
+  ASSERT_GE(report.checkpoints, 1u) << "driver finished before any round";
+  EXPECT_EQ(report.wal_truncated_bytes, 0u);
+
+  CheckpointStore store = db.checkpointer()->StoreCopy();
+  ASSERT_FALSE(store.images.empty());
+
+  // Reference: recovery with no checkpoint at all. The bulk load bypasses
+  // the WAL, so a full replay starts from a re-loaded benchmark.
+  Database full;
+  {
+    CHBenchmark fresh(&full, TinyConfig());
+    ASSERT_TRUE(fresh.CreateTables().ok());
+    ASSERT_TRUE(fresh.Load().ok());
+    auto stats = full.RecoverFromWal(wal.buffer());
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+  ExpectSameState(&full, &db, "full replay vs live");
+
+  // Every retained image is a valid starting point: image + tail ==
+  // full replay, byte for byte, for each chain position.
+  for (const CheckpointStore::Image& img : store.images) {
+    CheckpointStore one;
+    one.images.push_back(img);
+    CheckpointManifestEntry e;
+    e.id = img.id;
+    e.ts = img.ts;
+    e.checksum = CheckpointChecksum(img.data);
+    e.bytes = img.data.size();
+    one.manifest = SerializeManifest({e});
+
+    Database recovered;  // empty catalog: the image carries the schemas
+    auto rec = recovered.RecoverFromCheckpointStore(one, wal.buffer());
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    EXPECT_EQ(rec->checkpoint_id, img.id);
+    EXPECT_EQ(rec->checkpoint_ts, img.ts);
+    ExpectSameState(&recovered, &db,
+                    "image " + std::to_string(img.id) + " + tail");
+  }
+
+  // And the daemon's own store (newest image via the manifest) agrees.
+  Database newest;
+  auto rec = newest.RecoverFromCheckpointStore(store, wal.buffer());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->fallbacks, 0u);
+  ExpectSameState(&newest, &db, "manifest-selected image + tail");
+}
+
+// With truncation ON, the retained tail after the run still completes
+// recovery from the newest checkpoint — truncation never outruns what the
+// chain can serve.
+TEST(CheckpointEquivalenceTest, TruncatedWalStillRecoversFromChain) {
+  Wal::Options wopts;
+  wopts.segment_bytes = 16 * 1024;
+  Wal wal(wopts);
+  Database db(&wal);
+  CHBenchmark bench(&db, TinyConfig());
+  ASSERT_TRUE(bench.CreateTables().ok());
+  ASSERT_TRUE(bench.Load().ok());
+
+  DriverOptions opts;
+  opts.oltp_workers = 4;
+  opts.olap_workers = 0;
+  opts.ops_per_worker = 150;
+  opts.seed = 29;
+  opts.merge_delta_threshold = 128;
+  opts.merge_interval_ms = 1;
+  opts.run_checkpoint_daemon = true;
+  opts.checkpoint_interval_us = 2'000;
+  opts.checkpoint_truncate_wal = true;
+
+  ConcurrentDriver driver(&bench, opts);
+  DriverReport report = driver.Run();
+  ASSERT_FALSE(report.aborted) << report.abort_reason;
+  ASSERT_GE(report.checkpoints, 1u);
+
+  Database recovered;
+  auto rec = recovered.RecoverFromCheckpointStore(
+      db.checkpointer()->StoreCopy(), wal.buffer());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ExpectSameState(&recovered, &db, "truncated tail");
+}
+
+}  // namespace
+}  // namespace oltap

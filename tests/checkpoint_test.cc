@@ -129,5 +129,215 @@ TEST(CheckpointTest, TornCheckpointRejected) {
   EXPECT_EQ(stats.status().code(), StatusCode::kCorruption);
 }
 
+// --- Catalog + view sections (recovery from an empty catalog) -------------
+
+TEST(CheckpointTest, RestoreIntoEmptyCatalogCreatesTables) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  ASSERT_TRUE(db.Execute("CREATE TABLE r (k INT NOT NULL, s TEXT, "
+                         "PRIMARY KEY (k)) FORMAT ROW")
+                  .ok());
+  for (int64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", 'x', 1.5)")
+                    .ok());
+    ASSERT_TRUE(db.Execute("INSERT INTO r VALUES (" + std::to_string(i) +
+                           ", 'y')")
+                    .ok());
+  }
+  auto checkpoint = WriteCheckpoint(*db.catalog(),
+                                    db.txn_manager()->oracle()->CurrentReadTs());
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+
+  // No CREATE TABLE on the restore side: the catalog section rebuilds both
+  // tables, formats included.
+  Database restored;
+  CheckpointContents contents;
+  auto stats = RestoreCheckpoint(*checkpoint, restored.catalog(), &contents);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(contents.tables_created, 2u);
+  EXPECT_EQ(contents.tables_verified, 0u);
+  restored.txn_manager()->AdvanceTo(stats->max_commit_ts);
+
+  ASSERT_NE(restored.catalog()->GetTable("t"), nullptr);
+  ASSERT_NE(restored.catalog()->GetTable("r"), nullptr);
+  EXPECT_EQ(restored.catalog()->GetTable("t")->format(), TableFormat::kColumn);
+  EXPECT_EQ(restored.catalog()->GetTable("r")->format(), TableFormat::kRow);
+  auto n = restored.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->rows[0][0].AsInt64(), 30);
+  // The recreated table is fully usable, keys included.
+  EXPECT_FALSE(restored.Execute("INSERT INTO r VALUES (5, 'dup')").ok());
+}
+
+TEST(CheckpointTest, SchemaMismatchRejectedBeforeAnyData) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 'a', 1.0)").ok());
+  auto checkpoint = WriteCheckpoint(*db.catalog(),
+                                    db.txn_manager()->oracle()->CurrentReadTs());
+  ASSERT_TRUE(checkpoint.ok());
+
+  // Same table name, divergent schema: the restore must refuse up front
+  // rather than splice checkpoint rows into the wrong shape.
+  Database restored;
+  ASSERT_TRUE(restored
+                  .Execute("CREATE TABLE t (id BIGINT NOT NULL, other INT, "
+                           "PRIMARY KEY (id)) FORMAT COLUMN")
+                  .ok());
+  auto stats = RestoreCheckpoint(*checkpoint, restored.catalog());
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCorruption);
+  auto n = restored.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->rows[0][0].AsInt64(), 0);  // untouched
+}
+
+TEST(CheckpointTest, ViewDdlsTravelInImageWithBackingTablesExcluded) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", 'g', 2.0)")
+                    .ok());
+  }
+  ASSERT_TRUE(db.Execute("CREATE MATERIALIZED VIEW tv AS "
+                         "SELECT tag, COUNT(*) AS n FROM t GROUP BY tag")
+                  .ok());
+
+  CheckpointWriteOptions options;
+  options.exclude_tables = db.view_manager()->ViewNames();
+  options.view_ddls = db.view_manager()->ViewDdls();
+  ASSERT_EQ(options.view_ddls.size(), 1u);
+  auto checkpoint = WriteCheckpoint(
+      *db.catalog(), db.txn_manager()->oracle()->CurrentReadTs(), options);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+
+  Database restored;
+  CheckpointContents contents;
+  auto stats = RestoreCheckpoint(*checkpoint, restored.catalog(), &contents);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // The DDL rides along; the view's backing table does not.
+  ASSERT_EQ(contents.view_ddls.size(), 1u);
+  EXPECT_EQ(contents.view_ddls[0], options.view_ddls[0]);
+  EXPECT_NE(restored.catalog()->GetTable("t"), nullptr);
+  EXPECT_EQ(restored.catalog()->GetTable("tv"), nullptr);
+}
+
+// --- Checkpoint chain: manifest + recovery-image selection ----------------
+
+std::string ImageWithRows(Database* db, int64_t lo, int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i) {
+    EXPECT_TRUE(db->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                            ", 'm', 1.0)")
+                    .ok());
+  }
+  auto ck = WriteCheckpoint(*db->catalog(),
+                            db->txn_manager()->oracle()->CurrentReadTs());
+  EXPECT_TRUE(ck.ok());
+  return std::move(ck).value();
+}
+
+CheckpointStore TwoImageStore(Database* db) {
+  CheckpointStore store;
+  std::string a = ImageWithRows(db, 0, 10);
+  std::string b = ImageWithRows(db, 10, 20);
+  std::vector<CheckpointManifestEntry> entries;
+  uint64_t id = 1;
+  for (std::string* img : {&a, &b}) {
+    CheckpointManifestEntry e;
+    e.id = id;
+    e.ts = CheckpointTimestamp(*img).value();
+    e.checksum = CheckpointChecksum(*img);
+    e.bytes = img->size();
+    entries.push_back(e);
+    store.images.push_back(CheckpointStore::Image{id, e.ts, std::move(*img)});
+    ++id;
+  }
+  store.manifest = SerializeManifest(entries);
+  return store;
+}
+
+TEST(CheckpointTest, ManifestRoundTripAndTearDetection) {
+  std::vector<CheckpointManifestEntry> entries(2);
+  entries[0] = CheckpointManifestEntry{1, 100, 0xdeadbeef, 4096};
+  entries[1] = CheckpointManifestEntry{2, 200, 0xfeedface, 8192};
+  std::string data = SerializeManifest(entries);
+
+  auto parsed = ParseManifest(data);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[1].id, 2u);
+  EXPECT_EQ((*parsed)[1].ts, 200u);
+  EXPECT_EQ((*parsed)[1].checksum, 0xfeedfaceu);
+  EXPECT_EQ((*parsed)[1].bytes, 8192u);
+
+  // A tear anywhere fails the self-checksum.
+  std::string torn = data.substr(0, data.size() - 3);
+  auto bad = ParseManifest(torn);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  // So does a bit flip.
+  std::string flipped = data;
+  flipped[data.size() / 2] ^= 0x40;
+  EXPECT_FALSE(ParseManifest(flipped).ok());
+}
+
+TEST(CheckpointTest, SelectRecoveryImagePrefersNewestManifestEntry) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  CheckpointStore store = TwoImageStore(&db);
+  size_t fallbacks = 99;
+  auto image = SelectRecoveryImage(store, &fallbacks);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image->id, 2u);
+  EXPECT_EQ(fallbacks, 0u);
+}
+
+TEST(CheckpointTest, TornNewestImageFallsBackToOlderEntry) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  CheckpointStore store = TwoImageStore(&db);
+  // Tear the newest image on "disk"; the manifest still endorses it, but
+  // selection verifies the checksum and falls back.
+  store.images[1].data.resize(store.images[1].data.size() / 2);
+  size_t fallbacks = 0;
+  auto image = SelectRecoveryImage(store, &fallbacks);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image->id, 1u);
+  EXPECT_GE(fallbacks, 1u);
+
+  // The survivor actually restores.
+  Database restored;
+  auto stats = RestoreCheckpoint(image->data, restored.catalog());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->ops_applied, 10u);
+}
+
+TEST(CheckpointTest, TornManifestFallsBackToImageScan) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  CheckpointStore store = TwoImageStore(&db);
+  store.manifest.resize(store.manifest.size() - 5);
+  size_t fallbacks = 0;
+  auto image = SelectRecoveryImage(store, &fallbacks);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image->id, 2u);  // newest valid image wins even without manifest
+  EXPECT_GE(fallbacks, 1u);
+}
+
+TEST(CheckpointTest, NoUsableImageReportsNotFound) {
+  Database db;
+  ASSERT_TRUE(db.Execute(CreateSql()).ok());
+  CheckpointStore store = TwoImageStore(&db);
+  for (auto& img : store.images) img.data.resize(img.data.size() / 2);
+  auto image = SelectRecoveryImage(store);
+  ASSERT_FALSE(image.ok());
+  EXPECT_TRUE(image.status().IsNotFound()) << image.status().ToString();
+
+  CheckpointStore empty;
+  EXPECT_TRUE(SelectRecoveryImage(empty).status().IsNotFound());
+}
+
 }  // namespace
 }  // namespace oltap

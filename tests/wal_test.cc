@@ -529,5 +529,268 @@ TEST(WalTest, AbortedTransactionsNeverLogged) {
   EXPECT_EQ(wal.num_records(), 0u);
 }
 
+// --- Segmentation & truncation ------------------------------------------
+
+// Appends `n` single-insert commits with commit_ts 1..n.
+void AppendCommits(Wal* wal, int64_t n, int64_t first_id = 1) {
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t id = first_id + i;
+    ASSERT_TRUE(wal->LogCommit(static_cast<uint64_t>(id),
+                               static_cast<Timestamp>(id),
+                               {WalOp{WalOp::kInsert, "t", "",
+                                      MakeRow(id, "seg", 0.5)}})
+                    .ok());
+  }
+}
+
+TEST(WalTest, SegmentRotationPreservesReplayByteForByte) {
+  Wal::Options options;
+  options.segment_bytes = 1;  // rotate after every frame
+  Wal segmented(options);
+  Wal flat;
+  AppendCommits(&segmented, 8);
+  AppendCommits(&flat, 8);
+
+  // Every append seals and rotates, so 8 commits leave 8 sealed segments
+  // plus the (empty) active one.
+  EXPECT_EQ(segmented.num_segments(), 9u);
+  // Rotation happens at frame boundaries, so the concatenated retained
+  // bytes equal the unsegmented log exactly.
+  EXPECT_EQ(segmented.buffer(), flat.buffer());
+  EXPECT_EQ(segmented.size(), flat.size());
+
+  // Oldest-first, with monotone ids and commit-ts high-water marks.
+  std::vector<Wal::SegmentInfo> segs = segmented.Segments();
+  ASSERT_EQ(segs.size(), 9u);
+  for (size_t i = 0; i < segs.size(); ++i) {
+    EXPECT_EQ(segs[i].id, i);
+  }
+  // Sealed segments carry commit_ts 1..8; the empty active segment has no
+  // high-water mark yet.
+  for (size_t i = 0; i + 1 < segs.size(); ++i) {
+    EXPECT_EQ(segs[i].max_commit_ts, i + 1);
+  }
+  EXPECT_EQ(segs.back().max_commit_ts, 0u);
+}
+
+TEST(WalTest, TruncateBelowDropsOnlyWhollyCoveredSealedSegments) {
+  Wal::Options options;
+  options.segment_bytes = 1;
+  Wal wal(options);
+  AppendCommits(&wal, 6);
+  ASSERT_EQ(wal.num_segments(), 7u);  // 6 sealed + empty active
+  const size_t full_size = wal.size();
+
+  // Horizon 3 covers sealed segments with max_commit_ts 1, 2, 3.
+  uint64_t dropped = 0;
+  ASSERT_TRUE(wal.TruncateBelow(3, &dropped).ok());
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(wal.num_segments(), 4u);
+  EXPECT_EQ(wal.size(), full_size - dropped);
+  EXPECT_EQ(wal.truncated_bytes(), dropped);
+  EXPECT_EQ(wal.Segments().front().max_commit_ts, 4u);
+
+  // The retained tail replays cleanly on top of a state that already holds
+  // everything at or below the horizon (checkpoint recovery's contract).
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  auto stats = Wal::Replay(wal.buffer(), &catalog);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->txns_applied, 3u);  // commits 4, 5, 6
+  EXPECT_EQ(stats->max_commit_ts, 6u);
+
+  // The active segment never drops, no matter the horizon.
+  ASSERT_TRUE(wal.TruncateBelow(kMaxTimestamp, &dropped).ok());
+  EXPECT_EQ(wal.num_segments(), 1u);
+  AppendCommits(&wal, 1, 100);  // still appends fine
+  EXPECT_FALSE(wal.sealed());
+  EXPECT_GT(wal.size(), 0u);
+}
+
+TEST(WalTest, TruncateBelowKeepsSegmentsAboveHorizon) {
+  Wal::Options options;
+  options.segment_bytes = 1;
+  Wal wal(options);
+  AppendCommits(&wal, 4);
+  const size_t before = wal.size();
+  // Horizon below every sealed segment's high-water mark: nothing drops.
+  uint64_t dropped = 99;
+  ASSERT_TRUE(wal.TruncateBelow(0, &dropped).ok());
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(wal.size(), before);
+  EXPECT_EQ(wal.num_segments(), 5u);
+}
+
+TEST(WalTest, TruncateFailpointFailsCleanlyDroppingNothing) {
+  Wal::Options options;
+  options.segment_bytes = 1;
+  Wal wal(options);
+  AppendCommits(&wal, 4);
+  const size_t before = wal.size();
+  const size_t before_segments = wal.num_segments();
+  {
+    FailpointConfig cfg;
+    cfg.status = Status::Unavailable("injected: truncate fault");
+    ScopedFailpoint armed("wal.truncate.error", cfg);
+    uint64_t dropped = 99;
+    Status st = wal.TruncateBelow(kMaxTimestamp, &dropped);
+    EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+    EXPECT_EQ(dropped, 0u);
+  }
+  // The failure dropped nothing — the full log is still retained and a
+  // later truncation succeeds.
+  EXPECT_EQ(wal.size(), before);
+  EXPECT_EQ(wal.num_segments(), before_segments);
+  ASSERT_TRUE(wal.TruncateBelow(2).ok());
+  EXPECT_EQ(wal.num_segments(), before_segments - 2);
+}
+
+TEST(WalTest, ExplicitSealStopsAppends) {
+  Wal wal;
+  AppendCommits(&wal, 2);
+  EXPECT_FALSE(wal.sealed());
+  wal.Seal();
+  EXPECT_TRUE(wal.sealed());
+  Status st = wal.LogCommit(
+      9, 9, {WalOp{WalOp::kInsert, "t", "", MakeRow(9, "late", 0)}});
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  // The sealed log still replays its pre-seal contents.
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  auto stats = Wal::Replay(wal.buffer(), &catalog);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->txns_applied, 2u);
+}
+
+TEST(WalTest, SetSegmentBytesRotatesLiveLog) {
+  Wal wal;  // unbounded: one active segment
+  AppendCommits(&wal, 4);
+  EXPECT_EQ(wal.num_segments(), 1u);
+  wal.set_segment_bytes(1);  // active segment is already over the limit
+  EXPECT_EQ(wal.num_segments(), 2u);
+  AppendCommits(&wal, 1, 50);
+  EXPECT_EQ(wal.num_segments(), 3u);
+  wal.set_segment_bytes(0);  // rotation off again
+  AppendCommits(&wal, 3, 60);
+  EXPECT_EQ(wal.num_segments(), 3u);
+}
+
+TEST(WalTest, FileBackedRotationCreatesAndTruncatesSegmentFiles) {
+  std::string path = ::testing::TempDir() + "/oltap_wal_seg.log";
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+  std::remove((path + ".2").c_str());
+  std::remove((path + ".3").c_str());
+  {
+    Wal::Options options;
+    options.segment_bytes = 1;
+    auto opened = Wal::OpenFile(path, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    Wal* wal = opened->get();
+    AppendCommits(wal, 3);
+    ASSERT_EQ(wal->num_segments(), 4u);  // 3 sealed + empty active
+
+    // Segment 0 lives at the base path; later segments at "<path>.<id>".
+    auto exists = [](const std::string& p) {
+      std::FILE* f = std::fopen(p.c_str(), "rb");
+      if (f != nullptr) std::fclose(f);
+      return f != nullptr;
+    };
+    EXPECT_TRUE(exists(path));
+    EXPECT_TRUE(exists(path + ".1"));
+    EXPECT_TRUE(exists(path + ".2"));
+
+    // Truncation removes the dropped segments' files.
+    ASSERT_TRUE(wal->TruncateBelow(2).ok());
+    EXPECT_FALSE(exists(path));
+    EXPECT_FALSE(exists(path + ".1"));
+    EXPECT_TRUE(exists(path + ".2"));
+
+    // The retained tail replays from the in-memory mirror and from disk
+    // identically.
+    Catalog catalog;
+    ASSERT_TRUE(
+        catalog.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+    auto stats = Wal::Replay(wal->buffer(), &catalog);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->txns_applied, 1u);
+    EXPECT_EQ(stats->max_commit_ts, 3u);
+  }
+  std::remove((path + ".2").c_str());
+  std::remove((path + ".3").c_str());
+}
+
+// One transaction may write the same key several times (TPC-C NewOrder
+// drawing a duplicate item updates that stock row twice); all its ops
+// share one commit timestamp, so idempotent replay must apply the NET
+// effect instead of skipping everything after the first same-ts write.
+TEST(WalTest, IdempotentReplayAppliesNetOfDuplicateKeyWrites) {
+  Wal wal;
+  Catalog source;
+  ASSERT_TRUE(source.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+  TransactionManager tm(&source, &wal);
+  Table* table = source.GetTable("t");
+
+  {
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(1, "base", 1.0)).ok());
+    ASSERT_TRUE(tm.Commit(t.get()).ok());
+  }
+  {
+    // Two updates to the same key in one transaction: live state holds
+    // the second.
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Update(table, MakeRow(1, "first", 2.0)).ok());
+    ASSERT_TRUE(t->Update(table, MakeRow(1, "second", 3.0)).ok());
+    ASSERT_TRUE(tm.Commit(t.get()).ok());
+  }
+  {
+    // Insert then update in one transaction: net is an insert of the
+    // final row.
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(2, "new", 1.0)).ok());
+    ASSERT_TRUE(t->Update(table, MakeRow(2, "newer", 2.0)).ok());
+    ASSERT_TRUE(tm.Commit(t.get()).ok());
+  }
+  {
+    // Insert then delete: the row never commits at all.
+    auto t = tm.Begin();
+    ASSERT_TRUE(t->Insert(table, MakeRow(3, "gone", 1.0)).ok());
+    ASSERT_TRUE(t->Delete(table, MakeRow(3, "gone", 1.0)).ok());
+    ASSERT_TRUE(tm.Commit(t.get()).ok());
+  }
+
+  for (bool idempotent : {false, true}) {
+    Catalog catalog;
+    ASSERT_TRUE(
+        catalog.CreateTable("t", TestSchema(), TableFormat::kColumn).ok());
+    Wal::ReplayOptions options;
+    options.idempotent = idempotent;
+    auto stats = Wal::Replay(wal.buffer(), &catalog, options);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+    Table* replayed = catalog.GetTable("t");
+    EXPECT_EQ(replayed->CountVisible(1'000'000), 2u) << idempotent;
+    Row row;
+    ASSERT_TRUE(replayed->Lookup(EncodeKey(replayed->schema(),
+                                           MakeRow(1, "", 0)),
+                                 1'000'000, &row));
+    EXPECT_EQ(row[1].AsString(), "second") << "idempotent=" << idempotent;
+    ASSERT_TRUE(replayed->Lookup(EncodeKey(replayed->schema(),
+                                           MakeRow(2, "", 0)),
+                                 1'000'000, &row));
+    EXPECT_EQ(row[1].AsString(), "newer") << "idempotent=" << idempotent;
+  }
+}
+
+TEST(WalTest, PeekBodyCommitTsReadsSerializedBody) {
+  std::string body = Wal::SerializeCommitBody(
+      7, 42, {WalOp{WalOp::kInsert, "t", "", MakeRow(1, "x", 0)}});
+  EXPECT_EQ(Wal::PeekBodyCommitTs(body), 42u);
+  EXPECT_EQ(Wal::PeekBodyCommitTs(std::string()), 0u);
+}
+
 }  // namespace
 }  // namespace oltap
