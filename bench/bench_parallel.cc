@@ -1,0 +1,267 @@
+// E21 — Morsel-driven parallel execution (Leis et al., HyPer's
+// morsel-driven parallelism; DESIGN.md §10).
+//
+// Reports three things:
+//   (a) scan speedup: a selective scan-aggregate over an N-row columnar
+//       table at DOP = hardware_concurrency vs. serial, with the fraction
+//       of linear scaling achieved;
+//   (b) partitioned join speedup: a hash join whose build and probe sides
+//       both come from large parallel scans, same comparison;
+//   (c) admission-governed DOP under mixed load: committed-txn p99 for
+//       TPC-C clients while CH analytic clients run with grant-governed
+//       parallelism on vs. parallelism off. The acceptance bar is that
+//       granting analytics all cores through the workload manager (which
+//       degrades them to serial when their queue backs up) costs OLTP
+//       less than 10% p99.
+//
+// Reduced mode for CI smoke: OLTAP_PARALLEL_ROWS / OLTAP_PARALLEL_REPS /
+// OLTAP_PARALLEL_DURATION_MS shrink the table, timing repetitions, and
+// the mixed-load run.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_reporter.h"
+
+OLTAP_BENCH_REPORTER("parallel");
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "sql/session.h"
+#include "storage/table.h"
+#include "workload/chbench.h"
+#include "workload/driver.h"
+
+namespace oltap {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : def;
+}
+
+size_t HardwareDop() {
+  size_t hw = std::thread::hardware_concurrency();
+  return hw < 2 ? 2 : hw;
+}
+
+size_t BenchRows() {
+  return static_cast<size_t>(EnvInt("OLTAP_PARALLEL_ROWS", 4 << 20));
+}
+
+int BenchReps() {
+  return static_cast<int>(EnvInt("OLTAP_PARALLEL_REPS", 5));
+}
+
+// Database with a fact table and a dimension table, bulk-loaded into the
+// columnar main so every timing run scans identical fragments.
+//   fact(id, fk, k, v): N rows, fk uniform over the dimension keys,
+//                       k uniform [0,100), v uniform [0,1000).
+//   dim(id, w):         N/64 rows.
+struct ParallelWorld {
+  Database db;
+  std::unique_ptr<ThreadPool> pool;
+  size_t rows;
+
+  ParallelWorld() : rows(BenchRows()) {
+    if (!db.Execute("CREATE TABLE fact (id INT, fk INT, k INT, v INT, "
+                    "PRIMARY KEY (id)) FORMAT COLUMN")
+             .ok()) {
+      std::abort();
+    }
+    if (!db.Execute("CREATE TABLE dim (id INT, w INT, PRIMARY KEY (id)) "
+                    "FORMAT COLUMN")
+             .ok()) {
+      std::abort();
+    }
+    const size_t dim_rows = std::max<size_t>(1, rows / 64);
+    Rng rng(7);
+    std::vector<Row> frows;
+    frows.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      frows.push_back(
+          Row{Value::Int64(static_cast<int64_t>(i)),
+              Value::Int64(rng.UniformRange(
+                  0, static_cast<int64_t>(dim_rows) - 1)),
+              Value::Int64(rng.UniformRange(0, 99)),
+              Value::Int64(rng.UniformRange(0, 999))});
+    }
+    if (!db.catalog()->GetTable("fact")->BulkLoadToMain(frows, 0).ok()) {
+      std::abort();
+    }
+    std::vector<Row> drows;
+    drows.reserve(dim_rows);
+    for (size_t i = 0; i < dim_rows; ++i) {
+      drows.push_back(Row{Value::Int64(static_cast<int64_t>(i)),
+                          Value::Int64(rng.UniformRange(0, 9))});
+    }
+    if (!db.catalog()->GetTable("dim")->BulkLoadToMain(drows, 0).ok()) {
+      std::abort();
+    }
+    if (!db.Execute("ANALYZE").ok()) std::abort();
+    pool = std::make_unique<ThreadPool>(HardwareDop() - 1);
+    db.set_exec_pool(pool.get());
+  }
+
+  // Best-of-reps wall time for `sql` at the given DOP.
+  int64_t TimeQueryUs(const std::string& sql, size_t dop) {
+    if (!db.Execute("SET max_dop = " + std::to_string(dop)).ok()) {
+      std::abort();
+    }
+    int64_t best = INT64_MAX;
+    for (int r = 0; r < BenchReps(); ++r) {
+      int64_t t0 = SystemClock::Get()->NowMicros();
+      auto res = db.Execute(sql);
+      int64_t t1 = SystemClock::Get()->NowMicros();
+      if (!res.ok()) std::abort();
+      best = std::min(best, t1 - t0);
+    }
+    return best;
+  }
+};
+
+ParallelWorld& SharedWorld() {
+  static ParallelWorld* world = new ParallelWorld();
+  return *world;
+}
+
+void ReportSpeedup(benchmark::State& state, const std::string& prefix,
+                   int64_t serial_us, int64_t parallel_us, size_t dop) {
+  double speedup =
+      parallel_us > 0
+          ? static_cast<double>(serial_us) / static_cast<double>(parallel_us)
+          : 0;
+  // Ideal speedup is bounded by physical cores, not by the DOP we ask
+  // for: on a single-core host the parallel plan can at best tie serial,
+  // and the fraction then measures pure morsel/merge overhead.
+  size_t hw = std::thread::hardware_concurrency();
+  double ideal = static_cast<double>(
+      std::max<size_t>(1, std::min(dop, hw < 1 ? 1 : hw)));
+  double linear_fraction = speedup / ideal;
+  auto* rep = bench::Reporter::Get();
+  rep->Metric(prefix + "_serial_us", static_cast<double>(serial_us));
+  rep->Metric(prefix + "_parallel_us", static_cast<double>(parallel_us));
+  rep->Metric(prefix + "_speedup", speedup);
+  rep->Metric(prefix + "_linear_fraction", linear_fraction);
+  rep->Metric(prefix + "_dop", static_cast<double>(dop));
+  state.counters["speedup"] = speedup;
+  state.counters["linear_fraction"] = linear_fraction;
+  state.counters["dop"] = static_cast<double>(dop);
+}
+
+// (a) Scan-aggregate speedup at core count.
+void BM_ParallelScanSpeedup(benchmark::State& state) {
+  ParallelWorld& world = SharedWorld();
+  const size_t dop = HardwareDop();
+  const std::string sql =
+      "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM fact WHERE k < 50";
+  for (auto _ : state) {
+    int64_t serial_us = world.TimeQueryUs(sql, 1);
+    int64_t parallel_us = world.TimeQueryUs(sql, dop);
+    ReportSpeedup(state, "scan", serial_us, parallel_us, dop);
+  }
+  state.SetItemsProcessed(state.iterations() * world.rows);
+}
+BENCHMARK(BM_ParallelScanSpeedup)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// (b) Partitioned hash-join speedup at core count (parallel partitioned
+// build over dim, fused probe inside the fact scan's workers).
+void BM_ParallelJoinSpeedup(benchmark::State& state) {
+  ParallelWorld& world = SharedWorld();
+  const size_t dop = HardwareDop();
+  const std::string sql =
+      "SELECT d.w, COUNT(*), SUM(f.v) FROM dim d "
+      "JOIN fact f ON d.id = f.fk WHERE f.k < 50 GROUP BY d.w";
+  for (auto _ : state) {
+    int64_t serial_us = world.TimeQueryUs(sql, 1);
+    int64_t parallel_us = world.TimeQueryUs(sql, dop);
+    ReportSpeedup(state, "join", serial_us, parallel_us, dop);
+  }
+  state.SetItemsProcessed(state.iterations() * world.rows);
+}
+BENCHMARK(BM_ParallelJoinSpeedup)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// (c) OLTP tail latency under mixed load: grant-governed parallelism on
+// (arg 1) vs. parallelism off (arg 0).
+void BM_MixedLoadOltpTail(benchmark::State& state) {
+  const bool parallel_on = state.range(0) != 0;
+  const std::string suffix = parallel_on ? ".parallel_on" : ".parallel_off";
+  for (auto _ : state) {
+    CHConfig config;
+    config.warehouses = 4;
+    config.districts_per_warehouse = 10;
+    config.customers_per_district = 100;
+    config.items = 1000;
+    config.initial_orders_per_district = 30;
+    Database db;
+    CHBenchmark bench(&db, config);
+    if (!bench.CreateTables().ok()) std::abort();
+    if (!bench.Load().ok()) std::abort();
+    db.MergeAll();
+    if (!db.Execute("ANALYZE").ok()) std::abort();
+
+    std::unique_ptr<ThreadPool> pool;
+    if (parallel_on) {
+      pool = std::make_unique<ThreadPool>(HardwareDop() - 1);
+      db.set_exec_pool(pool.get());
+    }
+
+    DriverOptions opts;
+    opts.oltp_workers = 4;
+    opts.olap_workers = 3;
+    // One admission slot for OLAP: with three closed-loop analytic
+    // clients its queue is usually nonempty, so most admissions are
+    // degraded — the governed path this experiment measures.
+    opts.wm_workers = 5;
+    opts.duration_ms = EnvInt("OLTAP_PARALLEL_DURATION_MS", 3000);
+    opts.think_time_us = 1000;
+    opts.bind_home_warehouse = true;
+    opts.policy = SchedulingPolicy::kOltpPriority;
+    // Analytics get every core when the system is healthy; the first
+    // thing admission takes back under pressure is their parallelism.
+    opts.olap_max_dop = parallel_on ? HardwareDop() : 1;
+    opts.degraded_dop = 1;
+    opts.olap_degrade_threshold = 1;
+    ConcurrentDriver driver(&bench, opts);
+    DriverReport report = driver.Run();
+
+    auto* rep = bench::Reporter::Get();
+    rep->Metric("oltp_p99_us" + suffix,
+                static_cast<double>(report.oltp_latency.p99_us));
+    rep->Metric("oltp_txn_s" + suffix, report.oltp_txn_per_s);
+    rep->Metric("olap_q_s" + suffix, report.olap_queries_per_s);
+    rep->Metric("olap_p95_us" + suffix,
+                static_cast<double>(report.olap_latency.p95_us));
+    state.counters["oltp_p99_us"] =
+        static_cast<double>(report.oltp_latency.p99_us);
+    state.counters["oltp_txn_s"] = report.oltp_txn_per_s;
+    state.counters["olap_q_s"] = report.olap_queries_per_s;
+  }
+}
+BENCHMARK(BM_MixedLoadOltpTail)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+const bool config_reported = [] {
+  auto* rep = bench::Reporter::Get();
+  rep->Config("rows", static_cast<double>(BenchRows()));
+  rep->Config("reps", static_cast<double>(BenchReps()));
+  rep->Config("dop", static_cast<double>(HardwareDop()));
+  return true;
+}();
+
+}  // namespace
+}  // namespace oltap

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "obs/exporter.h"
 #include "obs/metrics.h"
@@ -61,6 +62,10 @@ std::string JsonNumber(double v) {
 void WriteLocked(const State& state) {
   if (state.name.empty()) return;
   std::string out = "{\"name\":" + JsonEscape(state.name);
+  // Host parallelism, so speedup-vs-cores results are interpretable when
+  // reports from different machines land in the same archive.
+  out += ",\"hardware_concurrency\":" +
+         std::to_string(std::thread::hardware_concurrency());
   out += ",\"config\":{";
   bool first = true;
   for (const auto& [k, v] : state.config) {

@@ -54,10 +54,17 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForChunked(n, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   size_t num_chunks = std::min(n, threads_.size());
   if (num_chunks <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    fn(0, n);
     return;
   }
   // `done` is counted under `done_mu` (not an atomic): the waiter below
@@ -72,7 +79,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     size_t begin = c * chunk;
     size_t end = std::min(n, begin + chunk);
     Submit([&, begin, end] {
-      for (size_t i = begin; i < end; ++i) fn(i);
+      fn(begin, end);
       std::lock_guard<std::mutex> lock(done_mu);
       if (++done == num_chunks) done_cv.notify_all();
     });

@@ -14,16 +14,12 @@ std::string HashKeyOf(const Row& values) {
   return EncodeKeyColumns(values, all);
 }
 
-namespace {
-
-// Collects the column indices an expression references.
 void CollectExprColumns(const ExprPtr& e, std::vector<int>* out) {
   if (e == nullptr) return;
   if (e->kind() == Expr::Kind::kColumn) out->push_back(e->column_index());
   for (const ExprPtr& c : e->children()) CollectExprColumns(c, out);
 }
 
-// Rewrites column references through `remap` (schema index → new index).
 ExprPtr RemapExprColumns(const ExprPtr& e, const std::vector<int>& remap) {
   switch (e->kind()) {
     case Expr::Kind::kColumn:
@@ -50,6 +46,8 @@ ExprPtr RemapExprColumns(const ExprPtr& e, const std::vector<int>& remap) {
                          RemapExprColumns(e->children()[1], remap));
   }
 }
+
+namespace {
 
 void ExplainInto(const PhysicalOp* op, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
@@ -497,25 +495,31 @@ std::vector<ValueType> HashAggOp::OutputTypes() const {
 
 void HashAggOp::Open() {
   child_->OpenTimed();
-  index_.clear();
-  groups_.clear();
+  acc_.Clear();
   emit_pos_ = 0;
   done_ = false;
 }
 
-void HashAggOp::Consume(const Batch& batch) {
+void AggAccumulator::Clear() {
+  index_.clear();
+  groups_.clear();
+}
+
+void AggAccumulator::Consume(const Batch& batch) {
+  const std::vector<ExprPtr>& group_exprs = *group_exprs_;
+  const std::vector<AggSpec>& aggs = *aggs_;
   size_t n = batch.num_rows();
   if (n == 0) return;
   // Evaluate group keys and agg arguments once per batch.
   std::vector<ColumnVector> keys;
-  keys.reserve(group_exprs_.size());
-  for (const ExprPtr& g : group_exprs_) keys.push_back(g->EvalBatch(batch));
-  std::vector<ColumnVector> args(aggs_.size());
-  for (size_t a = 0; a < aggs_.size(); ++a) {
-    if (aggs_[a].arg != nullptr) args[a] = aggs_[a].arg->EvalBatch(batch);
+  keys.reserve(group_exprs.size());
+  for (const ExprPtr& g : group_exprs) keys.push_back(g->EvalBatch(batch));
+  std::vector<ColumnVector> args(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].arg != nullptr) args[a] = aggs[a].arg->EvalBatch(batch);
   }
 
-  Row key_row(group_exprs_.size());
+  Row key_row(group_exprs.size());
   for (size_t i = 0; i < n; ++i) {
     for (size_t k = 0; k < keys.size(); ++k) key_row[k] = keys[k].GetValue(i);
     std::string hk = HashKeyOf(key_row);
@@ -523,13 +527,13 @@ void HashAggOp::Consume(const Batch& batch) {
     if (inserted) {
       Group g;
       g.keys = key_row;
-      g.states.resize(aggs_.size());
+      g.states.resize(aggs.size());
       groups_.push_back(std::move(g));
     }
     Group& group = groups_[it->second];
-    for (size_t a = 0; a < aggs_.size(); ++a) {
+    for (size_t a = 0; a < aggs.size(); ++a) {
       AggState& st = group.states[a];
-      const AggSpec& spec = aggs_[a];
+      const AggSpec& spec = aggs[a];
       if (spec.fn == AggSpec::Fn::kCountStar) {
         ++st.count;
         continue;
@@ -559,7 +563,36 @@ void HashAggOp::Consume(const Batch& batch) {
   }
 }
 
-Value HashAggOp::Finalize(const AggSpec& spec, const AggState& st) const {
+void AggAccumulator::MergeFrom(const AggAccumulator& other) {
+  const std::vector<AggSpec>& aggs = *aggs_;
+  for (const Group& og : other.groups_) {
+    std::string hk = HashKeyOf(og.keys);
+    auto [it, inserted] = index_.emplace(std::move(hk), groups_.size());
+    if (inserted) {
+      Group g;
+      g.keys = og.keys;
+      g.states.resize(aggs.size());
+      groups_.push_back(std::move(g));
+    }
+    Group& group = groups_[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& st = group.states[a];
+      const AggState& os = og.states[a];
+      st.count += os.count;
+      st.isum += os.isum;
+      st.sum += os.sum;
+      if (os.any) {
+        // `other` is the later part of the stream: on ties keep the value
+        // already here, exactly as the serial first-encounter fold does.
+        if (!st.any || os.min.Compare(st.min) < 0) st.min = os.min;
+        if (!st.any || os.max.Compare(st.max) > 0) st.max = os.max;
+        st.any = true;
+      }
+    }
+  }
+}
+
+Value AggAccumulator::Finalize(const AggSpec& spec, const AggState& st) const {
   switch (spec.fn) {
     case AggSpec::Fn::kCountStar:
     case AggSpec::Fn::kCount:
@@ -583,30 +616,36 @@ Value HashAggOp::Finalize(const AggSpec& spec, const AggState& st) const {
 bool HashAggOp::NextBatch(Batch* out) {
   if (!done_) {
     Batch in;
-    while (child_->NextBatchTimed(&in)) Consume(in);
-    if (group_exprs_.empty() && groups_.empty()) {
-      // Global aggregate over zero rows still yields one output row.
-      Group g;
-      g.states.resize(aggs_.size());
-      groups_.push_back(std::move(g));
-    }
+    while (child_->NextBatchTimed(&in)) acc_.Consume(in);
     done_ = true;
   }
-  if (emit_pos_ >= groups_.size()) return false;
+  const std::vector<AggAccumulator::Group>& groups = acc_.groups();
+  bool synth_empty =
+      group_exprs_.empty() && groups.empty() && emit_pos_ == 0;
+  if (!synth_empty && emit_pos_ >= groups.size()) return false;
 
   std::vector<ValueType> types = OutputTypes();
   out->columns.clear();
   out->columns.reserve(types.size());
   for (ValueType t : types) out->columns.emplace_back(t);
-  size_t end = std::min(groups_.size(), emit_pos_ + kDefaultBatchRows);
+  if (synth_empty) {
+    // Global aggregate over zero rows still yields one output row.
+    AggAccumulator::AggState empty;
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      out->columns[a].AppendValue(acc_.Finalize(aggs_[a], empty));
+    }
+    ++emit_pos_;
+    return true;
+  }
+  size_t end = std::min(groups.size(), emit_pos_ + kDefaultBatchRows);
   for (; emit_pos_ < end; ++emit_pos_) {
-    const Group& g = groups_[emit_pos_];
+    const AggAccumulator::Group& g = groups[emit_pos_];
     size_t c = 0;
     for (size_t k = 0; k < group_exprs_.size(); ++k) {
       out->columns[c++].AppendValue(g.keys[k]);
     }
     for (size_t a = 0; a < aggs_.size(); ++a) {
-      out->columns[c++].AppendValue(Finalize(aggs_[a], g.states[a]));
+      out->columns[c++].AppendValue(acc_.Finalize(aggs_[a], g.states[a]));
     }
   }
   return true;
@@ -656,7 +695,7 @@ void HashJoinOp::Open() {
       has_null |= key_row[k].is_null();
     }
     if (has_null) continue;  // NULL keys never join
-    table_.emplace(HashKeyOf(key_row), i);
+    table_[HashKeyOf(key_row)].push_back(i);
   }
   probe_pos_ = 0;
   probe_done_ = false;
@@ -687,9 +726,10 @@ bool HashJoinOp::NextBatch(Batch* out) {
       has_null |= key_row[k].is_null();
     }
     if (has_null) continue;
-    auto [lo, hi] = table_.equal_range(HashKeyOf(key_row));
-    for (auto it = lo; it != hi; ++it) {
-      const Row& b = build_rows_[it->second];
+    auto it = table_.find(HashKeyOf(key_row));
+    if (it == table_.end()) continue;
+    for (size_t bi : it->second) {
+      const Row& b = build_rows_[bi];
       size_t c = 0;
       for (const Value& v : b) out->columns[c++].AppendValue(v);
       for (size_t pc = 0; pc < probe_batch_.num_columns(); ++pc) {

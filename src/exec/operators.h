@@ -52,6 +52,16 @@ class PhysicalOp {
   double est_rows() const { return est_rows_; }
   double est_cost() const { return est_cost_; }
 
+ protected:
+  // Morsel-driven (fused) execution produces rows inside Drive() without
+  // going through NextBatchTimed; parallel operators account what their
+  // workers produced here so EXPLAIN ANALYZE row counts stay meaningful.
+  void AccountDriven(size_t rows, size_t batches, uint64_t ns) {
+    stats_.rows += rows;
+    stats_.batches += batches;
+    stats_.next_ns += ns;
+  }
+
  private:
   obs::OpStats stats_;
   double est_rows_ = -1;
@@ -175,6 +185,50 @@ struct AggSpec {
   ValueType OutputType() const;
 };
 
+// The hash-aggregation state machine shared by the serial HashAggOp (one
+// instance) and the morsel-parallel aggregate (one instance per morsel,
+// merged in morsel order). Groups are kept in first-seen input order,
+// which is what makes slot-ordered parallel merges reproduce the serial
+// group order exactly.
+class AggAccumulator {
+ public:
+  struct AggState {
+    double sum = 0;
+    int64_t isum = 0;
+    int64_t count = 0;
+    Value min, max;
+    bool any = false;
+  };
+  struct Group {
+    Row keys;
+    std::vector<AggState> states;
+  };
+
+  AggAccumulator() = default;
+  // Pointers must outlive the accumulator (the owning operator's members).
+  AggAccumulator(const std::vector<ExprPtr>* group_exprs,
+                 const std::vector<AggSpec>* aggs)
+      : group_exprs_(group_exprs), aggs_(aggs) {}
+
+  void Consume(const Batch& batch);
+  // Folds `other` into this, treating its input as the stream suffix:
+  // new groups append in other's first-seen order, MIN/MAX ties keep this
+  // side's (earlier) value. Exact for COUNT / SUM over int64 / MIN / MAX;
+  // float sums are order-sensitive, so the planner never merges those in
+  // parallel.
+  void MergeFrom(const AggAccumulator& other);
+  Value Finalize(const AggSpec& spec, const AggState& st) const;
+
+  const std::vector<Group>& groups() const { return groups_; }
+  void Clear();
+
+ private:
+  const std::vector<ExprPtr>* group_exprs_ = nullptr;
+  const std::vector<AggSpec>* aggs_ = nullptr;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<Group> groups_;
+};
+
 // Blocking hash aggregation: GROUP BY `group_exprs` with `aggs`. Output
 // columns = group keys then aggregates. With no group keys, emits exactly
 // one row (global aggregate; zero input rows yield COUNT=0 / NULL sums).
@@ -190,26 +244,10 @@ class HashAggOp final : public PhysicalOp {
   std::vector<const PhysicalOp*> Children() const override;
 
  private:
-  struct AggState {
-    double sum = 0;
-    int64_t isum = 0;
-    int64_t count = 0;
-    Value min, max;
-    bool any = false;
-  };
-  struct Group {
-    Row keys;
-    std::vector<AggState> states;
-  };
-
-  void Consume(const Batch& batch);
-  Value Finalize(const AggSpec& spec, const AggState& st) const;
-
   PhysicalOpPtr child_;
   std::vector<ExprPtr> group_exprs_;
   std::vector<AggSpec> aggs_;
-  std::unordered_map<std::string, size_t> index_;
-  std::vector<Group> groups_;
+  AggAccumulator acc_{&group_exprs_, &aggs_};
   size_t emit_pos_ = 0;
   bool done_ = false;
 };
@@ -235,7 +273,11 @@ class HashJoinOp final : public PhysicalOp {
   std::vector<int> probe_keys_;
 
   std::vector<Row> build_rows_;
-  std::unordered_multimap<std::string, size_t> table_;
+  // Matches per key in ascending build-row order: duplicate-key emission
+  // order is then deterministic (unordered_multimap's equal_range order is
+  // implementation-defined), which the parallel partitioned build
+  // reproduces exactly.
+  std::unordered_map<std::string, std::vector<size_t>> table_;
   Batch probe_batch_;
   size_t probe_pos_ = 0;
   bool probe_done_ = false;
@@ -312,6 +354,12 @@ std::vector<Row> CollectRows(PhysicalOp* op);
 // Serialized group-key encoding shared by aggregation and join (distinct
 // from storage key encoding: order is irrelevant, only equality).
 std::string HashKeyOf(const Row& values);
+
+// Collects the column indices an expression references (with duplicates).
+void CollectExprColumns(const ExprPtr& e, std::vector<int>* out);
+
+// Rewrites column references through `remap` (old index → new index).
+ExprPtr RemapExprColumns(const ExprPtr& e, const std::vector<int>& remap);
 
 }  // namespace oltap
 

@@ -1,0 +1,180 @@
+#include "exec/parallel/parallel_join.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace oltap {
+
+ParallelHashJoinOp::ParallelHashJoinOp(PhysicalOpPtr build,
+                                       PhysicalOpPtr probe,
+                                       std::vector<int> build_keys,
+                                       std::vector<int> probe_keys,
+                                       ParallelContext ctx)
+    : build_(std::move(build)),
+      probe_(std::move(probe)),
+      build_keys_(std::move(build_keys)),
+      probe_keys_(std::move(probe_keys)),
+      ctx_(ctx) {
+  OLTAP_CHECK(build_keys_.size() == probe_keys_.size());
+  probe_src_ = dynamic_cast<MorselSource*>(probe_.get());
+  OLTAP_CHECK(probe_src_ != nullptr);
+}
+
+std::vector<ValueType> ParallelHashJoinOp::OutputTypes() const {
+  std::vector<ValueType> types = build_->OutputTypes();
+  for (ValueType t : probe_->OutputTypes()) types.push_back(t);
+  return types;
+}
+
+void ParallelHashJoinOp::BuildTable() {
+  build_rows_ = CollectRows(build_.get());
+  size_t n = build_rows_.size();
+  nparts_ = std::max<size_t>(1, ctx_.dop);
+  parts_.assign(nparts_, {});
+  if (n == 0) return;
+
+  // Phase 1: per-row key encoding + hashing, chunked across the pool.
+  std::vector<std::string> keys(n);
+  std::vector<uint64_t> hashes(n);
+  std::vector<uint8_t> valid(n, 0);
+  std::hash<std::string> hasher;
+  auto hash_range = [&](size_t begin, size_t end) {
+    Row key_row(build_keys_.size());
+    for (size_t i = begin; i < end; ++i) {
+      bool has_null = false;
+      for (size_t k = 0; k < build_keys_.size(); ++k) {
+        key_row[k] = build_rows_[i][build_keys_[k]];
+        has_null |= key_row[k].is_null();
+      }
+      if (has_null) continue;  // NULL keys never join
+      keys[i] = HashKeyOf(key_row);
+      hashes[i] = hasher(keys[i]);
+      valid[i] = 1;
+    }
+  };
+  // Phase 2: one chunk per partition; each partition scans the hash array
+  // and inserts its rows in ascending build-row order.
+  auto insert_parts = [&](size_t pbegin, size_t pend) {
+    for (size_t p = pbegin; p < pend; ++p) {
+      auto& part = parts_[p];
+      for (size_t i = 0; i < n; ++i) {
+        if (valid[i] && hashes[i] % nparts_ == p) {
+          part[std::move(keys[i])].push_back(i);
+        }
+      }
+    }
+  };
+  if (ctx_.pool != nullptr && ctx_.dop >= 2) {
+    ctx_.pool->ParallelForChunked(n, hash_range);
+    ctx_.pool->ParallelForChunked(nparts_, insert_parts);
+  } else {
+    hash_range(0, n);
+    insert_parts(0, nparts_);
+  }
+}
+
+void ParallelHashJoinOp::PrepareMorsels() {
+  if (prepared_) return;
+  prepared_ = true;
+  probe_src_->PrepareMorsels();
+  BuildTable();
+}
+
+size_t ParallelHashJoinOp::slots() const { return probe_src_->slots(); }
+
+void ParallelHashJoinOp::JoinBatch(size_t slot, const Batch& in,
+                                   const MorselSink& sink,
+                                   std::atomic<size_t>* rows,
+                                   std::atomic<size_t>* batches) const {
+  std::vector<ValueType> types = OutputTypes();
+  Batch out;
+  auto reset_out = [&] {
+    out.columns.clear();
+    out.columns.reserve(types.size());
+    for (ValueType t : types) out.columns.emplace_back(t);
+  };
+  auto flush = [&] {
+    if (out.num_rows() == 0) return;
+    rows->fetch_add(out.num_rows(), std::memory_order_relaxed);
+    batches->fetch_add(1, std::memory_order_relaxed);
+    sink(slot, std::move(out));
+    reset_out();
+  };
+  reset_out();
+
+  Row key_row(probe_keys_.size());
+  std::hash<std::string> hasher;
+  for (size_t i = 0; i < in.num_rows(); ++i) {
+    bool has_null = false;
+    for (size_t k = 0; k < probe_keys_.size(); ++k) {
+      key_row[k] = in.columns[probe_keys_[k]].GetValue(i);
+      has_null |= key_row[k].is_null();
+    }
+    if (has_null) continue;
+    std::string key = HashKeyOf(key_row);
+    const auto& part = parts_[hasher(key) % nparts_];
+    auto it = part.find(key);
+    if (it == part.end()) continue;
+    for (size_t bi : it->second) {
+      const Row& b = build_rows_[bi];
+      size_t c = 0;
+      for (const Value& v : b) out.columns[c++].AppendValue(v);
+      for (size_t pc = 0; pc < in.num_columns(); ++pc) {
+        out.columns[c++].AppendValue(in.columns[pc].GetValue(i));
+      }
+    }
+    if (out.num_rows() >= kDefaultBatchRows) flush();
+  }
+  flush();
+}
+
+void ParallelHashJoinOp::Drive(const MorselSink& sink) {
+  DriveInternal(sink, /*account=*/true);
+}
+
+void ParallelHashJoinOp::DriveInternal(const MorselSink& sink,
+                                       bool account) {
+  PrepareMorsels();
+  std::atomic<size_t> rows{0};
+  std::atomic<size_t> batches{0};
+  auto t0 = std::chrono::steady_clock::now();
+  probe_src_->Drive([&](size_t slot, Batch&& in) {
+    JoinBatch(slot, in, sink, &rows, &batches);
+  });
+  if (account) {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    AccountDriven(rows.load(), batches.load(), static_cast<uint64_t>(ns));
+  }
+}
+
+void ParallelHashJoinOp::Open() {
+  PrepareMorsels();
+  buf_.Reset(slots());
+  DriveInternal(
+      [this](size_t slot, Batch&& b) { buf_.Append(slot, std::move(b)); },
+      /*account=*/false);
+}
+
+bool ParallelHashJoinOp::NextBatch(Batch* out) { return buf_.Next(out); }
+
+std::string ParallelHashJoinOp::Describe() const {
+  std::string out = "ParallelHashJoin(keys=";
+  for (size_t i = 0; i < build_keys_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "$" + std::to_string(build_keys_[i]) + "=$" +
+           std::to_string(probe_keys_[i]);
+  }
+  return out + ", dop=" + std::to_string(ctx_.dop) + ")";
+}
+
+std::vector<const PhysicalOp*> ParallelHashJoinOp::Children() const {
+  return {build_.get(), probe_.get()};
+}
+
+}  // namespace oltap

@@ -1,0 +1,67 @@
+#ifndef OLTAP_EXEC_PARALLEL_PARALLEL_JOIN_H_
+#define OLTAP_EXEC_PARALLEL_PARALLEL_JOIN_H_
+
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/parallel/morsel.h"
+
+namespace oltap {
+
+// Morsel-parallel inner equi-join. The build side is materialized once,
+// then the hash table is built in two parallel phases: (1) per-row key
+// encoding + hashing chunked across the pool, (2) one worker per
+// partition inserting its rows in ascending build-row order (each key
+// lands in exactly one partition, so insertion order per key matches the
+// serial build — the serial HashJoinOp emits duplicate-key matches in
+// ascending build-row order too). The probe side must be a MorselSource;
+// each probe morsel is joined inside the worker that produced it against
+// the shared read-only partitioned table, preserving the probe row order
+// within its slot. Output row stream == serial HashJoinOp at any DOP.
+class ParallelHashJoinOp final : public PhysicalOp, public MorselSource {
+ public:
+  // `probe` must implement MorselSource.
+  ParallelHashJoinOp(PhysicalOpPtr build, PhysicalOpPtr probe,
+                     std::vector<int> build_keys,
+                     std::vector<int> probe_keys, ParallelContext ctx);
+
+  void Open() override;
+  bool NextBatch(Batch* out) override;
+  std::vector<ValueType> OutputTypes() const override;
+  std::string Describe() const override;
+  std::vector<const PhysicalOp*> Children() const override;
+
+  void PrepareMorsels() override;
+  size_t slots() const override;
+  void Drive(const MorselSink& sink) override;
+
+ private:
+  void DriveInternal(const MorselSink& sink, bool account);
+  void BuildTable();
+  // Joins one probe batch, sinking output in kDefaultBatchRows chunks.
+  void JoinBatch(size_t slot, const Batch& in, const MorselSink& sink,
+                 std::atomic<size_t>* rows,
+                 std::atomic<size_t>* batches) const;
+
+  PhysicalOpPtr build_;
+  PhysicalOpPtr probe_;
+  MorselSource* probe_src_ = nullptr;
+  std::vector<int> build_keys_;
+  std::vector<int> probe_keys_;
+  ParallelContext ctx_;
+
+  std::vector<Row> build_rows_;
+  size_t nparts_ = 1;
+  // Partition p owns keys with hash(key) % nparts_ == p; per-key match
+  // lists are in ascending build-row order.
+  std::vector<std::unordered_map<std::string, std::vector<size_t>>> parts_;
+  bool prepared_ = false;
+
+  SlotBuffer buf_;
+};
+
+}  // namespace oltap
+
+#endif  // OLTAP_EXEC_PARALLEL_PARALLEL_JOIN_H_

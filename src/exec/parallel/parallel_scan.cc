@@ -1,0 +1,270 @@
+#include "exec/parallel/parallel_scan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace oltap {
+
+ParallelScanOp::ParallelScanOp(const Table* table, Timestamp read_ts,
+                               ExprPtr predicate,
+                               std::vector<int> projection,
+                               ParallelContext ctx)
+    : table_(table),
+      read_ts_(read_ts),
+      predicate_(std::move(predicate)),
+      projection_(std::move(projection)),
+      ctx_(ctx) {
+  OLTAP_CHECK(table_->column_table() != nullptr);
+  const Schema& schema = table_->schema();
+  if (projection_.empty()) {
+    projection_.resize(schema.num_columns());
+    std::iota(projection_.begin(), projection_.end(), 0);
+  }
+  out_types_.reserve(projection_.size());
+  for (int c : projection_) {
+    out_types_.push_back(schema.column(c).type);
+  }
+}
+
+std::vector<ValueType> ParallelScanOp::OutputTypes() const {
+  return out_types_;
+}
+
+void ParallelScanOp::PrepareMorsels() {
+  if (prepared_) return;
+  prepared_ = true;
+
+  snap_ = table_->GetColumnSnapshot(read_ts_);
+  OLTAP_CHECK(snap_.has_value());
+
+  // Pushdown split, gather plan, and residual remap — same derivation as
+  // the serial ScanOp.
+  pushed_.clear();
+  residual_ = nullptr;
+  if (predicate_ != nullptr) {
+    std::vector<ExprPtr> conjuncts;
+    Expr::SplitConjuncts(predicate_, &conjuncts);
+    std::vector<ExprPtr> residual_terms;
+    for (const ExprPtr& c : conjuncts) {
+      Expr::ColumnPredicate cp;
+      if (c->AsColumnPredicate(&cp)) {
+        pushed_.push_back(cp);
+      } else {
+        residual_terms.push_back(c);
+      }
+    }
+    residual_ = Expr::CombineConjuncts(residual_terms);
+  }
+  needed_ = projection_;
+  CollectExprColumns(residual_, &needed_);
+  std::sort(needed_.begin(), needed_.end());
+  needed_.erase(std::unique(needed_.begin(), needed_.end()), needed_.end());
+  schema_to_batch_.assign(table_->schema().num_columns(), -1);
+  for (size_t i = 0; i < needed_.size(); ++i) {
+    schema_to_batch_[needed_[i]] = static_cast<int>(i);
+  }
+  residual_remapped_ =
+      residual_ == nullptr ? nullptr
+                           : RemapExprColumns(residual_, schema_to_batch_);
+
+  // Main-fragment selection: visibility mask, then zone-pruned pushdown
+  // kernels over whole segments (cheap relative to the per-row gather that
+  // the morsels parallelize).
+  const MainFragment& main = *snap_->main;
+  main.VisibleMask(read_ts_, &main_sel_);
+  rows_scanned_ += main.num_rows();
+  if (main.num_rows() > 0) {
+    for (const Expr::ColumnPredicate& cp : pushed_) {
+      const ColumnSegment& seg = main.column(cp.column);
+      BitVector hits;
+      size_t pruned = 0;
+      seg.ScanCompareZoned(cp.op, cp.constant, &hits, &pruned);
+      zones_pruned_ += pruned;
+      main_sel_.And(hits);
+    }
+  }
+
+  // Delta (and frozen delta) rows: row-at-a-time with the full predicate,
+  // in serial iteration order — they become the single trailing slot.
+  auto consume = [&](uint32_t, const Row& row) {
+    ++rows_scanned_;
+    if (predicate_ != nullptr) {
+      Value v = predicate_->EvalRow(row);
+      if (v.is_null() || !v.AsBool()) return;
+    }
+    pending_rows_.push_back(row);
+  };
+  if (snap_->frozen != nullptr) {
+    snap_->frozen->ForEachVisible(read_ts_, consume);
+  }
+  snap_->delta->ForEachVisible(read_ts_, consume);
+
+  num_main_morsels_ = (main.num_rows() + kMorselRows - 1) / kMorselRows;
+  num_slots_ = num_main_morsels_ + (pending_rows_.empty() ? 0 : 1);
+}
+
+size_t ParallelScanOp::slots() const { return num_slots_; }
+
+void ParallelScanOp::ProduceMainMorsel(size_t m, const MorselSink& sink,
+                                       std::atomic<size_t>* rows,
+                                       std::atomic<size_t>* batches) const {
+  const MainFragment& main = *snap_->main;
+  const Schema& schema = table_->schema();
+  size_t begin = m * kMorselRows;
+  size_t end = std::min(main_sel_.size(), begin + kMorselRows);
+
+  size_t pos = main_sel_.FindNextSet(begin);
+  std::vector<uint32_t> rids;
+  while (pos < end) {
+    rids.clear();
+    rids.reserve(kDefaultBatchRows);
+    while (pos < end && rids.size() < kDefaultBatchRows) {
+      rids.push_back(static_cast<uint32_t>(pos));
+      pos = main_sel_.FindNextSet(pos + 1);
+    }
+    if (rids.empty()) break;
+
+    // Gather needed columns, evaluate the residual, project — identical
+    // per-row work to ScanOp::EmitMainBatch.
+    Batch full;
+    full.columns.reserve(needed_.size());
+    for (int c : needed_) {
+      ColumnVector cv(schema.column(c).type);
+      cv.Reserve(rids.size());
+      const ColumnSegment& seg = main.column(c);
+      for (uint32_t rid : rids) {
+        if (seg.IsNull(rid)) {
+          cv.AppendNull();
+          continue;
+        }
+        switch (seg.type()) {
+          case ValueType::kInt64:
+            cv.AppendInt64(seg.GetInt64(rid));
+            break;
+          case ValueType::kDouble:
+            cv.AppendDouble(seg.GetDouble(rid));
+            break;
+          case ValueType::kString:
+            cv.AppendString(std::string(seg.GetString(rid)));
+            break;
+        }
+      }
+      full.columns.push_back(std::move(cv));
+    }
+
+    BitVector keep;
+    if (residual_remapped_ != nullptr) {
+      residual_remapped_->EvalPredicate(full, &keep);
+    } else {
+      keep.Resize(full.num_rows());
+      keep.SetAll();
+    }
+    if (keep.CountSet() == 0) continue;
+
+    Batch out;
+    out.columns.reserve(projection_.size());
+    for (size_t p = 0; p < projection_.size(); ++p) {
+      const ColumnVector& src =
+          full.columns[schema_to_batch_[projection_[p]]];
+      ColumnVector cv(src.type());
+      for (size_t r = keep.FindNextSet(0); r < keep.size();
+           r = keep.FindNextSet(r + 1)) {
+        cv.AppendValue(src.GetValue(r));
+      }
+      out.columns.push_back(std::move(cv));
+    }
+    rows->fetch_add(out.num_rows(), std::memory_order_relaxed);
+    batches->fetch_add(1, std::memory_order_relaxed);
+    sink(m, std::move(out));
+  }
+}
+
+void ParallelScanOp::ProduceDeltaSlot(size_t slot, const MorselSink& sink,
+                                      std::atomic<size_t>* rows,
+                                      std::atomic<size_t>* batches) const {
+  for (size_t base = 0; base < pending_rows_.size();
+       base += kDefaultBatchRows) {
+    size_t end = std::min(pending_rows_.size(), base + kDefaultBatchRows);
+    Batch out;
+    out.columns.reserve(projection_.size());
+    for (size_t p = 0; p < projection_.size(); ++p) {
+      out.columns.emplace_back(out_types_[p]);
+    }
+    for (size_t i = base; i < end; ++i) {
+      const Row& row = pending_rows_[i];
+      for (size_t p = 0; p < projection_.size(); ++p) {
+        out.columns[p].AppendValue(row[projection_[p]]);
+      }
+    }
+    rows->fetch_add(out.num_rows(), std::memory_order_relaxed);
+    batches->fetch_add(1, std::memory_order_relaxed);
+    sink(slot, std::move(out));
+  }
+}
+
+void ParallelScanOp::Drive(const MorselSink& sink) {
+  DriveInternal(sink, /*account=*/true);
+}
+
+void ParallelScanOp::DriveInternal(const MorselSink& sink, bool account) {
+  PrepareMorsels();
+  static obs::Counter* dispatched =
+      obs::MetricsRegistry::Default()->GetCounter("exec.morsel.dispatched");
+  static obs::Counter* morsel_rows =
+      obs::MetricsRegistry::Default()->GetCounter("exec.morsel.rows");
+
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> rows{0};
+  std::atomic<size_t> batches{0};
+  auto t0 = std::chrono::steady_clock::now();
+  size_t total = num_slots_;
+  RunOnWorkers(ctx_.pool, ctx_.dop, [&](size_t) {
+    for (size_t m = cursor.fetch_add(1, std::memory_order_relaxed);
+         m < total; m = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      if (m < num_main_morsels_) {
+        ProduceMainMorsel(m, sink, &rows, &batches);
+      } else {
+        ProduceDeltaSlot(m, sink, &rows, &batches);
+      }
+    }
+  });
+  dispatched->Add(total);
+  morsel_rows->Add(rows.load());
+  if (account) {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    AccountDriven(rows.load(), batches.load(), static_cast<uint64_t>(ns));
+  }
+}
+
+void ParallelScanOp::Open() {
+  PrepareMorsels();
+  buf_.Reset(num_slots_);
+  DriveInternal(
+      [this](size_t slot, Batch&& b) { buf_.Append(slot, std::move(b)); },
+      /*account=*/false);
+}
+
+bool ParallelScanOp::NextBatch(Batch* out) {
+  out->columns.clear();
+  return buf_.Next(out);
+}
+
+std::string ParallelScanOp::Describe() const {
+  std::string out = "ParallelScan(" + table_->name() + " [" +
+                    TableFormatToString(table_->format()) + "]";
+  if (predicate_ != nullptr) out += ", pred=" + predicate_->ToString();
+  out += ", path=column, dop=" + std::to_string(ctx_.dop) + ")";
+  return out;
+}
+
+std::vector<const PhysicalOp*> ParallelScanOp::Children() const {
+  return {};
+}
+
+}  // namespace oltap

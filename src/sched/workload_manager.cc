@@ -167,13 +167,16 @@ WorkloadManager::Submission WorkloadManager::SubmitBudgeted(
       admit = shed("memory budget exhausted");
     }
     if (admit.ok()) {
+      task->grant.max_dop = options_.max_parallel_dop;
       if (qc == QueryClass::kOlap && options_.olap_degrade_threshold > 0 &&
           queue.size() >= options_.olap_degrade_threshold) {
         // Pressure short of shedding: admit, but tell the query to run
-        // with a reduced batch budget (sampled / small-batch scan) so
-        // analytics bend before OLTP latency breaks.
+        // with a reduced batch budget (sampled / small-batch scan) and
+        // throttled intra-query parallelism so analytics bend before
+        // OLTP latency breaks.
         task->grant.degraded = true;
         task->grant.batch_budget_rows = options_.degraded_batch_rows;
+        task->grant.max_dop = options_.degraded_dop;
         degraded_.fetch_add(1, std::memory_order_relaxed);
         static obs::Counter* degraded_count =
             obs::MetricsRegistry::Default()->GetCounter("sched.degraded");

@@ -39,6 +39,21 @@ enum class SchedulingPolicy : uint8_t {
 
 const char* SchedulingPolicyToString(SchedulingPolicy p);
 
+// What admission granted: full service, or degraded execution under
+// overload. Degraded OLAP should shrink its batches to
+// `batch_budget_rows` (or sample) and cap its intra-query parallelism at
+// `max_dop` so it yields the CPU and memory that OLTP needs. Namespace
+// scope (not nested) so the SQL layer can take it by reference without
+// pulling in the scheduler header's innards; `WorkloadManager::QueryGrant`
+// remains valid via an in-class alias.
+struct QueryGrant {
+  bool degraded = false;
+  size_t batch_budget_rows = 0;  // 0 = unconstrained
+  // Ceiling on this query's degree of parallelism (workers incl. the
+  // query thread). 0 = no cap; 1 = serial.
+  size_t max_dop = 0;
+};
+
 // Latency distribution summary in microseconds. Percentiles are exact
 // (computed from every recorded sample, not from log buckets), so p999 is
 // meaningful even for runs of a few thousand queries.
@@ -89,6 +104,13 @@ class WorkloadManager {
     // Batch-size budget handed to degraded OLAP work (rows per batch the
     // executor should drop to; a sampled scan is the extreme case).
     size_t degraded_batch_rows = 1024;
+    // Intra-query DOP granted to normally admitted OLAP (0 = uncapped:
+    // the session's max_dop knob rules).
+    size_t max_parallel_dop = 0;
+    // DOP granted to *degraded* OLAP: parallelism is the first thing
+    // overload takes away (default 1 = serial), before batch budgets or
+    // shedding, so analytic CPU appetite bends ahead of OLTP latency.
+    size_t degraded_dop = 1;
     // Soft memory budget over declared QuerySpec::est_memory_bytes of
     // queued + running work. OLAP beyond it is shed; OLTP is exempt.
     // 0 = unlimited.
@@ -102,14 +124,9 @@ class WorkloadManager {
     size_t est_memory_bytes = 0;    // charged against memory_budget_bytes
   };
 
-  // What admission granted: full service, or degraded execution under
-  // overload. Degraded OLAP should shrink its batches to
-  // `batch_budget_rows` (or sample) so it yields the CPU and memory that
-  // OLTP needs.
-  struct QueryGrant {
-    bool degraded = false;
-    size_t batch_budget_rows = 0;  // 0 = unconstrained
-  };
+  // Historical nested name for the admission grant (now at namespace
+  // scope so it can be forward-declared).
+  using QueryGrant = oltap::QueryGrant;
 
   // Work that observes its token; the returned status resolves the
   // submission future (kDeadlineExceeded / kAborted when the work

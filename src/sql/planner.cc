@@ -5,6 +5,10 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "exec/parallel/morsel.h"
+#include "exec/parallel/parallel_agg.h"
+#include "exec/parallel/parallel_join.h"
+#include "exec/parallel/parallel_scan.h"
 #include "obs/metrics.h"
 #include "opt/cardinality.h"
 #include "opt/cost_model.h"
@@ -349,6 +353,15 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
   // order, so no rewrite is needed).
   std::vector<int> global_to_plan;
 
+  // Morsel-parallel substitution: optimizer path only (SET optimizer=off
+  // must reproduce the historical plans byte for byte), and only when the
+  // session supplied a pool and the admission grant left DOP >= 2.
+  const bool par_enabled = options.use_optimizer &&
+                           options.exec_pool != nullptr &&
+                           options.max_dop >= 2;
+  const ParallelContext pctx{options.exec_pool, options.max_dop};
+  bool any_parallel = false;
+
   if (!options.use_optimizer) {
     // ---- Scans and left-deep joins in FROM order (optimizer off). ----
     // This block is the planner exactly as it was before the optimizer
@@ -576,7 +589,7 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
 
     // Costed scan with access-path selection (explicit side only for
     // dual-format tables; other formats have exactly one).
-    auto make_scan = [&](int t) -> std::unique_ptr<ScanOp> {
+    auto make_scan = [&](int t) -> PhysicalOpPtr {
       opt::CostModel::ScanDecision d =
           cm.CostScan(*from[t].table, read_ts, PushablePreds(table_preds[t]),
                       rel_rows[t]);
@@ -588,6 +601,19 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
             ->GetCounter(path == ScanOp::Path::kRow ? "opt.path_row"
                                                     : "opt.path_column")
             ->Add(1);
+      }
+      // Morsel-parallel scan for large columnar reads. The feedback
+      // memo's scan slot stays null (actual cardinality harvesting is a
+      // serial-scan feature; estimates degrade gracefully without it).
+      if (par_enabled && path != ScanOp::Path::kRow &&
+          from[t].table->column_table() != nullptr &&
+          from[t].table->ApproxRowCount() >= kMinParallelScanRows) {
+        auto pscan = std::make_unique<ParallelScanOp>(
+            from[t].table, read_ts, table_preds[t], std::vector<int>{},
+            pctx);
+        pscan->set_estimates(rel_rows[t], d.cost);
+        any_parallel = true;
+        return pscan;
       }
       auto scan = std::make_unique<ScanOp>(from[t].table, read_ts,
                                            table_preds[t],
@@ -629,9 +655,19 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
       auto scan = make_scan(r);
       cum_cost += scan->est_cost() +
                   cm.CostHashJoin(interm[p - 1], rel_rows[r], interm[p]).cost;
-      auto join = std::make_unique<HashJoinOp>(
-          std::move(plan), std::move(scan), std::move(build_keys),
-          std::move(probe_keys));
+      PhysicalOpPtr join;
+      if (par_enabled && dynamic_cast<MorselSource*>(scan.get()) != nullptr) {
+        // Probe side is morsel-parallel: partitioned parallel build +
+        // in-worker probe, fused into the scan's morsel pipeline.
+        join = std::make_unique<ParallelHashJoinOp>(
+            std::move(plan), std::move(scan), std::move(build_keys),
+            std::move(probe_keys), pctx);
+        any_parallel = true;
+      } else {
+        join = std::make_unique<HashJoinOp>(
+            std::move(plan), std::move(scan), std::move(build_keys),
+            std::move(probe_keys));
+      }
       join->set_estimates(interm[p], cum_cost);
       plan = std::move(join);
       for (int j = 0; j < from[r].width; ++j) {
@@ -650,8 +686,14 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
       for (const ExprPtr& c : late_filters) {
         remapped.push_back(RemapGlobal(c, global_to_plan));
       }
-      plan = std::make_unique<FilterOp>(std::move(plan),
-                                        Expr::CombineConjuncts(remapped));
+      ExprPtr pred = Expr::CombineConjuncts(remapped);
+      if (par_enabled && dynamic_cast<MorselSource*>(plan.get()) != nullptr) {
+        plan = std::make_unique<ParallelFilterOp>(std::move(plan),
+                                                  std::move(pred), pctx);
+        any_parallel = true;
+      } else {
+        plan = std::make_unique<FilterOp>(std::move(plan), std::move(pred));
+      }
     }
   }
 
@@ -871,8 +913,19 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
       OLTAP_ASSIGN_OR_RETURN(having, bind_having(*stmt.having));
     }
 
-    plan = std::make_unique<HashAggOp>(std::move(plan),
-                                       std::move(group_exprs), aggs);
+    if (par_enabled && dynamic_cast<MorselSource*>(plan.get()) != nullptr &&
+        AggsParallelMergeable(aggs)) {
+      // Thread-local pre-aggregation per morsel, merged in slot order —
+      // exact for COUNT/SUM(int)/MIN/MAX. Order-sensitive float folds
+      // (AVG, SUM over doubles) keep the serial aggregate below, which is
+      // still bit-exact because the parallel child reproduces the serial
+      // row stream.
+      plan = std::make_unique<ParallelHashAggOp>(
+          std::move(plan), std::move(group_exprs), aggs, pctx);
+    } else {
+      plan = std::make_unique<HashAggOp>(std::move(plan),
+                                         std::move(group_exprs), aggs);
+    }
     if (having != nullptr) {
       plan = std::make_unique<FilterOp>(std::move(plan), std::move(having));
     }
@@ -944,6 +997,9 @@ Result<PlannedQuery> PlanSelect(const SelectStmt& stmt,
                                      static_cast<size_t>(stmt.limit));
   }
 
+  if (any_parallel) {
+    metrics->GetCounter("exec.morsel.parallel_queries")->Add(1);
+  }
   out.root = std::move(plan);
   out.output_names = std::move(names);
   return out;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "exec/operators.h"
 #include "opt/feedback.h"
@@ -25,6 +26,13 @@ struct PlannerOptions {
   // Estimation-feedback memo (may be null): supplies remembered join
   // orders and measured scan cardinalities, receives the chosen order.
   opt::PlanFeedback* feedback = nullptr;
+  // Morsel-parallel execution: worker pool plus the degree of parallelism
+  // granted to this query (workers incl. the query thread). Parallel
+  // operators are substituted only on the optimizer path, and only when
+  // `exec_pool` is set and `max_dop >= 2`; results remain byte-identical
+  // to serial execution at any DOP.
+  ThreadPool* exec_pool = nullptr;
+  size_t max_dop = 1;
 };
 
 // A bound, executable SELECT plan.

@@ -9,6 +9,7 @@
 #include "exec/executor.h"
 #include "obs/metrics.h"
 #include "opt/stats.h"
+#include "sched/workload_manager.h"
 #include "sql/parser.h"
 #include "storage/column_store.h"
 #include "storage/freshness.h"
@@ -77,6 +78,16 @@ Database::Database(Wal* wal) : txn_(&catalog_, wal) {
 }
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
+  return ExecuteImpl(sql, nullptr);
+}
+
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const QueryGrant& grant) {
+  return ExecuteImpl(sql, &grant);
+}
+
+Result<QueryResult> Database::ExecuteImpl(const std::string& sql,
+                                          const QueryGrant* grant) {
   OLTAP_ASSIGN_OR_RETURN(sql::Statement stmt, sql::Parse(sql));
   if (stmt.kind == sql::Statement::Kind::kCreateTable) {
     return RunCreate(*stmt.create);
@@ -94,7 +105,7 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
     return RunCheckpoint();
   }
   std::unique_ptr<Transaction> txn = txn_.Begin();
-  auto result = RunStatement(txn.get(), stmt);
+  auto result = RunStatement(txn.get(), stmt, grant);
   if (!result.ok()) {
     txn_.Abort(txn.get());
     return result;
@@ -115,10 +126,11 @@ Result<QueryResult> Database::ExecuteIn(Transaction* txn,
 }
 
 Result<QueryResult> Database::RunStatement(Transaction* txn,
-                                           const sql::Statement& s) {
+                                           const sql::Statement& s,
+                                           const QueryGrant* grant) {
   switch (s.kind) {
     case sql::Statement::Kind::kSelect:
-      return RunSelect(txn, *s.select, s.explain, s.analyze);
+      return RunSelect(txn, *s.select, s.explain, s.analyze, grant);
     case sql::Statement::Kind::kInsert:
       return RunInsert(txn, *s.insert);
     case sql::Statement::Kind::kUpdate:
@@ -197,10 +209,32 @@ double MaxPlanCost(const PhysicalOp* op) {
 
 Result<QueryResult> Database::RunSelect(Transaction* txn,
                                         const sql::SelectStmt& s,
-                                        bool explain, bool analyze) {
+                                        bool explain, bool analyze,
+                                        const QueryGrant* grant) {
   sql::PlannerOptions popts;
   popts.use_optimizer = optimizer_enabled();
   popts.feedback = &feedback_;
+
+  // Effective degree of parallelism: the session knob (0 = auto: pool
+  // threads + the query thread) capped by the admission grant, so an
+  // overloaded or degraded scheduler throttles analytic parallelism
+  // before OLTP latency suffers.
+  ThreadPool* pool = exec_pool();
+  if (pool != nullptr) {
+    size_t dop = max_dop();
+    if (dop == 0) dop = pool->num_threads() + 1;
+    if (grant != nullptr && grant->max_dop > 0 && grant->max_dop < dop) {
+      dop = grant->max_dop;
+      static obs::Counter* limited =
+          obs::MetricsRegistry::Default()->GetCounter(
+              "exec.morsel.dop_limited");
+      limited->Add(1);
+    }
+    if (dop >= 2) {
+      popts.exec_pool = pool;
+      popts.max_dop = dop;
+    }
+  }
   OLTAP_ASSIGN_OR_RETURN(
       sql::PlannedQuery plan,
       sql::PlanSelect(s, catalog_, txn->begin_ts(), popts));
@@ -342,6 +376,21 @@ Result<QueryResult> Database::RunSet(const sql::SetStmt& s) {
           "SET max_staleness expects microseconds or off, got: " + s.value);
     }
     set_max_staleness_us(us);
+    return result;
+  }
+  if (s.name == "max_dop") {
+    if (s.value == "auto" || s.value == "0") {
+      set_max_dop(0);
+      return result;
+    }
+    char* end = nullptr;
+    long long dop = std::strtoll(s.value.c_str(), &end, 10);
+    if (end == s.value.c_str() || *end != '\0' || dop < 1) {
+      return Status::InvalidArgument(
+          "SET max_dop expects a positive worker count or auto, got: " +
+          s.value);
+    }
+    set_max_dop(static_cast<size_t>(dop));
     return result;
   }
   if (s.name == "checkpoint_interval_us") {

@@ -18,6 +18,8 @@
 
 namespace oltap {
 
+struct QueryGrant;  // sched/workload_manager.h
+
 // Result of a SQL statement: rows + column names for queries, an affected
 // count for DML/DDL.
 struct QueryResult {
@@ -49,6 +51,11 @@ class Database {
   Wal* wal() const { return txn_.wal(); }
 
   Result<QueryResult> Execute(const std::string& sql);
+  // Execute under a workload-manager admission grant: SELECTs cap their
+  // degree of parallelism at grant.max_dop (degraded grants typically
+  // force serial execution), leaving results unchanged.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const QueryGrant& grant);
   Result<QueryResult> ExecuteIn(Transaction* txn, const std::string& sql);
 
   // Replays a serialized WAL into this database (tables must already
@@ -123,12 +130,33 @@ class Database {
     max_staleness_us_.store(us, std::memory_order_relaxed);
   }
 
+  // Morsel-parallel execution. Queries parallelize only once a worker
+  // pool is attached; the session knob (SQL: SET max_dop = <n> | auto)
+  // picks the requested DOP, and a workload-manager grant may cap it
+  // lower per query. 0 = auto: pool threads + the query thread.
+  void set_exec_pool(ThreadPool* pool) {
+    exec_pool_.store(pool, std::memory_order_relaxed);
+  }
+  ThreadPool* exec_pool() const {
+    return exec_pool_.load(std::memory_order_relaxed);
+  }
+  void set_max_dop(size_t dop) {
+    max_dop_.store(dop, std::memory_order_relaxed);
+  }
+  size_t max_dop() const {
+    return max_dop_.load(std::memory_order_relaxed);
+  }
+
  private:
-  Result<QueryResult> RunStatement(Transaction* txn, const sql::Statement& s);
+  Result<QueryResult> ExecuteImpl(const std::string& sql,
+                                  const QueryGrant* grant);
+  Result<QueryResult> RunStatement(Transaction* txn, const sql::Statement& s,
+                                   const QueryGrant* grant = nullptr);
   // CHECKPOINT: one synchronous round on the (lazily created) daemon.
   Result<QueryResult> RunCheckpoint();
   Result<QueryResult> RunSelect(Transaction* txn, const sql::SelectStmt& s,
-                                bool explain, bool analyze);
+                                bool explain, bool analyze,
+                                const QueryGrant* grant = nullptr);
   // SHOW STATS: one row per metric from the global registry (histograms
   // expand to .count/.mean/.p50/.p95/.p99/.p999/.max rows), with storage
   // freshness gauges refreshed from this database's catalog first, plus
@@ -147,6 +175,8 @@ class Database {
   std::atomic<bool> optimizer_enabled_{true};
   std::atomic<bool> view_routing_{true};
   std::atomic<int64_t> max_staleness_us_{-1};
+  std::atomic<ThreadPool*> exec_pool_{nullptr};
+  std::atomic<size_t> max_dop_{0};  // 0 = auto (pool threads + 1)
   opt::PlanFeedback feedback_;
   view::ViewManager views_{&catalog_, &txn_};
   // Declared after views_/txn_/catalog_: the daemon references all three,

@@ -806,17 +806,19 @@ Result<Wal::ReplayStats> Wal::ReplayParallel(const std::string& data,
   for (auto& [name, part] : partitions) work.push_back(&part);
   std::vector<Status> results(work.size());
   std::vector<uint64_t> applied_counts(work.size(), 0);
-  pool->ParallelFor(work.size(), [&](size_t i) {
-    TablePartition* part = work[i];
-    for (const auto& [commit_ts, op] : part->ops) {
-      bool applied = false;
-      Status st =
-          ApplyOp(part->table, op, commit_ts, options.idempotent, &applied);
-      if (!st.ok()) {
-        results[i] = st;
-        return;
+  pool->ParallelForChunked(work.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      TablePartition* part = work[i];
+      for (const auto& [commit_ts, op] : part->ops) {
+        bool applied = false;
+        Status st =
+            ApplyOp(part->table, op, commit_ts, options.idempotent, &applied);
+        if (!st.ok()) {
+          results[i] = st;
+          break;
+        }
+        if (applied) ++applied_counts[i];
       }
-      if (applied) ++applied_counts[i];
     }
   });
   for (size_t i = 0; i < work.size(); ++i) {

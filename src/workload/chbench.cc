@@ -724,8 +724,12 @@ const std::vector<CHBenchmark::AnalyticQuery>& CHBenchmark::Queries() {
   return *kQueries;
 }
 
-Result<QueryResult> CHBenchmark::RunQuery(size_t index) {
+Result<QueryResult> CHBenchmark::RunQuery(size_t index,
+                                          const QueryGrant* grant) {
   OLTAP_CHECK(index < Queries().size());
+  if (grant != nullptr) {
+    return db_->Execute(Queries()[index].sql, *grant);
+  }
   return db_->Execute(Queries()[index].sql);
 }
 

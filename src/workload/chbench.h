@@ -123,7 +123,10 @@ class CHBenchmark {
   };
   static const std::vector<AnalyticQuery>& Queries();
 
-  Result<QueryResult> RunQuery(size_t index);
+  // With a non-null `grant`, the query runs under that admission grant
+  // (degraded grants cap its degree of parallelism).
+  Result<QueryResult> RunQuery(size_t index,
+                               const QueryGrant* grant = nullptr);
 
   Database* db() { return db_; }
   const CHConfig& config() const { return config_; }

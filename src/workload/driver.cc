@@ -123,6 +123,9 @@ DriverReport ConcurrentDriver::Run() {
   wm_opts.policy = options_.policy;
   wm_opts.reserved_oltp_workers =
       std::min(options_.oltp_workers, wm_workers > 1 ? wm_workers - 1 : 1);
+  wm_opts.max_parallel_dop = options_.olap_max_dop;
+  wm_opts.degraded_dop = options_.degraded_dop;
+  wm_opts.olap_degrade_threshold = options_.olap_degrade_threshold;
   WorkloadManager wm(wm_opts);
 
   std::unique_ptr<MergeDaemon> merger;
@@ -242,13 +245,17 @@ DriverReport ConcurrentDriver::Run() {
       size_t qi = (worker * 7) % num_queries;
       do {
         size_t q = qi;
-        bool ok = false;
-        std::future<Status> done = wm.Submit(QueryClass::kOlap, [&, q] {
-          auto res = bench_->RunQuery(q);
-          ok = res.ok();
-        });
-        Status st = done.get();
-        if (st.ok() && ok) {
+        // Budgeted submission: the admission grant caps the query's
+        // degree of parallelism (degraded admissions run serial), so
+        // overload throttles analytic DOP before shedding.
+        WorkloadManager::Submission sub = wm.SubmitBudgeted(
+            QueryClass::kOlap, WorkloadManager::QuerySpec{},
+            [&, q](const CancellationToken&, const QueryGrant& grant) {
+              auto res = bench_->RunQuery(q, &grant);
+              return res.ok() ? Status::OK() : res.status();
+            });
+        Status st = sub.done.get();
+        if (st.ok()) {
           olap_completed.fetch_add(1, std::memory_order_relaxed);
         } else {
           olap_failed.fetch_add(1, std::memory_order_relaxed);

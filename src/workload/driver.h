@@ -54,6 +54,15 @@ struct DriverOptions {
   size_t wm_workers = 0;
   SchedulingPolicy policy = SchedulingPolicy::kOltpPriority;
 
+  // Intra-query DOP granted to normally admitted OLAP queries (0 = leave
+  // the session knob in charge) and to degraded admissions (1 = serial).
+  // Only meaningful when the database has an exec pool attached.
+  size_t olap_max_dop = 0;
+  size_t degraded_dop = 1;
+  // OLAP admitted while its queue is at least this deep is degraded:
+  // its grant carries degraded_dop instead of olap_max_dop. 0 = never.
+  size_t olap_degrade_threshold = 0;
+
   // Timed mode: run for this long. 0 = fixed-ops mode (each OLTP worker
   // runs exactly ops_per_worker ops — the deterministic configuration).
   int64_t duration_ms = 0;
